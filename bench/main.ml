@@ -1,0 +1,157 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. Regenerates every table and figure of the paper's evaluation
+      (Tables 3-5, Figures 5-8) through the Experiments registry and
+      prints them in the paper's layout. `BENCH_QUICK=1` (or argument
+      `quick`) switches to the small smoke configuration; arguments
+      naming experiments ("table4 fig5 ...") restrict the set.
+
+   2. Runs Bechamel micro-benchmarks of the kernels behind each
+      artifact - BuildGraph, DerivePath, the static solver, delta
+      diffing, and a full protocol convergence step - one Test.make per
+      table/figure kernel (skipped with BENCH_NO_MICRO=1). *)
+
+open Bechamel
+
+let quick_requested () =
+  Sys.getenv_opt "BENCH_QUICK" = Some "1"
+  || Array.exists (fun a -> a = "quick") Sys.argv
+
+let requested_ids () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "quick")
+  in
+  if args = [] then None else Some args
+
+(* --- part 1: regenerate the paper's tables and figures --- *)
+
+let regenerate cfg =
+  let wanted = requested_ids () in
+  let entries =
+    match wanted with
+    | None ->
+      (* fig6/fig7 share their flip workload and table4/table5 their
+         P-graph analysis: run each once. *)
+      let fig67 = lazy (Experiments.Exp_fig67.run cfg) in
+      let table45 = lazy (Experiments.Exp_table45.run cfg) in
+      List.map
+        (fun (e : Experiments.Registry.entry) ->
+          match e.Experiments.Registry.id with
+          | "table4" ->
+            { e with
+              Experiments.Registry.run =
+                (fun _ ->
+                  Experiments.Exp_table45.render_table4 (Lazy.force table45)) }
+          | "table5" ->
+            { e with
+              Experiments.Registry.run =
+                (fun _ ->
+                  Experiments.Exp_table45.render_table5 (Lazy.force table45)) }
+          | "fig6" ->
+            { e with
+              Experiments.Registry.run =
+                (fun _ -> Experiments.Exp_fig67.render_fig6 (Lazy.force fig67)) }
+          | "fig7" ->
+            { e with
+              Experiments.Registry.run =
+                (fun _ -> Experiments.Exp_fig67.render_fig7 (Lazy.force fig67)) }
+          | _ -> e)
+        Experiments.Registry.all
+    | Some ids ->
+      List.filter_map Experiments.Registry.find ids
+  in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      Printf.printf "== %s: %s ==\n%!" e.Experiments.Registry.id
+        e.Experiments.Registry.title;
+      print_string (e.Experiments.Registry.run cfg);
+      Printf.printf "(regenerated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    entries
+
+(* --- part 2: micro-benchmarks of the kernels --- *)
+
+let micro_tests () =
+  (* Shared small workload: a 200-node CAIDA-like AS graph. *)
+  let topo =
+    As_gen.generate (Rng.create 7) (As_gen.caida_like ~n:200)
+  in
+  let paths = Solver.path_set_from topo ~src:5 in
+  let pgraph = Centaur.Pgraph.of_paths ~root:5 paths in
+  let dests = Centaur.Pgraph.dests pgraph in
+  let perturbed =
+    Topology.with_link_down topo 0 (fun () ->
+        Centaur.Pgraph.of_paths ~root:5 (Solver.path_set_from topo ~src:5))
+  in
+  let flip_topo =
+    Brite.annotated (Rng.create 8) ~n:60 ~m:2 ~max_delay:5.0 ~num_tiers:4
+  in
+  let flip_runner = Protocols.Centaur_net.network flip_topo in
+  ignore (flip_runner.Sim.Runner.cold_start ());
+  [ (* Table 4/5 kernel: BuildGraph over a full selected path set. *)
+    Test.make ~name:"table4/buildgraph"
+      (Staged.stage (fun () -> Centaur.Pgraph.of_paths ~root:5 paths));
+    (* §4.2 DerivePath over every destination of the P-graph. *)
+    Test.make ~name:"table4/derivepath-all"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun d -> ignore (Centaur.Pgraph.derive_path pgraph ~dest:d))
+             dests));
+    (* The static solver behind Tables 4/5 and Figure 5 (one dest). *)
+    Test.make ~name:"fig5/solver-to-dest"
+      (Staged.stage (fun () -> ignore (Solver.to_dest topo 17)));
+    (* §4.3 steady phase: delta between two consistent P-graphs. *)
+    Test.make ~name:"fig5/pgraph-diff"
+      (Staged.stage (fun () ->
+           ignore (Centaur.Pgraph.diff ~old_:pgraph ~new_:perturbed)));
+    (* Figure 6/7 kernel: one full link flip to re-convergence. *)
+    Test.make ~name:"fig6/centaur-link-flip"
+      (Staged.stage (fun () ->
+           ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:false);
+           ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:true)));
+    (* Figure 8 kernel: Dijkstra (the OSPF baseline's route compute). *)
+    Test.make ~name:"fig7/ospf-dijkstra"
+      (Staged.stage (fun () -> ignore (Dijkstra.from flip_topo ~src:0))) ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "== micro-benchmarks (ns/run, OLS on monotonic clock) ==\n%!";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+      in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          Printf.printf "  %-28s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+        analyzed)
+    tests
+
+let () =
+  let quick = quick_requested () in
+  let cfg =
+    if quick then Experiments.Config.quick else Experiments.Config.default
+  in
+  Printf.printf "configuration: %s (%s)\n\n%!"
+    (Format.asprintf "%a" Experiments.Config.pp cfg)
+    (if quick then "quick" else "default");
+  regenerate cfg;
+  if Sys.getenv_opt "BENCH_NO_MICRO" <> Some "1" then run_micro ()

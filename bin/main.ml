@@ -1,0 +1,246 @@
+(* centaur — command-line driver.
+
+   Subcommands:
+     exp <id>        regenerate one of the paper's tables/figures
+     exp all         regenerate everything
+     gen             generate a topology file
+     routes          print a node's selected routes on a topology file
+     pgraph          print a node's local P-graph
+     simulate        flip a link and report convergence for one protocol *)
+
+open Cmdliner
+
+let read_topology path =
+  match Topo_io.load path with
+  | Ok topo -> topo
+  | Error msg ->
+    Printf.eprintf "error: cannot load %s: %s\n" path msg;
+    exit 1
+
+(* --- shared options --- *)
+
+let seed_t =
+  let doc = "Master PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_t =
+  let doc = "Use the small smoke-test configuration." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let config_of ~seed ~quick =
+  let base =
+    if quick then Experiments.Config.quick else Experiments.Config.default
+  in
+  { base with Experiments.Config.seed }
+
+(* --- exp --- *)
+
+let exp_cmd =
+  let id_t =
+    let doc =
+      "Experiment to run: " ^ String.concat ", " Experiments.Registry.ids
+      ^ ", or 'all'."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id seed quick =
+    let cfg = config_of ~seed ~quick in
+    let run_one (e : Experiments.Registry.entry) =
+      Printf.printf "== %s: %s ==\n%!" e.Experiments.Registry.id
+        e.Experiments.Registry.title;
+      print_string (e.Experiments.Registry.run cfg);
+      print_newline ()
+    in
+    if id = "all" then begin
+      List.iter run_one Experiments.Registry.all;
+      `Ok ()
+    end
+    else
+      match Experiments.Registry.find id with
+      | Some e ->
+        run_one e;
+        `Ok ()
+      | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S; try one of: %s" id
+                    (String.concat ", " ("all" :: Experiments.Registry.ids)))
+  in
+  let doc = "Regenerate a table or figure from the paper's evaluation." in
+  Cmd.v
+    (Cmd.info "exp" ~doc)
+    Term.(ret (const run $ id_t $ seed_t $ quick_t))
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let kind_t =
+    let doc = "Topology model: caida, hetop, or brite." in
+    Arg.(value & opt string "brite" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let nodes_t =
+    let doc = "Number of nodes." in
+    Arg.(value & opt int 500 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let out_t =
+    let doc = "Output file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run model n out seed =
+    let rng = Rng.create seed in
+    let topo =
+      match model with
+      | "caida" -> Some (As_gen.generate rng (As_gen.caida_like ~n))
+      | "hetop" -> Some (As_gen.generate rng (As_gen.hetop_like ~n))
+      | "brite" ->
+        Some (Brite.annotated rng ~n ~m:2 ~max_delay:5.0 ~num_tiers:4)
+      | _ -> None
+    in
+    match topo with
+    | None ->
+      `Error (false, Printf.sprintf "unknown model %S (caida|hetop|brite)" model)
+    | Some topo ->
+      Format.eprintf "generated: %a@." Topology.pp_summary topo;
+      (match out with
+      | None -> print_string (Topo_io.to_string topo)
+      | Some path -> Topo_io.save topo path);
+      `Ok ()
+  in
+  let doc = "Generate an annotated topology file." in
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(ret (const run $ kind_t $ nodes_t $ out_t $ seed_t))
+
+(* --- import --- *)
+
+let import_cmd =
+  let in_t =
+    let doc = "CAIDA as-rel file (provider|customer|-1, peer|peer|0)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"AS-REL" ~doc)
+  in
+  let out_t =
+    let doc = "Output topology file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run path out seed =
+    match As_rel.load ~seed path with
+    | Error msg -> `Error (false, Printf.sprintf "cannot import %s: %s" path msg)
+    | Ok (topo, _mapping) ->
+      Format.eprintf "imported: %a@." Topology.pp_summary topo;
+      (match out with
+      | None -> print_string (Topo_io.to_string topo)
+      | Some path -> Topo_io.save topo path);
+      `Ok ()
+  in
+  let doc = "Convert a CAIDA as-rel dataset into a topology file." in
+  Cmd.v
+    (Cmd.info "import" ~doc)
+    Term.(ret (const run $ in_t $ out_t $ seed_t))
+
+(* --- routes --- *)
+
+let topo_pos_t =
+  let doc = "Topology file (produced by $(b,gen))." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let node_t =
+  let doc = "Node id." in
+  Arg.(value & opt int 0 & info [ "node" ] ~docv:"NODE" ~doc)
+
+let routes_cmd =
+  let run path node =
+    let topo = read_topology path in
+    if node < 0 || node >= Topology.num_nodes topo then begin
+      Printf.eprintf "error: node %d out of range\n" node;
+      exit 1
+    end;
+    let paths = Solver.path_set_from topo ~src:node in
+    Printf.printf "# %d selected routes of node %d\n" (List.length paths) node;
+    List.iter
+      (fun p ->
+        let cls =
+          match Path_class.class_of topo p with
+          | Some c -> Gao_rexford.class_to_string c
+          | None -> "?"
+        in
+        Printf.printf "%-6d %-16s %s\n" (Path.destination p) cls
+          (Path.to_string p))
+      paths
+  in
+  let doc = "Print a node's selected Gao-Rexford routes." in
+  Cmd.v (Cmd.info "routes" ~doc) Term.(const run $ topo_pos_t $ node_t)
+
+(* --- pgraph --- *)
+
+let pgraph_cmd =
+  let run path node =
+    let topo = read_topology path in
+    let g = Centaur.Static.pgraph_of_source topo ~src:node in
+    Format.printf "%a@." Centaur.Pgraph.pp g;
+    Printf.printf "links: %d, permission lists: %d\n"
+      (Centaur.Pgraph.num_links g)
+      (Centaur.Pgraph.num_permission_lists g)
+  in
+  let doc = "Print a node's local P-graph (links, counters, Permission Lists)." in
+  Cmd.v (Cmd.info "pgraph" ~doc) Term.(const run $ topo_pos_t $ node_t)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let proto_t =
+    let doc = "Protocol: centaur, bgp, bgp-rcn, or ospf." in
+    Arg.(value & opt string "centaur" & info [ "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let link_t =
+    let doc = "Link id to flip (down then up). -1 picks the first link." in
+    Arg.(value & opt int (-1) & info [ "link" ] ~docv:"LINK" ~doc)
+  in
+  let run path proto link =
+    let topo = read_topology path in
+    let runner =
+      match proto with
+      | "centaur" -> Some (Protocols.Centaur_net.network topo)
+      | "bgp" -> Some (Protocols.Bgp_net.network topo)
+      | "bgp-rcn" -> Some (Protocols.Bgp_net.network ~rcn:true topo)
+      | "ospf" -> Some (Protocols.Ospf_net.network topo)
+      | _ -> None
+    in
+    match runner with
+    | None -> `Error (false, Printf.sprintf "unknown protocol %S" proto)
+    | Some runner ->
+      let link = if link < 0 then 0 else link in
+      if link >= Topology.num_links topo then
+        `Error (false, Printf.sprintf "link %d out of range" link)
+      else begin
+        let report label (s : Sim.Engine.run_stats) =
+          Printf.printf "%-10s time=%8.2fms messages=%7d units=%8d events=%d\n"
+            label s.Sim.Engine.duration s.Sim.Engine.messages s.Sim.Engine.units
+            s.Sim.Engine.events
+        in
+        report "cold" (runner.Sim.Runner.cold_start ());
+        report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);
+        report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
+        `Ok ()
+      end
+  in
+  let doc = "Cold-start a protocol on a topology and flip one link." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(ret (const run $ topo_pos_t $ proto_t $ link_t))
+
+let main_cmd =
+  let doc = "Centaur: hybrid policy-based routing (ICDCS 2009) reproduction" in
+  let info = Cmd.info "centaur" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ exp_cmd; gen_cmd; import_cmd; routes_cmd; pgraph_cmd; simulate_cmd ]
+
+let () =
+  (* $(b,CENTAUR_LOG=debug) enables engine tracing. *)
+  (match Sys.getenv_opt "CENTAUR_LOG" with
+  | Some "debug" ->
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  | Some "info" ->
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  | Some _ | None -> ());
+  exit (Cmd.eval main_cmd)

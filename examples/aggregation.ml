@@ -1,0 +1,49 @@
+(* Prefix (de)aggregation - the paper's §6.4: "Centaur mainly addresses
+   the dissemination of routing updates, which is orthogonal to the
+   granularity of the routing updates."
+
+   We fail the same link under three prefix tables - fully aggregated,
+   the realistic skewed table, and a 4-way de-aggregation - and watch
+   BGP's immediate withdrawal count multiply while Centaur's stays
+   fixed.
+
+     dune exec examples/aggregation.exe *)
+
+let () =
+  let topo =
+    As_gen.generate (Rng.create 64) (As_gen.caida_like ~n:400)
+  in
+  Format.printf "Topology: %a@." Topology.pp_summary topo;
+  let realistic =
+    Prefix.generate (Rng.create 65) ~n:(Topology.num_nodes topo) ~mean:10.0
+  in
+  let tables =
+    [ ("aggregated (1/AS)", Prefix.aggregate realistic);
+      (Printf.sprintf "realistic (%.1f/AS)" (Prefix.mean realistic), realistic);
+      ( Printf.sprintf "deaggregated x4 (%.1f/AS)"
+          (Prefix.mean (Prefix.deaggregate realistic ~factor:4)),
+        Prefix.deaggregate realistic ~factor:4 ) ]
+  in
+  Printf.printf
+    "\nMean immediate updates caused by a single link failure\n\
+     (averaged over every link in the topology):\n\n";
+  Printf.printf "  %-24s %12s %12s %8s\n" "prefix table" "BGP" "Centaur"
+    "ratio";
+  List.iter
+    (fun (name, table) ->
+      let overheads =
+        Centaur.Static.immediate_overhead ~prefixes:table topo
+      in
+      let mean f =
+        Stats.mean
+          (Array.map (fun o -> float_of_int (f o)) overheads)
+      in
+      let bgp = mean (fun o -> o.Centaur.Static.bgp_units) in
+      let centaur = mean (fun o -> o.Centaur.Static.centaur_units) in
+      Printf.printf "  %-24s %12.1f %12.1f %7.0fx\n" name bgp centaur
+        (bgp /. centaur))
+    tables;
+  Printf.printf
+    "\nBGP's cost scales with the number of prefixes behind the failure;\n\
+     Centaur withdraws the failed link once per session regardless of\n\
+     how finely the destinations behind it slice their address space.\n"

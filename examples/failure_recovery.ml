@@ -1,0 +1,60 @@
+(* Failure recovery: flip links on a BRITE-style AS topology and compare
+   how Centaur and BGP re-converge - the paper's §5.3 experiment in
+   miniature.
+
+     dune exec examples/failure_recovery.exe [nodes] *)
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 120
+  in
+  let make () =
+    Brite.annotated (Rng.create 2009) ~n ~m:2 ~max_delay:5.0 ~num_tiers:4
+  in
+  let topo = make () in
+  Format.printf "Topology: %a@." Topology.pp_summary topo;
+
+  let centaur = Protocols.Centaur_net.network (make ()) in
+  let bgp = Protocols.Bgp_net.network (make ()) in
+  let c_cold = centaur.Sim.Runner.cold_start () in
+  let b_cold = bgp.Sim.Runner.cold_start () in
+  Printf.printf "cold start: centaur %d msgs, bgp %d msgs\n\n"
+    c_cold.Sim.Engine.messages b_cold.Sim.Engine.messages;
+
+  Printf.printf
+    "%-6s | %21s | %21s\n" "link" "Centaur (ms / msgs)" "BGP (ms / msgs)";
+  let links = [ 0; 7; 19; 31; 53 ] in
+  let totals = ref (0.0, 0.0) in
+  List.iter
+    (fun link_id ->
+      if link_id < Topology.num_links topo then begin
+        let c = centaur.Sim.Runner.flip ~link_id ~up:false in
+        let b = bgp.Sim.Runner.flip ~link_id ~up:false in
+        Printf.printf "%-6d | %10.2f / %7d | %10.2f / %7d\n" link_id
+          c.Sim.Engine.duration c.Sim.Engine.messages b.Sim.Engine.duration
+          b.Sim.Engine.messages;
+        let ct, bt = !totals in
+        totals := (ct +. c.Sim.Engine.duration, bt +. b.Sim.Engine.duration);
+        ignore (centaur.Sim.Runner.flip ~link_id ~up:true);
+        ignore (bgp.Sim.Runner.flip ~link_id ~up:true)
+      end)
+    links;
+  let ct, bt = !totals in
+  Printf.printf
+    "\nCentaur re-converged %.1fx faster on average (root-cause link\n\
+     withdrawals vs per-prefix path exploration under MRAI batching).\n"
+    (bt /. ct);
+
+  (* After every flip both protocols are back on the stable solution:
+     spot-check forwarding consistency against the static solver. *)
+  let r = Solver.to_dest topo 0 in
+  let agree = ref true in
+  for src = 1 to n - 1 do
+    let expected = Solver.next_hop r src in
+    if
+      centaur.Sim.Runner.next_hop ~src ~dest:0 <> expected
+      || bgp.Sim.Runner.next_hop ~src ~dest:0 <> expected
+    then agree := false
+  done;
+  Printf.printf "post-recovery forwarding matches the stable solution: %b\n"
+    !agree

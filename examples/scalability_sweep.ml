@@ -1,0 +1,12 @@
+(* Scalability sweep: the Figure 8 experiment at example scale - mean
+   update messages per link event as topology size grows.
+
+     dune exec examples/scalability_sweep.exe *)
+
+let () =
+  let cfg =
+    { Experiments.Config.quick with
+      Experiments.Config.fig8_sizes = [ 40; 80; 160 ];
+      fig8_events = 8 }
+  in
+  print_string (Experiments.Exp_fig8.render (Experiments.Exp_fig8.run cfg))

@@ -1,0 +1,32 @@
+type t = {
+  sender : int;
+  delta : Pgraph.delta;
+}
+
+let make ~sender delta = { sender; delta }
+
+let is_empty t = Pgraph.delta_is_empty t.delta
+
+let units t = max 1 (Pgraph.delta_units t.delta)
+
+let import t ~receiver =
+  let delta = t.delta in
+  let delta =
+    { delta with
+      Pgraph.add_links =
+        List.filter
+          (fun (_p, c, _pl) -> c <> receiver)
+          delta.Pgraph.add_links;
+      Pgraph.remove_links =
+        List.filter (fun (_p, c) -> c <> receiver) delta.Pgraph.remove_links }
+  in
+  { t with delta }
+
+let pp fmt t =
+  let d = t.delta in
+  Format.fprintf fmt
+    "update from %d: +%d links, -%d links, +%d dests, -%d dests" t.sender
+    (List.length d.Pgraph.add_links)
+    (List.length d.Pgraph.remove_links)
+    (List.length d.Pgraph.add_dests)
+    (List.length d.Pgraph.remove_dests)

@@ -1,0 +1,29 @@
+(** Downstream link announcements (paper §3.2.1, §4.3).
+
+    Centaur nodes exchange {e link-level} updates: a full or incremental
+    description of the sender's exported P-graph. A message carries link
+    insertions (with their Permission Lists), link withdrawals — the
+    root-cause information that lets receivers discard every path through
+    a failed link at once — and destination-mark changes.
+
+    Overhead accounting follows the paper's message-count metric: BGP is
+    charged one unit per (neighbor, prefix) update, Centaur one unit per
+    (neighbor, link) change ({!units}). *)
+
+type t = {
+  sender : int;
+  delta : Pgraph.delta;
+}
+
+val make : sender:int -> Pgraph.delta -> t
+
+val is_empty : t -> bool
+
+val units : t -> int
+(** Link-level changes carried; destination-mark-only updates count 1. *)
+
+val import : t -> receiver:int -> t
+(** The receiver-side import filter of §4.3 Step 2: drop links pointing
+    to the receiver itself ([X → A]) — loop elimination. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+(* Links are keyed (parent, child). [occ] records, per link, which
+   destinations' paths traverse it and the child's next hop on each —
+   simultaneously the §4.3 use counter (its cardinality) and the source
+   material for the link's Permission List. *)
+
+type link_occ = (int, int option) Hashtbl.t (* dest -> next hop of child *)
+
+type t = {
+  root_node : int;
+  paths : (int, Path.t) Hashtbl.t;
+  occ : (int * int, link_occ) Hashtbl.t;
+  in_parents : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* child -> parents *)
+  forced : (int, unit) Hashtbl.t;
+  (* Wire state at the last flush: per link, the announced Permission
+     List (None = announced without one); absence = not announced. *)
+  last_links : (int * int, Permission_list.t option) Hashtbl.t;
+  last_marks : (int, unit) Hashtbl.t;
+  (* Links and children touched since the last flush. *)
+  dirty_links : (int * int, unit) Hashtbl.t;
+  dirty_marks : (int, unit) Hashtbl.t;
+}
+
+let create ~root =
+  { root_node = root;
+    paths = Hashtbl.create 64;
+    occ = Hashtbl.create 256;
+    in_parents = Hashtbl.create 256;
+    forced = Hashtbl.create 4;
+    last_links = Hashtbl.create 256;
+    last_marks = Hashtbl.create 64;
+    dirty_links = Hashtbl.create 64;
+    dirty_marks = Hashtbl.create 64 }
+
+let root t = t.root_node
+
+let path_of t ~dest = Hashtbl.find_opt t.paths dest
+
+let dests t =
+  let set = Hashtbl.create 64 in
+  Hashtbl.iter (fun d _ -> Hashtbl.replace set d ()) t.paths;
+  Hashtbl.iter (fun d _ -> Hashtbl.replace set d ()) t.forced;
+  Hashtbl.fold (fun d () acc -> d :: acc) set [] |> List.sort compare
+
+let in_degree t child =
+  match Hashtbl.find_opt t.in_parents child with
+  | None -> 0
+  | Some parents -> Hashtbl.length parents
+
+(* Mark every in-link of [child] dirty: its multi-homing status (hence
+   Permission List presence) may have flipped. *)
+let dirty_child t child =
+  match Hashtbl.find_opt t.in_parents child with
+  | None -> ()
+  | Some parents ->
+    Hashtbl.iter
+      (fun parent () -> Hashtbl.replace t.dirty_links (parent, child) ())
+      parents
+
+let remove_path_links t dest p =
+  List.iter
+    (fun ((parent, child) as key) ->
+      match Hashtbl.find_opt t.occ key with
+      | None -> ()
+      | Some o ->
+        Hashtbl.remove o dest;
+        Hashtbl.replace t.dirty_links key ();
+        if Hashtbl.length o = 0 then begin
+          Hashtbl.remove t.occ key;
+          (match Hashtbl.find_opt t.in_parents child with
+          | None -> ()
+          | Some parents ->
+            Hashtbl.remove parents parent;
+            if Hashtbl.length parents = 0 then
+              Hashtbl.remove t.in_parents child);
+          dirty_child t child
+        end)
+    (Path.links p)
+
+let add_path_links t dest p =
+  List.iter
+    (fun ((parent, child) as key) ->
+      let o =
+        match Hashtbl.find_opt t.occ key with
+        | Some o -> o
+        | None ->
+          let o = Hashtbl.create 8 in
+          Hashtbl.replace t.occ key o;
+          let parents =
+            match Hashtbl.find_opt t.in_parents child with
+            | Some parents -> parents
+            | None ->
+              let parents = Hashtbl.create 4 in
+              Hashtbl.replace t.in_parents child parents;
+              parents
+          in
+          Hashtbl.replace parents parent ();
+          dirty_child t child;
+          o
+      in
+      Hashtbl.replace o dest (Path.next_hop_of p child);
+      Hashtbl.replace t.dirty_links key ())
+    (Path.links p)
+
+let set_path t ~dest path =
+  (match path with
+  | None -> ()
+  | Some p ->
+    (match p with
+    | [] | [ _ ] -> invalid_arg "Builder.set_path: path too short"
+    | first :: _ when first <> t.root_node ->
+      invalid_arg "Builder.set_path: path does not start at root"
+    | _ -> ());
+    if not (Path.is_loop_free p) then
+      invalid_arg "Builder.set_path: path has a loop";
+    if Path.destination p <> dest then
+      invalid_arg "Builder.set_path: path destination mismatch");
+  let old_path = Hashtbl.find_opt t.paths dest in
+  let same =
+    match (old_path, path) with
+    | None, None -> true
+    | Some a, Some b -> Path.equal a b
+    | None, Some _ | Some _, None -> false
+  in
+  if not same then begin
+    (match old_path with
+    | Some p -> remove_path_links t dest p
+    | None -> ());
+    (match path with
+    | Some p ->
+      Hashtbl.replace t.paths dest p;
+      add_path_links t dest p
+    | None -> Hashtbl.remove t.paths dest);
+    Hashtbl.replace t.dirty_marks dest ()
+  end
+
+let force_dest t d =
+  Hashtbl.replace t.forced d ();
+  Hashtbl.replace t.dirty_marks d ()
+
+let counter t ~parent ~child =
+  match Hashtbl.find_opt t.occ (parent, child) with
+  | None -> 0
+  | Some o -> Hashtbl.length o
+
+(* Permission List a link should currently announce: present exactly
+   when the child is multi-homed (paper §4.1/§4.3). *)
+let current_plist t ((_parent, child) as key) =
+  match Hashtbl.find_opt t.occ key with
+  | None -> None (* link gone *)
+  | Some o ->
+    if in_degree t child > 1 then
+      Some
+        (Some
+           (Hashtbl.fold
+              (fun dest next pl -> Permission_list.add pl ~dest ~next)
+              o Permission_list.empty))
+    else Some None
+
+let marked t d = Hashtbl.mem t.paths d || Hashtbl.mem t.forced d
+
+let flush_delta t =
+  let add_links = ref [] in
+  let remove_links = ref [] in
+  Hashtbl.iter
+    (fun ((parent, child) as key) () ->
+      let now = current_plist t key in
+      let before = Hashtbl.find_opt t.last_links key in
+      match (now, before) with
+      | None, None -> ()
+      | None, Some _ ->
+        Hashtbl.remove t.last_links key;
+        remove_links := (parent, child) :: !remove_links
+      | Some pl, None ->
+        Hashtbl.replace t.last_links key pl;
+        add_links := (parent, child, pl) :: !add_links
+      | Some pl, Some old_pl ->
+        let equal =
+          match (pl, old_pl) with
+          | None, None -> true
+          | Some a, Some b -> Permission_list.equal a b
+          | None, Some _ | Some _, None -> false
+        in
+        if not equal then begin
+          Hashtbl.replace t.last_links key pl;
+          add_links := (parent, child, pl) :: !add_links
+        end)
+    t.dirty_links;
+  Hashtbl.reset t.dirty_links;
+  let add_dests = ref [] in
+  let remove_dests = ref [] in
+  Hashtbl.iter
+    (fun d () ->
+      let now = marked t d in
+      let before = Hashtbl.mem t.last_marks d in
+      if now && not before then begin
+        Hashtbl.replace t.last_marks d ();
+        add_dests := d :: !add_dests
+      end
+      else if before && not now then begin
+        Hashtbl.remove t.last_marks d;
+        remove_dests := d :: !remove_dests
+      end)
+    t.dirty_marks;
+  Hashtbl.reset t.dirty_marks;
+  { Pgraph.add_links = List.sort compare !add_links;
+    remove_links = List.sort compare !remove_links;
+    add_dests = List.sort compare !add_dests;
+    remove_dests = List.sort compare !remove_dests }
+
+let snapshot t =
+  let g = Pgraph.create ~root:t.root_node in
+  Hashtbl.iter
+    (fun ((parent, child) as key) o ->
+      let plist =
+        match current_plist t key with
+        | Some pl -> pl
+        | None -> None
+      in
+      Pgraph.add_link g ~parent ~child
+        ~data:{ Pgraph.counter = Hashtbl.length o; plist })
+    t.occ;
+  Hashtbl.iter (fun d _ -> Pgraph.mark_dest g d) t.paths;
+  Hashtbl.iter (fun d () -> Pgraph.mark_dest g d) t.forced;
+  g

@@ -1,0 +1,48 @@
+(** Incremental P-graph maintenance — the §4.3 steady-phase bookkeeping.
+
+    A [Builder.t] maintains one node's (local or per-neighbor-export)
+    P-graph as its selected path set evolves, exactly as the paper
+    prescribes: every link carries a counter of the selected paths that
+    use it; a link leaves the graph when its counter reaches zero;
+    Permission Lists appear on the in-links of a node the moment it
+    becomes multi-homed and disappear when it stops being multi-homed.
+
+    {!flush_delta} returns the net wire-level change (the Δ of §4.3)
+    since the previous flush, already coalesced — the exact payload of an
+    incremental downstream-link announcement. Cost of [set_path] and
+    [flush_delta] is proportional to the paths and links touched, not to
+    the graph size, which is what makes large simulations tractable. *)
+
+type t
+
+val create : root:int -> t
+
+val root : t -> int
+
+val path_of : t -> dest:int -> Path.t option
+(** The path currently installed for a destination. *)
+
+val dests : t -> int list
+
+val set_path : t -> dest:int -> Path.t option -> unit
+(** Install, replace or remove ([None]) the selected path for one
+    destination. Paths must start at the root, be loop-free and have
+    length ≥ 1 (raises [Invalid_argument] otherwise). *)
+
+val force_dest : t -> int -> unit
+(** Permanently mark a node as destination even without a path — the
+    exporter marks itself so neighbors learn its own prefix. *)
+
+val counter : t -> parent:int -> child:int -> int
+(** Current use counter of a link; 0 if absent. *)
+
+val flush_delta : t -> Pgraph.delta
+(** Net changes since the last flush: link insertions (with their
+    current Permission Lists), link withdrawals, destination marks.
+    Changes that cancelled out produce nothing. *)
+
+val snapshot : t -> Pgraph.t
+(** The current graph as an immutable {!Pgraph.t} (cost proportional to
+    the graph size; intended for inspection and tests). The test-suite
+    oracle: applying every flushed delta, in order, to an empty graph
+    reproduces the snapshot. *)

@@ -1,0 +1,31 @@
+(** Multi-path Centaur evaluation (paper §7).
+
+    Quantifies the paper's anticipation that Centaur "can propagate
+    multiple paths for a destination in a more compact and scalable way"
+    than path vector: build the multi-path P-graph of a node's k-best
+    path set and compare its announcement size against add-path
+    path-vector (which repeats every path in full), and measure how
+    faithfully the per-dest-next Permission-List encoding captures the
+    path set (the encoding may close the set under prefix recombination;
+    {!measure} reports the excess). *)
+
+type report = {
+  k : int;
+  dests : int;            (** destinations in the path set *)
+  paths : int;            (** announced paths *)
+  pv_hops : int;          (** add-path path-vector cost: Σ path lengths *)
+  centaur_links : int;    (** P-graph links announced once each *)
+  pl_entries : int;       (** Permission List entries across the graph *)
+  compaction : float;     (** pv_hops / (centaur_links + pl_entries) *)
+  derived_paths : int;    (** paths derivable from the P-graph *)
+  excess : float;         (** (derived - announced) / announced *)
+}
+
+val measure : Topology.t -> k:int -> src:int -> report
+(** Build the k-best path set of one source and measure it. *)
+
+val measure_paths : k:int -> src:int -> Path.t list -> report
+(** Measure a pre-computed path set (e.g. from
+    {!Multipath.ranked_sets}); [k] is recorded verbatim. *)
+
+val render : report list -> string

@@ -1,0 +1,339 @@
+module Imap = Map.Make (Int)
+
+(* One session per live neighbor: the neighbor's announced P-graph, the
+   cache of paths derived from it, and an inverted index (node -> dests
+   whose cached path visits it) so a link change maps to the small set of
+   destinations it can affect. *)
+type session = {
+  mutable pg : Pgraph.t;
+  cache : (int, Path.t) Hashtbl.t; (* dest -> derived path (starts at nbr) *)
+  usage : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* Marked destinations that failed to derive (transient inconsistency,
+     e.g. a link the import filter dropped): retried on every delta. *)
+  pending : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  node_id : int;
+  topo : Topology.t;
+  mutable sessions : session Imap.t;
+  selected : (int, Path.t) Hashtbl.t; (* dest -> my path (starts at me) *)
+  local : Builder.t;
+  mutable exports : Builder.t Imap.t; (* per neighbor *)
+}
+
+type output = (int * Announce.t) list
+
+let create topo ~id =
+  { node_id = id;
+    topo;
+    sessions = Imap.empty;
+    selected = Hashtbl.create 64;
+    local = Builder.create ~root:id;
+    exports = Imap.empty }
+
+let id t = t.node_id
+
+let neighbors t = Topology.neighbors t.topo t.node_id
+
+let new_session ~neighbor =
+  { pg = Pgraph.create ~root:neighbor;
+    cache = Hashtbl.create 64;
+    usage = Hashtbl.create 64;
+    pending = Hashtbl.create 8 }
+
+(* --- derived-path cache maintenance --- *)
+
+let usage_remove s dest p =
+  List.iter
+    (fun node ->
+      match Hashtbl.find_opt s.usage node with
+      | None -> ()
+      | Some set ->
+        Hashtbl.remove set dest;
+        if Hashtbl.length set = 0 then Hashtbl.remove s.usage node)
+    p
+
+let usage_add s dest p =
+  List.iter
+    (fun node ->
+      let set =
+        match Hashtbl.find_opt s.usage node with
+        | Some set -> set
+        | None ->
+          let set = Hashtbl.create 8 in
+          Hashtbl.replace s.usage node set;
+          set
+      in
+      Hashtbl.replace set dest ())
+    p
+
+(* Re-derive one destination from the session's graph; true iff the
+   cached path changed. *)
+let rederive s ~dest =
+  let old_path = Hashtbl.find_opt s.cache dest in
+  let new_path =
+    if Pgraph.is_dest s.pg dest then Pgraph.derive_path s.pg ~dest else None
+  in
+  (match new_path with
+  | None when Pgraph.is_dest s.pg dest -> Hashtbl.replace s.pending dest ()
+  | None | Some _ -> Hashtbl.remove s.pending dest);
+  let same =
+    match (old_path, new_path) with
+    | None, None -> true
+    | Some a, Some b -> Path.equal a b
+    | None, Some _ | Some _, None -> false
+  in
+  if not same then begin
+    (match old_path with
+    | Some p ->
+      usage_remove s dest p;
+      Hashtbl.remove s.cache dest
+    | None -> ());
+    match new_path with
+    | Some p ->
+      Hashtbl.replace s.cache dest p;
+      usage_add s dest p
+    | None -> ()
+  end;
+  not same
+
+(* Destinations an incoming delta can affect: changed destination marks,
+   destinations mentioned in changed Permission Lists (old and new), and
+   destinations whose cached path visits an endpoint of a changed link. *)
+let affected_dests s (delta : Pgraph.delta) =
+  let acc = Hashtbl.create 64 in
+  let add d = Hashtbl.replace acc d () in
+  List.iter add delta.Pgraph.add_dests;
+  List.iter add delta.Pgraph.remove_dests;
+  Hashtbl.iter (fun d () -> add d) s.pending;
+  let add_usage node =
+    match Hashtbl.find_opt s.usage node with
+    | None -> ()
+    | Some set -> Hashtbl.iter (fun d () -> add d) set
+  in
+  let add_plist = function
+    | None -> ()
+    | Some pl -> List.iter add (Permission_list.dests pl)
+  in
+  (* Derivation of a destination reads only the in-link sets (and
+     Permission Lists) of the nodes on its path, so a changed link
+     (p, c) can only affect destinations whose cached path visits the
+     child [c] — those are all in usage(c), including every destination
+     the link's OLD Permission List names — plus destinations whose
+     permitted next hop the NEW Permission List changes (reroutes onto a
+     link that was already present). *)
+  List.iter
+    (fun (p, c, pl) ->
+      match pl with
+      | Some new_pl ->
+        (* The child is multi-homed in the sender's view: the link only
+           carries the destinations its Permission List names, so only
+           destinations whose permitted mapping changed can reroute. *)
+        let old_pl =
+          match Pgraph.link_data s.pg ~parent:p ~child:c with
+          | Some { Pgraph.plist = Some old_pl; _ } -> old_pl
+          | Some { Pgraph.plist = None; _ } | None -> Permission_list.empty
+        in
+        List.iter add (Permission_list.changed_dests old_pl new_pl)
+      | None ->
+        (* Single-homed child: every destination routed through [c] may
+           change parent (also covers a Permission List being dropped
+           when multi-homing ends). *)
+        add_usage c)
+    delta.Pgraph.add_links;
+  List.iter
+    (fun (p, c) ->
+      match Pgraph.link_data s.pg ~parent:p ~child:c with
+      | Some { Pgraph.plist = Some old_pl; _ } ->
+        (* The old Permission List names exactly the link's users. *)
+        add_plist (Some old_pl)
+      | Some { Pgraph.plist = None; _ } | None -> add_usage c)
+    delta.Pgraph.remove_links;
+  acc
+
+(* --- selection --- *)
+
+let candidate_of_path t ~neighbor ~role down_path =
+  if Path.contains down_path t.node_id then None
+  else
+    (* One walk computes the route's class at the neighbor; both the
+       import legality check (was the neighbor allowed to offer this?)
+       and our own class derive from it. *)
+    match Path_class.class_of t.topo down_path with
+    | None -> None
+    | Some neighbor_class ->
+      if
+        not
+          (Gao_rexford.exportable ~cls:neighbor_class
+             ~to_role:(Relationship.invert role))
+      then None
+      else
+        let cls =
+          Gao_rexford.class_of_learned ~neighbor_role:role ~neighbor_class
+        in
+        let path = t.node_id :: down_path in
+        Some
+          (path, { Gao_rexford.cls; len = Path.length path; next_hop = neighbor })
+
+let best_candidate t ~dest =
+  List.fold_left
+    (fun best (n, role, _) ->
+      let cands = ref [] in
+      if dest = n then
+        cands :=
+          [ ( [ t.node_id; n ],
+              { Gao_rexford.cls =
+                  Gao_rexford.class_of_learned ~neighbor_role:role
+                    ~neighbor_class:Gao_rexford.Origin;
+                len = 1;
+                next_hop = n } ) ];
+      (match Imap.find_opt n t.sessions with
+      | None -> ()
+      | Some s -> (
+        match Hashtbl.find_opt s.cache dest with
+        | None -> ()
+        | Some down_path -> (
+          match candidate_of_path t ~neighbor:n ~role down_path with
+          | None -> ()
+          | Some c -> cands := c :: !cands)));
+      List.fold_left
+        (fun best ((_, cand) as entry) ->
+          match best with
+          | None -> Some entry
+          | Some (_, bc) ->
+            if Gao_rexford.compare_candidates cand bc < 0 then Some entry
+            else best)
+        best !cands)
+    None (neighbors t)
+
+(* Re-select one destination; on change, update the local builder and
+   every export builder (split horizon + Gao–Rexford export rule). *)
+let reselect t ~dest =
+  if dest = t.node_id then ()
+  else begin
+    let old_path = Hashtbl.find_opt t.selected dest in
+    let new_path = Option.map fst (best_candidate t ~dest) in
+    let same =
+      match (old_path, new_path) with
+      | None, None -> true
+      | Some a, Some b -> Path.equal a b
+      | None, Some _ | Some _, None -> false
+    in
+    if not same then begin
+      (match new_path with
+      | Some p -> Hashtbl.replace t.selected dest p
+      | None -> Hashtbl.remove t.selected dest);
+      Builder.set_path t.local ~dest new_path;
+      List.iter
+        (fun (n, role, _) ->
+          match Imap.find_opt n t.exports with
+          | None -> ()
+          | Some builder ->
+            let exported =
+              match new_path with
+              | Some p
+                when (not (Path.contains p n))
+                     && Path_class.exportable_to t.topo p ~neighbor_role:role
+                ->
+                Some p
+              | Some _ | None -> None
+            in
+            Builder.set_path builder ~dest exported)
+        (neighbors t)
+    end
+  end
+
+let flush t =
+  Imap.fold
+    (fun n builder acc ->
+      let delta = Builder.flush_delta builder in
+      if Pgraph.delta_is_empty delta then acc
+      else (n, Announce.make ~sender:t.node_id delta) :: acc)
+    t.exports []
+  |> List.rev
+
+let handle t ann =
+  let sender = ann.Announce.sender in
+  match Imap.find_opt sender t.sessions with
+  | None ->
+    (* Session no longer exists (link went down while the message was in
+       flight, or raced the adjacency notification): drop silently. *)
+    (t, [])
+  | Some s ->
+    let ann = Announce.import ann ~receiver:t.node_id in
+    let delta = ann.Announce.delta in
+    let affected = affected_dests s delta in
+    Pgraph.apply s.pg delta;
+    let to_reselect = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun dest () -> if rederive s ~dest then Hashtbl.replace to_reselect dest ())
+      affected;
+    Hashtbl.iter (fun dest () -> reselect t ~dest) to_reselect;
+    (t, flush t)
+
+(* Full export of the current table to a fresh session. *)
+let populate_export t builder ~neighbor ~role =
+  Builder.force_dest builder t.node_id;
+  Hashtbl.iter
+    (fun dest p ->
+      if
+        (not (Path.contains p neighbor))
+        && Path_class.exportable_to t.topo p ~neighbor_role:role
+      then Builder.set_path builder ~dest (Some p))
+    t.selected
+
+let on_adjacency_change t =
+  let live = neighbors t in
+  let live_set =
+    List.fold_left (fun acc (n, _, _) -> Imap.add n () acc) Imap.empty live
+  in
+  let to_reselect = Hashtbl.create 16 in
+  (* Dead sessions: drop state; every destination currently routed
+     through the vanished neighbor needs re-selection, as does the
+     neighbor's own prefix. *)
+  Imap.iter
+    (fun n _s ->
+      if not (Imap.mem n live_set) then begin
+        Hashtbl.replace to_reselect n ();
+        Hashtbl.iter
+          (fun dest p ->
+            match Path.next_hop p with
+            | Some hop when hop = n -> Hashtbl.replace to_reselect dest ()
+            | Some _ | None -> ())
+          t.selected
+      end)
+    t.sessions;
+  t.sessions <- Imap.filter (fun n _ -> Imap.mem n live_set) t.sessions;
+  t.exports <- Imap.filter (fun n _ -> Imap.mem n live_set) t.exports;
+  (* New sessions: empty announced graph, full export. *)
+  List.iter
+    (fun (n, role, _) ->
+      if not (Imap.mem n t.sessions) then begin
+        t.sessions <- Imap.add n (new_session ~neighbor:n) t.sessions;
+        let builder = Builder.create ~root:t.node_id in
+        populate_export t builder ~neighbor:n ~role;
+        t.exports <- Imap.add n builder t.exports;
+        Hashtbl.replace to_reselect n ()
+      end)
+    live;
+  Hashtbl.iter (fun dest () -> reselect t ~dest) to_reselect;
+  (t, flush t)
+
+let start t = on_adjacency_change t
+
+let selected_path t ~dest = Hashtbl.find_opt t.selected dest
+
+let selected_paths t =
+  Hashtbl.fold (fun d p acc -> (d, p) :: acc) t.selected []
+  |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+
+let next_hop t ~dest =
+  match selected_path t ~dest with
+  | Some (_ :: hop :: _) -> Some hop
+  | Some _ | None -> None
+
+let local_pgraph t = Builder.snapshot t.local
+
+let neighbor_pgraph t ~neighbor =
+  Option.map (fun s -> s.pg) (Imap.find_opt neighbor t.sessions)

@@ -1,0 +1,61 @@
+(** The Centaur protocol state machine (paper §4.3).
+
+    One value of this type is the complete routing state of one AS: the
+    P-graph received from each neighbor ([G_{B→A}]) with a cache of the
+    paths derivable from it, the locally selected path set, the local
+    P-graph, and an incremental {!Builder} per neighbor holding the last
+    exported view. Transitions return the announcements to emit, so the
+    machine can be driven by the discrete-event simulator, by the
+    examples, or directly by tests.
+
+    Processing is incremental, as §4.3's steady phase prescribes: an
+    incoming delta re-derives only the destinations whose downstream
+    paths the delta can affect, re-selects only those, and flushes only
+    the resulting net changes to each neighbor.
+
+    The node consults the shared {!Topology.t} only for (a) its own
+    adjacency and link state and (b) the static business relationship of
+    remote links appearing in paths it has learned — never for remote
+    link liveness, which it can only discover through announcements. *)
+
+type t
+
+type output = (int * Announce.t) list
+(** [(neighbor, announcement)] pairs to deliver. *)
+
+val create : Topology.t -> id:int -> t
+(** A node with empty routing state. *)
+
+val id : t -> int
+
+val start : t -> t * output
+(** Initialization (§4.3.1 Steps 1–4): discover adjacent links, select
+    direct routes, build the local P-graph and emit the first
+    downstream-link announcements. *)
+
+val handle : t -> Announce.t -> t * output
+(** Receive one announcement (§4.3.1 Step 2 / §4.3.2 Step 5): apply the
+    import filter, merge the delta into the sender's P-graph, re-derive
+    and re-select the affected destinations, update the local P-graph and
+    emit per-neighbor deltas. *)
+
+val on_adjacency_change : t -> t * output
+(** React to a local link having gone down or come up: sessions over down
+    links are flushed (their P-graphs discarded), new sessions start from
+    an empty exported view (so the first delta is a full announcement),
+    and the affected destinations are re-selected. *)
+
+val selected_path : t -> dest:int -> Path.t option
+(** Currently selected path (starting at the node itself). *)
+
+val selected_paths : t -> (int * Path.t) list
+
+val next_hop : t -> dest:int -> int option
+
+val local_pgraph : t -> Pgraph.t
+(** Snapshot of the local P-graph (built incrementally; cost proportional
+    to its size). *)
+
+val neighbor_pgraph : t -> neighbor:int -> Pgraph.t option
+(** The P-graph assembled from a neighbor's announcements, if a session
+    exists. *)

@@ -1,0 +1,142 @@
+module Iset = Set.Make (Int)
+module Imap_int = Map.Make (Int)
+
+module Next_key = struct
+  type t = int option
+
+  let compare (a : t) (b : t) = Stdlib.compare a b
+end
+
+module Nmap = Map.Make (Next_key)
+
+type t = Iset.t Nmap.t
+
+let empty = Nmap.empty
+
+let is_empty = Nmap.is_empty
+
+let add t ~dest ~next =
+  Nmap.update next
+    (function
+      | None -> Some (Iset.singleton dest)
+      | Some set -> Some (Iset.add dest set))
+    t
+
+let permit t ~dest ~next =
+  match Nmap.find_opt next t with
+  | None -> false
+  | Some set -> Iset.mem dest set
+
+let remove_dest t ~dest =
+  Nmap.filter_map
+    (fun _next set ->
+      let set = Iset.remove dest set in
+      if Iset.is_empty set then None else Some set)
+    t
+
+let num_entries t = Nmap.cardinal t
+
+let dests t =
+  Nmap.fold (fun _next set acc -> Iset.union set acc) t Iset.empty
+  |> Iset.elements
+
+let entries t =
+  Nmap.bindings t |> List.map (fun (next, set) -> (next, Iset.elements set))
+
+let next_for t ~dest =
+  Nmap.fold
+    (fun next set acc ->
+      if Iset.mem dest set then
+        match acc with
+        | None -> Some next
+        | Some _ -> acc (* keep the smallest: maps iterate ascending *)
+      else acc)
+    t None
+
+let merge a b =
+  Nmap.union (fun _next s1 s2 -> Some (Iset.union s1 s2)) a b
+
+let changed_dests a b =
+  (* Compare the dest -> next mappings; a well-formed list gives each
+     destination a single next hop. *)
+  let to_map t =
+    Nmap.fold
+      (fun next set acc ->
+        Iset.fold (fun dest acc -> Imap_int.add dest next acc) set acc)
+      t Imap_int.empty
+  in
+  let ma = to_map a and mb = to_map b in
+  let changed = ref Iset.empty in
+  let note d = changed := Iset.add d !changed in
+  Imap_int.iter
+    (fun d next ->
+      match Imap_int.find_opt d mb with
+      | Some next' when next' = next -> ()
+      | Some _ | None -> note d)
+    ma;
+  Imap_int.iter (fun d _ -> if not (Imap_int.mem d ma) then note d) mb;
+  Iset.elements !changed
+
+let equal a b = Nmap.equal Iset.equal a b
+
+let compressed_size_bytes t ~fp_rate =
+  Nmap.fold
+    (fun _next set acc ->
+      let n = Iset.cardinal set in
+      let bloom_bytes =
+        if n = 0 then 0 else (Bloom.optimal_bits ~expected:n ~fp_rate + 7) / 8
+      in
+      acc + 4 + bloom_bytes)
+    t 0
+
+let pp fmt t =
+  let pp_next fmt = function
+    | None -> Format.pp_print_string fmt "self"
+    | Some n -> Format.pp_print_int fmt n
+  in
+  let pp_entry fmt (next, ds) =
+    Format.fprintf fmt "{dests=[%a]; next=%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         Format.pp_print_int)
+      ds pp_next next
+  in
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       pp_entry)
+    (entries t)
+
+(* Alias for use inside [Exhaustive], where [empty] is shadowed. *)
+let per_dest_next_empty = empty
+
+module Exhaustive = struct
+  module Pset = Set.Make (struct
+    type t = Path.t
+
+    let compare = Path.compare
+  end)
+
+  type t = Pset.t
+
+  let empty = Pset.empty
+
+  let add_path t p = Pset.add p t
+
+  let permit_path t p = Pset.mem p t
+
+  let paths t = Pset.elements t
+
+  let to_per_dest_next t ~multi_homed =
+    let compiled =
+      Pset.fold
+        (fun p acc ->
+          if Path.contains p multi_homed then
+            let dest = Path.destination p in
+            let next = Path.next_hop_of p multi_homed in
+            add acc ~dest ~next
+          else acc)
+        t per_dest_next_empty
+    in
+    fun ~dest ~next -> permit compiled ~dest ~next
+end

@@ -1,0 +1,90 @@
+(** Permission Lists (paper §4.1) — the key Centaur data structure.
+
+    A Permission List is attached to a link [A → B] when [B] is
+    multi-homed (has more than one parent) in a P-graph. It represents the
+    set of {e all and only} derivable policy-compliant paths that pass
+    through [A → B].
+
+    The practical representation is the {e per-dest-next encoding}: a set
+    of ⟨DestList, NextHop⟩ entries, where a policy-compliant path [p]
+    through the link is identified by [p]'s destination and the next hop
+    of [B] in [p] ([None] when [B] is itself the destination).
+    Destinations sharing a next hop are grouped into one entry.
+
+    {!Exhaustive} provides the theoretical {e per-path encoding} used by
+    the paper's expressiveness argument (Claim 1); the test suite checks
+    the two encodings equivalent on derivable path sets. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val add : t -> dest:int -> next:int option -> t
+(** Record that the path to [dest] continues from the multi-homed node
+    through [next] ([None] when the multi-homed node is the
+    destination). Idempotent. *)
+
+val permit : t -> dest:int -> next:int option -> bool
+(** The [Permit] predicate of the paper's [DerivePath] (Table 1). *)
+
+val remove_dest : t -> dest:int -> t
+(** Drop the destination from every entry (steady-phase updates, §4.3);
+    entries left empty disappear. *)
+
+val num_entries : t -> int
+(** Number of ⟨DestList, NextHop⟩ pairs — the quantity whose distribution
+    the paper reports in Table 5. *)
+
+val dests : t -> int list
+(** All destinations mentioned, ascending. *)
+
+val entries : t -> (int option * int list) list
+(** [(next_hop, destinations)] pairs; next hops ascending ([None]
+    first), destinations ascending. *)
+
+val next_for : t -> dest:int -> int option option
+(** The unique next hop recorded for a destination: [None] when the
+    destination is absent, [Some next] otherwise. In a well-formed
+    P-graph each (link, destination) has at most one next hop; if
+    multiple entries mention the destination the smallest next hop is
+    returned. *)
+
+val merge : t -> t -> t
+(** Union of the permitted sets. *)
+
+val changed_dests : t -> t -> int list
+(** Destinations whose permitted next hop differs between the two lists
+    (including destinations present in only one). Lets a receiver map a
+    Permission-List update to the small set of routes it can affect. *)
+
+val equal : t -> t -> bool
+
+val compressed_size_bytes : t -> fp_rate:float -> int
+(** Size estimate when each entry's destination list is Bloom-compressed
+    at the given false-positive rate (paper §4.1 suggests Bloom filters),
+    plus 4 bytes per entry for the next hop. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Exhaustive : sig
+  (** Per-path encoding: one entry per policy-compliant path through the
+      link. "Theoretically useful in demonstrating the expressiveness of
+      Permission Lists" (§4.1). *)
+
+  type t
+
+  val empty : t
+
+  val add_path : t -> Path.t -> t
+
+  val permit_path : t -> Path.t -> bool
+
+  val paths : t -> Path.t list
+
+  val to_per_dest_next : t -> multi_homed:int -> (dest:int -> next:int option -> bool)
+  (** Compile to a per-dest-next [permit] predicate for the given
+      multi-homed node [B]: each path [p] maps to
+      ⟨destination of [p], next hop of [B] in [p]⟩. *)
+end

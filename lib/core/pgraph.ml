@@ -1,0 +1,409 @@
+type link_data = {
+  counter : int;
+  plist : Permission_list.t option;
+}
+
+type t = {
+  root_node : int;
+  (* child -> parent -> data; the in-edge index DerivePath walks. *)
+  parents : (int, (int, link_data) Hashtbl.t) Hashtbl.t;
+  (* parent -> children, kept in sync for iteration and export. *)
+  children : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  dest_marks : (int, unit) Hashtbl.t;
+  mutable link_count : int;
+}
+
+let create ~root =
+  { root_node = root;
+    parents = Hashtbl.create 64;
+    children = Hashtbl.create 64;
+    dest_marks = Hashtbl.create 16;
+    link_count = 0 }
+
+let root t = t.root_node
+
+let dests t =
+  Hashtbl.fold (fun d () acc -> d :: acc) t.dest_marks [] |> List.sort compare
+
+let is_dest t d = Hashtbl.mem t.dest_marks d
+
+let mark_dest t d = Hashtbl.replace t.dest_marks d ()
+
+let unmark_dest t d = Hashtbl.remove t.dest_marks d
+
+let add_link t ~parent ~child ~data =
+  if parent = child then invalid_arg "Pgraph.add_link: self-loop";
+  let m =
+    match Hashtbl.find_opt t.parents child with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create 4 in
+      Hashtbl.replace t.parents child m;
+      m
+  in
+  if not (Hashtbl.mem m parent) then t.link_count <- t.link_count + 1;
+  Hashtbl.replace m parent data;
+  let s =
+    match Hashtbl.find_opt t.children parent with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace t.children parent s;
+      s
+  in
+  Hashtbl.replace s child ()
+
+let remove_link t ~parent ~child =
+  (match Hashtbl.find_opt t.parents child with
+  | None -> ()
+  | Some m ->
+    if Hashtbl.mem m parent then begin
+      Hashtbl.remove m parent;
+      t.link_count <- t.link_count - 1
+    end;
+    if Hashtbl.length m = 0 then Hashtbl.remove t.parents child);
+  match Hashtbl.find_opt t.children parent with
+  | None -> ()
+  | Some s ->
+    Hashtbl.remove s child;
+    if Hashtbl.length s = 0 then Hashtbl.remove t.children parent
+
+let link_data t ~parent ~child =
+  match Hashtbl.find_opt t.parents child with
+  | None -> None
+  | Some m -> Hashtbl.find_opt m parent
+
+let mem_link t ~parent ~child = link_data t ~parent ~child <> None
+
+let in_degree t node =
+  match Hashtbl.find_opt t.parents node with
+  | None -> 0
+  | Some m -> Hashtbl.length m
+
+let parents_of t node =
+  match Hashtbl.find_opt t.parents node with
+  | None -> []
+  | Some m ->
+    Hashtbl.fold (fun parent data acc -> (parent, data) :: acc) m []
+    |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+
+let children_of t node =
+  match Hashtbl.find_opt t.children node with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun c () acc -> c :: acc) s [] |> List.sort compare
+
+let links t =
+  Hashtbl.fold
+    (fun child m acc ->
+      Hashtbl.fold (fun parent data acc -> (parent, child, data) :: acc) m acc)
+    t.parents []
+  |> List.sort (fun (p1, c1, _) (p2, c2, _) -> compare (p1, c1) (p2, c2))
+
+let num_links t = t.link_count
+
+let num_permission_lists t =
+  Hashtbl.fold
+    (fun _child m acc ->
+      Hashtbl.fold
+        (fun _parent data acc -> if data.plist <> None then acc + 1 else acc)
+        m acc)
+    t.parents 0
+
+let permission_lists t =
+  Hashtbl.fold
+    (fun _child m acc ->
+      Hashtbl.fold
+        (fun _parent data acc ->
+          match data.plist with None -> acc | Some pl -> pl :: acc)
+        m acc)
+    t.parents []
+
+let nodes t =
+  let set = Hashtbl.create 64 in
+  Hashtbl.replace set t.root_node ();
+  Hashtbl.iter
+    (fun child m ->
+      Hashtbl.replace set child ();
+      Hashtbl.iter (fun parent _ -> Hashtbl.replace set parent ()) m)
+    t.parents;
+  Hashtbl.fold (fun n () acc -> n :: acc) set [] |> List.sort compare
+
+let copy t =
+  let fresh = create ~root:t.root_node in
+  Hashtbl.iter
+    (fun child m ->
+      Hashtbl.iter
+        (fun parent data -> add_link fresh ~parent ~child ~data)
+        m)
+    t.parents;
+  Hashtbl.iter (fun d () -> mark_dest fresh d) t.dest_marks;
+  fresh
+
+(* BuildGraph (paper Table 2), with retroactive Permission Lists: the
+   paper's inline formulation attaches an entry only when the node is
+   already multi-homed at insertion time; building from the full path set
+   we instead collect every traversal per link and attach Permission
+   Lists to all in-links of nodes that end up multi-homed, which is the
+   fixed point the incremental protocol maintains ("a Permission List
+   will be created if a multi-homed node appears", §4.3). *)
+let build_graph ~what ~allow_multi ~root paths =
+  let seen_dest = Hashtbl.create 16 in
+  let seen_path = Hashtbl.create 16 in
+  let paths =
+    List.filter
+      (fun p ->
+        (match p with
+        | [] | [ _ ] -> invalid_arg (what ^ ": path too short")
+        | first :: _ when first <> root ->
+          invalid_arg (what ^ ": path does not start at root")
+        | _ -> ());
+        if not (Path.is_loop_free p) then
+          invalid_arg (what ^ ": path has a loop");
+        let d = Path.destination p in
+        if Hashtbl.mem seen_path p then false
+        else begin
+          if (not allow_multi) && Hashtbl.mem seen_dest d then
+            invalid_arg (what ^ ": two paths for one destination");
+          Hashtbl.add seen_dest d ();
+          Hashtbl.add seen_path p ();
+          true
+        end)
+      paths
+  in
+  (* Pass 1: counters and per-link traversal records. *)
+  let counters : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let traversals : (int * int, (int * int option) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let graph = create ~root in
+  List.iter
+    (fun p ->
+      let d = Path.destination p in
+      mark_dest graph d;
+      List.iter
+        (fun (a, b) ->
+          let key = (a, b) in
+          Hashtbl.replace counters key
+            (1 + Option.value (Hashtbl.find_opt counters key) ~default:0);
+          let next = Path.next_hop_of p b in
+          let prev = Option.value (Hashtbl.find_opt traversals key) ~default:[] in
+          Hashtbl.replace traversals key ((d, next) :: prev))
+        (Path.links p))
+    paths;
+  (* In-degree per child over the collected links. *)
+  let indeg = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (_a, b) _ ->
+      Hashtbl.replace indeg b (1 + Option.value (Hashtbl.find_opt indeg b) ~default:0))
+    counters;
+  (* Pass 2: insert links; multi-homed children get Permission Lists. *)
+  Hashtbl.iter
+    (fun (a, b) count ->
+      let plist =
+        if Option.value (Hashtbl.find_opt indeg b) ~default:0 > 1 then
+          Some
+            (List.fold_left
+               (fun pl (dest, next) -> Permission_list.add pl ~dest ~next)
+               Permission_list.empty
+               (Hashtbl.find traversals (a, b)))
+        else None
+      in
+      add_link graph ~parent:a ~child:b ~data:{ counter = count; plist })
+    counters;
+  graph
+
+let of_paths ~root paths =
+  build_graph ~what:"Pgraph.of_paths" ~allow_multi:false ~root paths
+
+let of_multipaths ~root paths =
+  build_graph ~what:"Pgraph.of_multipaths" ~allow_multi:true ~root paths
+
+(* DerivePath (paper Table 1): backtrack from the destination, following
+   the single parent at single-homed nodes and the Permission-List-
+   permitted parent at multi-homed nodes. [prev] is the node we arrived
+   from — the current node's next hop in the final path — which is what
+   Permit matches against (None while standing on the destination). *)
+let derive_path t ~dest =
+  if dest = t.root_node then Some [ t.root_node ]
+  else begin
+    let fuel = num_links t + 1 in
+    let rec go current prev acc fuel =
+      if fuel = 0 then None
+      else if current = t.root_node then Some acc
+      else
+        match Hashtbl.find_opt t.parents current with
+        | None -> None
+        | Some m when Hashtbl.length m = 1 ->
+          let parent = Hashtbl.fold (fun p _ _ -> p) m (-1) in
+          go parent (Some current) (parent :: acc) (fuel - 1)
+        | Some m ->
+          let permitted =
+            Hashtbl.fold
+              (fun parent data best ->
+                let ok =
+                  match data.plist with
+                  | None -> false
+                  | Some pl -> Permission_list.permit pl ~dest ~next:prev
+                in
+                if not ok then best
+                else
+                  match best with
+                  | Some p when p <= parent -> best
+                  | Some _ | None -> Some parent)
+              m None
+          in
+          (match permitted with
+          | None -> None
+          | Some parent ->
+            (* Well-formed graphs permit exactly one; if several do we
+               took the lowest parent id deterministically. *)
+            go parent (Some current) (parent :: acc) (fuel - 1))
+    in
+    go dest None [ dest ] fuel
+  end
+
+let derive_all t =
+  List.filter_map
+    (fun d ->
+      match derive_path t ~dest:d with
+      | Some p -> Some (d, p)
+      | None -> None)
+    (dests t)
+
+(* Multi-path derivation: backtrack from the destination following every
+   permitted in-link (all of a multi-homed node's permitting links, the
+   lone parent elsewhere). The union of several loop-free paths can
+   contain cycles, so each branch refuses to revisit a node already on
+   it. *)
+let derive_paths ?(limit = 64) t ~dest =
+  if dest = t.root_node then [ [ t.root_node ] ]
+  else begin
+    let results = ref [] in
+    let count = ref 0 in
+    (* Fuel bounds the total DFS work, not just completed results, so
+       adversarial graphs with many deep dead ends cannot blow up. *)
+    let fuel = ref (max 4096 (64 * limit)) in
+    let rec go current prev acc =
+      decr fuel;
+      if !count < limit && !fuel > 0 then
+        if current = t.root_node then begin
+          incr count;
+          results := acc :: !results
+        end
+        else
+          match Hashtbl.find_opt t.parents current with
+          | None -> ()
+          | Some m ->
+            let follow parent =
+              if not (List.mem parent acc) then
+                go parent (Some current) (parent :: acc)
+            in
+            if Hashtbl.length m = 1 then
+              Hashtbl.iter (fun parent _ -> follow parent) m
+            else
+              List.iter
+                (fun (parent, data) ->
+                  match data.plist with
+                  | None -> ()
+                  | Some pl ->
+                    if Permission_list.permit pl ~dest ~next:prev then
+                      follow parent)
+                (* Sorted for deterministic result order. *)
+                (Hashtbl.fold (fun p d acc -> (p, d) :: acc) m []
+                |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2))
+    in
+    go dest None [ dest ];
+    List.sort_uniq Path.compare !results
+  end
+
+let plist_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Permission_list.equal x y
+  | None, Some _ | Some _, None -> false
+
+let equal a b =
+  a.root_node = b.root_node
+  && a.link_count = b.link_count
+  && Hashtbl.length a.dest_marks = Hashtbl.length b.dest_marks
+  && Hashtbl.fold (fun d () ok -> ok && Hashtbl.mem b.dest_marks d) a.dest_marks true
+  && Hashtbl.fold
+       (fun child m ok ->
+         ok
+         && Hashtbl.fold
+              (fun parent data ok ->
+                ok
+                &&
+                match link_data b ~parent ~child with
+                | None -> false
+                | Some data' -> plist_opt_equal data.plist data'.plist)
+              m ok)
+       a.parents true
+
+type delta = {
+  add_links : (int * int * Permission_list.t option) list;
+  remove_links : (int * int) list;
+  add_dests : int list;
+  remove_dests : int list;
+}
+
+let delta_is_empty d =
+  d.add_links = [] && d.remove_links = [] && d.add_dests = []
+  && d.remove_dests = []
+
+let delta_units d = List.length d.add_links + List.length d.remove_links
+
+let diff ~old_ ~new_ =
+  let old_links = links old_ and new_links = links new_ in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, c, d) -> Hashtbl.replace tbl (p, c) d.plist) old_links;
+  let add_links =
+    List.filter_map
+      (fun (p, c, d) ->
+        match Hashtbl.find_opt tbl (p, c) with
+        | Some old_pl when plist_opt_equal old_pl d.plist -> None
+        | Some _ | None -> Some (p, c, d.plist))
+      new_links
+  in
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (p, c, _) -> Hashtbl.replace new_tbl (p, c) ()) new_links;
+  let remove_links =
+    List.filter_map
+      (fun (p, c, _) ->
+        if Hashtbl.mem new_tbl (p, c) then None else Some (p, c))
+      old_links
+  in
+  let add_dests =
+    List.filter (fun d -> not (is_dest old_ d)) (dests new_)
+  in
+  let remove_dests =
+    List.filter (fun d -> not (is_dest new_ d)) (dests old_)
+  in
+  { add_links; remove_links; add_dests; remove_dests }
+
+let apply t delta =
+  List.iter
+    (fun (parent, child) -> remove_link t ~parent ~child)
+    delta.remove_links;
+  List.iter
+    (fun (parent, child, plist) ->
+      add_link t ~parent ~child ~data:{ counter = 0; plist })
+    delta.add_links;
+  List.iter (mark_dest t) delta.add_dests;
+  List.iter (unmark_dest t) delta.remove_dests
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>P-graph root=%d dests=[%a]@," t.root_node
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       Format.pp_print_int)
+    (dests t);
+  List.iter
+    (fun (p, c, d) ->
+      match d.plist with
+      | None -> Format.fprintf fmt "  %d -> %d (x%d)@," p c d.counter
+      | Some pl ->
+        Format.fprintf fmt "  %d -> %d (x%d) PL=%a@," p c d.counter
+          Permission_list.pp pl)
+    (links t);
+  Format.fprintf fmt "@]"

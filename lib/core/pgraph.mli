@@ -1,0 +1,139 @@
+(** P-graphs (policy graphs) — paper §3.2.2, §4.2.
+
+    A P-graph is a directed graph of {e downstream links} rooted at its
+    creator: every link points from upstream to downstream, destination
+    nodes are explicitly marked, and links into multi-homed nodes carry
+    {!Permission_list}s. A node stores one P-graph per neighbor (built
+    from that neighbor's downstream-link announcements) plus its own
+    local P-graph built from its selected path set.
+
+    Two invariants make the structure work (paper §4.2): a P-graph built
+    from a single-path selection admits {e exactly one} derivable
+    policy-compliant path per marked destination, and that path is the
+    creator's selected path — so an upstream node can reconstruct its
+    neighbor's routes (Observation 1) and perform loop detection.
+
+    The structure is mutable — the simulator applies thousands of deltas
+    per run ({!apply} is in-place and proportional to the delta, not the
+    graph). Link use-counters (how many selected paths traverse each
+    link) are carried for the §4.3 accounting but are local bookkeeping:
+    they do not travel in deltas and do not affect {!equal} or
+    {!diff}. *)
+
+type t
+
+type link_data = {
+  counter : int;  (** number of selected paths using the link *)
+  plist : Permission_list.t option;
+}
+
+val create : root:int -> t
+(** A fresh graph with no links and no destination marks. *)
+
+val root : t -> int
+
+val of_paths : root:int -> Path.t list -> t
+(** [BuildGraph] (paper Table 2). Every path must start at [root], be
+    loop-free, and have length ≥ 1; at most one path per destination.
+    Raises [Invalid_argument] otherwise. Links into nodes that end up
+    multi-homed receive Permission Lists covering {e all} their
+    traversing paths, so late multi-homing retroactively protects links
+    added earlier. *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+val of_multipaths : root:int -> Path.t list -> t
+(** Multi-path [BuildGraph] (the paper's §7 extension): like
+    {!of_paths} but several paths may share a destination (exact
+    duplicates are collapsed). Permission Lists then carry one entry per
+    (destination, next hop) pair in use, and {!derive_paths} recovers
+    the announced set. *)
+
+val derive_paths : ?limit:int -> t -> dest:int -> Path.t list
+(** All root→destination paths derivable under the Permission-List
+    restrictions, most results first sorted lexicographically; at most
+    [limit] (default 64, guarding against pathological graphs). On a
+    single-path graph this returns the {!derive_path} singleton. The
+    per-dest-next encoding may over-approximate a multi-path set by
+    recombining prefixes of paths that share a (destination, next hop)
+    pair at a multi-homed node — {!derive_paths} returns that closure;
+    the test suite measures the excess (see EXPERIMENTS.md). *)
+
+val derive_path : t -> dest:int -> Path.t option
+(** [DerivePath] (paper Table 1): backtrack from the destination to the
+    root following parent links, consulting Permission Lists at
+    multi-homed nodes. Returns the root→destination path, [None] when the
+    destination is not derivable. [derive_path t ~dest:(root t)] is
+    [Some [root t]]. *)
+
+val derive_all : t -> (int * Path.t) list
+(** Derived path for every marked destination (destinations ascending;
+    destinations that fail to derive are omitted). *)
+
+val dests : t -> int list
+(** Marked destinations, ascending. *)
+
+val is_dest : t -> int -> bool
+
+val mark_dest : t -> int -> unit
+
+val unmark_dest : t -> int -> unit
+
+val add_link : t -> parent:int -> child:int -> data:link_data -> unit
+(** Insert or overwrite a directed link. *)
+
+val remove_link : t -> parent:int -> child:int -> unit
+
+val mem_link : t -> parent:int -> child:int -> bool
+
+val link_data : t -> parent:int -> child:int -> link_data option
+
+val in_degree : t -> int -> int
+
+val parents_of : t -> int -> (int * link_data) list
+(** Ascending parent id. *)
+
+val children_of : t -> int -> int list
+
+val links : t -> (int * int * link_data) list
+(** All [(parent, child, data)], sorted by (parent, child). *)
+
+val num_links : t -> int
+
+val num_permission_lists : t -> int
+(** Links carrying a Permission List — the Table 4 quantity. *)
+
+val permission_lists : t -> Permission_list.t list
+
+val nodes : t -> int list
+(** Every node appearing as endpoint of a link, plus the root. *)
+
+val equal : t -> t -> bool
+(** Structural equality on links (ignoring counters), Permission Lists
+    and destination marks. *)
+
+type delta = {
+  add_links : (int * int * Permission_list.t option) list;
+      (** links to insert or whose Permission List changed *)
+  remove_links : (int * int) list;
+  add_dests : int list;
+  remove_dests : int list;
+}
+(** The incremental update of §4.3's steady phase: per-{e link} changes
+    plus destination-mark changes. *)
+
+val delta_is_empty : delta -> bool
+
+val delta_units : delta -> int
+(** Number of link-level changes — the unit in which Centaur's update
+    overhead is counted. *)
+
+val diff : old_:t -> new_:t -> delta
+(** Changes needed to turn [old_] into [new_] (counters ignored). *)
+
+val apply : t -> delta -> unit
+(** Apply a delta in place (inserted links get counter 0; receivers do
+    not track the sender's counters). *)
+
+val pp : Format.formatter -> t -> unit

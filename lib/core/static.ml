@@ -1,0 +1,175 @@
+open Gao_rexford
+
+let pgraph_of_source topo ~src =
+  let paths = Solver.path_set_from topo ~src in
+  Pgraph.of_paths ~root:src paths
+
+type entry_distribution = {
+  one : int;
+  two : int;
+  three : int;
+  more : int;
+}
+
+type pgraph_stats = {
+  num_sources : int;
+  avg_links : float;
+  avg_plists : float;
+  entry_dist : entry_distribution;
+  avg_plist_compressed_bytes : float;
+}
+
+(* Shared Table 4/5 aggregation over one P-graph per source. *)
+let aggregate ~sources pgraph_of =
+  let total_links = ref 0 in
+  let total_plists = ref 0 in
+  let dist = ref { one = 0; two = 0; three = 0; more = 0 } in
+  let total_bytes = ref 0 in
+  List.iter
+    (fun s ->
+      let g = pgraph_of s in
+      total_links := !total_links + Pgraph.num_links g;
+      let pls = Pgraph.permission_lists g in
+      total_plists := !total_plists + List.length pls;
+      List.iter
+        (fun pl ->
+          total_bytes :=
+            !total_bytes + Permission_list.compressed_size_bytes pl ~fp_rate:0.01;
+          let d = !dist in
+          dist :=
+            (match Permission_list.num_entries pl with
+            | 1 -> { d with one = d.one + 1 }
+            | 2 -> { d with two = d.two + 1 }
+            | 3 -> { d with three = d.three + 1 }
+            | _ -> { d with more = d.more + 1 }))
+        pls)
+    sources;
+  let k = float_of_int (List.length sources) in
+  let plist_count = !total_plists in
+  { num_sources = List.length sources;
+    avg_links = float_of_int !total_links /. k;
+    avg_plists = float_of_int plist_count /. k;
+    entry_dist = !dist;
+    avg_plist_compressed_bytes =
+      (if plist_count = 0 then 0.0
+       else float_of_int !total_bytes /. float_of_int plist_count) }
+
+let analyze ?(discipline = Gao_rexford.Standard) topo ~sources =
+  if sources = [] then invalid_arg "Static.analyze: empty source list";
+  let n = Topology.num_nodes topo in
+  (* One solver run per destination; paths extracted for every requested
+     source and bagged per source. The dedicated three-phase solver
+     implements the Standard discipline; other disciplines go through
+     the generic fixpoint solver. *)
+  let solve_paths d =
+    match discipline with
+    | Gao_rexford.Standard ->
+      let r = Solver.to_dest topo d in
+      fun s -> Solver.path r s
+    | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary -> (
+      (* Sibling structures can sit outside the Gao-Rexford safety
+         theorem; a destination with no stable solution is skipped (its
+         routes are simply absent from every sampled P-graph) rather
+         than aborting the whole sweep. *)
+      match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+      | r -> fun s -> Stable.path r s
+      | exception Failure _ -> fun _ -> None)
+  in
+  let bags = Hashtbl.create (List.length sources) in
+  List.iter (fun s -> Hashtbl.replace bags s []) sources;
+  for d = 0 to n - 1 do
+    let path_of = solve_paths d in
+    List.iter
+      (fun s ->
+        if s <> d then
+          match path_of s with
+          | None -> ()
+          | Some p -> Hashtbl.replace bags s (p :: Hashtbl.find bags s))
+      sources
+  done;
+  aggregate ~sources (fun s -> Pgraph.of_paths ~root:s (Hashtbl.find bags s))
+
+type link_overhead = {
+  link_id : int;
+  bgp_units : int;
+  centaur_units : int;
+}
+
+(* Route classes seen on a (link, endpoint) over the affected
+   destinations, as a 3-bit mask (customer / peer / provider routes; the
+   endpoint is never the destination of its own route). *)
+let class_bit = function
+  | Cust -> 1
+  | Peer_r -> 2
+  | Prov -> 4
+  | Origin -> 0
+
+let immediate_overhead ?dests ?prefixes topo =
+  let n = Topology.num_nodes topo in
+  let dests =
+    match dests with Some ds -> ds | None -> List.init n (fun i -> i)
+  in
+  let weight d =
+    match prefixes with None -> 1 | Some t -> Prefix.count t d
+  in
+  let num_links = Topology.num_links topo in
+  let bgp = Array.make num_links 0 in
+  let class_masks : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun d ->
+      let r = Solver.to_dest topo d in
+      Solver.iter_reachable r (fun x ->
+          match Solver.next_hop r x with
+          | None -> ()
+          | Some y ->
+            let link_id =
+              match Topology.link_between topo x y with
+              | Some id -> id
+              | None -> invalid_arg "Static.immediate_overhead: broken route"
+            in
+            let cls =
+              match Solver.class_of r x with
+              | Some c -> c
+              | None -> assert false
+            in
+            (* BGP: x withdraws its route to d — one update per prefix d
+               announces — on every session it had exported the route
+               on. *)
+            List.iter
+              (fun (nb, role, _) ->
+                if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
+                  bgp.(link_id) <- bgp.(link_id) + weight d)
+              (Topology.neighbors topo x);
+            let key = (link_id, x) in
+            let prev = Option.value (Hashtbl.find_opt class_masks key) ~default:0 in
+            Hashtbl.replace class_masks key (prev lor class_bit cls)))
+    dests;
+  let centaur = Array.make num_links 0 in
+  Hashtbl.iter
+    (fun (link_id, x) mask ->
+      let link = Topology.link topo link_id in
+      let y = if link.Topology.a = x then link.Topology.b else link.Topology.a in
+      (* Centaur: x withdraws the single failed link on every session
+         whose exported view contained it — i.e. every neighbor some
+         affected class was exportable to. *)
+      List.iter
+        (fun (nb, role, _) ->
+          if nb <> y then
+            let visible =
+              List.exists
+                (fun c ->
+                  mask land class_bit c <> 0
+                  && Gao_rexford.exportable ~cls:c ~to_role:role)
+                [ Cust; Peer_r; Prov ]
+            in
+            if visible then centaur.(link_id) <- centaur.(link_id) + 1)
+        (Topology.neighbors topo x))
+    class_masks;
+  Array.init num_links (fun link_id ->
+      { link_id; bgp_units = bgp.(link_id); centaur_units = centaur.(link_id) })
+
+let analyze_vf topo ~sources =
+  if sources = [] then invalid_arg "Static.analyze_vf: empty source list";
+  aggregate ~sources (fun s ->
+      let r = Vf_paths.from_source topo ~src:s in
+      Pgraph.of_paths ~root:s (Vf_paths.path_set r))

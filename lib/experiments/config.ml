@@ -1,0 +1,41 @@
+type t = {
+  seed : int;
+  as_nodes : int;
+  as_sources : int;
+  brite_nodes : int;
+  brite_m : int;
+  flips : int;
+  fig5_dests : int;
+  fig8_sizes : int list;
+  fig8_events : int;
+  mrai : float;
+}
+
+let default =
+  { seed = 42;
+    as_nodes = 2000;
+    as_sources = 60;
+    brite_nodes = 500;
+    brite_m = 2;
+    flips = 40;
+    fig5_dests = 0;
+    fig8_sizes = [ 50; 100; 200; 400; 800 ];
+    fig8_events = 12;
+    mrai = 30.0 }
+
+let quick =
+  { seed = 42;
+    as_nodes = 300;
+    as_sources = 20;
+    brite_nodes = 80;
+    brite_m = 2;
+    flips = 10;
+    fig5_dests = 0;
+    fig8_sizes = [ 30; 60; 120 ];
+    fig8_events = 6;
+    mrai = 30.0 }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "seed=%d as_nodes=%d as_sources=%d brite=%d(m=%d) flips=%d mrai=%.1fms"
+    t.seed t.as_nodes t.as_sources t.brite_nodes t.brite_m t.flips t.mrai

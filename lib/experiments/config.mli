@@ -1,0 +1,26 @@
+(** Shared experiment configuration.
+
+    Every experiment takes one of these; the defaults are sized so the
+    full suite regenerates on a laptop in minutes while preserving the
+    paper's shapes. The paper's original scales (26k/20k-node measured AS
+    graphs, full link sweeps) remain reachable by raising the fields. *)
+
+type t = {
+  seed : int;           (** master PRNG seed; everything derives from it *)
+  as_nodes : int;       (** size of the synthetic AS topologies (T3–T5, F5) *)
+  as_sources : int;     (** sampled P-graph roots for T4/T5 *)
+  brite_nodes : int;    (** prototype topology size (F6/F7; paper: 500) *)
+  brite_m : int;        (** BRITE BA attachment degree *)
+  flips : int;          (** links flipped for F6/F7 *)
+  fig5_dests : int;     (** sampled destinations for F5 (0 = all) *)
+  fig8_sizes : int list;  (** topology sizes swept in F8 *)
+  fig8_events : int;    (** link events measured per size in F8 *)
+  mrai : float;         (** BGP MRAI in ms *)
+}
+
+val default : t
+
+val quick : t
+(** Small configuration for smoke tests and CI. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Figure 5 — immediate overhead of a single link failure.
+
+    For every link of the AS topology, the number of update messages
+    generated as the immediate (non-cascading) result of its failure:
+    per-(session, prefix) withdrawals for BGP, per-(session, link)
+    withdrawals for Centaur. The paper reports Centaur "roughly 100 to
+    1000 times fewer update messages" on the RouteViews-derived
+    topology.
+
+    Two accountings are reported: one destination prefix per AS, and a
+    realistic skewed prefix table (mean 10 prefixes/AS — the global
+    table carries an order of magnitude more prefixes than ASes). BGP's
+    cost multiplies per prefix; Centaur's per-link withdrawals do not
+    (paper §6.4), which with topology-size scaling is what lands the
+    paper's topology in the 100–1000× band. *)
+
+type series = {
+  topology : string;
+  prefixes_per_as : float;
+  bgp : float array;      (** per-link immediate update counts *)
+  centaur : float array;
+  mean_ratio : float;     (** mean BGP / mean Centaur *)
+}
+
+type result = series list
+
+val run : Config.t -> result
+
+val render : result -> string

@@ -1,0 +1,39 @@
+(** Figures 6 and 7 — convergence behaviour under link flips.
+
+    The §5.3 prototype experiment: a BRITE topology (paper: 500 nodes,
+    link delays uniform in 0–5 ms, CPU delay ignored) stabilizes, then
+    links are flipped one at a time — removed, re-converge, restored,
+    re-converge — measuring the duration and message count of every
+    re-convergence.
+
+    Figure 6 compares the convergence-time CDFs of Centaur and BGP
+    (Centaur "converges much faster than BGP almost all the time");
+    Figure 7 compares the message-count CDFs of Centaur and OSPF
+    (Centaur beats OSPF "for 82% of the cases"). *)
+
+type result = {
+  centaur : Protocols.Convergence.result;
+  bgp : Protocols.Convergence.result;
+  bgp_rcn : Protocols.Convergence.result;
+      (** BGP with root-cause notification — the paper's §6.2 claims
+          Centaur carries the same information in compressed form, so
+          RCN should match Centaur's convergence time while keeping
+          BGP's per-prefix message cost. *)
+  ospf : Protocols.Convergence.result;
+  flipped_links : int list;
+}
+
+val run : Config.t -> result
+
+val centaur_faster_than_bgp : result -> float
+(** Fraction of flips where Centaur re-converged strictly faster. *)
+
+val centaur_lighter_than_ospf : result -> float
+(** Fraction of flips where Centaur sent strictly fewer messages than
+    OSPF — the paper's 82% number. *)
+
+val render_fig6 : result -> string
+(** Convergence-time CDF table, Centaur vs BGP. *)
+
+val render_fig7 : result -> string
+(** Convergence-load CDF table, Centaur vs OSPF. *)

@@ -1,0 +1,26 @@
+(** Figure 8 — scalability of update overhead with topology size.
+
+    "We create topologies of various sizes and cold start the protocols
+    until they stabilize … we give the update overhead of Centaur and
+    BGP under different topology sizes given a routing update event. It
+    is apparent that Centaur presents more distinct advantage on larger
+    topologies."
+
+    For every size in the sweep we cold-start both protocols on the same
+    BRITE graph and measure the mean messages per link event (a flip
+    down + up counts as two events). *)
+
+type row = {
+  nodes : int;
+  links : int;
+  centaur_msgs_per_event : float;
+  bgp_msgs_per_event : float;
+  centaur_cold_msgs : int;
+  bgp_cold_msgs : int;
+}
+
+type result = row list
+
+val run : Config.t -> result
+
+val render : result -> string

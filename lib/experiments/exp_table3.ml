@@ -1,0 +1,46 @@
+type row = {
+  name : string;
+  nodes : int;
+  links : int;
+  peering : int;
+  provider : int;
+  sibling : int;
+}
+
+type result = row list
+
+let row_of_topology name topo =
+  let c = Topology.relationship_counts topo in
+  { name;
+    nodes = Topology.num_nodes topo;
+    links = Topology.num_links topo;
+    peering = c.Topology.peering;
+    provider = c.Topology.provider_customer;
+    sibling = c.Topology.sibling }
+
+let run cfg =
+  [ row_of_topology "caida-like" (Inputs.caida cfg);
+    row_of_topology "hetop-like" (Inputs.hetop cfg) ]
+
+let render rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Table 3. Characteristics of input topologies.\n";
+  Buffer.add_string buf
+    "  Name        | Node/Link     | Peering/Provider/Sibling | fractions\n";
+  List.iter
+    (fun r ->
+      let total = float_of_int r.links in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-11s | %6d/%-6d | %6d/%6d/%4d        | %.3f/%.3f/%.4f\n"
+           r.name r.nodes r.links r.peering r.provider r.sibling
+           (float_of_int r.peering /. total)
+           (float_of_int r.provider /. total)
+           (float_of_int r.sibling /. total)))
+    rows;
+  Buffer.add_string buf
+    "  (paper: CAIDA 26022/52691, 4002/48457/232 = 0.076/0.920/0.0044;\n";
+  Buffer.add_string buf
+    "          HeTop 19940/59508, 20983/38265/260 = 0.353/0.643/0.0044)\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Tables 4 and 5 — structural characteristics of P-graphs.
+
+    The §5.2 pipeline: derive every node's complete path set to all other
+    nodes under the standard business relationships, build its local
+    P-graph, and measure (Table 4) the average number of links and
+    Permission Lists per P-graph and (Table 5) the distribution of
+    entries per Permission List. P-graph roots are sampled
+    ([as_sources]); averages and distributions are per-root, so sampling
+    estimates the paper's full sweep without bias.
+
+    The experiment doubles as the ranking-discipline ablation called out
+    in DESIGN.md. The paper does not pin down its tie-breaking, and the
+    result depends on it strongly:
+
+    - [standard] (shortest-within-class, globally consistent ties) and
+      the [class-only] / [diverse] variants canalize routes onto shared
+      gradients — P-graphs degenerate to trees and Permission Lists all
+      but vanish;
+    - [arbitrary] (per-(node, destination) ties — deployed BGP's
+      oldest-route/router-id behaviour) makes same-class routes diverge
+      and re-merge, reproducing the paper's bushy P-graphs;
+    - [vf-shortest] is the per-pair shortest valley-free path set (no
+      BGP selection at all), an independent data point. *)
+
+type row = {
+  discipline : string;
+  caida : Centaur.Static.pgraph_stats;
+  hetop : Centaur.Static.pgraph_stats;
+}
+
+type result = row list
+
+val run : Config.t -> result
+
+val render_table4 : result -> string
+
+val render_table5 : result -> string

@@ -1,0 +1,25 @@
+(* Independent streams per artifact, all derived from the master seed so
+   any experiment can be regenerated in isolation. *)
+let stream cfg salt = Rng.create ((cfg.Config.seed * 1_000_003) + salt)
+
+let caida cfg =
+  As_gen.generate (stream cfg 1) (As_gen.caida_like ~n:cfg.Config.as_nodes)
+
+let hetop cfg =
+  As_gen.generate (stream cfg 2) (As_gen.hetop_like ~n:cfg.Config.as_nodes)
+
+let brite_sized cfg ~n =
+  Brite.annotated (stream cfg (3 + n)) ~n ~m:cfg.Config.brite_m ~max_delay:5.0
+    ~num_tiers:4
+
+let brite cfg = brite_sized cfg ~n:cfg.Config.brite_nodes
+
+let sample_sources cfg topo =
+  let rng = stream cfg 4 in
+  let nodes = Array.init (Topology.num_nodes topo) (fun i -> i) in
+  Array.to_list (Rng.sample rng cfg.Config.as_sources nodes)
+
+let sample_links cfg topo ~count =
+  let rng = stream cfg 5 in
+  let links = Array.init (Topology.num_links topo) (fun i -> i) in
+  Array.to_list (Rng.sample rng count links)

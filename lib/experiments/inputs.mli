@@ -1,0 +1,22 @@
+(** Experiment input topologies, derived deterministically from the
+    configuration seed. *)
+
+val caida : Config.t -> Topology.t
+(** Synthetic stand-in for the paper's CAIDA Sep'07 topology. *)
+
+val hetop : Config.t -> Topology.t
+(** Synthetic stand-in for the paper's HeTop May'05 topology (peering
+    rich). *)
+
+val brite : Config.t -> Topology.t
+(** The §5.3 prototype topology: BRITE Barabási–Albert with degree-tier
+    relationships and uniform 0–5 ms delays. *)
+
+val brite_sized : Config.t -> n:int -> Topology.t
+(** Same model at an explicit size (the Figure 8 sweep). *)
+
+val sample_sources : Config.t -> Topology.t -> int list
+(** [as_sources] distinct nodes for the P-graph measurements. *)
+
+val sample_links : Config.t -> Topology.t -> count:int -> int list
+(** Distinct link ids for flip workloads. *)

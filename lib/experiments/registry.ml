@@ -1,0 +1,40 @@
+type entry = {
+  id : string;
+  title : string;
+  run : Config.t -> string;
+}
+
+let all =
+  [ { id = "table3";
+      title = "Characteristics of input topologies";
+      run = (fun cfg -> Exp_table3.render (Exp_table3.run cfg)) };
+    { id = "table4";
+      title = "Structural characteristics of P-graphs";
+      run = (fun cfg -> Exp_table45.render_table4 (Exp_table45.run cfg)) };
+    { id = "table5";
+      title = "Permission List entry distribution";
+      run = (fun cfg -> Exp_table45.render_table5 (Exp_table45.run cfg)) };
+    { id = "fig5";
+      title = "Immediate overhead of a single link failure";
+      run = (fun cfg -> Exp_fig5.render (Exp_fig5.run cfg)) };
+    { id = "fig6";
+      title = "Convergence time CDF (Centaur vs BGP)";
+      run = (fun cfg -> Exp_fig67.render_fig6 (Exp_fig67.run cfg)) };
+    { id = "fig7";
+      title = "Convergence load CDF (Centaur vs OSPF)";
+      run = (fun cfg -> Exp_fig67.render_fig7 (Exp_fig67.run cfg)) };
+    { id = "fig8";
+      title = "Scalability of update overhead";
+      run = (fun cfg -> Exp_fig8.render (Exp_fig8.run cfg)) };
+    { id = "ablation-mrai";
+      title = "MRAI sweep (what drives the Figure 6 gap)";
+      run = (fun cfg -> Exp_ablations.render_mrai (Exp_ablations.run_mrai cfg)) };
+    { id = "ablation-multipath";
+      title = "Multi-path compactness (paper Â§7)";
+      run =
+        (fun cfg ->
+          Exp_ablations.render_multipath (Exp_ablations.run_multipath cfg)) } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

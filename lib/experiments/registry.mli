@@ -1,0 +1,17 @@
+(** Uniform access to every reproduced table and figure.
+
+    Each entry regenerates one artifact of the paper's evaluation and
+    renders it as text in the paper's layout. The CLI ([bin/main.exe exp
+    <id>]) and the bench harness both drive this registry. *)
+
+type entry = {
+  id : string;        (** "table3" … "fig8" *)
+  title : string;
+  run : Config.t -> string;  (** regenerate and render *)
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val ids : string list

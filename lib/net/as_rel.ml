@@ -1,0 +1,78 @@
+type mapping = {
+  of_asn : (int, int) Hashtbl.t;
+  to_asn : int array;
+}
+
+let parse ?(seed = 42) ?(max_delay = 5.0) content =
+  let exception Bad of string in
+  let rng = Rng.create seed in
+  let of_asn = Hashtbl.create 1024 in
+  let rev = ref [] in
+  let next_id = ref 0 in
+  let intern asn =
+    match Hashtbl.find_opt of_asn asn with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      Hashtbl.replace of_asn asn id;
+      rev := asn :: !rev;
+      incr next_id;
+      id
+  in
+  let seen = Hashtbl.create 1024 in
+  let edges = ref [] in
+  try
+    List.iteri
+      (fun lineno line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else begin
+          let fail () =
+            raise (Bad (Printf.sprintf "line %d: %S" (lineno + 1) line))
+          in
+          match String.split_on_char '|' line with
+          | as1 :: as2 :: rel :: _ -> (
+            match
+              (int_of_string_opt (String.trim as1),
+               int_of_string_opt (String.trim as2),
+               int_of_string_opt (String.trim rel))
+            with
+            | Some a1, Some a2, Some code ->
+              if a1 = a2 then fail ();
+              let rel_ab =
+                (* rel_ab is as2's role relative to as1. *)
+                match code with
+                | -1 -> Some Relationship.Customer (* as1 provides as2 *)
+                | 0 -> Some Relationship.Peer
+                | 1 | 2 -> Some Relationship.Sibling
+                | _ -> None
+              in
+              (match rel_ab with
+              | None -> fail ()
+              | Some rel_ab ->
+                let u = intern a1 and v = intern a2 in
+                let key = (min u v, max u v) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  edges := (u, v, rel_ab, Rng.float rng max_delay) :: !edges
+                end)
+            | _ -> fail ())
+          | _ -> fail ()
+        end)
+      (String.split_on_char '\n' content);
+    let to_asn = Array.of_list (List.rev !rev) in
+    let topo = Topology.create ~n:!next_id (List.rev !edges) in
+    Ok (topo, { of_asn; to_asn })
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let load ?seed ?max_delay path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        parse ?seed ?max_delay (really_input_string ic len))

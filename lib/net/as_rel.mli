@@ -1,0 +1,33 @@
+(** CAIDA "as-rel" file format.
+
+    Parser for the public AS-relationship datasets the paper's Table 3
+    topologies derive from (CAIDA serial-1 files and the HeTop release
+    use the same line format), so the experiments can run on real
+    snapshots when one is available:
+
+    {v
+    # comments
+    <as1>|<as2>|-1        as1 is the provider of as2
+    <as1>|<as2>|0         as1 and as2 are peers
+    <as1>|<as2>|1 or 2    as1 and as2 are siblings
+    v}
+
+    AS numbers are arbitrary; they are densely renumbered and the
+    mapping returned alongside the topology. Link delays are synthetic
+    (the datasets carry none): uniform in \[0, max_delay\] from the
+    given seed, matching the simulator's BRITE convention. *)
+
+type mapping = {
+  of_asn : (int, int) Hashtbl.t;  (** AS number -> dense node id *)
+  to_asn : int array;             (** dense node id -> AS number *)
+}
+
+val parse :
+  ?seed:int -> ?max_delay:float -> string -> (Topology.t * mapping, string) result
+(** Parse file contents. Duplicate pairs keep the first relationship
+    seen; self-relationships and malformed lines are reported as
+    errors with their line number. *)
+
+val load :
+  ?seed:int -> ?max_delay:float -> string -> (Topology.t * mapping, string) result
+(** Like {!parse} for a file path. *)

@@ -1,0 +1,45 @@
+(** Routing paths.
+
+    A path is the ordered list of node ids from the source (head) to the
+    destination (last element), both inclusive — the same orientation as
+    the paper's ⟨A, C, D⟩ notation. *)
+
+type t = int list
+
+val source : t -> int
+(** Raises [Invalid_argument] on the empty path. *)
+
+val destination : t -> int
+(** Raises [Invalid_argument] on the empty path. *)
+
+val length : t -> int
+(** Number of hops, i.e. [List.length p - 1]; 0 for a single-node path. *)
+
+val contains : t -> int -> bool
+
+val is_loop_free : t -> bool
+(** No node appears twice. *)
+
+val next_hop : t -> int option
+(** The second node, if any: where the source forwards to. *)
+
+val next_hop_of : t -> int -> int option
+(** [next_hop_of p n] is the node following [n] in [p], or [None] if [n]
+    is the destination or absent. *)
+
+val suffix_from : t -> int -> t option
+(** [suffix_from p n] is the sub-path of [p] from [n] to the destination,
+    or [None] if [n] is not on [p]. Observation 1 of the paper is about
+    exactly these downstream suffixes. *)
+
+val links : t -> (int * int) list
+(** Directed (upstream, downstream) pairs along the path, in order. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders ⟨A, C, D⟩-style: [<0, 2, 3>]. *)
+
+val to_string : t -> string

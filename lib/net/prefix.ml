@@ -1,0 +1,35 @@
+type t = { counts : int array }
+
+let generate rng ~n ~mean =
+  if mean < 1.0 then invalid_arg "Prefix.generate: mean < 1.0";
+  (* 1 + Geometric(p) has mean 1 + (1-p)/p; solve p for the target. *)
+  let extra = mean -. 1.0 in
+  let p = 1.0 /. (1.0 +. extra) in
+  let geometric () =
+    let rec go acc = if Rng.chance rng p then acc else go (acc + 1) in
+    go 0
+  in
+  { counts = Array.init n (fun _ -> 1 + geometric ()) }
+
+let uniform ~n ~per_as =
+  if per_as < 1 then invalid_arg "Prefix.uniform: per_as < 1";
+  { counts = Array.make n per_as }
+
+let count t asn =
+  if asn < 0 || asn >= Array.length t.counts then
+    invalid_arg "Prefix.count: AS out of range";
+  t.counts.(asn)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let num_ases t = Array.length t.counts
+
+let mean t = float_of_int (total t) /. float_of_int (num_ases t)
+
+let aggregate t = { counts = Array.map (fun _ -> 1) t.counts }
+
+let deaggregate t ~factor =
+  if factor < 1 then invalid_arg "Prefix.deaggregate: factor < 1";
+  { counts = Array.map (fun c -> c * factor) t.counts }
+
+let weights t = Array.copy t.counts

@@ -1,0 +1,45 @@
+(** Prefix ownership and (de)aggregation (paper §6.4).
+
+    Centaur "addresses the dissemination of routing updates, which is
+    orthogonal to the granularity of the routing updates": an AS may
+    announce one aggregate prefix or many fine-grained ones, exactly as
+    in BGP. Granularity multiplies BGP's per-prefix update costs, while
+    Centaur's per-link announcements are unaffected — this module
+    supplies the prefix tables that quantify that effect (the real
+    Internet carries roughly an order of magnitude more prefixes than
+    ASes).
+
+    A table maps each AS to the number of prefixes it currently
+    announces. Counts follow 1 + a geometric tail, matching the skewed
+    prefixes-per-AS distribution of the global table. *)
+
+type t
+
+val generate : Rng.t -> n:int -> mean:float -> t
+(** [generate rng ~n ~mean] draws a table for [n] ASes with the given
+    mean prefixes per AS (≥ 1.0; raises [Invalid_argument] otherwise).
+    Every AS announces at least one prefix. *)
+
+val uniform : n:int -> per_as:int -> t
+(** Every AS announces exactly [per_as] prefixes. *)
+
+val count : t -> int -> int
+(** Prefixes the AS currently announces. *)
+
+val total : t -> int
+
+val num_ases : t -> int
+
+val mean : t -> float
+
+val aggregate : t -> t
+(** Full aggregation: every AS collapses to a single covering prefix
+    (§6.4's "one single aggregate prefix representing the whole
+    domain"). *)
+
+val deaggregate : t -> factor:int -> t
+(** Split every AS's prefixes [factor] ways (announcing more-specifics).
+    Raises [Invalid_argument] if [factor < 1]. *)
+
+val weights : t -> int array
+(** Per-AS counts as an array (shared copy), for overhead models. *)

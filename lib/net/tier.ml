@@ -1,0 +1,60 @@
+let assign_tiers ~degrees ~num_tiers =
+  if num_tiers < 1 then invalid_arg "Tier.assign_tiers: num_tiers < 1";
+  let n = Array.length degrees in
+  let order = Array.init n (fun i -> i) in
+  (* Highest degree first; ties by id for determinism. *)
+  Array.sort
+    (fun i j ->
+      let c = compare degrees.(j) degrees.(i) in
+      if c <> 0 then c else compare i j)
+    order;
+  let tiers = Array.make n num_tiers in
+  (* Geometric tier sizes growing down the hierarchy: with ratio r and T
+     tiers, tier k ends at rank n * (r^k - 1) / (r^T - 1), so tier 1
+     holds only the top few percent — the paper's "nodes with largest
+     degrees" become the Tier-1 providers. *)
+  let ratio = 4.0 in
+  let denom = (ratio ** float_of_int num_tiers) -. 1.0 in
+  let boundary k =
+    let frac = ((ratio ** float_of_int k) -. 1.0) /. denom in
+    int_of_float (ceil (float_of_int n *. frac))
+  in
+  let rec tier_of_rank rank k =
+    if k >= num_tiers then num_tiers
+    else if rank < boundary k then k
+    else tier_of_rank rank (k + 1)
+  in
+  Array.iteri (fun rank node -> tiers.(node) <- tier_of_rank rank 1) order;
+  tiers
+
+(* [b]'s role relative to [a]. Cross-tier: the higher tier provides.
+   Tier-1 internal: peering. Lower-tier internal: directed by degree,
+   then id, so the provider hierarchy stays acyclic and connected. *)
+let edge_rel ~tiers ~degrees (a, b) =
+  let ta = tiers.(a) and tb = tiers.(b) in
+  if ta < tb then Relationship.Customer
+  else if ta > tb then Relationship.Provider
+  else if ta = 1 then Relationship.Peer
+  else if
+    degrees.(a) > degrees.(b) || (degrees.(a) = degrees.(b) && a < b)
+  then Relationship.Customer
+  else Relationship.Provider
+
+let relationships ~tiers ~degrees ~edges =
+  List.map (fun (a, b) -> (a, b, edge_rel ~tiers ~degrees (a, b))) edges
+
+let annotate ~n ~edges ~num_tiers =
+  let degrees = Array.make n 0 in
+  List.iter
+    (fun (a, b, _) ->
+      degrees.(a) <- degrees.(a) + 1;
+      degrees.(b) <- degrees.(b) + 1)
+    edges;
+  let tiers = assign_tiers ~degrees ~num_tiers in
+  let annotated =
+    List.map
+      (fun (a, b, delay) ->
+        (a, b, edge_rel ~tiers ~degrees (a, b), delay))
+      edges
+  in
+  Topology.create ~n annotated

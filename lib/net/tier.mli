@@ -1,0 +1,37 @@
+(** Degree-based tier inference.
+
+    For generated topologies without business annotations, the paper
+    (§5.3) infers "customer–provider" relationships from node positions:
+    "we set the nodes at the center of the topologies (the nodes with
+    largest degrees) to be Tier-1 provider, the nodes below them to be
+    Tier-2 and so forth". This module reproduces that procedure: nodes
+    are bucketed into tiers by degree; a link between different tiers
+    points provider→customer down the hierarchy; links inside Tier-1 are
+    settlement-free peering (the Tier-1 clique has no providers); links
+    inside a lower tier are directed provider→customer by degree (then
+    id) so every customer cone stays connected to the hierarchy — a
+    stub–stub link that became "peering" would provide no transit and
+    disconnect the pair from each other's cones. *)
+
+val assign_tiers : degrees:int array -> num_tiers:int -> int array
+(** [assign_tiers ~degrees ~num_tiers] maps each node to a tier in
+    [1 .. num_tiers] (1 = highest). Tier sizes are geometric (ratio 4):
+    tier [k] ends at degree-rank [n * (4^k - 1) / (4^T - 1)], so tier 1
+    holds only the top few percent of nodes, mimicking the Internet's
+    hierarchy. Raises [Invalid_argument] if [num_tiers < 1]. *)
+
+val relationships :
+  tiers:int array ->
+  degrees:int array ->
+  edges:(int * int) list ->
+  (int * int * Relationship.t) list
+(** Annotate each undirected edge [(a, b)] with [b]'s role relative to
+    [a] under the rules above. *)
+
+val annotate :
+  n:int ->
+  edges:(int * int * float) list ->
+  num_tiers:int ->
+  Topology.t
+(** Convenience: compute degrees from the edge list, infer tiers, and
+    build the annotated topology (delays preserved). *)

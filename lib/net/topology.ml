@@ -1,0 +1,148 @@
+type link = {
+  id : int;
+  a : int;
+  b : int;
+  rel_ab : Relationship.t;
+  delay : float;
+}
+
+type t = {
+  n : int;
+  link_arr : link array;
+  (* adj.(v) lists (neighbor, role-of-neighbor-w.r.t.-v, link id). *)
+  adj : (int * Relationship.t * int) list array;
+  up : bool array;
+  (* O(1) pair lookup: (a, b) -> (role of b w.r.t. a, link id). *)
+  pair : (int * int, Relationship.t * int) Hashtbl.t;
+}
+
+let create ~n edges =
+  if n < 0 then invalid_arg "Topology.create: negative node count";
+  let seen = Hashtbl.create (List.length edges) in
+  let check (a, b, _, delay) =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg
+        (Printf.sprintf "Topology.create: node id out of range (%d, %d)" a b);
+    if a = b then invalid_arg "Topology.create: self-loop";
+    if delay < 0.0 then invalid_arg "Topology.create: negative delay";
+    let key = (min a b, max a b) in
+    if Hashtbl.mem seen key then
+      invalid_arg
+        (Printf.sprintf "Topology.create: duplicate link %d-%d" (min a b)
+           (max a b));
+    Hashtbl.add seen key ()
+  in
+  List.iter check edges;
+  let link_arr =
+    Array.of_list
+      (List.mapi (fun id (a, b, rel_ab, delay) -> { id; a; b; rel_ab; delay }) edges)
+  in
+  let adj = Array.make (max n 1) [] in
+  Array.iter
+    (fun l ->
+      adj.(l.a) <- (l.b, l.rel_ab, l.id) :: adj.(l.a);
+      adj.(l.b) <- (l.a, Relationship.invert l.rel_ab, l.id) :: adj.(l.b))
+    link_arr;
+  (* Deterministic neighbor order: ascending neighbor id. *)
+  Array.iteri
+    (fun i lst -> adj.(i) <- List.sort (fun (x, _, _) (y, _, _) -> compare x y) lst)
+    adj;
+  let pair = Hashtbl.create (2 * Array.length link_arr) in
+  Array.iter
+    (fun l ->
+      Hashtbl.replace pair (l.a, l.b) (l.rel_ab, l.id);
+      Hashtbl.replace pair (l.b, l.a) (Relationship.invert l.rel_ab, l.id))
+    link_arr;
+  { n; link_arr; adj; up = Array.make (Array.length link_arr) true; pair }
+
+let num_nodes t = t.n
+
+let num_links t = Array.length t.link_arr
+
+let link t id =
+  if id < 0 || id >= Array.length t.link_arr then
+    invalid_arg "Topology.link: bad id";
+  t.link_arr.(id)
+
+let links t = t.link_arr
+
+let neighbors t v =
+  if v < 0 || v >= t.n then invalid_arg "Topology.neighbors: bad node";
+  List.filter (fun (_, _, id) -> t.up.(id)) t.adj.(v)
+
+let degree t v = List.length (neighbors t v)
+
+let full_degree t v =
+  if v < 0 || v >= t.n then invalid_arg "Topology.full_degree: bad node";
+  List.length t.adj.(v)
+
+let link_between t a b =
+  Option.map snd (Hashtbl.find_opt t.pair (a, b))
+
+let rel t a b =
+  match Hashtbl.find_opt t.pair (a, b) with
+  | Some (r, id) when t.up.(id) -> Some r
+  | Some _ | None -> None
+
+let rel_any t a b = Option.map fst (Hashtbl.find_opt t.pair (a, b))
+
+let is_up t id =
+  if id < 0 || id >= Array.length t.up then invalid_arg "Topology.is_up: bad id";
+  t.up.(id)
+
+let set_up t id v =
+  if id < 0 || id >= Array.length t.up then invalid_arg "Topology.set_up: bad id";
+  t.up.(id) <- v
+
+let with_link_down t id f =
+  let prev = is_up t id in
+  set_up t id false;
+  Fun.protect ~finally:(fun () -> set_up t id prev) f
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let visited = Array.make t.n false in
+    let queue = Queue.create () in
+    Queue.push 0 queue;
+    visited.(0) <- true;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun (nb, _, id) ->
+          if t.up.(id) && not visited.(nb) then begin
+            visited.(nb) <- true;
+            incr count;
+            Queue.push nb queue
+          end)
+        t.adj.(v)
+    done;
+    !count = t.n
+  end
+
+type relationship_counts = {
+  peering : int;
+  provider_customer : int;
+  sibling : int;
+}
+
+let relationship_counts t =
+  Array.fold_left
+    (fun acc l ->
+      match l.rel_ab with
+      | Relationship.Peer -> { acc with peering = acc.peering + 1 }
+      | Relationship.Customer | Relationship.Provider ->
+        { acc with provider_customer = acc.provider_customer + 1 }
+      | Relationship.Sibling -> { acc with sibling = acc.sibling + 1 })
+    { peering = 0; provider_customer = 0; sibling = 0 }
+    t.link_arr
+
+let iter_links t f = Array.iter f t.link_arr
+
+let fold_links t ~init ~f = Array.fold_left f init t.link_arr
+
+let pp_summary fmt t =
+  let c = relationship_counts t in
+  Format.fprintf fmt "%d/%d nodes/links, %d/%d/%d peering/provider/sibling"
+    t.n (num_links t) c.peering c.provider_customer c.sibling

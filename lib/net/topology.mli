@@ -1,0 +1,86 @@
+(** AS-level topology annotated with business relationships.
+
+    Nodes are the integers [0 .. num_nodes - 1]; in the inter-domain
+    setting each node is an AS (the paper models "each AS as a node in the
+    network", §5.1). Links are undirected, carry a propagation delay and a
+    business relationship, and have a mutable up/down state so the
+    simulator and the failure experiments can flip them without rebuilding
+    the structure. Everything else is immutable after {!create}. *)
+
+type link = {
+  id : int;
+  a : int;
+  b : int;
+  rel_ab : Relationship.t;
+      (** [b]'s role relative to [a]: [rel_ab = Customer] means [b] is
+          [a]'s customer. The role of [a] relative to [b] is
+          [Relationship.invert rel_ab]. *)
+  delay : float;  (** one-way propagation delay in milliseconds *)
+}
+
+type t
+
+val create : n:int -> (int * int * Relationship.t * float) list -> t
+(** [create ~n edges] builds a topology on nodes [0..n-1] from
+    [(a, b, rel_ab, delay)] tuples. Raises [Invalid_argument] on
+    out-of-range ids, self-loops, negative delays, or duplicate links
+    between the same pair. All links start up. *)
+
+val num_nodes : t -> int
+
+val num_links : t -> int
+
+val link : t -> int -> link
+(** Raises [Invalid_argument] on a bad id. *)
+
+val links : t -> link array
+(** All links (shared array — do not mutate). *)
+
+val neighbors : t -> int -> (int * Relationship.t * int) list
+(** [(neighbor, role-of-neighbor, link id)] over links currently up. *)
+
+val degree : t -> int -> int
+(** Degree counting only up links. *)
+
+val full_degree : t -> int -> int
+(** Degree ignoring link state. *)
+
+val rel : t -> int -> int -> Relationship.t option
+(** Role of [b] relative to [a] if an up link [a]–[b] exists. *)
+
+val rel_any : t -> int -> int -> Relationship.t option
+(** Like {!rel} but ignoring link state. Business relationships are
+    static contracts; protocol nodes may consult them for remote links
+    without learning whether those links are currently up. *)
+
+val link_between : t -> int -> int -> int option
+(** Link id between the two nodes regardless of up/down state. *)
+
+val is_up : t -> int -> bool
+
+val set_up : t -> int -> bool -> unit
+(** Flip a link's state. *)
+
+val with_link_down : t -> int -> (unit -> 'a) -> 'a
+(** Run a computation with one link forced down, restoring the previous
+    state afterwards (exception-safe). *)
+
+val is_connected : t -> bool
+(** Connectivity over up links; [true] for the empty topology. *)
+
+type relationship_counts = {
+  peering : int;
+  provider_customer : int;
+  sibling : int;
+}
+(** Link counts by category, matching the columns of the paper's
+    Table 3. *)
+
+val relationship_counts : t -> relationship_counts
+
+val iter_links : t -> (link -> unit) -> unit
+
+val fold_links : t -> init:'acc -> f:('acc -> link -> 'acc) -> 'acc
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [nodes/links peering/provider/sibling] rendering. *)

@@ -1,0 +1,18 @@
+let rec class_of topo = function
+  | [] -> None
+  | [ _ ] -> Some Gao_rexford.Origin
+  | a :: (b :: _ as rest) -> (
+    match Topology.rel_any topo a b with
+    | None -> None
+    | Some role_of_b -> (
+      match class_of topo rest with
+      | None -> None
+      | Some neighbor_class ->
+        Some
+          (Gao_rexford.class_of_learned ~neighbor_role:role_of_b
+             ~neighbor_class)))
+
+let exportable_to topo p ~neighbor_role =
+  match class_of topo p with
+  | None -> false
+  | Some cls -> Gao_rexford.exportable ~cls ~to_role:neighbor_role

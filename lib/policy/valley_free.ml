@@ -1,0 +1,32 @@
+type verdict =
+  | Valley_free
+  | Broken_link of int * int
+  | Valley of int * int
+
+(* Phase automaton over hops source→destination. [Up] = still climbing
+   (customer→provider hops allowed), [Down] = after the apex (only
+   provider→customer hops allowed). A peering hop moves Up → Down.
+   Sibling hops never change phase. *)
+type phase = Up | Down
+
+let check topo path =
+  let rec go phase = function
+    | [] | [ _ ] -> Valley_free
+    | a :: (b :: _ as rest) -> (
+      match Topology.rel topo a b with
+      | None -> Broken_link (a, b)
+      | Some r -> (
+        match (r : Relationship.t), phase with
+        | Relationship.Sibling, _ -> go phase rest
+        | Relationship.Provider, Up -> go Up rest
+        | Relationship.Peer, Up -> go Down rest
+        | Relationship.Customer, _ -> go Down rest
+        | Relationship.Provider, Down | Relationship.Peer, Down ->
+          Valley (a, b)))
+  in
+  go Up path
+
+let is_valley_free topo path =
+  match check topo path with
+  | Valley_free -> true
+  | Broken_link _ | Valley _ -> false

@@ -1,0 +1,20 @@
+(** Valley-free path checking.
+
+    A forwarding path is valley-free when it climbs customer→provider
+    links, optionally crosses a single peering link, and then descends
+    provider→customer links; sibling links are transparent. Every path
+    that the export rules of {!Gao_rexford} can produce is valley-free,
+    which makes this checker the independent validation oracle for the
+    solver and both protocol implementations. *)
+
+type verdict =
+  | Valley_free
+  | Broken_link of int * int  (** consecutive nodes without an up link *)
+  | Valley of int * int
+      (** the hop (a, b) that descends or peers before climbing again *)
+
+val check : Topology.t -> Path.t -> verdict
+(** Classify a path over up links. Single-node and empty paths are
+    trivially [Valley_free]. *)
+
+val is_valley_free : Topology.t -> Path.t -> bool

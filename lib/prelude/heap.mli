@@ -1,0 +1,32 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event simulator and as the
+    priority queue of Dijkstra-style solvers. Elements are ordered by a
+    comparison function supplied at creation time; ties are broken by
+    insertion order (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. Among elements that compare
+    equal, the one pushed first is popped first. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: the heap contents in pop order. *)

@@ -1,0 +1,321 @@
+type msg = {
+  dest : int;
+  path : Path.t option;
+  cause : (int * int) option;
+      (* BGP-RCN root-cause annotation: the failed link (normalized
+         endpoints) whose loss triggered this update; None on plain BGP
+         and on updates not caused by a failure *)
+}
+
+(* Per-node BGP state. [rib_in] is the Adj-RIB-In: the last path each
+   neighbor announced per destination (stored as announced, i.e. starting
+   at the neighbor). [best] holds the selected path starting at the node
+   itself. [adv] tracks what we last sent each neighbor, so we know when
+   a withdrawal is due. [pending]/[deadline]/[timer_armed] implement the
+   per-peer MRAI batch: latest pending update per (peer, prefix), the
+   earliest time the next batch may leave, and whether a flush timer is
+   already scheduled. *)
+type node_state = {
+  id : int;
+  rib_in : (int * int, Path.t) Hashtbl.t;
+  best : (int, Path.t) Hashtbl.t;
+  adv : (int * int, Path.t) Hashtbl.t;
+  pending : (int, (int, msg) Hashtbl.t) Hashtbl.t;
+  deadline : (int, float) Hashtbl.t;
+  timer_armed : (int, unit) Hashtbl.t;
+}
+
+let make_state id =
+  { id;
+    rib_in = Hashtbl.create 64;
+    best = Hashtbl.create 64;
+    adv = Hashtbl.create 64;
+    pending = Hashtbl.create 8;
+    deadline = Hashtbl.create 8;
+    timer_armed = Hashtbl.create 8 }
+
+let neighbors topo st = Topology.neighbors topo st.id
+
+(* Session MRAI, jittered ±25% deterministically per (node, peer). *)
+let session_mrai mrai node peer =
+  if mrai <= 0.0 then 0.0
+  else
+    let h = ((node * 7919) + (peer * 104729)) mod 1000 in
+    mrai *. (0.75 +. (0.5 *. float_of_int h /. 1000.0))
+
+(* Route updates [msgs] leave through the MRAI gate: immediate when the
+   peer's interval has elapsed, queued (coalescing per prefix) with a
+   flush timer otherwise. *)
+let emit st ~mrai ~now msgs =
+  List.concat_map
+    (fun (peer, m) ->
+      let dl =
+        Option.value (Hashtbl.find_opt st.deadline peer) ~default:neg_infinity
+      in
+      if mrai <= 0.0 || now >= dl then begin
+        Hashtbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
+        [ Sim.Engine.Send (peer, m) ]
+      end
+      else begin
+        let q =
+          match Hashtbl.find_opt st.pending peer with
+          | Some q -> q
+          | None ->
+            let q = Hashtbl.create 16 in
+            Hashtbl.replace st.pending peer q;
+            q
+        in
+        Hashtbl.replace q m.dest m;
+        if Hashtbl.mem st.timer_armed peer then []
+        else begin
+          Hashtbl.replace st.timer_armed peer ();
+          [ Sim.Engine.Timer (dl -. now, peer) ]
+        end
+      end)
+    msgs
+
+let on_timer topo states ~mrai ~now ~node ~key:peer =
+  let st = states.(node) in
+  Hashtbl.remove st.timer_armed peer;
+  match Hashtbl.find_opt st.pending peer with
+  | None -> []
+  | Some q ->
+    Hashtbl.remove st.pending peer;
+    if Hashtbl.length q = 0 then []
+    else if
+      (* Session may have died while the batch was waiting. *)
+      not (List.exists (fun (n, _, _) -> n = peer) (neighbors topo st))
+    then []
+    else begin
+      let batch = Hashtbl.fold (fun _dest m acc -> m :: acc) q [] in
+      let batch =
+        List.sort (fun m1 m2 -> compare m1.dest m2.dest) batch
+      in
+      Hashtbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
+      List.map (fun m -> Sim.Engine.Send (peer, m)) batch
+    end
+
+(* Decision process for one destination: candidates are the RIB-in
+   entries of live sessions that pass loop detection, ranked by the
+   Gao–Rexford preference. *)
+let select topo st dest =
+  if dest = st.id then Some [ st.id ]
+  else begin
+    let best = ref None in
+    List.iter
+      (fun (n, _role, _) ->
+        match Hashtbl.find_opt st.rib_in (n, dest) with
+        | None -> ()
+        | Some p ->
+          if not (Path.contains p st.id) then begin
+            let path = st.id :: p in
+            match Path_class.class_of topo path with
+            | None -> ()
+            | Some cls ->
+              let cand =
+                { Gao_rexford.cls; len = Path.length path; next_hop = n }
+              in
+              (match !best with
+              | None -> best := Some (path, cand)
+              | Some (_, bc) ->
+                if Gao_rexford.compare_candidates cand bc < 0 then
+                  best := Some (path, cand))
+          end)
+      (neighbors topo st);
+    Option.map fst !best
+  end
+
+(* Advertisement due to neighbor [n] for [dest] under export policy and
+   split horizon (never offer a path back to a node already on it). *)
+let desired_adv topo st ~dest (n, role, _) =
+  match Hashtbl.find_opt st.best dest with
+  | None -> None
+  | Some p ->
+    if Path.contains p n then None
+    else if Path_class.exportable_to topo p ~neighbor_role:role then Some p
+    else None
+
+(* Re-run selection for [dest]; if the choice changed, queue the per
+   neighbor announcements/withdrawals that follow, annotated with the
+   root cause that triggered the recomputation (RCN mode). *)
+let update_dest ?cause topo st dest =
+  let old_best = Hashtbl.find_opt st.best dest in
+  let new_best = select topo st dest in
+  let changed =
+    match (old_best, new_best) with
+    | None, None -> false
+    | Some a, Some b -> not (Path.equal a b)
+    | None, Some _ | Some _, None -> true
+  in
+  if not changed then []
+  else begin
+    (match new_best with
+    | None -> Hashtbl.remove st.best dest
+    | Some p -> Hashtbl.replace st.best dest p);
+    List.filter_map
+      (fun ((n, _, _) as nbr) ->
+        let desired = desired_adv topo st ~dest nbr in
+        let current = Hashtbl.find_opt st.adv (n, dest) in
+        match (desired, current) with
+        | None, None -> None
+        | Some d, Some c when Path.equal d c -> None
+        | Some d, _ ->
+          Hashtbl.replace st.adv (n, dest) d;
+          Some (n, { dest; path = Some d; cause })
+        | None, Some _ ->
+          Hashtbl.remove st.adv (n, dest);
+          Some (n, { dest; path = None; cause }))
+      (neighbors topo st)
+  end
+
+(* Purge every Adj-RIB-In entry whose path traverses the failed link:
+   the root-cause information lets a node discard stale alternatives at
+   once instead of exploring them (BGP-RCN, Pei et al.). Returns the
+   destinations whose candidate set changed. *)
+let purge_cause st (u, v) =
+  let affected = ref [] in
+  let doomed =
+    Hashtbl.fold
+      (fun ((_nbr, dest) as key) p acc ->
+        if List.mem (u, v) (Path.links p) || List.mem (v, u) (Path.links p)
+        then begin
+          affected := dest :: !affected;
+          key :: acc
+        end
+        else acc)
+      st.rib_in []
+  in
+  List.iter (Hashtbl.remove st.rib_in) doomed;
+  List.sort_uniq compare !affected
+
+let on_message topo states ~rcn ~mrai ~now ~node ~src msg =
+  let st = states.(node) in
+  let cause_dests =
+    match (rcn, msg.cause) with
+    | true, Some link -> purge_cause st link
+    | _ -> []
+  in
+  (match msg.path with
+  | Some p -> Hashtbl.replace st.rib_in (src, msg.dest) p
+  | None -> Hashtbl.remove st.rib_in (src, msg.dest));
+  let dests =
+    if msg.dest = st.id then cause_dests
+    else List.sort_uniq compare (msg.dest :: cause_dests)
+  in
+  let msgs =
+    List.concat_map (fun d -> update_dest ?cause:msg.cause topo st d) dests
+  in
+  emit st ~mrai ~now msgs
+
+(* Session maintenance: a link down flushes everything learned from,
+   advertised to and queued for that neighbor; a link up opens a fresh
+   session and sends the full exportable table. *)
+let on_link_change topo states ~rcn ~mrai ~now ~node ~link_id =
+  let st = states.(node) in
+  let link = Topology.link topo link_id in
+  let other =
+    if link.Topology.a = node then link.Topology.b else link.Topology.a
+  in
+  if not (Topology.is_up topo link_id) then begin
+    Hashtbl.remove st.pending other;
+    let cause =
+      if rcn then Some (min node other, max node other) else None
+    in
+    let affected = Hashtbl.create 64 in
+    let dead_keys tbl =
+      Hashtbl.fold
+        (fun ((n, dest) as key) _ acc ->
+          if n = other then begin
+            Hashtbl.replace affected dest ();
+            key :: acc
+          end
+          else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove st.rib_in) (dead_keys st.rib_in);
+    List.iter (Hashtbl.remove st.adv) (dead_keys st.adv);
+    (* In RCN mode the endpoint also drops its own stale alternatives
+       through the dead link learned from other neighbors. *)
+    (match cause with
+    | Some c ->
+      List.iter (fun d -> Hashtbl.replace affected d ()) (purge_cause st c)
+    | None -> ());
+    let msgs =
+      Hashtbl.fold
+        (fun dest () acc -> update_dest ?cause topo st dest @ acc)
+        affected []
+    in
+    emit st ~mrai ~now msgs
+  end
+  else begin
+    (* New session: advertise the whole table to the new neighbor. *)
+    match
+      List.find_opt (fun (n, _, _) -> n = other) (neighbors topo st)
+    with
+    | None -> []
+    | Some nbr ->
+      let msgs =
+        Hashtbl.fold
+          (fun dest _p acc ->
+            match desired_adv topo st ~dest nbr with
+            | None -> acc
+            | Some d ->
+              Hashtbl.replace st.adv (other, dest) d;
+              (other, { dest; path = Some d; cause = None }) :: acc)
+          st.best []
+      in
+      emit st ~mrai ~now msgs
+  end
+
+let network ?(mrai = 30.0) ?(rcn = false) topo =
+  let n = Topology.num_nodes topo in
+  let states = Array.init n make_state in
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now ~node ~src msg ->
+          on_message topo states ~rcn ~mrai ~now ~node ~src msg);
+      Sim.Engine.on_link_change =
+        (fun ~now ~node ~link_id ->
+          on_link_change topo states ~rcn ~mrai ~now ~node ~link_id);
+      Sim.Engine.on_timer =
+        (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key) }
+  in
+  let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  let cold_start () =
+    let since = Sim.Engine.mark engine in
+    Array.iter
+      (fun st ->
+        Hashtbl.replace st.best st.id [ st.id ];
+        let msgs =
+          List.filter_map
+            (fun ((nb, _, _) as nbr) ->
+              match desired_adv topo st ~dest:st.id nbr with
+              | None -> None
+              | Some d ->
+                Hashtbl.replace st.adv (nb, st.id) d;
+                Some (nb, { dest = st.id; path = Some d; cause = None }))
+            (neighbors topo st)
+        in
+        Sim.Engine.perform engine ~node:st.id
+          (emit st ~mrai ~now:(Sim.Engine.now engine) msgs))
+      states;
+    Sim.Engine.run_to_quiescence ~since engine
+  in
+  let flip ~link_id ~up =
+    Sim.Engine.flip_link engine ~link_id ~up;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let flip_many changes =
+    List.iter
+      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
+      changes;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let next_hop ~src ~dest =
+    match Hashtbl.find_opt states.(src).best dest with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None
+  in
+  let path ~src ~dest = Hashtbl.find_opt states.(src).best dest in
+  { Sim.Runner.name = (if rcn then "bgp-rcn" else "bgp");
+    cold_start; flip; flip_many; next_hop; path }

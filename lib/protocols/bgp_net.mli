@@ -1,0 +1,44 @@
+(** Path-vector baseline — BGP with Gao–Rexford policies.
+
+    The comparison protocol of the paper's evaluation. Each node
+    originates its own prefix and exchanges {e path-level} announcements:
+    one update message per (neighbor, prefix) change, which is exactly
+    why a single link failure triggers a withdrawal per affected
+    destination (Figure 5) and why failover explores stale alternate
+    paths hop by hop (slow convergence, Figure 6).
+
+    Import policy: loop detection (drop paths containing self) and
+    Gao–Rexford ranking (customer > peer > provider, then length, then
+    lowest next hop). Export policy: the selective-announcement rule,
+    with split horizon toward any neighbor already on the path.
+
+    Updates to a peer are batched by the standard MRAI
+    (Minimum Route Advertisement Interval) timer — the mechanism that
+    makes BGP's path exploration cost wall-clock time [Labovitz et al.].
+    The first update to a quiet peer leaves immediately; subsequent ones
+    within the interval are held and coalesced per prefix. The interval
+    is jittered ±25% per session, as deployed implementations do. *)
+
+type msg = {
+  dest : int;
+  path : Path.t option;  (** announced path starting at the sender;
+                             [None] withdraws *)
+  cause : (int * int) option;
+      (** BGP-RCN root-cause annotation: the failed link whose loss
+          triggered this update; [None] on plain BGP *)
+}
+
+val network : ?mrai:float -> ?rcn:bool -> Topology.t -> Sim.Runner.t
+(** Build a BGP network over the topology. [mrai] is the batching
+    interval in milliseconds (default 30.0; 0 disables batching).
+
+    [rcn] enables BGP-RCN (Pei et al., root cause notification — the
+    paper's reference [15]): failure-triggered updates carry the failed
+    link, and receivers immediately purge every stale alternative whose
+    path uses it, suppressing path exploration. The paper's §6.2 claims
+    Centaur is informationally "a path vector protocol that includes
+    root cause notification with compressed update format"; comparing
+    the [rcn] baseline against Centaur tests exactly that claim.
+
+    The runner's [path] accessor reports each node's selected
+    (control-plane) path. *)

@@ -1,0 +1,45 @@
+let network topo =
+  let n = Topology.num_nodes topo in
+  let states = Array.init n (fun id -> Centaur.Node.create topo ~id) in
+  let sends_to_actions sends =
+    List.map (fun (dst, m) -> Sim.Engine.Send (dst, m)) sends
+  in
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now:_ ~node ~src:_ ann ->
+          let st, sends = Centaur.Node.handle states.(node) ann in
+          states.(node) <- st;
+          sends_to_actions sends);
+      Sim.Engine.on_link_change =
+        (fun ~now:_ ~node ~link_id:_ ->
+          let st, sends = Centaur.Node.on_adjacency_change states.(node) in
+          states.(node) <- st;
+          sends_to_actions sends);
+      Sim.Engine.on_timer = Sim.Engine.no_timers }
+  in
+  let engine =
+    Sim.Engine.create topo ~units:Centaur.Announce.units ~handlers
+  in
+  let cold_start () =
+    let since = Sim.Engine.mark engine in
+    Array.iteri
+      (fun i _ ->
+        let st, sends = Centaur.Node.start states.(i) in
+        states.(i) <- st;
+        Sim.Engine.perform engine ~node:i (sends_to_actions sends))
+      states;
+    Sim.Engine.run_to_quiescence ~since engine
+  in
+  let flip ~link_id ~up =
+    Sim.Engine.flip_link engine ~link_id ~up;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let flip_many changes =
+    List.iter
+      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
+      changes;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let next_hop ~src ~dest = Centaur.Node.next_hop states.(src) ~dest in
+  let path ~src ~dest = Centaur.Node.selected_path states.(src) ~dest in
+  { Sim.Runner.name = "centaur"; cold_start; flip; flip_many; next_hop; path }

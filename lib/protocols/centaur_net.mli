@@ -1,0 +1,11 @@
+(** Centaur on the simulator.
+
+    Wires the pure protocol machine of {!Centaur.Node} into the
+    discrete-event engine. Messages are {!Centaur.Announce} deltas and
+    are priced in link-level update units ({!Centaur.Announce.units}),
+    matching how the paper counts Centaur's overhead against BGP's
+    per-prefix updates. *)
+
+val network : Topology.t -> Sim.Runner.t
+(** The runner's [path] accessor reports each node's selected
+    policy-compliant path from its local P-graph state. *)

@@ -1,0 +1,144 @@
+type msg = {
+  origin : int;
+  link_id : int;
+  seq : int;
+  up : bool;
+}
+
+(* Per-node link-state database: newest LSA seen per (origin, link). *)
+type node_state = {
+  id : int;
+  db : (int * int, int * bool) Hashtbl.t;
+  own_seq : (int, int) Hashtbl.t;  (* link -> last sequence we issued *)
+}
+
+let make_state id =
+  { id; db = Hashtbl.create 64; own_seq = Hashtbl.create 8 }
+
+let fresher st m =
+  match Hashtbl.find_opt st.db (m.origin, m.link_id) with
+  | None -> true
+  | Some (seq, _) -> m.seq > seq
+
+let install st m = Hashtbl.replace st.db (m.origin, m.link_id) (m.seq, m.up)
+
+let flood_except topo st ~except m =
+  List.filter_map
+    (fun (n, _, _) -> if Some n = except then None else Some (n, m))
+    (Topology.neighbors topo st.id)
+
+let on_message topo states ~node ~src msg =
+  let st = states.(node) in
+  if fresher st msg then begin
+    install st msg;
+    flood_except topo st ~except:(Some src) msg
+  end
+  else []
+
+let originate topo st link_id ~up =
+  let seq =
+    1 + Option.value (Hashtbl.find_opt st.own_seq link_id) ~default:(-1)
+  in
+  Hashtbl.replace st.own_seq link_id seq;
+  let m = { origin = st.id; link_id; seq; up } in
+  install st m;
+  flood_except topo st ~except:None m
+
+let on_link_change topo states ~node ~link_id =
+  let st = states.(node) in
+  let up = Topology.is_up topo link_id in
+  let own = originate topo st link_id ~up in
+  if not up then own
+  else begin
+    (* Database exchange over the restored adjacency: send the peer our
+       whole LSDB, as OSPF does when an adjacency forms. *)
+    let link = Topology.link topo link_id in
+    let other =
+      if link.Topology.a = node then link.Topology.b else link.Topology.a
+    in
+    let db_sync =
+      Hashtbl.fold
+        (fun (origin, lid) (seq, lsa_up) acc ->
+          (other, { origin; link_id = lid; seq; up = lsa_up }) :: acc)
+        st.db []
+    in
+    own @ db_sync
+  end
+
+(* A node's view of the topology: links it believes up (a link counts as
+   up when every LSA it holds for it says up — both endpoints flood, so
+   after convergence this matches the ground truth). *)
+let link_believed_up st topo link_id =
+  let link = Topology.link topo link_id in
+  let views =
+    List.filter_map
+      (fun origin -> Hashtbl.find_opt st.db (origin, link_id))
+      [ link.Topology.a; link.Topology.b ]
+  in
+  match views with
+  | [] -> false
+  | vs -> List.for_all (fun (_seq, up) -> up) vs
+
+(* Dijkstra over the node's believed topology. Rather than duplicating
+   the algorithm, we run it on a scratch copy of the topology with the
+   disbelieved links forced down. *)
+let shortest_tree st topo ~src =
+  let num = Topology.num_links topo in
+  let saved = Array.init num (fun id -> Topology.is_up topo id) in
+  for id = 0 to num - 1 do
+    Topology.set_up topo id (saved.(id) && link_believed_up st topo id)
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri (fun id up -> Topology.set_up topo id up) saved)
+    (fun () -> Dijkstra.from topo ~src)
+
+let network topo =
+  let n = Topology.num_nodes topo in
+  let states = Array.init n make_state in
+  let sends_to_actions sends =
+    List.map (fun (dst, m) -> Sim.Engine.Send (dst, m)) sends
+  in
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now:_ ~node ~src msg ->
+          sends_to_actions (on_message topo states ~node ~src msg));
+      Sim.Engine.on_link_change =
+        (fun ~now:_ ~node ~link_id ->
+          sends_to_actions (on_link_change topo states ~node ~link_id));
+      Sim.Engine.on_timer = Sim.Engine.no_timers }
+  in
+  let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  let cold_start () =
+    let since = Sim.Engine.mark engine in
+    Array.iter
+      (fun st ->
+        let sends =
+          List.concat_map
+            (fun (_, _, link_id) -> originate topo st link_id ~up:true)
+            (Topology.neighbors topo st.id)
+        in
+        Sim.Engine.perform engine ~node:st.id (sends_to_actions sends))
+      states;
+    Sim.Engine.run_to_quiescence ~since engine
+  in
+  let flip ~link_id ~up =
+    Sim.Engine.flip_link engine ~link_id ~up;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let flip_many changes =
+    List.iter
+      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
+      changes;
+    Sim.Engine.run_to_quiescence engine
+  in
+  let path ~src ~dest =
+    let tree = shortest_tree states.(src) topo ~src in
+    Dijkstra.path_to tree dest
+  in
+  let next_hop ~src ~dest =
+    match path ~src ~dest with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None
+  in
+  { Sim.Runner.name = "ospf"; cold_start; flip; flip_many; next_hop; path }

@@ -1,0 +1,23 @@
+(** Link-state baseline — OSPF-style reliable flooding plus Dijkstra.
+
+    The second comparison point of the paper's evaluation (Figure 7).
+    Every link-state change is flooded to the entire network — "OSPF does
+    not implement policies, so every link's information needs to be
+    transmitted over every other link" — which converges quickly but
+    costs on the order of [2·|E|] messages per changed LSA regardless of
+    who actually routes through the link. Routes are shortest paths by
+    link delay; policies are not expressible. *)
+
+type msg = {
+  origin : int;   (** the endpoint that issued the LSA *)
+  link_id : int;
+  seq : int;
+  up : bool;
+}
+
+val network : Topology.t -> Sim.Runner.t
+(** Cold start floods one LSA per (endpoint, adjacent link); a link flip
+    floods a re-sequenced LSA from both endpoints, and a restored link
+    additionally carries a database exchange to resynchronise the two
+    ends. The runner's [next_hop]/[path] report delay-shortest routes
+    over each node's link-state database. *)

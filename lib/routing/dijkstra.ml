@@ -1,0 +1,61 @@
+type tree = {
+  src : int;
+  dist : float array;  (* infinity = unreachable *)
+  pred : int array;    (* -1 at root / unreachable *)
+}
+
+let src t = t.src
+
+let from topo ~src =
+  let n = Topology.num_nodes topo in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.from: source out of range";
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let cmp (d1, p1, v1) (d2, p2, v2) =
+    let c = compare (d1 : float) d2 in
+    if c <> 0 then c
+    else
+      let c = compare (p1 : int) p2 in
+      if c <> 0 then c else compare (v1 : int) v2
+  in
+  let heap = Heap.create ~cmp in
+  Heap.push heap (0.0, -1, src);
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, p, v) ->
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        dist.(v) <- d;
+        pred.(v) <- p;
+        List.iter
+          (fun (nb, _, link_id) ->
+            if not settled.(nb) then
+              let w = (Topology.link topo link_id).Topology.delay in
+              Heap.push heap (d +. w, v, nb))
+          (Topology.neighbors topo v)
+      end;
+      drain ()
+  in
+  drain ();
+  { src; dist; pred }
+
+let dist t v = if t.dist.(v) = infinity then None else Some t.dist.(v)
+
+let predecessor t v =
+  if t.dist.(v) = infinity || v = t.src then None else Some t.pred.(v)
+
+let path_to t v =
+  if t.dist.(v) = infinity then None
+  else begin
+    let rec go u acc =
+      if u = t.src then t.src :: acc else go t.pred.(u) (u :: acc)
+    in
+    Some (go v [])
+  end
+
+let next_hop_to t v =
+  match path_to t v with
+  | Some (_ :: hop :: _) -> Some hop
+  | Some _ | None -> None

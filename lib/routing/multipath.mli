@@ -1,0 +1,33 @@
+(** k-best policy-compliant paths (BGP-multipath semantics).
+
+    The paper's §7 anticipates that "Centaur may better support
+    multi-path routing since it can propagate multiple paths for a
+    destination in a more compact and scalable way". This module
+    computes the multi-path selections that such a system would
+    propagate: for each destination, up to [k] candidate routes — one
+    per neighbor offering an importable route, each extending that
+    neighbor's own (single) best path, ranked by the standard
+    Gao–Rexford preference. This is exactly how BGP multipath/add-path
+    deployments form their route sets. *)
+
+val k_best : Topology.t -> k:int -> src:int -> dest:int -> Path.t list
+(** Up to [k] loop-free policy-compliant paths from [src] to [dest],
+    most preferred first. Empty when unreachable; [[[src]]] when
+    [src = dest]. Raises [Invalid_argument] if [k < 1]. *)
+
+val path_set : Topology.t -> k:int -> src:int -> Path.t list
+(** All k-best paths from one source to every other destination
+    (concatenated; grouped by destination in ascending order). Runs one
+    solver pass per destination. *)
+
+val ranked_sets :
+  Topology.t -> kmax:int -> sources:int list -> (int, Path.t list list) Hashtbl.t
+(** Bulk form for measurements: one solver pass per destination, shared
+    by all sources. Maps each source to its per-destination ranked
+    candidate lists (each at most [kmax] long, destinations ascending,
+    empty lists omitted). The k-best set for any [k <= kmax] is the
+    prefix of each list. *)
+
+val path_vector_cost : Path.t list -> int
+(** Total hops a path-vector protocol announces for this path set — the
+    add-path baseline Centaur's compactness is measured against. *)

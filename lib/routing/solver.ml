@@ -1,0 +1,187 @@
+open Gao_rexford
+
+type routes = {
+  dest : int;
+  n : int;
+  len : int array;      (* max_int = unreachable *)
+  parent : int array;   (* next hop toward dest; -1 at dest / unreachable *)
+  cls : route_class array;
+}
+
+let dest t = t.dest
+
+let unreachable_len = max_int
+
+(* Phase 1: customer routes. Pure BFS from the destination across edges
+   x→y where x is y's customer or sibling (i.e. routes climb to providers
+   and cross sibling links). Layered processing with min-parent selection
+   gives shortest length and lowest next-hop id within the layer. *)
+let phase_customer topo t =
+  let tentative = Array.make t.n (-1) in
+  let frontier = ref [ t.dest ] in
+  let layer = ref 0 in
+  t.len.(t.dest) <- 0;
+  t.parent.(t.dest) <- -1;
+  t.cls.(t.dest) <- Origin;
+  while !frontier <> [] do
+    let touched = ref [] in
+    List.iter
+      (fun x ->
+        List.iter
+          (fun (y, role_of_y, _) ->
+            (* x announces to y; the class at y depends on x's role as
+               seen from y, i.e. the inverse of [role_of_y]. *)
+            let x_role_at_y = Relationship.invert role_of_y in
+            let qualifies =
+              match x_role_at_y with
+              | Relationship.Customer | Relationship.Sibling -> true
+              | Relationship.Peer | Relationship.Provider -> false
+            in
+            if qualifies && t.len.(y) = unreachable_len then
+              if tentative.(y) = -1 then begin
+                tentative.(y) <- x;
+                touched := y :: !touched
+              end
+              else if x < tentative.(y) then tentative.(y) <- x)
+          (Topology.neighbors topo x))
+      !frontier;
+    incr layer;
+    let next =
+      List.map
+        (fun y ->
+          t.len.(y) <- !layer;
+          t.parent.(y) <- tentative.(y);
+          t.cls.(y) <- Cust;
+          tentative.(y) <- -1;
+          y)
+        !touched
+    in
+    frontier := next
+  done
+
+(* Shared Dijkstra loop for phases 2 and 3. The heap holds candidate
+   assignments (len, parent, node); [relax] pushes the follow-up
+   candidates once a node is settled. *)
+let dijkstra_phase t heap cls_assigned relax =
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (l, p, y) ->
+      if t.len.(y) = unreachable_len then begin
+        t.len.(y) <- l;
+        t.parent.(y) <- p;
+        t.cls.(y) <- cls_assigned;
+        relax y l
+      end;
+      drain ()
+  in
+  drain ()
+
+let cmp_candidate (l1, p1, y1) (l2, p2, y2) =
+  let c = compare (l1 : int) l2 in
+  if c <> 0 then c
+  else
+    let c = compare (p1 : int) p2 in
+    if c <> 0 then c else compare (y1 : int) y2
+
+(* Phase 2: peer routes. One peering hop from a customer-routed node,
+   then extension across sibling links only. *)
+let phase_peer topo t =
+  let heap = Heap.create ~cmp:cmp_candidate in
+  for y = 0 to t.n - 1 do
+    if t.len.(y) = unreachable_len then
+      List.iter
+        (fun (x, role_of_x, _) ->
+          match (role_of_x : Relationship.t) with
+          | Relationship.Peer
+            when t.len.(x) <> unreachable_len
+                 && (t.cls.(x) = Origin || t.cls.(x) = Cust) ->
+            Heap.push heap (t.len.(x) + 1, x, y)
+          | _ -> ())
+        (Topology.neighbors topo y)
+  done;
+  let relax y l =
+    List.iter
+      (fun (z, role_of_z, _) ->
+        if role_of_z = Relationship.Sibling && t.len.(z) = unreachable_len
+        then Heap.push heap (l + 1, y, z))
+      (Topology.neighbors topo y)
+  in
+  dijkstra_phase t heap Peer_r relax
+
+(* Phase 3: provider routes. Multi-source Dijkstra cascading down
+   provider→customer links from every routed node, plus sibling links. *)
+let phase_provider topo t =
+  let heap = Heap.create ~cmp:cmp_candidate in
+  for x = 0 to t.n - 1 do
+    if t.len.(x) <> unreachable_len then
+      List.iter
+        (fun (y, role_of_y, _) ->
+          if role_of_y = Relationship.Customer && t.len.(y) = unreachable_len
+          then Heap.push heap (t.len.(x) + 1, x, y))
+        (Topology.neighbors topo x)
+  done;
+  let relax y l =
+    List.iter
+      (fun (z, role_of_z, _) ->
+        if t.len.(z) = unreachable_len then
+          match (role_of_z : Relationship.t) with
+          | Relationship.Customer | Relationship.Sibling ->
+            Heap.push heap (l + 1, y, z)
+          | Relationship.Peer | Relationship.Provider -> ())
+      (Topology.neighbors topo y)
+  in
+  dijkstra_phase t heap Prov relax
+
+let to_dest topo d =
+  let n = Topology.num_nodes topo in
+  if d < 0 || d >= n then invalid_arg "Solver.to_dest: destination out of range";
+  let t =
+    { dest = d;
+      n;
+      len = Array.make n unreachable_len;
+      parent = Array.make n (-1);
+      cls = Array.make n Origin }
+  in
+  phase_customer topo t;
+  phase_peer topo t;
+  phase_provider topo t;
+  t
+
+let reachable t v = t.len.(v) <> unreachable_len
+
+let next_hop t v =
+  if (not (reachable t v)) || v = t.dest then None else Some t.parent.(v)
+
+let class_of t v = if reachable t v then Some t.cls.(v) else None
+
+let length t v = if reachable t v then Some t.len.(v) else None
+
+let path t src =
+  if not (reachable t src) then None
+  else begin
+    let rec go v steps acc =
+      if steps > t.n then invalid_arg "Solver.path: parent cycle"
+      else if v = t.dest then List.rev (v :: acc)
+      else go t.parent.(v) (steps + 1) (v :: acc)
+    in
+    Some (go src 0 [])
+  end
+
+let iter_reachable t f =
+  for v = 0 to t.n - 1 do
+    if reachable t v then f v
+  done
+
+let path_set_from_dests topo ~src ~dests =
+  List.filter_map
+    (fun d ->
+      if d = src then None
+      else
+        let r = to_dest topo d in
+        path r src)
+    dests
+
+let path_set_from topo ~src =
+  let n = Topology.num_nodes topo in
+  path_set_from_dests topo ~src ~dests:(List.init n (fun i -> i))

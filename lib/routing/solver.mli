@@ -1,0 +1,59 @@
+(** Static Gao–Rexford route solver.
+
+    Computes, for one destination, the route every node {e selects} under
+    the standard customer/provider/peering policies — i.e. the unique
+    stable solution that a correct path-vector protocol converges to under
+    the Gao–Rexford conditions. The paper's evaluation pipeline starts
+    here: "we first derive a complete path set reaching all other nodes in
+    the topology, according to the standard business relationship"
+    (§5.2).
+
+    The algorithm runs three phases per destination [d]:
+    + customer routes: BFS from [d] up provider links (and across sibling
+      links), assigning the most-preferred class;
+    + peer routes: one peering hop from customer-routed nodes, extended
+      across sibling links (Dijkstra order);
+    + provider routes: multi-source Dijkstra cascading down
+      provider→customer links (and sibling links) from every routed node.
+
+    Within a class, routes are shortest; ties break toward the lowest
+    next-hop id. By construction every selected route extends the
+    next hop's own selected route, which is the consistency property
+    (paper Observation 1) that Centaur's downstream-link announcements
+    rely on. *)
+
+type routes
+(** Selected routes of every node toward one destination. *)
+
+val dest : routes -> int
+
+val to_dest : Topology.t -> int -> routes
+(** [to_dest topo d] solves for destination [d] over up links. Raises
+    [Invalid_argument] if [d] is out of range. *)
+
+val reachable : routes -> int -> bool
+
+val next_hop : routes -> int -> int option
+(** Selected next hop of a node; [None] if unreachable or the destination
+    itself. *)
+
+val class_of : routes -> int -> Gao_rexford.route_class option
+
+val length : routes -> int -> int option
+(** Hop count of the selected route. *)
+
+val path : routes -> int -> Path.t option
+(** Full selected path from the given source to the destination, [None]
+    if unreachable. The destination's own path is [[d]]. *)
+
+val iter_reachable : routes -> (int -> unit) -> unit
+(** Visit every node with a route, including the destination. *)
+
+val path_set_from : Topology.t -> src:int -> Path.t list
+(** All selected paths {e from} one source, one per reachable destination
+    (excluding the trivial path to itself) — the input to the paper's
+    [BuildGraph]. Runs {!to_dest} for every destination; intended for
+    small/medium topologies or sampled sources. *)
+
+val path_set_from_dests : Topology.t -> src:int -> dests:int list -> Path.t list
+(** Like {!path_set_from} but restricted to the given destinations. *)

@@ -1,0 +1,132 @@
+open Gao_rexford
+
+type routes = {
+  dest : int;
+  n : int;
+  paths : Path.t option array;  (* selected path per node *)
+  classes : route_class array;  (* valid where paths is Some *)
+}
+
+let dest t = t.dest
+
+(* One best-response step for node [y]: choose the most preferred
+   candidate given the neighbors' current selections.
+
+   Under the non-Standard disciplines, sibling-learned routes rank
+   strictly below directly-learned routes of the same class. Siblings
+   sit outside the Gao–Rexford safety theorem; without this demotion a
+   pair of siblings can each prefer the other's route by tie-break — a
+   DISAGREE gadget with no fixpoint. Demoting sibling-learned routes
+   within the class removes the mutual strict preference while keeping
+   sibling transparency (the class still propagates). The Standard
+   discipline is left untouched: its length tie-break already matches
+   the three-phase solver and cannot sustain the gadget. *)
+let best_response ~discipline topo state classes y d =
+  if y = d then state.(y)
+  else begin
+    let best = ref None in
+    let prefer (c1, s1) (c2, s2) =
+      match discipline with
+      | Standard -> Gao_rexford.compare_candidates c1 c2 < 0
+      | Class_only | Diverse | Arbitrary ->
+        let k = compare (class_rank c1.cls) (class_rank c2.cls) in
+        if k <> 0 then k < 0
+        else if s1 <> s2 then not s1
+        else
+          Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1 c2
+          < 0
+    in
+    List.iter
+      (fun (x, role_of_x, _) ->
+        match state.(x) with
+        | None -> ()
+        | Some p ->
+          if not (Path.contains p y) then begin
+            let x_class = classes.(x) in
+            (* x only offers the route if its export policy allows. *)
+            if
+              Gao_rexford.exportable ~cls:x_class
+                ~to_role:(Relationship.invert role_of_x)
+            then begin
+              let cls =
+                Gao_rexford.class_of_learned ~neighbor_role:role_of_x
+                  ~neighbor_class:x_class
+              in
+              let cand = { cls; len = Path.length p + 1; next_hop = x } in
+              let via_sibling = role_of_x = Relationship.Sibling in
+              match !best with
+              | None -> best := Some (cand, via_sibling, y :: p)
+              | Some (bc, bs, _) ->
+                if prefer (cand, via_sibling) (bc, bs) then
+                  best := Some (cand, via_sibling, y :: p)
+            end
+          end)
+      (Topology.neighbors topo y);
+    Option.map (fun (_, _, p) -> p) !best
+  end
+
+let to_dest ?(discipline = Standard) ?max_rounds topo d =
+  let n = Topology.num_nodes topo in
+  if d < 0 || d >= n then invalid_arg "Stable.to_dest: destination out of range";
+  let state = Array.make n None in
+  let classes = Array.make n Origin in
+  state.(d) <- Some [ d ];
+  classes.(d) <- Origin;
+  (* Class is a pure function of the stored path (walked hop by hop).
+     Deriving it from the next hop's *current* class instead would mix a
+     stale path with fresh neighbor state and can oscillate forever even
+     when the paths themselves have settled. *)
+  let class_of_path p =
+    match Path_class.class_of topo p with
+    | Some cls -> cls
+    | None -> Origin (* a hop vanished mid-run; unused under static topologies *)
+  in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> (8 * n) + 16
+  in
+  (* Gauss–Seidel sweeps in node order until a full sweep changes
+     nothing. (A FIFO worklist was measured slower here: the sweep's
+     in-order propagation settles most nodes in one or two visits.) *)
+  let rec iterate round =
+    if round > max_rounds then
+      failwith "Stable.to_dest: no fixpoint (outside Gao-Rexford conditions?)";
+    let changed = ref false in
+    for y = 0 to n - 1 do
+      let next = best_response ~discipline topo state classes y d in
+      let same =
+        match (state.(y), next) with
+        | None, None -> true
+        | Some a, Some b -> Path.equal a b
+        | None, Some _ | Some _, None -> false
+      in
+      if not same then begin
+        state.(y) <- next;
+        (match next with
+        | Some p -> classes.(y) <- class_of_path p
+        | None -> ());
+        changed := true
+      end
+    done;
+    if !changed then iterate (round + 1)
+  in
+  iterate 0;
+  { dest = d; n; paths = state; classes }
+
+let reachable t v = t.paths.(v) <> None
+
+let next_hop t v =
+  if v = t.dest then None
+  else
+    match t.paths.(v) with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None
+
+let class_of t v =
+  match t.paths.(v) with Some _ -> Some t.classes.(v) | None -> None
+
+let path t v = t.paths.(v)
+
+let iter_reachable t f =
+  for v = 0 to t.n - 1 do
+    if reachable t v then f v
+  done

@@ -1,0 +1,39 @@
+(** Generic stable-solution solver by fixpoint iteration.
+
+    Computes the Gao–Rexford stable routing solution for one destination
+    under an arbitrary ranking {!Gao_rexford.discipline}, by simulating
+    synchronous best-response rounds until nothing changes. Unlike
+    {!Solver} (three BFS phases, hard-wired to the shortest-within-class
+    discipline) this works for any within-class preference — under the
+    Gao–Rexford conditions the stable solution is unique and fair
+    iteration reaches it. Used by the ranking-discipline ablation of
+    Tables 4/5 and as a differential-testing oracle for {!Solver}.
+
+    Cost per destination is O(rounds · E); rounds ≈ network diameter. *)
+
+type routes
+
+val to_dest :
+  ?discipline:Gao_rexford.discipline ->
+  ?max_rounds:int ->
+  Topology.t ->
+  int ->
+  routes
+(** Solve for one destination (default discipline {!Standard}). Raises
+    [Invalid_argument] on an out-of-range destination or [Failure] if
+    the iteration has not stabilized after [max_rounds] (default
+    [8 · n + 16]) rounds — only possible outside the Gao–Rexford
+    conditions, e.g. adversarial sibling structures; callers doing bulk
+    statistics pass a small [max_rounds] and skip the offender. *)
+
+val dest : routes -> int
+
+val reachable : routes -> int -> bool
+
+val next_hop : routes -> int -> int option
+
+val class_of : routes -> int -> Gao_rexford.route_class option
+
+val path : routes -> int -> Path.t option
+
+val iter_reachable : routes -> (int -> unit) -> unit

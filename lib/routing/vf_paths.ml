@@ -1,0 +1,97 @@
+(* Product-automaton BFS. States are (node, phase) encoded as
+   2*node + phase with phase 0 = Up, 1 = Down. *)
+
+type routes = {
+  source : int;
+  n : int;
+  dist : int array;    (* per state; max_int = unreachable *)
+  parent : int array;  (* predecessor state; -1 at the source *)
+}
+
+let up = 0
+let down = 1
+
+let state node phase = (2 * node) + phase
+
+let src t = t.source
+
+let from_source topo ~src =
+  let n = Topology.num_nodes topo in
+  if src < 0 || src >= n then invalid_arg "Vf_paths.from_source: bad source";
+  let dist = Array.make (2 * n) max_int in
+  let parent = Array.make (2 * n) (-1) in
+  let start = state src up in
+  dist.(start) <- 0;
+  (* Layered BFS with min-parent tie-break, as in the solver: collect
+     tentative parents per layer, commit the smallest. *)
+  let frontier = ref [ start ] in
+  let tentative = Hashtbl.create 64 in
+  let layer = ref 0 in
+  while !frontier <> [] do
+    incr layer;
+    Hashtbl.reset tentative;
+    List.iter
+      (fun st ->
+        let x = st / 2 and phase = st land 1 in
+        List.iter
+          (fun (y, role_of_y, _) ->
+            let next_phase =
+              match (role_of_y : Relationship.t), phase with
+              | Relationship.Sibling, ph -> Some ph
+              | Relationship.Provider, ph when ph = up -> Some up
+              | Relationship.Peer, ph when ph = up -> Some down
+              | Relationship.Customer, _ -> Some down
+              | Relationship.Provider, _ | Relationship.Peer, _ -> None
+            in
+            match next_phase with
+            | None -> ()
+            | Some ph' ->
+              let st' = state y ph' in
+              if dist.(st') = max_int then begin
+                match Hashtbl.find_opt tentative st' with
+                | Some prev when prev <= st -> ()
+                | Some _ | None -> Hashtbl.replace tentative st' st
+              end)
+          (Topology.neighbors topo x))
+      !frontier;
+    let next = ref [] in
+    Hashtbl.iter
+      (fun st' prev ->
+        dist.(st') <- !layer;
+        parent.(st') <- prev;
+        next := st' :: !next)
+      tentative;
+    (* Deterministic processing order for the following layer. *)
+    frontier := List.sort compare !next
+  done;
+  { source = src; n; dist; parent }
+
+let best_state t d =
+  let su = state d up and sd = state d down in
+  if t.dist.(su) = max_int && t.dist.(sd) = max_int then None
+  else if t.dist.(sd) <= t.dist.(su) then Some sd
+  else Some su
+
+let reachable t d = best_state t d <> None
+
+let path t d =
+  if d = t.source then Some [ t.source ]
+  else
+    match best_state t d with
+    | None -> None
+    | Some st ->
+      let rec go st acc fuel =
+        if fuel = 0 then invalid_arg "Vf_paths.path: parent cycle"
+        else begin
+          let node = st / 2 in
+          let acc = node :: acc in
+          if node = t.source && t.parent.(st) = -1 then acc
+          else go t.parent.(st) acc (fuel - 1)
+        end
+      in
+      Some (go st [] ((2 * t.n) + 1))
+
+let path_set t =
+  List.filter_map
+    (fun d -> if d = t.source then None else path t d)
+    (List.init t.n (fun i -> i))

@@ -1,0 +1,32 @@
+(** Per-pair shortest valley-free paths.
+
+    For one source, the shortest policy-compliant (valley-free) path to
+    every destination, computed by BFS over the (node, phase) product
+    automaton — phase Up (still climbing customer→provider links) or
+    Down (after the apex or the single peering crossing).
+
+    Unlike the BGP-stable selection of {!Solver}/{!Stable}, these paths
+    are {e not} suffix-consistent: the suffix of a shortest valley-free
+    path at node B is constrained by the phase in which B is entered and
+    may differ from B's own shortest path. Building a P-graph from such
+    a path set therefore produces genuinely multi-homed nodes — this is
+    the "complete path set derived according to the standard business
+    relationship" methodology that reproduces the paper's Table 4/5
+    magnitudes, and a stress test for Permission-List disambiguation. *)
+
+type routes
+
+val from_source : Topology.t -> src:int -> routes
+(** BFS over up links; O(E). *)
+
+val src : routes -> int
+
+val reachable : routes -> int -> bool
+
+val path : routes -> int -> Path.t option
+(** Shortest valley-free path source → destination; deterministic
+    tie-breaks (fewest hops, then Down-phase arrival, then lowest
+    parent ids). [path r src = Some [src]]. *)
+
+val path_set : routes -> Path.t list
+(** One path per reachable destination other than the source itself. *)

@@ -1,0 +1,154 @@
+let src = Logs.Src.create "sim.engine" ~doc:"discrete-event engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type 'msg action =
+  | Send of int * 'msg
+  | Timer of float * int
+
+type 'msg handlers = {
+  on_message : now:float -> node:int -> src:int -> 'msg -> 'msg action list;
+  on_link_change : now:float -> node:int -> link_id:int -> 'msg action list;
+  on_timer : now:float -> node:int -> key:int -> 'msg action list;
+}
+
+let no_timers ~now:_ ~node ~key =
+  invalid_arg
+    (Printf.sprintf "Engine.no_timers: node %d armed timer %d" node key)
+
+type 'msg event =
+  | Deliver of { src : int; dst : int; link_id : int; msg : 'msg }
+  | Link_notify of { node : int; link_id : int }
+  | Timer_fire of { node : int; key : int }
+
+type 'msg t = {
+  topo : Topology.t;
+  units : 'msg -> int;
+  handlers : 'msg handlers;
+  queue : (float * 'msg event) Heap.t;
+  mutable clock : float;
+  mutable sent_messages : int;
+  mutable sent_units : int;
+  mutable delivered : int;
+  mutable processed : int;
+}
+
+type run_stats = {
+  duration : float;
+  messages : int;
+  units : int;
+  deliveries : int;
+  events : int;
+}
+
+let create topo ~units ~handlers =
+  let cmp (t1, _) (t2, _) = compare (t1 : float) t2 in
+  { topo;
+    units;
+    handlers;
+    queue = Heap.create ~cmp;
+    clock = 0.0;
+    sent_messages = 0;
+    sent_units = 0;
+    delivered = 0;
+    processed = 0 }
+
+let topology t = t.topo
+
+let now t = t.clock
+
+let perform t ~node actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Send (dst, msg) -> (
+        match Topology.link_between t.topo node dst with
+        | None -> ()
+        | Some link_id ->
+          if Topology.is_up t.topo link_id then begin
+            let delay = (Topology.link t.topo link_id).Topology.delay in
+            t.sent_messages <- t.sent_messages + 1;
+            t.sent_units <- t.sent_units + t.units msg;
+            Heap.push t.queue
+              (t.clock +. delay, Deliver { src = node; dst; link_id; msg })
+          end)
+      | Timer (delay, key) ->
+        if delay < 0.0 then invalid_arg "Engine.perform: negative timer";
+        Heap.push t.queue (t.clock +. delay, Timer_fire { node; key }))
+    actions
+
+let flip_link t ~link_id ~up =
+  Log.debug (fun m ->
+      m "t=%.3f link %d -> %s" t.clock link_id (if up then "up" else "down"));
+  Topology.set_up t.topo link_id up;
+  let link = Topology.link t.topo link_id in
+  Heap.push t.queue (t.clock, Link_notify { node = link.Topology.a; link_id });
+  Heap.push t.queue (t.clock, Link_notify { node = link.Topology.b; link_id })
+
+exception Diverged of int
+
+type mark = {
+  m_time : float;
+  m_messages : int;
+  m_units : int;
+  m_delivered : int;
+  m_processed : int;
+}
+
+let mark t =
+  { m_time = t.clock;
+    m_messages = t.sent_messages;
+    m_units = t.sent_units;
+    m_delivered = t.delivered;
+    m_processed = t.processed }
+
+let run_to_quiescence ?(max_events = 20_000_000) ?since t =
+  let since = match since with Some m -> m | None -> mark t in
+  let start_time = since.m_time in
+  let start_messages = since.m_messages in
+  let start_units = since.m_units in
+  let start_delivered = since.m_delivered in
+  let start_processed = since.m_processed in
+  let budget = ref max_events in
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some (time, event) ->
+      if !budget = 0 then raise (Diverged t.processed);
+      decr budget;
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      (match event with
+      | Deliver { src; dst; link_id; msg } ->
+        (* Lost if the link died while the message was in flight. *)
+        if Topology.is_up t.topo link_id then begin
+          t.delivered <- t.delivered + 1;
+          let actions =
+            t.handlers.on_message ~now:t.clock ~node:dst ~src msg
+          in
+          perform t ~node:dst actions
+        end
+      | Link_notify { node; link_id } ->
+        let actions =
+          t.handlers.on_link_change ~now:t.clock ~node ~link_id
+        in
+        perform t ~node actions
+      | Timer_fire { node; key } ->
+        let actions = t.handlers.on_timer ~now:t.clock ~node ~key in
+        perform t ~node actions);
+      loop ()
+  in
+  loop ();
+  Log.debug (fun m ->
+      m "quiescent at t=%.3f: %d messages, %d events" t.clock
+        (t.sent_messages - start_messages)
+        (t.processed - start_processed));
+  { duration = t.clock -. start_time;
+    messages = t.sent_messages - start_messages;
+    units = t.sent_units - start_units;
+    deliveries = t.delivered - start_delivered;
+    events = t.processed - start_processed }
+
+let total_messages t = t.sent_messages
+
+let total_units t = t.sent_units

@@ -1,0 +1,81 @@
+(** Discrete-event message-passing engine.
+
+    Substitute for the DistComm/SSFNet platform the paper's prototype
+    runs on (§5.3): nodes exchange messages over topology links with the
+    links' propagation delays; CPU time is ignored ("we ignore the CPU
+    delay while the link delays are generated automatically"); the
+    network {e converges} when no more events are pending, and the
+    convergence time of an event is the time of the last triggered
+    event.
+
+    The engine is deterministic: simultaneous events are processed in
+    schedule order (the heap breaks ties FIFO).
+
+    Protocols plug in as callbacks returning {!action}s — messages to
+    emit and timers to arm (BGP's MRAI batching needs timers); all
+    protocol state lives on the protocol side. Messages sent over a link
+    that is down at delivery time are lost, as on a real failed link. *)
+
+type 'msg action =
+  | Send of int * 'msg       (** deliver to a neighbor over the link *)
+  | Timer of float * int     (** [Timer (delay, key)]: fire [on_timer]
+                                 with [key] after [delay] ms *)
+
+type 'msg handlers = {
+  on_message : now:float -> node:int -> src:int -> 'msg -> 'msg action list;
+  on_link_change : now:float -> node:int -> link_id:int -> 'msg action list;
+      (** One endpoint notices its adjacent link changed state. *)
+  on_timer : now:float -> node:int -> key:int -> 'msg action list;
+}
+
+val no_timers : now:float -> node:int -> key:int -> 'msg action list
+(** Handler for protocols that never arm timers (raises on call). *)
+
+type 'msg t
+
+type run_stats = {
+  duration : float;   (** last-event time minus run start, ms *)
+  messages : int;     (** messages sent during the run *)
+  units : int;        (** protocol-specific update units sent *)
+  deliveries : int;   (** messages delivered (not lost) *)
+  events : int;       (** total events processed *)
+}
+
+val create :
+  Topology.t -> units:('msg -> int) -> handlers:'msg handlers -> 'msg t
+(** [units] prices one message in protocol update units (per-prefix for
+    path vector, per-link for Centaur, 1 for OSPF LSAs). *)
+
+val topology : 'msg t -> Topology.t
+
+val now : 'msg t -> float
+
+val perform : 'msg t -> node:int -> 'msg action list -> unit
+(** Execute actions on behalf of a node: schedule message deliveries over
+    its adjacent links (applying the links' delays; sends without an up
+    link are dropped silently — the session is gone) and arm timers. *)
+
+val flip_link : 'msg t -> link_id:int -> up:bool -> unit
+(** Change a link's state now and schedule the two endpoints'
+    [on_link_change] notifications. *)
+
+exception Diverged of int
+(** Raised by {!run_to_quiescence} when the event budget is exhausted —
+    the protocol is not converging. Carries the number of events
+    processed. *)
+
+type mark
+(** Snapshot of the engine's counters, delimiting a measurement run. *)
+
+val mark : 'msg t -> mark
+
+val run_to_quiescence : ?max_events:int -> ?since:mark -> 'msg t -> run_stats
+(** Process events until none remain; default budget 20 million events.
+    Counters in the result cover the span since [since] (default: since
+    this call) — pass a mark taken before injecting the initial sends so
+    they are included. *)
+
+val total_messages : 'msg t -> int
+(** Messages sent since creation (across all runs). *)
+
+val total_units : 'msg t -> int

@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  cold_start : unit -> Engine.run_stats;
+  flip : link_id:int -> up:bool -> Engine.run_stats;
+  flip_many : (int * bool) list -> Engine.run_stats;
+  next_hop : src:int -> dest:int -> int option;
+  path : src:int -> dest:int -> Path.t option;
+}
+
+let forwarding_path t ~src ~dest ~max_hops =
+  let rec go current acc hops =
+    if current = dest then Some (List.rev (current :: acc))
+    else if hops > max_hops then None
+    else if List.mem current acc then None
+    else
+      match t.next_hop ~src:current ~dest with
+      | None -> None
+      | Some hop -> go hop (current :: acc) (hops + 1)
+  in
+  go src [] 0

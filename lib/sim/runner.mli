@@ -1,0 +1,30 @@
+(** Uniform protocol-under-test interface.
+
+    Each protocol implementation (BGP, OSPF, Centaur) packages itself as
+    one of these records so the convergence experiments can drive any of
+    them interchangeably: cold-start it, flip links, and inspect the
+    converged forwarding state. *)
+
+type t = {
+  name : string;
+  cold_start : unit -> Engine.run_stats;
+      (** Initialize every node and run to quiescence. *)
+  flip : link_id:int -> up:bool -> Engine.run_stats;
+      (** Change one link's state and run to quiescence. *)
+  flip_many : (int * bool) list -> Engine.run_stats;
+      (** Change several links simultaneously — correlated failures, a
+          shared-risk link group, a node-adjacent cut — then run to
+          quiescence once. *)
+  next_hop : src:int -> dest:int -> int option;
+      (** Converged forwarding decision of [src] toward [dest]. *)
+  path : src:int -> dest:int -> Path.t option;
+      (** Converged full path where the protocol knows it; [None] when
+          unreachable. *)
+}
+
+val forwarding_path :
+  t -> src:int -> dest:int -> max_hops:int -> Path.t option
+(** Follow {!t.next_hop} decisions hop by hop from [src] — the data-plane
+    trajectory, which may differ from the control-plane {!t.path} if the
+    protocol has a loop. [None] when a loop is detected, a node has no
+    next hop, or [max_hops] is exceeded. *)

@@ -1,0 +1,132 @@
+type params = {
+  n : int;
+  tier1 : int;
+  extra_provider_p : float;
+  peering_fraction : float;
+  sibling_fraction : float;
+  max_delay : float;
+}
+
+let caida_like ~n =
+  { n;
+    tier1 = max 4 (min 12 (n / 400));
+    (* mean providers per AS 1.86 -> 1 + 2 * 0.43 *)
+    extra_provider_p = 0.43;
+    peering_fraction = 0.076;
+    sibling_fraction = 0.0044;
+    max_delay = 5.0 }
+
+let hetop_like ~n =
+  { n;
+    tier1 = max 4 (min 12 (n / 400));
+    extra_provider_p = 0.46;
+    peering_fraction = 0.3526;
+    sibling_fraction = 0.0044;
+    max_delay = 5.0 }
+
+let generate rng p =
+  if p.tier1 < 2 then invalid_arg "As_gen.generate: tier1 < 2";
+  if p.n <= p.tier1 then invalid_arg "As_gen.generate: n <= tier1";
+  let degree = Array.make p.n 0 in
+  let edges = ref [] in
+  let present = Hashtbl.create (4 * p.n) in
+  (* Growable stub list: each node id appears once per unit of degree, so
+     a uniform draw over the prefix is exactly degree-proportional. *)
+  let stubs = ref (Array.make 1024 0) in
+  let stub_count = ref 0 in
+  let push_stub v =
+    if !stub_count = Array.length !stubs then begin
+      let bigger = Array.make (2 * Array.length !stubs) 0 in
+      Array.blit !stubs 0 bigger 0 !stub_count;
+      stubs := bigger
+    end;
+    !stubs.(!stub_count) <- v;
+    incr stub_count
+  in
+  let add a b rel =
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem present key) then begin
+      Hashtbl.replace present key ();
+      edges := (a, b, rel, Rng.float rng p.max_delay) :: !edges;
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1;
+      push_stub a;
+      push_stub b;
+      true
+    end
+    else false
+  in
+  (* Tier-1 clique: everyone peers with everyone. *)
+  for a = 0 to p.tier1 - 1 do
+    for b = a + 1 to p.tier1 - 1 do
+      ignore (add a b Relationship.Peer)
+    done
+  done;
+  (* Preferential provider attachment. Stubs list mirrors degrees so a
+     uniform draw is degree-proportional; only nodes with smaller ids are
+     candidates, keeping the provider hierarchy acyclic. *)
+  let provider_links = ref 0 in
+  for v = p.tier1 to p.n - 1 do
+    let num_providers =
+      1
+      + (if Rng.chance rng p.extra_provider_p then 1 else 0)
+      + if Rng.chance rng p.extra_provider_p then 1 else 0
+    in
+    let chosen = Hashtbl.create 4 in
+    let attempts = ref 0 in
+    (* Nodes are processed in id order, so every stub recorded so far
+       names a node with id <= v; rejecting v itself leaves a
+       degree-proportional draw over ids < v. *)
+    while Hashtbl.length chosen < num_providers && !attempts < 200 do
+      incr attempts;
+      let candidate = !stubs.(Rng.int rng !stub_count) in
+      if candidate <> v && not (Hashtbl.mem chosen candidate) then
+        Hashtbl.replace chosen candidate ()
+    done;
+    if Hashtbl.length chosen = 0 then Hashtbl.replace chosen (Rng.int rng v) ();
+    Hashtbl.iter
+      (fun provider () ->
+        (* provider's role relative to v is Provider *)
+        if add v provider Relationship.Provider then incr provider_links)
+      chosen
+  done;
+  (* Peering between similar-rank ASes. Target counts derive from the
+     requested link-type fractions given the provider links we created. *)
+  let frac_rest = 1.0 -. p.peering_fraction -. p.sibling_fraction in
+  let clique_links = p.tier1 * (p.tier1 - 1) / 2 in
+  let target_total =
+    float_of_int !provider_links /. (if frac_rest <= 0.0 then 1.0 else frac_rest)
+  in
+  let target_peering =
+    max 0
+      (int_of_float (p.peering_fraction *. target_total) - clique_links)
+  in
+  let target_sibling = int_of_float (p.sibling_fraction *. target_total) in
+  let by_degree = Array.init p.n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = compare degree.(j) degree.(i) in
+      if c <> 0 then c else compare i j)
+    by_degree;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 50 * (target_peering + 1) in
+  while !added < target_peering && !attempts < max_attempts do
+    incr attempts;
+    (* Pick a rank, then a partner within a nearby rank window: ASes
+       peer with ASes of comparable size. *)
+    let i = Rng.int rng p.n in
+    let window = max 2 (p.n / 20) in
+    let j = min (p.n - 1) (max 0 (i + Rng.int_in rng (-window) window)) in
+    let a = by_degree.(i) and b = by_degree.(j) in
+    if a <> b && add a b Relationship.Peer then incr added
+  done;
+  let added_sib = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 50 * (target_sibling + 1) in
+  while !added_sib < target_sibling && !attempts < max_attempts do
+    incr attempts;
+    let a = Rng.int rng p.n and b = Rng.int rng p.n in
+    if a <> b && add a b Relationship.Sibling then incr added_sib
+  done;
+  Topology.create ~n:p.n (List.rev !edges)

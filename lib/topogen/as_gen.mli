@@ -1,0 +1,42 @@
+(** Synthetic AS-level Internet topologies.
+
+    Substitute for the measured CAIDA Sep'07 and HeTop May'05 graphs of
+    the paper's Table 3 (which derive from RouteViews snapshots we cannot
+    fetch in a sealed environment). The generator reproduces the
+    structural properties that drive the paper's P-graph measurements:
+
+    - a small Tier-1 clique of mutually peering providers;
+    - power-law degrees via preferential provider attachment (each new
+      AS buys transit from one to three existing ASes, biased toward
+      high-degree ASes);
+    - a controllable fraction of peering links placed between ASes of
+      similar rank (HeTop finds far more peering links than CAIDA —
+      that difference is exactly what the two presets encode);
+    - a sprinkle of sibling links.
+
+    Providers always have smaller ids than their customers, so the
+    customer–provider digraph is acyclic, as on the real Internet. *)
+
+type params = {
+  n : int;                   (** number of ASes *)
+  tier1 : int;               (** size of the Tier-1 peering clique *)
+  extra_provider_p : float;
+      (** each non-Tier-1 AS has 1 + Binomial(2, p) providers *)
+  peering_fraction : float;  (** target fraction of links that are peering *)
+  sibling_fraction : float;  (** target fraction of links that are sibling *)
+  max_delay : float;         (** uniform link delay bound, ms *)
+}
+
+val caida_like : n:int -> params
+(** Relationship mix of the paper's CAIDA Sep'07 row: ~7.6% peering,
+    ~0.4% sibling, ~1.86 provider links per AS. *)
+
+val hetop_like : n:int -> params
+(** Relationship mix of the paper's HeTop May'05 row: ~35% peering,
+    ~0.4% sibling, ~1.92 provider links per AS. *)
+
+val generate : Rng.t -> params -> Topology.t
+(** Build the annotated topology. Raises [Invalid_argument] if
+    [n <= tier1] or [tier1 < 2]. The result is connected and every AS
+    can reach every other over a valley-free path (everyone has a chain
+    of providers up to the Tier-1 clique). *)

@@ -1,0 +1,95 @@
+type edge = int * int * float
+
+let barabasi_albert rng ~n ~m ~max_delay =
+  if m < 1 then invalid_arg "Brite.barabasi_albert: m < 1";
+  if n < m + 1 then invalid_arg "Brite.barabasi_albert: n < m + 1";
+  let edges = ref [] in
+  let degree = Array.make n 0 in
+  (* Attachment targets, each node appearing once per unit of degree, so
+     a uniform draw is degree-proportional. *)
+  let stubs = ref [] in
+  let add_edge a b =
+    edges := (a, b, Rng.float rng max_delay) :: !edges;
+    degree.(a) <- degree.(a) + 1;
+    degree.(b) <- degree.(b) + 1;
+    stubs := a :: b :: !stubs
+  in
+  (* Seed clique on nodes 0..m. *)
+  for a = 0 to m do
+    for b = a + 1 to m do
+      add_edge a b
+    done
+  done;
+  let stub_array = ref (Array.of_list !stubs) in
+  for v = m + 1 to n - 1 do
+    (* Refresh the draw array once per node; m distinct targets. *)
+    stub_array := Array.of_list !stubs;
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 1000 do
+      incr attempts;
+      let target = Rng.pick rng !stub_array in
+      if target <> v && not (Hashtbl.mem chosen target) then
+        Hashtbl.replace chosen target ()
+    done;
+    (* Degenerate fallback (tiny graphs): fill with lowest ids. *)
+    let fill = ref 0 in
+    while Hashtbl.length chosen < m do
+      if !fill <> v && not (Hashtbl.mem chosen !fill) then
+        Hashtbl.replace chosen !fill ();
+      incr fill
+    done;
+    Hashtbl.iter (fun target () -> add_edge v target) chosen
+  done;
+  List.rev !edges
+
+let waxman rng ~n ~alpha ~beta ~max_delay =
+  if n < 2 then invalid_arg "Brite.waxman: n < 2";
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let dist a b = sqrt (((xs.(a) -. xs.(b)) ** 2.0) +. ((ys.(a) -. ys.(b)) ** 2.0)) in
+  let max_dist = sqrt 2.0 in
+  let edges = ref [] in
+  let present = Hashtbl.create (4 * n) in
+  let add a b =
+    let key = (min a b, max a b) in
+    if not (Hashtbl.mem present key) then begin
+      Hashtbl.replace present key ();
+      let delay = max_delay *. dist a b /. max_dist in
+      edges := (a, b, delay) :: !edges
+    end
+  in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let p = alpha *. exp (-.dist a b /. beta) in
+      if Rng.chance rng p then add a b
+    done
+  done;
+  (* Connect leftover components through their closest cross pairs. *)
+  let uf = Union_find.create n in
+  Hashtbl.iter (fun (a, b) () -> ignore (Union_find.union uf a b)) present;
+  while Union_find.count uf > 1 do
+    let root0 = Union_find.find uf 0 in
+    (* Find the closest pair joining component-of-0 with the rest. *)
+    let best = ref None in
+    for a = 0 to n - 1 do
+      if Union_find.find uf a = root0 then
+        for b = 0 to n - 1 do
+          if Union_find.find uf b <> root0 then
+            let d = dist a b in
+            match !best with
+            | Some (_, _, bd) when bd <= d -> ()
+            | _ -> best := Some (a, b, d)
+        done
+    done;
+    match !best with
+    | None -> assert false
+    | Some (a, b, _) ->
+      add a b;
+      ignore (Union_find.union uf a b)
+  done;
+  List.rev !edges
+
+let annotated rng ~n ~m ~max_delay ~num_tiers =
+  let edges = barabasi_albert rng ~n ~m ~max_delay in
+  Tier.annotate ~n ~edges ~num_tiers

@@ -1,0 +1,55 @@
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let d' = 4
+
+(* [rel_ab] in Topology.create is the second endpoint's role relative to
+   the first: [(x, y, Customer, _)] reads "y is x's customer". *)
+
+let figure2a () =
+  Topology.create ~n:4
+    [ (a, b, Relationship.Customer, 1.0);
+      (a, c, Relationship.Customer, 1.0);
+      (b, d, Relationship.Customer, 1.0);
+      (c, d, Relationship.Customer, 1.0) ]
+
+let figure4 () =
+  Topology.create ~n:5
+    [ (a, b, Relationship.Customer, 1.0);
+      (a, c, Relationship.Customer, 1.0);
+      (b, d, Relationship.Customer, 1.0);
+      (c, d, Relationship.Customer, 1.0);
+      (d, d', Relationship.Customer, 1.0) ]
+
+let figure1_triangle () =
+  Topology.create ~n:3
+    [ (a, b, Relationship.Peer, 1.0);
+      (a, c, Relationship.Customer, 1.0);
+      (b, c, Relationship.Customer, 1.0) ]
+
+let line n =
+  if n < 2 then invalid_arg "Fixtures.line: n < 2";
+  Topology.create ~n
+    (List.init (n - 1) (fun i -> (i, i + 1, Relationship.Customer, 1.0)))
+
+let star n =
+  if n < 2 then invalid_arg "Fixtures.star: n < 2";
+  Topology.create ~n
+    (List.init (n - 1) (fun i -> (0, i + 1, Relationship.Customer, 1.0)))
+
+let multihomed_diamond () =
+  Topology.create ~n:5
+    [ (0, 1, Relationship.Customer, 1.0);
+      (0, 2, Relationship.Customer, 1.0);
+      (1, 3, Relationship.Customer, 1.0);
+      (2, 3, Relationship.Customer, 1.0);
+      (3, 4, Relationship.Customer, 1.0) ]
+
+let two_tier_peering () =
+  Topology.create ~n:6
+    [ (0, 1, Relationship.Peer, 1.0);
+      (0, 2, Relationship.Customer, 1.0);
+      (0, 3, Relationship.Customer, 1.0);
+      (1, 4, Relationship.Customer, 1.0);
+      (1, 5, Relationship.Customer, 1.0) ]

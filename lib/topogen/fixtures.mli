@@ -1,0 +1,42 @@
+(** The paper's worked examples and other small test topologies.
+
+    Node naming follows the paper's figures: [a]/[b]/[c]/[d]/[d'] are the
+    integer ids used by every fixture, so tests read like the paper's
+    text. All delays are 1 ms unless stated. *)
+
+val a : int
+val b : int
+val c : int
+val d : int
+val d' : int
+
+val figure2a : unit -> Topology.t
+(** The diamond of Figure 2(a)/Figure 3: links A–B, A–C, B–D, C–D, with
+    A the provider of B and C, and B, C the providers of D. Four nodes,
+    every pair connected through policy-compliant paths. *)
+
+val figure4 : unit -> Topology.t
+(** Figure 4(a): {!figure2a} plus destination D' attached below D (D' is
+    D's customer) — the multi-homing scenario that motivates Permission
+    Lists. *)
+
+val figure1_triangle : unit -> Topology.t
+(** The three-node triangle of Figure 1 (A–B, A–C, B–C), A and B peers
+    at the top, C a customer of both. *)
+
+val line : int -> Topology.t
+(** [line n]: 0–1–…–(n-1), each node the provider of the next — a pure
+    provider chain. Raises [Invalid_argument] if [n < 2]. *)
+
+val star : int -> Topology.t
+(** [star n]: node 0 the provider of nodes 1..n-1. *)
+
+val multihomed_diamond : unit -> Topology.t
+(** Five nodes: 0 at the top providing 1 and 2, both of which provide 3;
+    3 provides 4. Node 3 is multi-homed, so P-graphs rooted above it
+    exercise Permission Lists. *)
+
+val two_tier_peering : unit -> Topology.t
+(** Six nodes: Tier-1 peers 0–1, each providing two customers
+    (0 → 2, 3; 1 → 4, 5). Valley-free reachability crosses the peering
+    link exactly once. *)

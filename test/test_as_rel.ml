@@ -1,0 +1,79 @@
+(* CAIDA as-rel format parser. *)
+
+let sample =
+  "# inferred AS relationships\n\
+   # provider|customer|-1, peer|peer|0\n\
+   701|7018|0\n\
+   701|64512|-1\n\
+   7018|64513|-1\n\
+   64512|64513|0\n\
+   64512|64514|2\n"
+
+let test_parse_sample () =
+  match As_rel.parse ~seed:1 sample with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (topo, mapping) ->
+    Alcotest.(check int) "five ASes" 5 (Topology.num_nodes topo);
+    Alcotest.(check int) "five links" 5 (Topology.num_links topo);
+    let id asn = Hashtbl.find mapping.As_rel.of_asn asn in
+    (* 701 provides 64512. *)
+    Alcotest.(check bool) "provider-customer" true
+      (Topology.rel topo (id 701) (id 64512) = Some Relationship.Customer);
+    Alcotest.(check bool) "reverse view" true
+      (Topology.rel topo (id 64512) (id 701) = Some Relationship.Provider);
+    Alcotest.(check bool) "peering" true
+      (Topology.rel topo (id 701) (id 7018) = Some Relationship.Peer);
+    Alcotest.(check bool) "sibling" true
+      (Topology.rel topo (id 64512) (id 64514) = Some Relationship.Sibling);
+    (* The mapping round-trips. *)
+    Alcotest.(check int) "to_asn" 701 mapping.As_rel.to_asn.(id 701)
+
+let test_routes_on_parsed_topology () =
+  match As_rel.parse ~seed:1 sample with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (topo, mapping) ->
+    let id asn = Hashtbl.find mapping.As_rel.of_asn asn in
+    (* 64513 reaches 64512 over the stub peering, not through the
+       providers (customer/peer routes beat the provider detour). *)
+    let r = Solver.to_dest topo (id 64512) in
+    Helpers.check_path_opt "peer route"
+      (Some [ id 64513; id 64512 ])
+      (Solver.path r (id 64513))
+
+let test_duplicates_and_comments () =
+  let content = "1|2|-1\n1|2|0\n# trailing comment\n" in
+  match As_rel.parse content with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (topo, _) ->
+    Alcotest.(check int) "first relationship wins" 1 (Topology.num_links topo);
+    Alcotest.(check bool) "is p2c" true
+      (Topology.rel topo 0 1 = Some Relationship.Customer)
+
+let test_errors () =
+  (match As_rel.parse "1|1|-1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted self relationship");
+  (match As_rel.parse "1|2|9\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown code");
+  match As_rel.parse "not a record\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let test_deterministic_delays () =
+  let parse () =
+    match As_rel.parse ~seed:9 sample with
+    | Ok (t, _) -> Topo_io.to_string t
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check string) "same seed, same delays" (parse ()) (parse ())
+
+let suite =
+  [ Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "routes on parsed topology" `Quick
+      test_routes_on_parsed_topology;
+    Alcotest.test_case "duplicates and comments" `Quick
+      test_duplicates_and_comments;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "deterministic delays" `Quick
+      test_deterministic_delays ]

@@ -1,0 +1,157 @@
+(* Incremental P-graph builder (the §4.3 steady-phase bookkeeping):
+   counters, Permission List appearance/disappearance, delta coalescing,
+   and the flush oracle — replaying every flushed delta onto an empty
+   P-graph must reproduce the snapshot. *)
+
+open Centaur
+
+let test_counters_track_use () =
+  let b = Builder.create ~root:0 in
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  Builder.set_path b ~dest:3 (Some [ 0; 1; 3 ]);
+  Alcotest.(check int) "shared link counted twice" 2
+    (Builder.counter b ~parent:0 ~child:1);
+  Builder.set_path b ~dest:3 None;
+  Alcotest.(check int) "counter decremented" 1
+    (Builder.counter b ~parent:0 ~child:1);
+  Builder.set_path b ~dest:2 None;
+  Alcotest.(check int) "link gone at zero (§4.3)" 0
+    (Builder.counter b ~parent:0 ~child:1)
+
+let test_flush_delta_roundtrip_sequence () =
+  (* The oracle from the interface: apply every flushed delta in order to
+     an empty graph; at each flush the replica equals the snapshot. *)
+  let b = Builder.create ~root:0 in
+  let replica = Pgraph.create ~root:0 in
+  let check_replica step =
+    Pgraph.apply replica (Builder.flush_delta b);
+    if not (Pgraph.equal replica (Builder.snapshot b)) then
+      Alcotest.failf "replica diverged at step %s" step
+  in
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  check_replica "first path";
+  Builder.set_path b ~dest:3 (Some [ 0; 2; 3 ]);
+  Builder.set_path b ~dest:4 (Some [ 0; 1; 4 ]);
+  check_replica "two more paths";
+  (* Create multi-homing: 4 reached via 2 now. *)
+  Builder.set_path b ~dest:4 (Some [ 0; 2; 4 ]);
+  check_replica "reroute";
+  (* And collapse everything. *)
+  Builder.set_path b ~dest:2 None;
+  Builder.set_path b ~dest:3 None;
+  Builder.set_path b ~dest:4 None;
+  check_replica "teardown";
+  Alcotest.(check int) "empty at end" 0 (Pgraph.num_links (Builder.snapshot b))
+
+let test_plist_appears_on_multihoming () =
+  let b = Builder.create ~root:0 in
+  Builder.set_path b ~dest:3 (Some [ 0; 1; 3 ]);
+  ignore (Builder.flush_delta b);
+  (* Second parent for node 3 appears: both in-links must be
+     re-announced with Permission Lists. *)
+  Builder.set_path b ~dest:4 (Some [ 0; 2; 3; 4 ]);
+  let delta = Builder.flush_delta b in
+  let with_pl =
+    List.filter (fun (_, _, pl) -> pl <> None) delta.Pgraph.add_links
+  in
+  Alcotest.(check int) "both in-links of 3 carry PLs" 2
+    (List.length with_pl);
+  (* Multi-homing ends: the PL must be withdrawn (link re-announced
+     bare). *)
+  Builder.set_path b ~dest:4 None;
+  let delta = Builder.flush_delta b in
+  let bare_reannounce =
+    List.filter
+      (fun (p, c, pl) -> p = 1 && c = 3 && pl = None)
+      delta.Pgraph.add_links
+  in
+  Alcotest.(check int) "PL dropped when single-homed again" 1
+    (List.length bare_reannounce)
+
+let test_no_delta_when_nothing_changes () =
+  let b = Builder.create ~root:0 in
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  ignore (Builder.flush_delta b);
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  let delta = Builder.flush_delta b in
+  Alcotest.(check bool) "idempotent set_path" true
+    (Pgraph.delta_is_empty delta)
+
+let test_cancelling_changes_coalesce () =
+  let b = Builder.create ~root:0 in
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  ignore (Builder.flush_delta b);
+  (* Change and change back between flushes: nothing on the wire. *)
+  Builder.set_path b ~dest:2 (Some [ 0; 3; 2 ]);
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  let delta = Builder.flush_delta b in
+  Alcotest.(check bool) "cancelled out" true (Pgraph.delta_is_empty delta)
+
+let test_force_dest () =
+  let b = Builder.create ~root:7 in
+  Builder.force_dest b 7;
+  let delta = Builder.flush_delta b in
+  Alcotest.(check (list int)) "self marked" [ 7 ] delta.Pgraph.add_dests;
+  Alcotest.(check (list int)) "dests include forced" [ 7 ] (Builder.dests b)
+
+let test_set_path_validation () =
+  let b = Builder.create ~root:0 in
+  Alcotest.check_raises "wrong root"
+    (Invalid_argument "Builder.set_path: path does not start at root")
+    (fun () -> Builder.set_path b ~dest:2 (Some [ 1; 2 ]));
+  Alcotest.check_raises "dest mismatch"
+    (Invalid_argument "Builder.set_path: path destination mismatch")
+    (fun () -> Builder.set_path b ~dest:9 (Some [ 0; 2 ]));
+  Alcotest.check_raises "loop"
+    (Invalid_argument "Builder.set_path: path has a loop") (fun () ->
+      Builder.set_path b ~dest:2 (Some [ 0; 1; 0; 2 ]))
+
+let test_path_of () =
+  let b = Builder.create ~root:0 in
+  Builder.set_path b ~dest:2 (Some [ 0; 1; 2 ]);
+  Helpers.check_path_opt "stored" (Some [ 0; 1; 2 ]) (Builder.path_of b ~dest:2);
+  Helpers.check_path_opt "absent" None (Builder.path_of b ~dest:9)
+
+(* Randomized oracle: arbitrary set_path sequences against of_paths. *)
+let builder_matches_of_paths =
+  QCheck.Test.make ~name:"builder snapshot == of_paths of final selection"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 8) (int_bound 3)))
+    (fun ops ->
+      (* Interpret each (dest_raw, choice) as setting dest 10+dest_raw to
+         one of three fixed path shapes or removing it. *)
+      let b = Builder.create ~root:0 in
+      let current = Hashtbl.create 8 in
+      List.iter
+        (fun (dest_raw, choice) ->
+          let dest = 10 + dest_raw in
+          let path =
+            match choice with
+            | 0 -> None
+            | 1 -> Some [ 0; 1; dest ]
+            | 2 -> Some [ 0; 2; dest ]
+            | _ -> Some [ 0; 1; 3; dest ]
+          in
+          (match path with
+          | None -> Hashtbl.remove current dest
+          | Some p -> Hashtbl.replace current dest p);
+          Builder.set_path b ~dest path)
+        ops;
+      let final_paths = Hashtbl.fold (fun _ p acc -> p :: acc) current [] in
+      let expected = Pgraph.of_paths ~root:0 final_paths in
+      Pgraph.equal (Builder.snapshot b) expected)
+
+let suite =
+  [ Alcotest.test_case "counters track use" `Quick test_counters_track_use;
+    Alcotest.test_case "flush/replay oracle" `Quick
+      test_flush_delta_roundtrip_sequence;
+    Alcotest.test_case "PL appears on multi-homing" `Quick
+      test_plist_appears_on_multihoming;
+    Alcotest.test_case "no delta when unchanged" `Quick
+      test_no_delta_when_nothing_changes;
+    Alcotest.test_case "cancelling changes coalesce" `Quick
+      test_cancelling_changes_coalesce;
+    Alcotest.test_case "force dest" `Quick test_force_dest;
+    Alcotest.test_case "set_path validation" `Quick test_set_path_validation;
+    Alcotest.test_case "path_of" `Quick test_path_of;
+    QCheck_alcotest.to_alcotest builder_matches_of_paths ]

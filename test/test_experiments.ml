@@ -1,0 +1,151 @@
+(* Experiment harness plumbing: every registry entry runs end-to-end on
+   a miniature configuration and renders non-empty output with the
+   expected headline properties. *)
+
+let tiny =
+  { Experiments.Config.seed = 7;
+    as_nodes = 80;
+    as_sources = 6;
+    brite_nodes = 30;
+    brite_m = 2;
+    flips = 3;
+    fig5_dests = 0;
+    fig8_sizes = [ 20; 40 ];
+    fig8_events = 4;
+    mrai = 10.0 }
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_registry_complete () =
+  Alcotest.(check (list string))
+    "all artifacts present"
+    [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8";
+      "ablation-mrai"; "ablation-multipath" ]
+    Experiments.Registry.ids;
+  Alcotest.(check bool) "find hit" true
+    (Experiments.Registry.find "fig6" <> None);
+  Alcotest.(check bool) "find miss" true
+    (Experiments.Registry.find "fig9" = None)
+
+let test_table3_fractions () =
+  let rows = Experiments.Exp_table3.run tiny in
+  Alcotest.(check int) "two topologies" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      let open Experiments.Exp_table3 in
+      Alcotest.(check int) "node count" 80 r.nodes;
+      Alcotest.(check bool) "links partition" true
+        (r.peering + r.provider + r.sibling = r.links))
+    rows;
+  (* hetop must be peering-rich relative to caida. *)
+  match rows with
+  | [ caida; hetop ] ->
+    let open Experiments.Exp_table3 in
+    let frac r = float_of_int r.peering /. float_of_int r.links in
+    Alcotest.(check bool) "hetop peers more" true (frac hetop > frac caida)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_table45_disciplines () =
+  let rows = Experiments.Exp_table45.run tiny in
+  Alcotest.(check (list string))
+    "disciplines"
+    [ "standard"; "arbitrary"; "class-only"; "diverse"; "vf-shortest" ]
+    (List.map (fun r -> r.Experiments.Exp_table45.discipline) rows);
+  let links d =
+    let r =
+      List.find (fun r -> r.Experiments.Exp_table45.discipline = d) rows
+    in
+    r.Experiments.Exp_table45.caida.Centaur.Static.avg_links
+  in
+  (* Everyone reaches all 79 other nodes; arbitrary is bushiest. *)
+  List.iter
+    (fun d -> Alcotest.(check bool) (d ^ " covers dests") true (links d >= 79.0))
+    [ "standard"; "arbitrary"; "class-only" ];
+  Alcotest.(check bool) "arbitrary bushiest" true
+    (links "arbitrary" >= links "standard")
+
+let test_fig5_ratio () =
+  match Experiments.Exp_fig5.run tiny with
+  | [ caida1; caida10; hetop1; _hetop10 ] ->
+    Alcotest.(check bool) "centaur cheaper" true
+      (caida1.Experiments.Exp_fig5.mean_ratio > 1.0
+      && hetop1.Experiments.Exp_fig5.mean_ratio > 1.0);
+    (* More prefixes per AS multiply BGP's cost, not Centaur's. *)
+    Alcotest.(check bool) "prefixes widen the ratio" true
+      (caida10.Experiments.Exp_fig5.mean_ratio
+      > 3.0 *. caida1.Experiments.Exp_fig5.mean_ratio)
+  | _ -> Alcotest.fail "expected four series"
+
+let test_fig67_shapes () =
+  let r = Experiments.Exp_fig67.run tiny in
+  Alcotest.(check int) "flips recorded" 3
+    (List.length r.Experiments.Exp_fig67.flipped_links);
+  let faster = Experiments.Exp_fig67.centaur_faster_than_bgp r in
+  Alcotest.(check bool) "centaur usually faster" true (faster >= 0.5);
+  let lighter = Experiments.Exp_fig67.centaur_lighter_than_ospf r in
+  Alcotest.(check bool) "centaur usually lighter than ospf" true
+    (lighter >= 0.5);
+  Alcotest.(check bool) "fig6 render mentions the paper" true
+    (contains (Experiments.Exp_fig67.render_fig6 r) "paper");
+  Alcotest.(check bool) "fig7 render mentions the paper" true
+    (contains (Experiments.Exp_fig67.render_fig7 r) "82")
+
+let test_fig8_rows () =
+  let rows = Experiments.Exp_fig8.run tiny in
+  Alcotest.(check (list int))
+    "sweep sizes" [ 20; 40 ]
+    (List.map (fun r -> r.Experiments.Exp_fig8.nodes) rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "positive rates" true
+        (r.Experiments.Exp_fig8.centaur_msgs_per_event >= 0.0
+        && r.Experiments.Exp_fig8.bgp_msgs_per_event > 0.0))
+    rows
+
+let test_ablation_mrai_monotone () =
+  let rows = Experiments.Exp_ablations.run_mrai tiny in
+  match rows with
+  | [ r0; r10; r30 ] ->
+    let open Experiments.Exp_ablations in
+    Alcotest.(check (float 1e-9)) "mrai values" 0.0 r0.mrai;
+    Alcotest.(check bool) "BGP slows with MRAI" true
+      (r30.bgp_median_ms >= r10.bgp_median_ms
+      && r10.bgp_median_ms >= r0.bgp_median_ms)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_registry_renders () =
+  (* Every entry's run/render path executes and produces output; the
+     heavy ones were exercised individually above with shared inputs. *)
+  List.iter
+    (fun id ->
+      match Experiments.Registry.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some e ->
+        let s = e.Experiments.Registry.run tiny in
+        Alcotest.(check bool) (id ^ " renders") true (String.length s > 40))
+    [ "table3"; "fig5" ]
+
+let test_inputs_deterministic () =
+  let a = Experiments.Inputs.brite tiny and b = Experiments.Inputs.brite tiny in
+  Alcotest.(check string) "same topology from same seed"
+    (Topo_io.to_string a) (Topo_io.to_string b);
+  let sa = Experiments.Inputs.sample_sources tiny a in
+  let sb = Experiments.Inputs.sample_sources tiny b in
+  Alcotest.(check (list int)) "same samples" sa sb
+
+let suite =
+  [ Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "table3 fractions" `Quick test_table3_fractions;
+    Alcotest.test_case "table4/5 disciplines" `Quick
+      test_table45_disciplines;
+    Alcotest.test_case "fig5 ratio" `Quick test_fig5_ratio;
+    Alcotest.test_case "fig6/7 shapes" `Quick test_fig67_shapes;
+    Alcotest.test_case "fig8 rows" `Quick test_fig8_rows;
+    Alcotest.test_case "ablation mrai monotone" `Quick
+      test_ablation_mrai_monotone;
+    Alcotest.test_case "registry renders" `Quick test_registry_renders;
+    Alcotest.test_case "inputs deterministic" `Quick
+      test_inputs_deterministic ]

@@ -1,0 +1,92 @@
+(* The paper's §2 strawman, as regression tests: naive link-state with
+   policies loops on the Figure 1 and Figure 2 scenarios; Centaur on the
+   same inputs does not. *)
+
+let test_figure1_loop () =
+  let topo = Fixtures.figure1_triangle () in
+  let a = 0 and b = 1 and c = 2 in
+  let view_of n =
+    if n = a then [ (a, b); (b, c) ]
+    else if n = b then [ (a, b); (a, c) ]
+    else [ (a, b); (a, c); (b, c) ]
+  in
+  let forwarding node =
+    Naive_link_state.next_hop topo ~view:(view_of node) ~src:node ~dest:c
+  in
+  (* A sends via B; B sends via A: ping-pong. *)
+  Alcotest.(check (option int)) "A via B" (Some b) (forwarding a);
+  Alcotest.(check (option int)) "B via A" (Some a) (forwarding b);
+  Alcotest.(check bool) "loop detected" true
+    (Naive_link_state.has_loop ~max_hops:8 forwarding ~src:a ~dest:c);
+  match Naive_link_state.trace ~max_hops:8 forwarding ~src:a ~dest:c with
+  | Ok _ -> Alcotest.fail "delivered through a loop"
+  | Error visited ->
+    Alcotest.(check (list int)) "ping-pong trace" [ a; b; a ] visited
+
+let test_figure2_ranking_loop () =
+  (* Figure 2(b)/(c): A and C rank paths to D differently over the full
+     diamond view plus the leaked link C-D: A goes via C, C goes via A. *)
+  let a = 0 and c = 2 and d = 3 in
+  (* Model the diverse-ranking outcome directly: A prefers <A,C,D>,
+     C prefers <C,A,B,D>. *)
+  let forwarding node =
+    if node = a then Some c
+    else if node = c then Some a
+    else if node = 1 then Some d
+    else None
+  in
+  Alcotest.(check bool) "ranking loop" true
+    (Naive_link_state.has_loop ~max_hops:8 forwarding ~src:a ~dest:d)
+
+let test_centaur_no_loop_same_scenarios () =
+  List.iter
+    (fun topo ->
+      let runner = Protocols.Centaur_net.network topo in
+      ignore (runner.Sim.Runner.cold_start ());
+      let n = Topology.num_nodes topo in
+      for src = 0 to n - 1 do
+        for dest = 0 to n - 1 do
+          if src <> dest then
+            match
+              Sim.Runner.forwarding_path runner ~src ~dest ~max_hops:(2 * n)
+            with
+            | Some _ -> ()
+            | None -> Alcotest.failf "no delivery %d->%d" src dest
+        done
+      done)
+    [ Fixtures.figure1_triangle (); Fixtures.figure2a () ]
+
+let test_consistent_views_deliver () =
+  (* Control: with a single consistent view, the naive scheme works —
+     the problem really is view inconsistency, not the BFS. *)
+  let topo = Fixtures.figure1_triangle () in
+  let full = [ (0, 1); (0, 2); (1, 2) ] in
+  let forwarding node =
+    Naive_link_state.next_hop topo ~view:full ~src:node ~dest:2
+  in
+  match Naive_link_state.trace ~max_hops:8 forwarding ~src:0 ~dest:2 with
+  | Ok p -> Alcotest.(check (list int)) "direct" [ 0; 2 ] p
+  | Error _ -> Alcotest.fail "consistent views must deliver"
+
+let test_view_respects_down_links () =
+  let topo = Fixtures.figure1_triangle () in
+  (* The view claims A-C exists but the link is down: BFS must not use
+     it. *)
+  (match Topology.link_between topo 0 2 with
+  | Some id -> Topology.set_up topo id false
+  | None -> Alcotest.fail "missing link");
+  Alcotest.(check (option int)) "detours via B" (Some 1)
+    (Naive_link_state.next_hop topo
+       ~view:[ (0, 1); (0, 2); (1, 2) ]
+       ~src:0 ~dest:2)
+
+let suite =
+  [ Alcotest.test_case "figure 1 loop" `Quick test_figure1_loop;
+    Alcotest.test_case "figure 2 ranking loop" `Quick
+      test_figure2_ranking_loop;
+    Alcotest.test_case "centaur avoids both" `Quick
+      test_centaur_no_loop_same_scenarios;
+    Alcotest.test_case "consistent views deliver" `Quick
+      test_consistent_views_deliver;
+    Alcotest.test_case "view respects down links" `Quick
+      test_view_respects_down_links ]

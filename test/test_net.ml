@@ -1,0 +1,245 @@
+(* Network model: relationships, paths, topology structure, tier
+   inference, serialization round-trips. *)
+
+open Helpers
+
+let test_relationship_invert () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "involution" true
+        (Relationship.equal r (Relationship.invert (Relationship.invert r))))
+    Relationship.all;
+  Alcotest.(check bool) "customer<->provider" true
+    (Relationship.equal Relationship.Provider
+       (Relationship.invert Relationship.Customer))
+
+let test_relationship_strings () =
+  List.iter
+    (fun r ->
+      match Relationship.of_string (Relationship.to_string r) with
+      | Some r' ->
+        Alcotest.(check bool) "roundtrip" true (Relationship.equal r r')
+      | None -> Alcotest.fail "of_string failed")
+    Relationship.all;
+  Alcotest.(check bool) "unknown" true (Relationship.of_string "xyz" = None)
+
+let test_path_accessors () =
+  let p = [ 4; 2; 7; 1 ] in
+  Alcotest.(check int) "source" 4 (Path.source p);
+  Alcotest.(check int) "destination" 1 (Path.destination p);
+  Alcotest.(check int) "length" 3 (Path.length p);
+  Alcotest.(check (option int)) "next hop" (Some 2) (Path.next_hop p);
+  Alcotest.(check (option int)) "next of 7" (Some 1) (Path.next_hop_of p 7);
+  Alcotest.(check (option int)) "next of dest" None (Path.next_hop_of p 1);
+  Alcotest.(check (option int)) "next of absent" None (Path.next_hop_of p 9);
+  Alcotest.(check bool) "contains" true (Path.contains p 7);
+  Alcotest.(check bool) "loop free" true (Path.is_loop_free p);
+  Alcotest.(check bool) "loop detected" false (Path.is_loop_free [ 1; 2; 1 ]);
+  Alcotest.(check (list (pair int int)))
+    "links" [ (4, 2); (2, 7); (7, 1) ] (Path.links p)
+
+let test_path_suffix () =
+  let p = [ 4; 2; 7; 1 ] in
+  check_path_opt "suffix from 7" (Some [ 7; 1 ]) (Path.suffix_from p 7);
+  check_path_opt "suffix from source" (Some p) (Path.suffix_from p 4);
+  check_path_opt "absent" None (Path.suffix_from p 9)
+
+let test_path_singleton () =
+  Alcotest.(check int) "single length" 0 (Path.length [ 3 ]);
+  Alcotest.(check (option int)) "no hop" None (Path.next_hop [ 3 ]);
+  Alcotest.check_raises "empty source" (Invalid_argument "Path.source: empty path")
+    (fun () -> ignore (Path.source []))
+
+let test_topology_structure () =
+  let topo = Fixtures.figure2a () in
+  Alcotest.(check int) "nodes" 4 (Topology.num_nodes topo);
+  Alcotest.(check int) "links" 4 (Topology.num_links topo);
+  Alcotest.(check int) "degree of A" 2 (Topology.degree topo 0);
+  Alcotest.(check (option int)) "link A-B exists" (Some 0)
+    (Topology.link_between topo 0 1);
+  Alcotest.(check (option int)) "symmetric" (Some 0)
+    (Topology.link_between topo 1 0);
+  Alcotest.(check (option int)) "absent" None (Topology.link_between topo 1 2);
+  Alcotest.(check bool) "B is A's customer" true
+    (Topology.rel topo 0 1 = Some Relationship.Customer);
+  Alcotest.(check bool) "A is B's provider" true
+    (Topology.rel topo 1 0 = Some Relationship.Provider);
+  Alcotest.(check bool) "connected" true (Topology.is_connected topo)
+
+let test_topology_link_state () =
+  let topo = Fixtures.figure2a () in
+  Topology.set_up topo 0 false;
+  Alcotest.(check bool) "down" false (Topology.is_up topo 0);
+  Alcotest.(check (option Alcotest.reject)) "rel hidden when down" None
+    (Option.map (fun _ -> ()) (Topology.rel topo 0 1));
+  Alcotest.(check bool) "rel_any still visible" true
+    (Topology.rel_any topo 0 1 = Some Relationship.Customer);
+  Alcotest.(check int) "degree drops" 1 (Topology.degree topo 0);
+  Alcotest.(check int) "full degree stable" 2 (Topology.full_degree topo 0);
+  Topology.set_up topo 0 true;
+  Alcotest.(check int) "degree restored" 2 (Topology.degree topo 0)
+
+let test_topology_with_link_down () =
+  let topo = Fixtures.figure2a () in
+  let inside =
+    Topology.with_link_down topo 1 (fun () -> Topology.is_up topo 1)
+  in
+  Alcotest.(check bool) "down inside" false inside;
+  Alcotest.(check bool) "restored after" true (Topology.is_up topo 1);
+  (* Exception safety. *)
+  (try
+     Topology.with_link_down topo 1 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after exception" true (Topology.is_up topo 1)
+
+let test_topology_disconnection () =
+  let topo = Fixtures.line 3 in
+  Alcotest.(check bool) "connected" true (Topology.is_connected topo);
+  Topology.set_up topo 0 false;
+  Alcotest.(check bool) "disconnected" false (Topology.is_connected topo)
+
+let test_topology_validation () =
+  let bad msg edges =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Topology.create ~n:3 edges))
+  in
+  bad "Topology.create: self-loop" [ (1, 1, Relationship.Peer, 1.0) ];
+  bad "Topology.create: duplicate link 0-1"
+    [ (0, 1, Relationship.Peer, 1.0); (1, 0, Relationship.Peer, 1.0) ];
+  bad "Topology.create: negative delay" [ (0, 1, Relationship.Peer, -1.0) ];
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Topology.create: node id out of range (0, 9)")
+    (fun () ->
+      ignore (Topology.create ~n:3 [ (0, 9, Relationship.Peer, 1.0) ]))
+
+let test_relationship_counts () =
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Peer, 1.0);
+        (0, 2, Relationship.Customer, 1.0);
+        (2, 3, Relationship.Sibling, 1.0) ]
+  in
+  let c = Topology.relationship_counts topo in
+  Alcotest.(check int) "peering" 1 c.Topology.peering;
+  Alcotest.(check int) "provider" 1 c.Topology.provider_customer;
+  Alcotest.(check int) "sibling" 1 c.Topology.sibling
+
+let test_topo_io_roundtrip () =
+  let topo = random_as_topology ~seed:41 ~n:60 in
+  match Topo_io.of_string (Topo_io.to_string topo) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok topo' ->
+    Alcotest.(check int) "nodes" (Topology.num_nodes topo)
+      (Topology.num_nodes topo');
+    Alcotest.(check int) "links" (Topology.num_links topo)
+      (Topology.num_links topo');
+    Topology.iter_links topo (fun l ->
+        match Topology.link_between topo' l.Topology.a l.Topology.b with
+        | None -> Alcotest.failf "missing link %d-%d" l.Topology.a l.Topology.b
+        | Some id ->
+          let l' = Topology.link topo' id in
+          Alcotest.(check bool) "same relationship" true
+            ((l'.Topology.a = l.Topology.a
+              && Relationship.equal l'.Topology.rel_ab l.Topology.rel_ab)
+            || (l'.Topology.a = l.Topology.b
+                && Relationship.equal l'.Topology.rel_ab
+                     (Relationship.invert l.Topology.rel_ab))))
+
+let test_topo_io_errors () =
+  (match Topo_io.of_string "link 0 1 peer 1.0" with
+  | Error e -> Alcotest.(check string) "missing header" "missing 'nodes' header" e
+  | Ok _ -> Alcotest.fail "accepted headerless input");
+  (match Topo_io.of_string "nodes 2\nlink 0 1 friend 1.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad relationship");
+  match Topo_io.of_string "nodes 2\n# comment\n\nlink 0 1 peer 0.5" with
+  | Ok t -> Alcotest.(check int) "comments skipped" 1 (Topology.num_links t)
+  | Error e -> Alcotest.failf "rejected valid input: %s" e
+
+let test_topo_io_file_roundtrip () =
+  let topo = Fixtures.figure2a () in
+  let path = Filename.temp_file "centaur" ".topo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topo_io.save topo path;
+      match Topo_io.load path with
+      | Ok topo' ->
+        Alcotest.(check int) "links" (Topology.num_links topo)
+          (Topology.num_links topo')
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_tier_assignment () =
+  (* Star: center is clearly tier 1. *)
+  let degrees = [| 10; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1 |] in
+  let tiers = Tier.assign_tiers ~degrees ~num_tiers:3 in
+  Alcotest.(check int) "hub is tier 1" 1 tiers.(0);
+  Alcotest.(check int) "leaf is bottom tier" 3 tiers.(10)
+
+let test_tier_relationships () =
+  let tiers = [| 1; 1; 2; 2 |] in
+  let degrees = [| 9; 9; 5; 3 |] in
+  let rels =
+    Tier.relationships ~tiers ~degrees ~edges:[ (0, 1); (0, 2); (2, 3) ]
+  in
+  Alcotest.(check bool) "tier1 pair peers" true
+    (List.mem (0, 1, Relationship.Peer) rels);
+  Alcotest.(check bool) "cross tier provider->customer" true
+    (List.mem (0, 2, Relationship.Customer) rels);
+  Alcotest.(check bool) "same lower tier directed by degree" true
+    (List.mem (2, 3, Relationship.Customer) rels)
+
+let test_tier_annotate_connected_hierarchy () =
+  (* Every non-tier-1 node must have a provider chain to tier 1 so the
+     valley-free route set is near-complete. *)
+  let topo = random_brite ~seed:42 ~n:120 ~m:2 in
+  Alcotest.(check bool) "connected" true (Topology.is_connected topo)
+
+let test_prefix_tables () =
+  let rng = Rng.create 5 in
+  let t = Prefix.generate rng ~n:500 ~mean:10.0 in
+  Alcotest.(check int) "ases" 500 (Prefix.num_ases t);
+  Alcotest.(check bool) "every AS has a prefix" true
+    (Array.for_all (fun c -> c >= 1) (Prefix.weights t));
+  let m = Prefix.mean t in
+  if m < 7.0 || m > 13.0 then Alcotest.failf "mean off target: %.1f" m;
+  let agg = Prefix.aggregate t in
+  Alcotest.(check int) "aggregated total" 500 (Prefix.total agg);
+  let deagg = Prefix.deaggregate t ~factor:3 in
+  Alcotest.(check int) "deaggregated total" (3 * Prefix.total t)
+    (Prefix.total deagg);
+  Alcotest.(check int) "uniform" 4 (Prefix.count (Prefix.uniform ~n:3 ~per_as:4) 2)
+
+let test_prefix_validation () =
+  Alcotest.check_raises "mean too small"
+    (Invalid_argument "Prefix.generate: mean < 1.0") (fun () ->
+      ignore (Prefix.generate (Rng.create 1) ~n:5 ~mean:0.5));
+  Alcotest.check_raises "factor"
+    (Invalid_argument "Prefix.deaggregate: factor < 1") (fun () ->
+      ignore (Prefix.deaggregate (Prefix.uniform ~n:2 ~per_as:1) ~factor:0))
+
+let suite =
+  [ Alcotest.test_case "relationship invert" `Quick test_relationship_invert;
+    Alcotest.test_case "prefix tables" `Quick test_prefix_tables;
+    Alcotest.test_case "prefix validation" `Quick test_prefix_validation;
+    Alcotest.test_case "relationship strings" `Quick
+      test_relationship_strings;
+    Alcotest.test_case "path accessors" `Quick test_path_accessors;
+    Alcotest.test_case "path suffix" `Quick test_path_suffix;
+    Alcotest.test_case "path singleton/empty" `Quick test_path_singleton;
+    Alcotest.test_case "topology structure" `Quick test_topology_structure;
+    Alcotest.test_case "topology link state" `Quick test_topology_link_state;
+    Alcotest.test_case "with_link_down" `Quick test_topology_with_link_down;
+    Alcotest.test_case "topology disconnection" `Quick
+      test_topology_disconnection;
+    Alcotest.test_case "topology validation" `Quick test_topology_validation;
+    Alcotest.test_case "relationship counts" `Quick test_relationship_counts;
+    Alcotest.test_case "topo io roundtrip" `Quick test_topo_io_roundtrip;
+    Alcotest.test_case "topo io errors" `Quick test_topo_io_errors;
+    Alcotest.test_case "topo io file roundtrip" `Quick
+      test_topo_io_file_roundtrip;
+    Alcotest.test_case "tier assignment" `Quick test_tier_assignment;
+    Alcotest.test_case "tier relationships" `Quick test_tier_relationships;
+    Alcotest.test_case "tier hierarchy connected" `Quick
+      test_tier_annotate_connected_hierarchy ]

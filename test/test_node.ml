@@ -1,0 +1,212 @@
+(* The Centaur node driven directly (no simulator): a hand-rolled
+   synchronous message pump over small topologies, checking announce
+   content, import filtering, loop avoidance and state accessors. *)
+
+open Helpers
+open Centaur
+
+(* Deliver messages synchronously until quiescence; returns the nodes. *)
+let converge topo =
+  let n = Topology.num_nodes topo in
+  let nodes = Array.init n (fun id -> Node.create topo ~id) in
+  let queue = Queue.create () in
+  let push from outputs =
+    List.iter (fun (dst, ann) -> Queue.push (from, dst, ann) queue) outputs
+  in
+  Array.iteri
+    (fun i _ ->
+      let st, out = Node.start nodes.(i) in
+      nodes.(i) <- st;
+      push i out)
+    nodes;
+  let guard = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr guard;
+    if !guard > 1_000_000 then failwith "node pump diverged";
+    let _from, dst, ann = Queue.pop queue in
+    let st, out = Node.handle nodes.(dst) ann in
+    nodes.(dst) <- st;
+    push dst out
+  done;
+  nodes
+
+let test_converges_to_solver_fig2 () =
+  let topo = Fixtures.figure2a () in
+  let nodes = converge topo in
+  let n = Topology.num_nodes topo in
+  for dest = 0 to n - 1 do
+    let r = Solver.to_dest topo dest in
+    for src = 0 to n - 1 do
+      if src <> dest then
+        check_path_opt
+          (Printf.sprintf "path %d->%d" src dest)
+          (Solver.path r src)
+          (Node.selected_path nodes.(src) ~dest)
+    done
+  done
+
+let test_first_announcement_is_adjacency () =
+  let topo = Fixtures.figure2a () in
+  let node = Node.create topo ~id:Fixtures.a in
+  let _, out = Node.start node in
+  (* A announces to each neighbor: its own prefix plus the direct links
+     it may export. *)
+  Alcotest.(check int) "one announcement per neighbor" 2 (List.length out);
+  List.iter
+    (fun (_, ann) ->
+      let d = ann.Announce.delta in
+      Alcotest.(check bool) "marks self as destination" true
+        (List.mem Fixtures.a d.Pgraph.add_dests))
+    out
+
+let test_neighbor_graph_assembled () =
+  let topo = Fixtures.figure2a () in
+  let nodes = converge topo in
+  (* A's view of B's P-graph derives exactly B's exported paths. *)
+  match Node.neighbor_pgraph nodes.(Fixtures.a) ~neighbor:Fixtures.b with
+  | None -> Alcotest.fail "no session with B"
+  | Some g ->
+    check_path_opt "B's path to D visible at A"
+      (Some [ Fixtures.b; Fixtures.d ])
+      (Pgraph.derive_path g ~dest:Fixtures.d);
+    (* B's path to C goes through A itself: the import filter removed the
+       link pointing at A, so it must NOT be derivable. *)
+    check_path_opt "path through A not derivable" None
+      (Pgraph.derive_path g ~dest:Fixtures.c)
+
+let test_local_pgraph_matches_selection () =
+  let topo = random_as_topology ~seed:51 ~n:25 in
+  let nodes = converge topo in
+  Array.iter
+    (fun node ->
+      let g = Node.local_pgraph node in
+      List.iter
+        (fun (dest, p) ->
+          check_path_opt
+            (Printf.sprintf "derive %d from local graph" dest)
+            (Some p) (Pgraph.derive_path g ~dest))
+        (Node.selected_paths node))
+    nodes
+
+let test_selected_paths_sorted_and_consistent () =
+  let topo = Fixtures.two_tier_peering () in
+  let nodes = converge topo in
+  let paths = Node.selected_paths nodes.(2) in
+  let dests = List.map fst paths in
+  Alcotest.(check (list int)) "sorted dests" (List.sort compare dests) dests;
+  List.iter
+    (fun (dest, p) ->
+      Alcotest.(check int) "path ends at dest" dest (Path.destination p);
+      Alcotest.(check int) "path starts at self" 2 (Path.source p))
+    paths;
+  Alcotest.(check (option int)) "next hop accessor" (Some 0)
+    (Node.next_hop nodes.(2) ~dest:4)
+
+let test_announcements_are_incremental () =
+  (* After convergence, re-delivering a node's flushed state must not
+     trigger further announcements (fixpoint). We approximate by checking
+     convergence terminated — the pump's guard — plus empty re-start. *)
+  let topo = Fixtures.figure2a () in
+  let nodes = converge topo in
+  (* A second adjacency scan with no actual change produces no output. *)
+  let _, out = Node.on_adjacency_change nodes.(Fixtures.a) in
+  Alcotest.(check int) "no spurious announcements" 0 (List.length out)
+
+let test_message_from_unknown_sender_dropped () =
+  let topo = Fixtures.figure2a () in
+  let node = Node.create topo ~id:Fixtures.a in
+  let _, _ = Node.start node in
+  (* D is not A's neighbor; a stray message must be ignored. *)
+  let stray =
+    Announce.make ~sender:Fixtures.d
+      { Pgraph.add_links = [ (Fixtures.d, Fixtures.b, None) ];
+        remove_links = [];
+        add_dests = [ Fixtures.d ];
+        remove_dests = [] }
+  in
+  let _, out = Node.handle node stray in
+  Alcotest.(check int) "dropped" 0 (List.length out);
+  Alcotest.(check bool) "no session created" true
+    (Node.neighbor_pgraph node ~neighbor:Fixtures.d = None)
+
+let test_adjacency_loss_reroutes () =
+  let topo = Fixtures.figure2a () in
+  let nodes = converge topo in
+  (* Kill A-B; A must reroute to D via C after the change propagates. *)
+  (match Topology.link_between topo Fixtures.a Fixtures.b with
+  | Some id -> Topology.set_up topo id false
+  | None -> Alcotest.fail "missing link");
+  let queue = Queue.create () in
+  let bump i =
+    let st, out = Node.on_adjacency_change nodes.(i) in
+    nodes.(i) <- st;
+    List.iter (fun (dst, ann) -> Queue.push (dst, ann) queue) out
+  in
+  bump Fixtures.a;
+  bump Fixtures.b;
+  let guard = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr guard;
+    if !guard > 100_000 then failwith "pump diverged";
+    let dst, ann = Queue.pop queue in
+    let st, out = Node.handle nodes.(dst) ann in
+    nodes.(dst) <- st;
+    List.iter (fun (d, a) -> Queue.push (d, a) queue) out
+  done;
+  check_path_opt "A reroutes via C"
+    (Some [ Fixtures.a; Fixtures.c; Fixtures.d ])
+    (Node.selected_path nodes.(Fixtures.a) ~dest:Fixtures.d);
+  Alcotest.(check bool) "B session gone at A" true
+    (Node.neighbor_pgraph nodes.(Fixtures.a) ~neighbor:Fixtures.b = None)
+
+let test_announce_units () =
+  let delta =
+    { Pgraph.add_links = [ (0, 1, None); (1, 2, None) ];
+      remove_links = [ (3, 4) ];
+      add_dests = [ 2 ];
+      remove_dests = [] }
+  in
+  let ann = Announce.make ~sender:0 delta in
+  Alcotest.(check int) "three link changes" 3 (Announce.units ann);
+  let empty_marks =
+    Announce.make ~sender:0
+      { Pgraph.add_links = []; remove_links = []; add_dests = [ 5 ];
+        remove_dests = [] }
+  in
+  Alcotest.(check int) "mark-only message still costs one" 1
+    (Announce.units empty_marks)
+
+let test_announce_import_filter () =
+  let delta =
+    { Pgraph.add_links = [ (0, 9, None); (1, 2, None) ];
+      remove_links = [ (3, 9); (4, 5) ];
+      add_dests = [];
+      remove_dests = [] }
+  in
+  let ann = Announce.import (Announce.make ~sender:0 delta) ~receiver:9 in
+  let d = ann.Announce.delta in
+  Alcotest.(check int) "links to self dropped (adds)" 1
+    (List.length d.Pgraph.add_links);
+  Alcotest.(check int) "links to self dropped (removes)" 1
+    (List.length d.Pgraph.remove_links)
+
+let suite =
+  [ Alcotest.test_case "node pump = solver (fig2)" `Quick
+      test_converges_to_solver_fig2;
+    Alcotest.test_case "first announcement" `Quick
+      test_first_announcement_is_adjacency;
+    Alcotest.test_case "neighbor graph assembled" `Quick
+      test_neighbor_graph_assembled;
+    Alcotest.test_case "local pgraph matches selection" `Quick
+      test_local_pgraph_matches_selection;
+    Alcotest.test_case "selected paths accessors" `Quick
+      test_selected_paths_sorted_and_consistent;
+    Alcotest.test_case "fixpoint after convergence" `Quick
+      test_announcements_are_incremental;
+    Alcotest.test_case "unknown sender dropped" `Quick
+      test_message_from_unknown_sender_dropped;
+    Alcotest.test_case "adjacency loss reroutes" `Quick
+      test_adjacency_loss_reroutes;
+    Alcotest.test_case "announce units" `Quick test_announce_units;
+    Alcotest.test_case "announce import filter" `Quick
+      test_announce_import_filter ]

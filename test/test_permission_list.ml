@@ -1,0 +1,169 @@
+(* Permission Lists: the per-dest-next encoding, its equivalence with
+   the exhaustive per-path encoding (paper §4.1 / Claim 1), updates and
+   compression. *)
+
+open Centaur
+
+let pl_of entries =
+  List.fold_left
+    (fun pl (dest, next) -> Permission_list.add pl ~dest ~next)
+    Permission_list.empty entries
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true
+    (Permission_list.is_empty Permission_list.empty);
+  Alcotest.(check bool) "permits nothing" false
+    (Permission_list.permit Permission_list.empty ~dest:1 ~next:None);
+  Alcotest.(check int) "no entries" 0
+    (Permission_list.num_entries Permission_list.empty)
+
+let test_add_permit () =
+  let pl = pl_of [ (5, Some 2); (6, Some 2); (7, None) ] in
+  Alcotest.(check bool) "permits 5 via 2" true
+    (Permission_list.permit pl ~dest:5 ~next:(Some 2));
+  Alcotest.(check bool) "permits 7 terminal" true
+    (Permission_list.permit pl ~dest:7 ~next:None);
+  Alcotest.(check bool) "wrong next" false
+    (Permission_list.permit pl ~dest:5 ~next:(Some 3));
+  Alcotest.(check bool) "wrong dest" false
+    (Permission_list.permit pl ~dest:9 ~next:(Some 2));
+  Alcotest.(check bool) "dest with terminal next mismatch" false
+    (Permission_list.permit pl ~dest:5 ~next:None)
+
+let test_grouping () =
+  (* Destinations sharing a next hop collapse into one entry — the
+     paper's DestList grouping. *)
+  let pl = pl_of [ (5, Some 2); (6, Some 2); (7, Some 3) ] in
+  Alcotest.(check int) "two entries" 2 (Permission_list.num_entries pl);
+  Alcotest.(check (list int)) "all dests" [ 5; 6; 7 ] (Permission_list.dests pl);
+  match Permission_list.entries pl with
+  | [ (Some 2, [ 5; 6 ]); (Some 3, [ 7 ]) ] -> ()
+  | _ -> Alcotest.fail "unexpected entry structure"
+
+let test_idempotent_add () =
+  let pl = pl_of [ (5, Some 2); (5, Some 2) ] in
+  Alcotest.(check int) "one entry" 1 (Permission_list.num_entries pl);
+  Alcotest.(check (list int)) "one dest" [ 5 ] (Permission_list.dests pl)
+
+let test_remove_dest () =
+  let pl = pl_of [ (5, Some 2); (6, Some 2); (7, Some 3) ] in
+  let pl = Permission_list.remove_dest pl ~dest:7 in
+  Alcotest.(check int) "entry vanished with its last dest" 1
+    (Permission_list.num_entries pl);
+  let pl = Permission_list.remove_dest pl ~dest:5 in
+  Alcotest.(check bool) "6 survives" true
+    (Permission_list.permit pl ~dest:6 ~next:(Some 2));
+  Alcotest.(check bool) "5 gone" false
+    (Permission_list.permit pl ~dest:5 ~next:(Some 2))
+
+let test_next_for () =
+  let pl = pl_of [ (5, Some 2); (7, None) ] in
+  Alcotest.(check bool) "next of 5" true
+    (Permission_list.next_for pl ~dest:5 = Some (Some 2));
+  Alcotest.(check bool) "next of 7" true
+    (Permission_list.next_for pl ~dest:7 = Some None);
+  Alcotest.(check bool) "absent" true
+    (Permission_list.next_for pl ~dest:9 = None)
+
+let test_merge () =
+  let a = pl_of [ (5, Some 2) ] and b = pl_of [ (6, Some 3) ] in
+  let m = Permission_list.merge a b in
+  Alcotest.(check bool) "both permitted" true
+    (Permission_list.permit m ~dest:5 ~next:(Some 2)
+    && Permission_list.permit m ~dest:6 ~next:(Some 3))
+
+let test_equal () =
+  let a = pl_of [ (5, Some 2); (6, Some 3) ] in
+  let b = pl_of [ (6, Some 3); (5, Some 2) ] in
+  Alcotest.(check bool) "order independent" true (Permission_list.equal a b);
+  let c = pl_of [ (5, Some 2) ] in
+  Alcotest.(check bool) "different" false (Permission_list.equal a c)
+
+let test_changed_dests () =
+  let old_pl = pl_of [ (5, Some 2); (6, Some 2); (7, None) ] in
+  let new_pl = pl_of [ (5, Some 3); (6, Some 2); (8, Some 2) ] in
+  Alcotest.(check (list int))
+    "moved, dropped and added dests" [ 5; 7; 8 ]
+    (Permission_list.changed_dests old_pl new_pl);
+  Alcotest.(check (list int)) "self comparison" []
+    (Permission_list.changed_dests old_pl old_pl)
+
+let test_compressed_size () =
+  let pl = pl_of (List.init 50 (fun i -> (i, Some 99))) in
+  let bytes = Permission_list.compressed_size_bytes pl ~fp_rate:0.01 in
+  (* 50 dests at 1% fp ~ 60 bytes of Bloom bits + 4 bytes next hop;
+     far below the ~200 bytes of a naive int list. *)
+  Alcotest.(check bool) "within expected band" true (bytes > 20 && bytes < 100)
+
+(* Claim 1: per-dest-next encoding has the same descriptiveness as
+   exhaustive per-path encoding, over the paths through one link. *)
+let exhaustive_equivalence =
+  QCheck.Test.make ~name:"per-dest-next == exhaustive per-path (Claim 1)"
+    ~count:200
+    (* Random single-path-per-destination sets through multi-homed node
+       B = 100: prefixes root..x..B, suffixes B..dest. *)
+    QCheck.(
+      list_of_size Gen.(1 -- 8)
+        (pair (int_bound 5) (pair (int_bound 5) (int_bound 30))))
+    (fun specs ->
+      let root = 200 and b = 100 in
+      (* Build one path per distinct destination; destination ids are
+         disjoint from prefix ids by construction. *)
+      let seen = Hashtbl.create 8 in
+      let paths =
+        List.filter_map
+          (fun (via, (nxt, dest_raw)) ->
+            let dest = 300 + dest_raw in
+            if Hashtbl.mem seen dest then None
+            else begin
+              Hashtbl.replace seen dest ();
+              (* root -> via -> B -> (maybe nxt ->) dest *)
+              let prefix = [ root; 250 + via; b ] in
+              let suffix = if nxt = 0 then [ dest ] else [ 270 + nxt; dest ] in
+              Some (prefix @ suffix)
+            end)
+          specs
+      in
+      let exhaustive =
+        List.fold_left Permission_list.Exhaustive.add_path
+          Permission_list.Exhaustive.empty paths
+      in
+      let permit_compiled =
+        Permission_list.Exhaustive.to_per_dest_next exhaustive ~multi_homed:b
+      in
+      (* Every path's (dest, next-of-B) must be permitted, and a fresh
+         (dest, next) pair not in the set must not. *)
+      List.for_all
+        (fun p ->
+          let dest = Path.destination p in
+          let next = Path.next_hop_of p b in
+          permit_compiled ~dest ~next)
+        paths
+      && not (permit_compiled ~dest:999 ~next:(Some 888)))
+
+let test_exhaustive_paths () =
+  let e =
+    List.fold_left Permission_list.Exhaustive.add_path
+      Permission_list.Exhaustive.empty
+      [ [ 1; 2; 3 ]; [ 1; 4 ] ]
+  in
+  Alcotest.(check int) "stored" 2
+    (List.length (Permission_list.Exhaustive.paths e));
+  Alcotest.(check bool) "member" true
+    (Permission_list.Exhaustive.permit_path e [ 1; 2; 3 ]);
+  Alcotest.(check bool) "non-member" false
+    (Permission_list.Exhaustive.permit_path e [ 1; 2 ])
+
+let suite =
+  [ Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/permit" `Quick test_add_permit;
+    Alcotest.test_case "dest grouping" `Quick test_grouping;
+    Alcotest.test_case "idempotent add" `Quick test_idempotent_add;
+    Alcotest.test_case "remove dest" `Quick test_remove_dest;
+    Alcotest.test_case "next_for" `Quick test_next_for;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "changed dests" `Quick test_changed_dests;
+    Alcotest.test_case "compressed size" `Quick test_compressed_size;
+    QCheck_alcotest.to_alcotest exhaustive_equivalence;
+    Alcotest.test_case "exhaustive paths" `Quick test_exhaustive_paths ]

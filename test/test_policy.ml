@@ -1,0 +1,179 @@
+(* Gao-Rexford policy engine: export rules, preference, class-of-path,
+   valley-free checking. *)
+
+open Gao_rexford
+
+let test_class_rank_order () =
+  Alcotest.(check bool) "origin best" true
+    (class_rank Origin < class_rank Cust);
+  Alcotest.(check bool) "customer over peer" true
+    (class_rank Cust < class_rank Peer_r);
+  Alcotest.(check bool) "peer over provider" true
+    (class_rank Peer_r < class_rank Prov)
+
+let test_export_matrix () =
+  let exp cls to_role = exportable ~cls ~to_role in
+  (* Customer routes go everywhere. *)
+  List.iter
+    (fun role ->
+      Alcotest.(check bool)
+        (Relationship.to_string role ^ " gets customer routes")
+        true (exp Cust role))
+    Relationship.all;
+  (* Peer/provider routes only to customers and siblings. *)
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "to customer" true (exp cls Relationship.Customer);
+      Alcotest.(check bool) "to sibling" true (exp cls Relationship.Sibling);
+      Alcotest.(check bool) "not to peer" false (exp cls Relationship.Peer);
+      Alcotest.(check bool) "not to provider" false
+        (exp cls Relationship.Provider))
+    [ Peer_r; Prov ]
+
+let test_class_of_learned () =
+  Alcotest.(check bool) "from customer" true
+    (class_of_learned ~neighbor_role:Relationship.Customer
+       ~neighbor_class:Prov
+    = Cust);
+  Alcotest.(check bool) "from peer" true
+    (class_of_learned ~neighbor_role:Relationship.Peer ~neighbor_class:Cust
+    = Peer_r);
+  Alcotest.(check bool) "from provider" true
+    (class_of_learned ~neighbor_role:Relationship.Provider
+       ~neighbor_class:Cust
+    = Prov);
+  (* Sibling inherits; Origin becomes Cust. *)
+  Alcotest.(check bool) "sibling inherits peer class" true
+    (class_of_learned ~neighbor_role:Relationship.Sibling
+       ~neighbor_class:Peer_r
+    = Peer_r);
+  Alcotest.(check bool) "sibling origin becomes customer" true
+    (class_of_learned ~neighbor_role:Relationship.Sibling
+       ~neighbor_class:Origin
+    = Cust)
+
+let test_preference () =
+  let c cls len next_hop = { cls; len; next_hop } in
+  Alcotest.(check bool) "class dominates length" true
+    (compare_candidates (c Cust 9 5) (c Peer_r 1 5) < 0);
+  Alcotest.(check bool) "length within class" true
+    (compare_candidates (c Cust 2 9) (c Cust 3 1) < 0);
+  Alcotest.(check bool) "next hop breaks ties" true
+    (compare_candidates (c Cust 2 1) (c Cust 2 2) < 0);
+  Alcotest.(check bool) "best of list" true
+    (best [ c Prov 1 1; c Cust 5 9; c Peer_r 2 2 ] = Some (c Cust 5 9));
+  Alcotest.(check bool) "best of empty" true (best [] = None)
+
+let test_path_class () =
+  let topo = Fixtures.figure2a () in
+  let check_cls name path expected =
+    Alcotest.(check (option string))
+      name (Some expected)
+      (Option.map class_to_string (Path_class.class_of topo path))
+  in
+  check_cls "single node" [ 0 ] "origin";
+  check_cls "A->B customer" [ 0; 1 ] "customer-route";
+  check_cls "B->A provider" [ 1; 0 ] "provider-route";
+  check_cls "A->B->D customer chain" [ 0; 1; 3 ] "customer-route";
+  check_cls "D->B->A provider chain" [ 3; 1; 0 ] "provider-route";
+  Alcotest.(check bool) "broken pair" true
+    (Path_class.class_of topo [ 1; 2 ] = None)
+
+let test_path_class_peer () =
+  let topo = Fixtures.two_tier_peering () in
+  Alcotest.(check (option string))
+    "across peering" (Some "peer-route")
+    (Option.map class_to_string (Path_class.class_of topo [ 0; 1; 4 ]))
+
+let test_exportable_to () =
+  let topo = Fixtures.two_tier_peering () in
+  (* 0's route to 4 via peer 1: exportable to customers only. *)
+  let p = [ 0; 1; 4 ] in
+  Alcotest.(check bool) "to customer" true
+    (Path_class.exportable_to topo p ~neighbor_role:Relationship.Customer);
+  Alcotest.(check bool) "to peer" false
+    (Path_class.exportable_to topo p ~neighbor_role:Relationship.Peer)
+
+let test_valley_free_verdicts () =
+  let topo = Fixtures.two_tier_peering () in
+  Alcotest.(check bool) "up-peer-down ok" true
+    (Valley_free.is_valley_free topo [ 2; 0; 1; 4 ]);
+  Alcotest.(check bool) "up-then-down ok" true
+    (Valley_free.is_valley_free topo [ 2; 0; 3 ]);
+  (* A genuine valley: descend to a customer, then climb back up. *)
+  (match Valley_free.check topo [ 1; 4; 1; 5 ] with
+  | Valley_free.Valley (4, 1) -> ()
+  | Valley_free.Valley _ -> Alcotest.fail "wrong valley location"
+  | Valley_free.Valley_free -> Alcotest.fail "valley accepted"
+  | Valley_free.Broken_link _ -> Alcotest.fail "links exist");
+  (* Two peering hops in a row are a valley. *)
+  let topo3 =
+    Topology.create ~n:3
+      [ (0, 1, Relationship.Peer, 1.0); (1, 2, Relationship.Peer, 1.0) ]
+  in
+  (match Valley_free.check topo3 [ 0; 1; 2 ] with
+  | Valley_free.Valley (1, 2) -> ()
+  | Valley_free.Valley _ -> Alcotest.fail "wrong valley location"
+  | Valley_free.Valley_free -> Alcotest.fail "double peering accepted"
+  | Valley_free.Broken_link _ -> Alcotest.fail "links exist");
+  (* Broken link detection. *)
+  match Valley_free.check topo [ 2; 4 ] with
+  | Valley_free.Broken_link (2, 4) -> ()
+  | _ -> Alcotest.fail "missing link not detected"
+
+let test_valley_free_descent () =
+  let topo = Fixtures.two_tier_peering () in
+  Alcotest.(check bool) "pure descent" true
+    (Valley_free.is_valley_free topo [ 0; 2 ]);
+  Alcotest.(check bool) "pure ascent" true
+    (Valley_free.is_valley_free topo [ 2; 0 ]);
+  Alcotest.(check bool) "trivial" true (Valley_free.is_valley_free topo [ 2 ])
+
+let test_sibling_transparent_in_valley_check () =
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Sibling, 1.0);
+        (1, 2, Relationship.Customer, 1.0);
+        (2, 3, Relationship.Sibling, 1.0) ]
+  in
+  Alcotest.(check bool) "siblings transparent" true
+    (Valley_free.is_valley_free topo [ 0; 1; 2; 3 ])
+
+(* Consistency: class_of and the export rule agree with valley-freeness —
+   any path whose every suffix is exportable hop by hop is valley-free. *)
+let class_implies_valley_free =
+  QCheck.Test.make ~name:"solver classes consistent with valley checker"
+    ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let topo = Helpers.random_as_topology ~seed ~n:30 in
+      let ok = ref true in
+      for dest = 0 to 29 do
+        let r = Solver.to_dest topo dest in
+        Solver.iter_reachable r (fun src ->
+            if src <> dest then
+              match (Solver.path r src, Solver.class_of r src) with
+              | Some p, Some cls ->
+                if not (Valley_free.is_valley_free topo p) then ok := false;
+                (match Path_class.class_of topo p with
+                | Some cls' when cls' = cls -> ()
+                | _ -> ok := false)
+              | _ -> ok := false)
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "class rank order" `Quick test_class_rank_order;
+    Alcotest.test_case "export matrix" `Quick test_export_matrix;
+    Alcotest.test_case "class of learned" `Quick test_class_of_learned;
+    Alcotest.test_case "preference" `Quick test_preference;
+    Alcotest.test_case "path class" `Quick test_path_class;
+    Alcotest.test_case "path class across peering" `Quick
+      test_path_class_peer;
+    Alcotest.test_case "exportable_to" `Quick test_exportable_to;
+    Alcotest.test_case "valley-free verdicts" `Quick
+      test_valley_free_verdicts;
+    Alcotest.test_case "valley-free descent" `Quick test_valley_free_descent;
+    Alcotest.test_case "sibling transparency" `Quick
+      test_sibling_transparent_in_valley_check;
+    QCheck_alcotest.to_alcotest class_implies_valley_free ]

@@ -1,0 +1,247 @@
+(* Foundation utilities: RNG determinism and distribution sanity, heap
+   ordering, statistics, union-find — including qcheck properties. *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let x = Rng.bits64 a and y = Rng.bits64 b in
+  Alcotest.(check bool) "different streams" true (x <> y)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+    (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.create 1) 0))
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: each of 10 buckets within 20% of expected. *)
+  let rng = Rng.create 77 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    counts
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  let s = Rng.sample rng 20 arr in
+  Alcotest.(check int) "sample size" 20 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate in sample"
+  done
+
+let test_rng_sample_clamps () =
+  let rng = Rng.create 11 in
+  let s = Rng.sample rng 99 [| 1; 2; 3 |] in
+  Alcotest.(check int) "clamped to population" 3 (Array.length s)
+
+let test_rng_weighted_index () =
+  let rng = Rng.create 13 in
+  let hits = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Rng.weighted_index rng [| 1.0; 2.0; 7.0 |] in
+    hits.(i) <- hits.(i) + 1
+  done;
+  Alcotest.(check bool) "heaviest weight dominates" true
+    (hits.(2) > hits.(1) && hits.(1) > hits.(0))
+
+let test_heap_pop_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check (list int))
+    "sorted drain" [ 1; 1; 3; 4; 5 ]
+    (Heap.to_sorted_list h);
+  Alcotest.(check int) "length preserved" 5 (Heap.length h)
+
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order — simulator determinism. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare (a : int) b) in
+  List.iter (Heap.push h) [ (1, "first"); (0, "zero"); (1, "second") ];
+  Alcotest.(check (option (pair int string))) "zero" (Some (0, "zero")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo 1" (Some (1, "first")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo 2" (Some (1, "second")) (Heap.pop h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h);
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      Heap.to_sorted_list h = List.sort compare l)
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats.variance xs);
+  let lo, hi = Stats.min_max xs in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 4.0 hi
+
+let test_stats_geometric_mean () =
+  Alcotest.(check (float 1e-9)) "gm" 2.0 (Stats.geometric_mean [| 1.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive sample") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_stats_cdf () =
+  let c = Stats.cdf [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "below all" 0.0 (Stats.cdf_at c 0.5);
+  Alcotest.(check (float 1e-9)) "at median" (2.0 /. 3.0) (Stats.cdf_at c 2.0);
+  Alcotest.(check (float 1e-9)) "above all" 1.0 (Stats.cdf_at c 10.0)
+
+let test_stats_fraction_below () =
+  Alcotest.(check (float 1e-9))
+    "two of four" 0.5
+    (Stats.fraction_below [| 1.0; 5.0; 2.0; 9.0 |] [| 2.0; 4.0; 3.0; 8.0 |])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 1.0; 9.0; 10.0 |] in
+  Alcotest.(check int) "low bucket" 2 h.Stats.counts.(0);
+  Alcotest.(check int) "high bucket" 2 h.Stats.counts.(1)
+
+let stats_percentile_qcheck =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+              (float_bound_inclusive 100.0))
+    (fun (l, p) ->
+      let xs = Array.of_list l in
+      let v = Stats.percentile xs p in
+      let lo, hi = Stats.min_max xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let test_rng_misc () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 3 in
+    if v < -3 || v > 3 then Alcotest.failf "int_in out of range: %d" v;
+    let f = Rng.float_in rng 2.0 5.0 in
+    if f < 2.0 || f >= 5.0 then Alcotest.failf "float_in out of range: %f" f
+  done;
+  Alcotest.check_raises "int_in bad range"
+    (Invalid_argument "Rng.int_in: hi < lo") (fun () ->
+      ignore (Rng.int_in rng 5 4));
+  (* Exponential has the right mean, roughly. *)
+  let total = ref 0.0 in
+  for _ = 1 to 20_000 do
+    total := !total +. Rng.exponential rng 3.0
+  done;
+  let mean = !total /. 20_000.0 in
+  if mean < 2.7 || mean > 3.3 then Alcotest.failf "exponential mean %f" mean;
+  (* Shuffle preserves multiset. *)
+  let arr = Array.init 20 (fun i -> i) in
+  let copy = Array.copy arr in
+  Rng.shuffle_in_place rng copy;
+  Array.sort compare copy;
+  Alcotest.(check bool) "shuffle permutes" true (copy = arr);
+  Alcotest.(check (list int)) "shuffle_list permutes" (List.init 9 Fun.id)
+    (List.sort compare (Rng.shuffle_list rng (List.init 9 Fun.id)));
+  (* Pick stays in the population. *)
+  for _ = 1 to 100 do
+    let v = Rng.pick rng [| 4; 8; 15 |] in
+    if not (List.mem v [ 4; 8; 15 ]) then Alcotest.fail "pick out of population"
+  done;
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_stats_summary_line () =
+  let line = Stats.summary_line "lbl" [| 1.0; 2.0 |] in
+  Alcotest.(check bool) "has label and count" true
+    (String.length line > 10 && String.sub line 0 3 = "lbl");
+  Alcotest.(check string) "empty input" "x: n=0" (Stats.summary_line "x" [||])
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union 0 1" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union 1 0 again" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check int) "three sets" 3 (Union_find.count uf);
+  Alcotest.(check bool) "same 0 1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same 0 2" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 0 2);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 1 3)
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick
+      test_rng_split_independence;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng rejects bad bound" `Quick
+      test_rng_int_rejects_bad_bound;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng sample distinct" `Quick test_rng_sample_distinct;
+    Alcotest.test_case "rng sample clamps" `Quick test_rng_sample_clamps;
+    Alcotest.test_case "rng weighted index" `Quick test_rng_weighted_index;
+    Alcotest.test_case "heap pop order" `Quick test_heap_pop_order;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    QCheck_alcotest.to_alcotest heap_qcheck;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats geometric mean" `Quick
+      test_stats_geometric_mean;
+    Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
+    Alcotest.test_case "stats fraction below" `Quick
+      test_stats_fraction_below;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    QCheck_alcotest.to_alcotest stats_percentile_qcheck;
+    Alcotest.test_case "rng misc" `Quick test_rng_misc;
+    Alcotest.test_case "stats summary line" `Quick test_stats_summary_line;
+    Alcotest.test_case "union find" `Quick test_union_find ]

@@ -1,0 +1,65 @@
+(* Privacy (paper §6.2, Claim 2): Centaur announcements and path-vector
+   announcements are mutually reconstructible; Permission Lists do not
+   pinpoint the policy's author. *)
+
+open Helpers
+open Centaur
+
+let test_claim2_on_fixtures () =
+  List.iter
+    (fun topo ->
+      for src = 0 to Topology.num_nodes topo - 1 do
+        let g = Static.pgraph_of_source topo ~src in
+        Alcotest.(check bool)
+          (Printf.sprintf "claim 2 at %d" src)
+          true (Privacy.equivalent g)
+      done)
+    [ Fixtures.figure2a (); Fixtures.figure4 (); Fixtures.two_tier_peering () ]
+
+let test_claim2_randomized () =
+  let topo = random_as_topology ~seed:111 ~n:50 in
+  List.iter
+    (fun src ->
+      let g = Static.pgraph_of_source topo ~src in
+      Alcotest.(check bool)
+        (Printf.sprintf "claim 2 at %d" src)
+        true (Privacy.equivalent g))
+    [ 0; 9; 23; 41 ]
+
+let test_pv_observer_reconstructs_pgraph () =
+  (* The Claim 2 proof direction: from path-vector announcements an
+     observer builds exactly the P-graph Centaur would have sent. *)
+  let topo = random_as_topology ~seed:112 ~n:40 in
+  let src = 6 in
+  let centaur_graph = Static.pgraph_of_source topo ~src in
+  let pv_announcements = Solver.path_set_from topo ~src in
+  let rebuilt = Privacy.pgraph_of_paths ~root:src pv_announcements in
+  Alcotest.(check bool) "same graph" true (Pgraph.equal centaur_graph rebuilt)
+
+let test_figure4_authors () =
+  (* The paper's example: the Permission List on C->D "might be the
+     policy of several possible nodes, such as A or C". *)
+  let c = Fixtures.c and a = Fixtures.a and b = Fixtures.b in
+  let d = Fixtures.d and d' = Fixtures.d' in
+  let g = Pgraph.of_paths ~root:c [ [ c; a; b; d ]; [ c; d; d' ] ] in
+  let authors = Privacy.possible_policy_authors g ~parent:c ~child:d in
+  Alcotest.(check (list int)) "C is a candidate author" [ c ] authors;
+  (* The other in-link of D: its restriction could sit anywhere on
+     C-A-B. *)
+  let authors_b = Privacy.possible_policy_authors g ~parent:b ~child:d in
+  Alcotest.(check (list int)) "C, A and B all candidates" [ c; a; b ] authors_b
+
+let test_no_plist_no_authors () =
+  let g = Pgraph.of_paths ~root:0 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check (list int)) "no PL, no policy revealed" []
+    (Privacy.possible_policy_authors g ~parent:1 ~child:2);
+  Alcotest.(check (list int)) "absent link" []
+    (Privacy.possible_policy_authors g ~parent:0 ~child:9)
+
+let suite =
+  [ Alcotest.test_case "claim 2 on fixtures" `Quick test_claim2_on_fixtures;
+    Alcotest.test_case "claim 2 randomized" `Quick test_claim2_randomized;
+    Alcotest.test_case "pv observer reconstructs P-graph" `Quick
+      test_pv_observer_reconstructs_pgraph;
+    Alcotest.test_case "figure 4 authors" `Quick test_figure4_authors;
+    Alcotest.test_case "no PL, no authors" `Quick test_no_plist_no_authors ]

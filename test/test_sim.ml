@@ -1,0 +1,169 @@
+(* Discrete-event engine: delivery order and delays, link-state drops,
+   timers, counters, divergence guard. *)
+
+type probe = { payload : int }
+
+let line_topo delays =
+  (* 0 - 1 - 2 ... with given per-link delays. *)
+  Topology.create ~n:(List.length delays + 1)
+    (List.mapi (fun i d -> (i, i + 1, Relationship.Peer, d)) delays)
+
+let engine_with ~topo ~log ?(units = fun _ -> 1) ?(forward = true) () =
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now ~node ~src msg ->
+          log := (now, node, src, msg.payload) :: !log;
+          (* Forward down the line once. *)
+          if forward && node + 1 < Topology.num_nodes topo then
+            [ Sim.Engine.Send (node + 1, msg) ]
+          else []);
+      Sim.Engine.on_link_change =
+        (fun ~now ~node ~link_id ->
+          log := (now, node, -1, -link_id - 1) :: !log;
+          []);
+      Sim.Engine.on_timer = Sim.Engine.no_timers }
+  in
+  Sim.Engine.create topo ~units ~handlers
+
+let test_delays_accumulate () =
+  let topo = line_topo [ 2.0; 3.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  let since = Sim.Engine.mark e in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 7 }) ];
+  let stats = Sim.Engine.run_to_quiescence ~since e in
+  (match List.rev !log with
+  | [ (t1, 1, 0, 7); (t2, 2, 1, 7) ] ->
+    Alcotest.(check (float 1e-9)) "first hop at 2ms" 2.0 t1;
+    Alcotest.(check (float 1e-9)) "second hop at 5ms" 5.0 t2
+  | _ -> Alcotest.fail "unexpected delivery log");
+  Alcotest.(check (float 1e-9)) "duration" 5.0 stats.Sim.Engine.duration;
+  Alcotest.(check int) "messages" 2 stats.Sim.Engine.messages;
+  Alcotest.(check int) "deliveries" 2 stats.Sim.Engine.deliveries
+
+let test_send_to_nonneighbor_dropped () =
+  let topo = line_topo [ 1.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (9, { payload = 1 }) ];
+  let stats = Sim.Engine.run_to_quiescence e in
+  Alcotest.(check int) "nothing sent" 0 stats.Sim.Engine.messages
+
+let test_send_over_down_link_dropped () =
+  let topo = line_topo [ 1.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  Topology.set_up topo 0 false;
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 1 }) ];
+  let stats = Sim.Engine.run_to_quiescence e in
+  Alcotest.(check int) "session gone" 0 stats.Sim.Engine.messages
+
+let test_in_flight_loss () =
+  (* A message in flight when its link dies is lost. *)
+  let topo = line_topo [ 5.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  let since = Sim.Engine.mark e in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 42 }) ];
+  (* The flip is scheduled at t=0, before the t=5 delivery. *)
+  Sim.Engine.flip_link e ~link_id:0 ~up:false;
+  let stats = Sim.Engine.run_to_quiescence ~since e in
+  Alcotest.(check int) "sent but lost" 1 stats.Sim.Engine.messages;
+  Alcotest.(check int) "not delivered" 0 stats.Sim.Engine.deliveries;
+  (* Only the two link notifications reached handlers. *)
+  Alcotest.(check int) "two notifications" 2 (List.length !log)
+
+let test_link_change_notifies_both_endpoints () =
+  let topo = line_topo [ 1.0; 1.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  Sim.Engine.flip_link e ~link_id:1 ~up:false;
+  ignore (Sim.Engine.run_to_quiescence e);
+  let notified =
+    List.filter_map
+      (fun (_, node, src, _) -> if src = -1 then Some node else None)
+      !log
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "both endpoints" [ 1; 2 ] notified
+
+let test_units_accounting () =
+  let topo = line_topo [ 1.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log ~units:(fun m -> m.payload) ~forward:false () in
+  let since = Sim.Engine.mark e in
+  Sim.Engine.perform e ~node:0
+    [ Sim.Engine.Send (1, { payload = 10 }); Sim.Engine.Send (1, { payload = 5 }) ];
+  let stats = Sim.Engine.run_to_quiescence ~since e in
+  Alcotest.(check int) "unit sum" 15 stats.Sim.Engine.units;
+  Alcotest.(check int) "messages" 2 stats.Sim.Engine.messages
+
+let test_timers_fire_in_order () =
+  let topo = line_topo [ 1.0 ] in
+  let fired = ref [] in
+  let handlers =
+    { Sim.Engine.on_message = (fun ~now:_ ~node:_ ~src:_ _ -> []);
+      Sim.Engine.on_link_change = (fun ~now:_ ~node:_ ~link_id:_ -> []);
+      Sim.Engine.on_timer =
+        (fun ~now ~node:_ ~key ->
+          fired := (now, key) :: !fired;
+          []) }
+  in
+  let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  Sim.Engine.perform e ~node:0
+    [ Sim.Engine.Timer (5.0, 2); Sim.Engine.Timer (1.0, 1) ];
+  ignore (Sim.Engine.run_to_quiescence e);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "time order" [ (1.0, 1); (5.0, 2) ] (List.rev !fired)
+
+let test_divergence_guard () =
+  (* A protocol that replies forever must trip the event budget. *)
+  let topo = line_topo [ 1.0 ] in
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now:_ ~node:_ ~src msg -> [ Sim.Engine.Send (src, msg) ]);
+      Sim.Engine.on_link_change = (fun ~now:_ ~node:_ ~link_id:_ -> []);
+      Sim.Engine.on_timer = Sim.Engine.no_timers }
+  in
+  let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 0 }) ];
+  match Sim.Engine.run_to_quiescence ~max_events:100 e with
+  | exception Sim.Engine.Diverged _ -> ()
+  | _ -> Alcotest.fail "divergence not detected"
+
+let test_mark_spans_initial_sends () =
+  let topo = line_topo [ 1.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log ~forward:false () in
+  let since = Sim.Engine.mark e in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 1 }) ];
+  let stats = Sim.Engine.run_to_quiescence ~since e in
+  Alcotest.(check int) "initial send counted" 1 stats.Sim.Engine.messages
+
+let test_forwarding_path_helper () =
+  let topo = Fixtures.figure2a () in
+  let runner = Protocols.Centaur_net.network topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  (match Sim.Runner.forwarding_path runner ~src:0 ~dest:3 ~max_hops:8 with
+  | Some p -> Helpers.check_path "A to D data plane" [ 0; 1; 3 ] p
+  | None -> Alcotest.fail "no forwarding path");
+  Alcotest.(check bool) "self" true
+    (Sim.Runner.forwarding_path runner ~src:3 ~dest:3 ~max_hops:8 = Some [ 3 ])
+
+let suite =
+  [ Alcotest.test_case "delays accumulate" `Quick test_delays_accumulate;
+    Alcotest.test_case "send to non-neighbor dropped" `Quick
+      test_send_to_nonneighbor_dropped;
+    Alcotest.test_case "send over down link dropped" `Quick
+      test_send_over_down_link_dropped;
+    Alcotest.test_case "in-flight loss" `Quick test_in_flight_loss;
+    Alcotest.test_case "link change notifies endpoints" `Quick
+      test_link_change_notifies_both_endpoints;
+    Alcotest.test_case "units accounting" `Quick test_units_accounting;
+    Alcotest.test_case "timers fire in order" `Quick
+      test_timers_fire_in_order;
+    Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+    Alcotest.test_case "mark spans initial sends" `Quick
+      test_mark_spans_initial_sends;
+    Alcotest.test_case "forwarding path helper" `Quick
+      test_forwarding_path_helper ]

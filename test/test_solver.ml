@@ -1,0 +1,288 @@
+(* Static Gao–Rexford solver: worked examples from the paper's figures,
+   plus the structural invariants (valley-freeness, loop-freeness,
+   suffix consistency — Observation 1) on generated topologies. *)
+
+open Helpers
+
+let fig2 = Fixtures.figure2a
+
+let test_fig2_routes_to_d () =
+  let topo = fig2 () in
+  let r = Solver.to_dest topo Fixtures.d in
+  (* B and C reach their customer D directly; A goes through its
+     customer B (lowest next-hop id among the two equal candidates). *)
+  check_path_opt "B -> D" (Some [ Fixtures.b; Fixtures.d ])
+    (Solver.path r Fixtures.b);
+  check_path_opt "C -> D" (Some [ Fixtures.c; Fixtures.d ])
+    (Solver.path r Fixtures.c);
+  check_path_opt "A -> D"
+    (Some [ Fixtures.a; Fixtures.b; Fixtures.d ])
+    (Solver.path r Fixtures.a)
+
+let test_fig2_route_classes () =
+  let topo = fig2 () in
+  let r = Solver.to_dest topo Fixtures.d in
+  Alcotest.(check (option string))
+    "A's route to D is a customer route" (Some "customer-route")
+    (Option.map Gao_rexford.class_to_string (Solver.class_of r Fixtures.a));
+  let r_a = Solver.to_dest topo Fixtures.a in
+  Alcotest.(check (option string))
+    "D's route to A is a provider route" (Some "provider-route")
+    (Option.map Gao_rexford.class_to_string (Solver.class_of r_a Fixtures.d))
+
+let test_fig2_destination_is_origin () =
+  let topo = fig2 () in
+  let r = Solver.to_dest topo Fixtures.d in
+  Alcotest.(check (option string))
+    "destination class" (Some "origin")
+    (Option.map Gao_rexford.class_to_string (Solver.class_of r Fixtures.d));
+  check_path_opt "trivial path" (Some [ Fixtures.d ]) (Solver.path r Fixtures.d)
+
+let test_triangle_peering_no_transit () =
+  (* Figure 1's triangle with A and B as peers over C: A must NOT route
+     to B through its customer C's other provider... C is a customer of
+     both, so A reaches B directly over the peering link; C never
+     transits between its two providers. *)
+  let topo = Fixtures.figure1_triangle () in
+  let r_b = Solver.to_dest topo Fixtures.b in
+  check_path_opt "A -> B via peering"
+    (Some [ Fixtures.a; Fixtures.b ])
+    (Solver.path r_b Fixtures.a);
+  let r_c = Solver.to_dest topo Fixtures.c in
+  check_path_opt "A -> C direct"
+    (Some [ Fixtures.a; Fixtures.c ])
+    (Solver.path r_c Fixtures.a)
+
+let test_two_tier_crosses_peering_once () =
+  let topo = Fixtures.two_tier_peering () in
+  let r = Solver.to_dest topo 4 in
+  (* 2 (customer of 0) reaches 4 (customer of 1) up, across 0–1, down. *)
+  check_path_opt "2 -> 4" (Some [ 2; 0; 1; 4 ]) (Solver.path r 2)
+
+let test_line_reachability () =
+  let topo = Fixtures.line 6 in
+  let r = Solver.to_dest topo 5 in
+  for src = 0 to 4 do
+    check_path_opt
+      (Printf.sprintf "%d -> 5 along the chain" src)
+      (Some (List.init (6 - src) (fun i -> src + i)))
+      (Solver.path r src)
+  done
+
+let test_no_valley_through_stub () =
+  (* Star: center 0 provides 1..n-1. Leaves reach each other through the
+     provider; leaves never transit. *)
+  let topo = Fixtures.star 5 in
+  let r = Solver.to_dest topo 4 in
+  check_path_opt "1 -> 4 via provider" (Some [ 1; 0; 4 ]) (Solver.path r 1)
+
+let test_disconnected_unreachable () =
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Customer, 1.0); (2, 3, Relationship.Customer, 1.0) ]
+  in
+  let r = Solver.to_dest topo 0 in
+  Alcotest.(check bool) "2 cannot reach 0" false (Solver.reachable r 2);
+  Alcotest.(check bool) "1 can reach 0" true (Solver.reachable r 1)
+
+let test_peer_route_not_exported_to_peer () =
+  (* 0 – 1 peers, 1 – 2 peers: 0 must not reach 2 through 1 (peer routes
+     are not exported to peers) — with no other connectivity, 2 is
+     unreachable from 0. *)
+  let topo =
+    Topology.create ~n:3
+      [ (0, 1, Relationship.Peer, 1.0); (1, 2, Relationship.Peer, 1.0) ]
+  in
+  let r = Solver.to_dest topo 2 in
+  Alcotest.(check bool) "0 cannot use two peering hops" false
+    (Solver.reachable r 0);
+  Alcotest.(check bool) "1 reaches its peer" true (Solver.reachable r 1)
+
+let test_provider_route_not_exported_to_peer () =
+  (* 2 is 1's provider; 0 peers with 1. 0 must not learn 1's provider
+     route to 2's other customer 3. *)
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Peer, 1.0);
+        (1, 2, Relationship.Provider, 1.0);
+        (2, 3, Relationship.Customer, 1.0) ]
+  in
+  let r = Solver.to_dest topo 3 in
+  Alcotest.(check bool) "1 reaches 3 via provider" true (Solver.reachable r 1);
+  Alcotest.(check bool) "0 must not transit its peer's provider" false
+    (Solver.reachable r 0)
+
+let test_sibling_transparency () =
+  (* 1 and 2 are siblings; 3 is 2's provider-route destination. A peer 0
+     of 1 may use 1's customer routes but not routes 1 inherited from the
+     sibling with provider class. *)
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Peer, 1.0);
+        (1, 2, Relationship.Sibling, 1.0);
+        (2, 3, Relationship.Provider, 1.0) ]
+  in
+  let r = Solver.to_dest topo 3 in
+  Alcotest.(check bool) "sibling inherits provider route" true
+    (Solver.reachable r 1);
+  Alcotest.(check bool) "peer cannot use inherited provider route" false
+    (Solver.reachable r 0)
+
+let test_sibling_customer_route_exported () =
+  (* Same shape but 3 is 2's customer: the inherited class is customer,
+     which IS exportable to peers. *)
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Peer, 1.0);
+        (1, 2, Relationship.Sibling, 1.0);
+        (2, 3, Relationship.Customer, 1.0) ]
+  in
+  let r = Solver.to_dest topo 3 in
+  check_path_opt "0 -> 3 through sibling pair" (Some [ 0; 1; 2; 3 ])
+    (Solver.path r 0)
+
+(* --- Invariants on generated topologies --- *)
+
+let all_paths topo =
+  let n = Topology.num_nodes topo in
+  let acc = ref [] in
+  for dest = 0 to n - 1 do
+    let r = Solver.to_dest topo dest in
+    Solver.iter_reachable r (fun src ->
+        if src <> dest then
+          match Solver.path r src with
+          | Some p -> acc := p :: !acc
+          | None -> ())
+  done;
+  !acc
+
+let test_generated_paths_valley_free () =
+  let topo = random_as_topology ~seed:11 ~n:80 in
+  List.iter
+    (fun p ->
+      if not (Valley_free.is_valley_free topo p) then
+        Alcotest.failf "valley in %s" (Path.to_string p))
+    (all_paths topo)
+
+let test_generated_paths_loop_free () =
+  let topo = random_as_topology ~seed:12 ~n:80 in
+  List.iter
+    (fun p ->
+      if not (Path.is_loop_free p) then
+        Alcotest.failf "loop in %s" (Path.to_string p))
+    (all_paths topo)
+
+let test_suffix_consistency () =
+  (* Observation 1: the suffix of a selected path from its second node on
+     is exactly that node's own selected path. *)
+  let topo = random_as_topology ~seed:13 ~n:60 in
+  let n = Topology.num_nodes topo in
+  for dest = 0 to n - 1 do
+    let r = Solver.to_dest topo dest in
+    Solver.iter_reachable r (fun src ->
+        if src <> dest then
+          match Solver.path r src with
+          | Some (_ :: (hop :: _ as suffix)) ->
+            check_path_opt
+              (Printf.sprintf "suffix of %d->%d at %d" src dest hop)
+              (Some suffix) (Solver.path r hop)
+          | Some _ | None -> ())
+  done
+
+let test_full_reachability_on_as_gen () =
+  (* As_gen guarantees a provider chain to the Tier-1 clique, so the
+     valley-free route set is complete. *)
+  let topo = random_as_topology ~seed:14 ~n:100 in
+  let n = Topology.num_nodes topo in
+  for dest = 0 to n - 1 do
+    let r = Solver.to_dest topo dest in
+    for src = 0 to n - 1 do
+      if not (Solver.reachable r src) then
+        Alcotest.failf "%d cannot reach %d" src dest
+    done
+  done
+
+let test_brite_annotated_reachability () =
+  let topo = random_brite ~seed:15 ~n:100 ~m:2 in
+  let n = Topology.num_nodes topo in
+  let unreachable = ref 0 in
+  for dest = 0 to n - 1 do
+    let r = Solver.to_dest topo dest in
+    for src = 0 to n - 1 do
+      if src <> dest && not (Solver.reachable r src) then incr unreachable
+    done
+  done;
+  (* Degree-tiering of a BA graph can orphan a few pairs (two stubs under
+     the same low-tier provider chain); the bulk must be reachable. *)
+  let total = n * (n - 1) in
+  if !unreachable * 10 > total then
+    Alcotest.failf "%d of %d pairs unreachable" !unreachable total
+
+let test_shortest_within_class () =
+  (* Within the same route class the solver must pick the shorter path:
+     give A two customer routes to D of different lengths. *)
+  let topo =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Customer, 1.0);
+        (0, 2, Relationship.Customer, 1.0);
+        (1, 3, Relationship.Customer, 1.0);
+        (2, 3, Relationship.Provider, 1.0) ]
+      (* 3 is 1's customer; 3 is 2's provider. 0's customer-class options
+         to reach 3: via 1 (length 2). Via 2 it would be a
+         customer route of 0 but 2's route to its provider 3 is a
+         provider route — not exportable to 2's provider 0. *)
+  in
+  let r = Solver.to_dest topo 3 in
+  check_path_opt "0 -> 3" (Some [ 0; 1; 3 ]) (Solver.path r 0)
+
+let test_customer_preferred_over_shorter_peer () =
+  (* 0 has a direct peer route to 2 and a longer customer route via 1;
+     the customer route must win despite being longer. *)
+  let topo =
+    Topology.create ~n:3
+      [ (0, 2, Relationship.Peer, 1.0);
+        (0, 1, Relationship.Customer, 1.0);
+        (1, 2, Relationship.Customer, 1.0) ]
+  in
+  let r = Solver.to_dest topo 2 in
+  check_path_opt "0 prefers the customer route" (Some [ 0; 1; 2 ])
+    (Solver.path r 0);
+  Alcotest.(check (option string))
+    "class" (Some "customer-route")
+    (Option.map Gao_rexford.class_to_string (Solver.class_of r 0))
+
+let suite =
+  [ Alcotest.test_case "figure2a routes to D" `Quick test_fig2_routes_to_d;
+    Alcotest.test_case "figure2a route classes" `Quick test_fig2_route_classes;
+    Alcotest.test_case "destination is origin" `Quick
+      test_fig2_destination_is_origin;
+    Alcotest.test_case "triangle peering" `Quick
+      test_triangle_peering_no_transit;
+    Alcotest.test_case "two-tier crosses peering once" `Quick
+      test_two_tier_crosses_peering_once;
+    Alcotest.test_case "line reachability" `Quick test_line_reachability;
+    Alcotest.test_case "star leaves via provider" `Quick
+      test_no_valley_through_stub;
+    Alcotest.test_case "disconnected unreachable" `Quick
+      test_disconnected_unreachable;
+    Alcotest.test_case "peer route not exported to peer" `Quick
+      test_peer_route_not_exported_to_peer;
+    Alcotest.test_case "provider route not exported to peer" `Quick
+      test_provider_route_not_exported_to_peer;
+    Alcotest.test_case "sibling transparency" `Quick test_sibling_transparency;
+    Alcotest.test_case "sibling customer route exported" `Quick
+      test_sibling_customer_route_exported;
+    Alcotest.test_case "generated paths valley-free" `Quick
+      test_generated_paths_valley_free;
+    Alcotest.test_case "generated paths loop-free" `Quick
+      test_generated_paths_loop_free;
+    Alcotest.test_case "suffix consistency (Observation 1)" `Quick
+      test_suffix_consistency;
+    Alcotest.test_case "full reachability on As_gen" `Quick
+      test_full_reachability_on_as_gen;
+    Alcotest.test_case "BRITE annotated reachability" `Quick
+      test_brite_annotated_reachability;
+    Alcotest.test_case "shortest within class" `Quick
+      test_shortest_within_class;
+    Alcotest.test_case "customer preferred over shorter peer" `Quick
+      test_customer_preferred_over_shorter_peer ]

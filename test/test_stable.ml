@@ -1,0 +1,191 @@
+(* Generic fixpoint solver: differential testing against the three-phase
+   solver under the Standard discipline, and the Class_only ablation's
+   own invariants. *)
+
+open Helpers
+
+let test_matches_solver_fig2 () =
+  let topo = Fixtures.figure2a () in
+  for dest = 0 to 3 do
+    let a = Solver.to_dest topo dest in
+    let b = Stable.to_dest topo dest in
+    for src = 0 to 3 do
+      check_path_opt
+        (Printf.sprintf "path %d->%d" src dest)
+        (Solver.path a src) (Stable.path b src)
+    done
+  done
+
+let differential_standard =
+  QCheck.Test.make ~name:"Stable(Standard) == Solver on random AS graphs"
+    ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let topo = random_as_topology ~seed ~n:35 in
+      let ok = ref true in
+      for dest = 0 to 34 do
+        let a = Solver.to_dest topo dest in
+        let b = Stable.to_dest topo dest in
+        for src = 0 to 34 do
+          if Solver.path a src <> Stable.path b src then ok := false;
+          if Solver.class_of a src <> Stable.class_of b src then ok := false
+        done
+      done;
+      !ok)
+
+let differential_standard_brite =
+  QCheck.Test.make ~name:"Stable(Standard) == Solver on BRITE graphs"
+    ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let topo = random_brite ~seed ~n:40 ~m:2 in
+      let ok = ref true in
+      for dest = 0 to 39 do
+        let a = Solver.to_dest topo dest in
+        let b = Stable.to_dest topo dest in
+        for src = 0 to 39 do
+          if Solver.path a src <> Stable.path b src then ok := false
+        done
+      done;
+      !ok)
+
+let test_class_only_valley_free () =
+  let topo = random_as_topology ~seed:71 ~n:60 in
+  for dest = 0 to 59 do
+    let r = Stable.to_dest ~discipline:Gao_rexford.Class_only topo dest in
+    Stable.iter_reachable r (fun src ->
+        if src <> dest then
+          match Stable.path r src with
+          | Some p ->
+            if not (Valley_free.is_valley_free topo p) then
+              Alcotest.failf "valley in %s" (Path.to_string p);
+            if not (Path.is_loop_free p) then
+              Alcotest.failf "loop in %s" (Path.to_string p)
+          | None -> Alcotest.fail "reachable without path")
+  done
+
+let test_class_only_suffix_consistency () =
+  (* Observation 1 must hold for any discipline, or P-graphs break. *)
+  let topo = random_as_topology ~seed:72 ~n:50 in
+  for dest = 0 to 49 do
+    let r = Stable.to_dest ~discipline:Gao_rexford.Class_only topo dest in
+    Stable.iter_reachable r (fun src ->
+        if src <> dest then
+          match Stable.path r src with
+          | Some (_ :: (hop :: _ as suffix)) ->
+            check_path_opt
+              (Printf.sprintf "suffix at %d of %d->%d" hop src dest)
+              (Some suffix) (Stable.path r hop)
+          | Some _ | None -> ())
+  done
+
+let test_class_only_same_reachability () =
+  (* The discipline changes which path wins, never whether a route
+     exists. *)
+  let topo = random_as_topology ~seed:73 ~n:50 in
+  for dest = 0 to 49 do
+    let a = Solver.to_dest topo dest in
+    let b = Stable.to_dest ~discipline:Gao_rexford.Class_only topo dest in
+    for src = 0 to 49 do
+      Alcotest.(check bool)
+        (Printf.sprintf "reachability %d->%d" src dest)
+        (Solver.reachable a src) (Stable.reachable b src)
+    done
+  done
+
+let test_class_only_prefers_low_next_hop () =
+  (* 0 reaches 3 via customer 1 (short) or customer... construct: both 1
+     and 2 are 0's customers; 1 offers a 2-hop route, 2 offers a direct
+     3-hop... make 2 offer LONGER path but lower id? ids: nexthop 1 < 2,
+     same class: both disciplines pick 1. Flip: give the long route to
+     the lower next hop. *)
+  let topo =
+    Topology.create ~n:5
+      [ (0, 1, Relationship.Customer, 1.0);
+        (0, 2, Relationship.Customer, 1.0);
+        (1, 4, Relationship.Customer, 1.0);
+        (4, 3, Relationship.Customer, 1.0);
+        (2, 3, Relationship.Customer, 1.0) ]
+  in
+  (* Routes from 0 to 3: via 1 = [0;1;4;3] (len 3), via 2 = [0;2;3]
+     (len 2). Standard picks the shorter via 2; Class_only picks the
+     lower next hop 1. *)
+  let std = Stable.to_dest topo 3 in
+  check_path_opt "standard shortest" (Some [ 0; 2; 3 ]) (Stable.path std 0);
+  let co = Stable.to_dest ~discipline:Gao_rexford.Class_only topo 3 in
+  check_path_opt "class-only lowest next hop" (Some [ 0; 1; 4; 3 ])
+    (Stable.path co 0)
+
+let test_canalization_and_bushiness () =
+  (* The ablation's finding: globally consistent tie-breaks (class-only,
+     diverse) canalize routes into trees; per-(node, dest) arbitrary
+     ties (deployed BGP) produce genuinely multi-homed P-graphs. *)
+  let topo = random_as_topology ~seed:74 ~n:150 in
+  let sources = [ 3; 17; 59; 88; 120 ] in
+  let plists discipline =
+    (Centaur.Static.analyze ~discipline topo ~sources).Centaur.Static.avg_plists
+  in
+  let std = plists Gao_rexford.Standard in
+  let co = plists Gao_rexford.Class_only in
+  let arb = plists Gao_rexford.Arbitrary in
+  Alcotest.(check (float 1e-9)) "class-only is a perfect tree" 0.0 co;
+  Alcotest.(check bool)
+    (Printf.sprintf "arbitrary far bushier (%.1f vs %.1f)" arb std)
+    true
+    (arb > std +. 10.0)
+
+let test_arbitrary_pgraph_roundtrip () =
+  (* The bushy path sets still build P-graphs from which DerivePath
+     recovers exactly the selected paths — the property Centaur needs. *)
+  let topo = random_as_topology ~seed:75 ~n:60 in
+  let src = 11 in
+  let paths =
+    List.filter_map
+      (fun d ->
+        if d = src then None
+        else
+          Stable.path
+            (Stable.to_dest ~discipline:Gao_rexford.Arbitrary topo d)
+            src)
+      (List.init 60 (fun i -> i))
+  in
+  let g = Centaur.Pgraph.of_paths ~root:src paths in
+  List.iter
+    (fun p ->
+      check_path_opt
+        (Printf.sprintf "derive %d" (Path.destination p))
+        (Some p)
+        (Centaur.Pgraph.derive_path g ~dest:(Path.destination p)))
+    paths
+
+let test_arbitrary_valley_free () =
+  let topo = random_as_topology ~seed:76 ~n:50 in
+  for dest = 0 to 49 do
+    let r = Stable.to_dest ~discipline:Gao_rexford.Arbitrary topo dest in
+    Stable.iter_reachable r (fun s ->
+        if s <> dest then
+          match Stable.path r s with
+          | Some p ->
+            if not (Valley_free.is_valley_free topo p) then
+              Alcotest.failf "valley in %s" (Path.to_string p)
+          | None -> Alcotest.fail "reachable without path")
+  done
+
+let suite =
+  [ Alcotest.test_case "matches solver (fig2)" `Quick test_matches_solver_fig2;
+    QCheck_alcotest.to_alcotest differential_standard;
+    QCheck_alcotest.to_alcotest differential_standard_brite;
+    Alcotest.test_case "class-only valley-free" `Quick
+      test_class_only_valley_free;
+    Alcotest.test_case "class-only suffix consistency" `Quick
+      test_class_only_suffix_consistency;
+    Alcotest.test_case "class-only same reachability" `Quick
+      test_class_only_same_reachability;
+    Alcotest.test_case "class-only prefers low next hop" `Quick
+      test_class_only_prefers_low_next_hop;
+    Alcotest.test_case "canalization vs arbitrary bushiness" `Quick
+      test_canalization_and_bushiness;
+    Alcotest.test_case "arbitrary P-graph roundtrip" `Quick
+      test_arbitrary_pgraph_roundtrip;
+    Alcotest.test_case "arbitrary valley-free" `Quick
+      test_arbitrary_valley_free ]
