@@ -10,8 +10,12 @@
 
    2. Runs Bechamel micro-benchmarks of the kernels behind each
       artifact - BuildGraph, DerivePath, the static solver, delta
-      diffing, and a full protocol convergence step - one Test.make per
-      table/figure kernel (skipped with BENCH_NO_MICRO=1). *)
+      diffing, a full protocol convergence step, the CSR adjacency fast
+      path, and the parallel Static.analyze pipeline at 1 and N domains
+      - one Test.make per kernel (skipped with BENCH_NO_MICRO=1).
+      Results print sorted by kernel name and are also written to
+      BENCH_RESULTS.json so the perf trajectory is trackable across
+      changes. *)
 
 open Bechamel
 
@@ -74,6 +78,11 @@ let regenerate cfg =
 
 (* --- part 2: micro-benchmarks of the kernels --- *)
 
+(* The parallel analyze kernel is benchmarked at 1 domain and at
+   [multi_domains]: at least 4, or more if the pool default (cores - 1 /
+   CENTAUR_DOMAINS) is larger. *)
+let multi_domains = max 4 (Pool.default_size ())
+
 let micro_tests () =
   (* Shared small workload: a 200-node CAIDA-like AS graph. *)
   let topo =
@@ -91,6 +100,12 @@ let micro_tests () =
   in
   let flip_runner = Protocols.Centaur_net.network flip_topo in
   ignore (flip_runner.Sim.Runner.cold_start ());
+  (* Full Static.analyze workload: the quick configuration's CAIDA-like
+     topology and source sample, as used by table4. *)
+  let qcfg = Experiments.Config.quick in
+  let qtopo = Experiments.Inputs.caida qcfg in
+  let qsources = Experiments.Inputs.sample_sources qcfg qtopo in
+  let n_nodes = Topology.num_nodes topo in
   [ (* Table 4/5 kernel: BuildGraph over a full selected path set. *)
     Test.make ~name:"table4/buildgraph"
       (Staged.stage (fun () -> Centaur.Pgraph.of_paths ~root:5 paths));
@@ -114,21 +129,79 @@ let micro_tests () =
            ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:true)));
     (* Figure 8 kernel: Dijkstra (the OSPF baseline's route compute). *)
     Test.make ~name:"fig7/ospf-dijkstra"
-      (Staged.stage (fun () -> ignore (Dijkstra.from flip_topo ~src:0))) ]
+      (Staged.stage (fun () -> ignore (Dijkstra.from flip_topo ~src:0)));
+    (* Adjacency visit: the allocating list API vs the CSR fast path. *)
+    Test.make ~name:"topo/neighbors-list"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n_nodes - 1 do
+             List.iter
+               (fun (nb, _, _) -> acc := !acc + nb)
+               (Topology.neighbors topo v)
+           done;
+           ignore !acc));
+    Test.make ~name:"topo/neighbors-csr"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for v = 0 to n_nodes - 1 do
+             Topology.iter_neighbors topo v (fun nb _ _ -> acc := !acc + nb)
+           done;
+           ignore !acc));
+    (* The full Table 4 pipeline (one discipline) at one domain and
+       fanned out across the domain pool. Run last: these grow the heap
+       by orders of magnitude more than the kernels above and would
+       skew their GC costs. *)
+    Test.make ~name:"table4/analyze-standard-1dom"
+      (Staged.stage (fun () ->
+           Pool.with_size 1 (fun () ->
+               ignore (Centaur.Static.analyze qtopo ~sources:qsources))));
+    Test.make ~name:"table4/analyze-standard-ndom"
+      (Staged.stage (fun () ->
+           Pool.with_size multi_domains (fun () ->
+               ignore (Centaur.Static.analyze qtopo ~sources:qsources)))) ]
 
-let run_micro () =
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write_results_json ~cfg ~quick results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"config\": %S,\n"
+       (Format.asprintf "%a" Experiments.Config.pp cfg));
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains\": %d,\n" (Pool.default_size ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"multi_domains\": %d,\n" multi_domains);
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (name, est, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n" name
+           (json_float est) (json_float r2)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_RESULTS.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run_micro ~cfg ~quick =
   let tests = micro_tests () in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let bench_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   Printf.printf "== micro-benchmarks (ns/run, OLS on monotonic clock) ==\n%!";
+  let results = ref [] in
   List.iter
     (fun test ->
-      let results =
-        Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+      let raw =
+        Benchmark.all bench_cfg Toolkit.Instance.[ monotonic_clock ] test
       in
-      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
       Hashtbl.iter
         (fun name ols_result ->
           let estimate =
@@ -141,17 +214,29 @@ let run_micro () =
             | Some r -> r
             | None -> nan
           in
-          Printf.printf "  %-28s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+          results := (name, estimate, r2) :: !results)
         analyzed)
-    tests
+    tests;
+  (* Hashtbl.iter surfaces kernels in hash order; sort by name so the
+     report is stable run to run. *)
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare (a : string) b) !results
+  in
+  List.iter
+    (fun (name, estimate, r2) ->
+      Printf.printf "  %-32s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+    sorted;
+  write_results_json ~cfg ~quick sorted;
+  Printf.printf "(wrote BENCH_RESULTS.json)\n%!"
 
 let () =
   let quick = quick_requested () in
   let cfg =
     if quick then Experiments.Config.quick else Experiments.Config.default
   in
-  Printf.printf "configuration: %s (%s)\n\n%!"
+  Printf.printf "configuration: %s (%s), domains=%d\n\n%!"
     (Format.asprintf "%a" Experiments.Config.pp cfg)
-    (if quick then "quick" else "default");
+    (if quick then "quick" else "default")
+    (Pool.default_size ());
   regenerate cfg;
-  if Sys.getenv_opt "BENCH_NO_MICRO" <> Some "1" then run_micro ()
+  if Sys.getenv_opt "BENCH_NO_MICRO" <> Some "1" then run_micro ~cfg ~quick

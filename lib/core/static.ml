@@ -19,31 +19,53 @@ type pgraph_stats = {
   avg_plist_compressed_bytes : float;
 }
 
-(* Shared Table 4/5 aggregation over one P-graph per source. *)
+(* Shared Table 4/5 aggregation over one P-graph per source. The
+   per-source summaries are computed across the domain pool; the final
+   totals are folded in source order, and since every total is a sum of
+   per-source integers the result is identical to the sequential
+   accumulation. *)
 let aggregate ~sources pgraph_of =
+  let per_source =
+    Pool.parallel_map_array
+      (fun s ->
+        let g = pgraph_of s in
+        let pls = Pgraph.permission_lists g in
+        let bytes =
+          List.fold_left
+            (fun acc pl ->
+              acc + Permission_list.compressed_size_bytes pl ~fp_rate:0.01)
+            0 pls
+        in
+        let dist =
+          List.fold_left
+            (fun d pl ->
+              match Permission_list.num_entries pl with
+              | 1 -> { d with one = d.one + 1 }
+              | 2 -> { d with two = d.two + 1 }
+              | 3 -> { d with three = d.three + 1 }
+              | _ -> { d with more = d.more + 1 })
+            { one = 0; two = 0; three = 0; more = 0 }
+            pls
+        in
+        (Pgraph.num_links g, List.length pls, dist, bytes))
+      (Array.of_list sources)
+  in
   let total_links = ref 0 in
   let total_plists = ref 0 in
   let dist = ref { one = 0; two = 0; three = 0; more = 0 } in
   let total_bytes = ref 0 in
-  List.iter
-    (fun s ->
-      let g = pgraph_of s in
-      total_links := !total_links + Pgraph.num_links g;
-      let pls = Pgraph.permission_lists g in
-      total_plists := !total_plists + List.length pls;
-      List.iter
-        (fun pl ->
-          total_bytes :=
-            !total_bytes + Permission_list.compressed_size_bytes pl ~fp_rate:0.01;
-          let d = !dist in
-          dist :=
-            (match Permission_list.num_entries pl with
-            | 1 -> { d with one = d.one + 1 }
-            | 2 -> { d with two = d.two + 1 }
-            | 3 -> { d with three = d.three + 1 }
-            | _ -> { d with more = d.more + 1 }))
-        pls)
-    sources;
+  Array.iter
+    (fun (links, plists, d, bytes) ->
+      total_links := !total_links + links;
+      total_plists := !total_plists + plists;
+      let acc = !dist in
+      dist :=
+        { one = acc.one + d.one;
+          two = acc.two + d.two;
+          three = acc.three + d.three;
+          more = acc.more + d.more };
+      total_bytes := !total_bytes + bytes)
+    per_source;
   let k = float_of_int (List.length sources) in
   let plist_count = !total_plists in
   { num_sources = List.length sources;
@@ -75,17 +97,28 @@ let analyze ?(discipline = Gao_rexford.Standard) topo ~sources =
       | r -> fun s -> Stable.path r s
       | exception Failure _ -> fun _ -> None)
   in
+  (* Per-destination solves are independent: fan them out, then fold the
+     per-source path bags in destination order so the bags are exactly
+     the lists the sequential loop would have built. *)
+  let src_arr = Array.of_list sources in
+  let per_dest =
+    Pool.parallel_map_array
+      (fun d ->
+        let path_of = solve_paths d in
+        Array.map (fun s -> if s = d then None else path_of s) src_arr)
+      (Array.init n (fun d -> d))
+  in
   let bags = Hashtbl.create (List.length sources) in
   List.iter (fun s -> Hashtbl.replace bags s []) sources;
   for d = 0 to n - 1 do
-    let path_of = solve_paths d in
-    List.iter
-      (fun s ->
-        if s <> d then
-          match path_of s with
-          | None -> ()
-          | Some p -> Hashtbl.replace bags s (p :: Hashtbl.find bags s))
-      sources
+    Array.iteri
+      (fun i path ->
+        match path with
+        | None -> ()
+        | Some p ->
+          let s = src_arr.(i) in
+          Hashtbl.replace bags s (p :: Hashtbl.find bags s))
+      per_dest.(d)
   done;
   aggregate ~sources (fun s -> Pgraph.of_paths ~root:s (Hashtbl.find bags s))
 
@@ -113,37 +146,61 @@ let immediate_overhead ?dests ?prefixes topo =
     match prefixes with None -> 1 | Some t -> Prefix.count t d
   in
   let num_links = Topology.num_links topo in
+  (* One solver run per destination, in parallel; each returns its local
+     per-link BGP unit counts and (link, endpoint) class masks. Merging
+     is addition and bitwise-or — commutative — so the merged totals
+     equal the sequential single-table accumulation. *)
+  let per_dest =
+    Pool.parallel_map_array
+      (fun d ->
+        let r = Solver.to_dest topo d in
+        let bgp_local : (int, int) Hashtbl.t = Hashtbl.create 256 in
+        let masks_local : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+        Solver.iter_reachable r (fun x ->
+            match Solver.next_hop r x with
+            | None -> ()
+            | Some y ->
+              let link_id =
+                match Topology.link_between topo x y with
+                | Some id -> id
+                | None -> invalid_arg "Static.immediate_overhead: broken route"
+              in
+              let cls =
+                match Solver.class_of r x with
+                | Some c -> c
+                | None -> assert false
+              in
+              (* BGP: x withdraws its route to d — one update per prefix d
+                 announces — on every session it had exported the route
+                 on. *)
+              Topology.iter_neighbors topo x (fun nb role _ ->
+                  if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
+                    let prev =
+                      Option.value (Hashtbl.find_opt bgp_local link_id)
+                        ~default:0
+                    in
+                    Hashtbl.replace bgp_local link_id (prev + weight d));
+              let key = (link_id, x) in
+              let prev =
+                Option.value (Hashtbl.find_opt masks_local key) ~default:0
+              in
+              Hashtbl.replace masks_local key (prev lor class_bit cls));
+        (bgp_local, masks_local))
+      (Array.of_list dests)
+  in
   let bgp = Array.make num_links 0 in
   let class_masks : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
-  List.iter
-    (fun d ->
-      let r = Solver.to_dest topo d in
-      Solver.iter_reachable r (fun x ->
-          match Solver.next_hop r x with
-          | None -> ()
-          | Some y ->
-            let link_id =
-              match Topology.link_between topo x y with
-              | Some id -> id
-              | None -> invalid_arg "Static.immediate_overhead: broken route"
-            in
-            let cls =
-              match Solver.class_of r x with
-              | Some c -> c
-              | None -> assert false
-            in
-            (* BGP: x withdraws its route to d — one update per prefix d
-               announces — on every session it had exported the route
-               on. *)
-            List.iter
-              (fun (nb, role, _) ->
-                if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
-                  bgp.(link_id) <- bgp.(link_id) + weight d)
-              (Topology.neighbors topo x);
-            let key = (link_id, x) in
-            let prev = Option.value (Hashtbl.find_opt class_masks key) ~default:0 in
-            Hashtbl.replace class_masks key (prev lor class_bit cls)))
-    dests;
+  Array.iter
+    (fun (bgp_local, masks_local) ->
+      Hashtbl.iter
+        (fun link_id units -> bgp.(link_id) <- bgp.(link_id) + units)
+        bgp_local;
+      Hashtbl.iter
+        (fun key mask ->
+          let prev = Option.value (Hashtbl.find_opt class_masks key) ~default:0 in
+          Hashtbl.replace class_masks key (prev lor mask))
+        masks_local)
+    per_dest;
   let centaur = Array.make num_links 0 in
   Hashtbl.iter
     (fun (link_id, x) mask ->
@@ -152,8 +209,7 @@ let immediate_overhead ?dests ?prefixes topo =
       (* Centaur: x withdraws the single failed link on every session
          whose exported view contained it — i.e. every neighbor some
          affected class was exportable to. *)
-      List.iter
-        (fun (nb, role, _) ->
+      Topology.iter_neighbors topo x (fun nb role _ ->
           if nb <> y then
             let visible =
               List.exists
@@ -162,8 +218,7 @@ let immediate_overhead ?dests ?prefixes topo =
                   && Gao_rexford.exportable ~cls:c ~to_role:role)
                 [ Cust; Peer_r; Prov ]
             in
-            if visible then centaur.(link_id) <- centaur.(link_id) + 1)
-        (Topology.neighbors topo x))
+            if visible then centaur.(link_id) <- centaur.(link_id) + 1))
     class_masks;
   Array.init num_links (fun link_id ->
       { link_id; bgp_units = bgp.(link_id); centaur_units = centaur.(link_id) })

@@ -33,7 +33,15 @@ let row_for cfg ~n =
     centaur_cold_msgs = centaur_cold;
     bgp_cold_msgs = bgp_cold }
 
-let run cfg = List.map (fun n -> row_for cfg ~n) cfg.Config.fig8_sizes
+(* Each row builds its own topologies and simulators from per-size RNG
+   streams, so the sizes are independent and fan out across the domain
+   pool; collecting by index keeps the row order (and every number in
+   it) identical to the sequential sweep. *)
+let run cfg =
+  Array.to_list
+    (Pool.parallel_map_array
+       (fun n -> row_for cfg ~n)
+       (Array.of_list cfg.Config.fig8_sizes))
 
 let render rows =
   let buf = Buffer.create 512 in

@@ -6,15 +6,32 @@ type link = {
   delay : float;
 }
 
+(* Adjacency lives in CSR form: half-edge [k] of node [v] occupies slot
+   [csr_off.(v) + k], slots sorted by ascending neighbor id. Flat int
+   arrays keep the hot per-neighbor loops of the solvers allocation-free
+   and cache-friendly; the list-returning [neighbors] below is derived
+   from the same arrays for cold callers. *)
 type t = {
   n : int;
   link_arr : link array;
-  (* adj.(v) lists (neighbor, role-of-neighbor-w.r.t.-v, link id). *)
-  adj : (int * Relationship.t * int) list array;
+  csr_off : int array;   (* n + 1 offsets into the three arrays below *)
+  csr_nbr : int array;   (* neighbor id per half-edge *)
+  csr_rel : int array;   (* role-of-neighbor code per half-edge *)
+  csr_link : int array;  (* link id per half-edge *)
   up : bool array;
   (* O(1) pair lookup: (a, b) -> (role of b w.r.t. a, link id). *)
   pair : (int * int, Relationship.t * int) Hashtbl.t;
 }
+
+let rel_code = function
+  | Relationship.Customer -> 0
+  | Relationship.Provider -> 1
+  | Relationship.Peer -> 2
+  | Relationship.Sibling -> 3
+
+let code_rel =
+  [| Relationship.Customer; Relationship.Provider; Relationship.Peer;
+     Relationship.Sibling |]
 
 let create ~n edges =
   if n < 0 then invalid_arg "Topology.create: negative node count";
@@ -47,13 +64,31 @@ let create ~n edges =
   Array.iteri
     (fun i lst -> adj.(i) <- List.sort (fun (x, _, _) (y, _, _) -> compare x y) lst)
     adj;
+  let csr_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    csr_off.(v + 1) <- csr_off.(v) + List.length adj.(v)
+  done;
+  let half_edges = csr_off.(n) in
+  let csr_nbr = Array.make (max half_edges 1) 0 in
+  let csr_rel = Array.make (max half_edges 1) 0 in
+  let csr_link = Array.make (max half_edges 1) 0 in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun i (nb, rel, id) ->
+        let k = csr_off.(v) + i in
+        csr_nbr.(k) <- nb;
+        csr_rel.(k) <- rel_code rel;
+        csr_link.(k) <- id)
+      adj.(v)
+  done;
   let pair = Hashtbl.create (2 * Array.length link_arr) in
   Array.iter
     (fun l ->
       Hashtbl.replace pair (l.a, l.b) (l.rel_ab, l.id);
       Hashtbl.replace pair (l.b, l.a) (Relationship.invert l.rel_ab, l.id))
     link_arr;
-  { n; link_arr; adj; up = Array.make (Array.length link_arr) true; pair }
+  { n; link_arr; csr_off; csr_nbr; csr_rel; csr_link;
+    up = Array.make (Array.length link_arr) true; pair }
 
 let num_nodes t = t.n
 
@@ -66,15 +101,64 @@ let link t id =
 
 let links t = t.link_arr
 
-let neighbors t v =
-  if v < 0 || v >= t.n then invalid_arg "Topology.neighbors: bad node";
-  List.filter (fun (_, _, id) -> t.up.(id)) t.adj.(v)
+let check_node t v name =
+  if v < 0 || v >= t.n then invalid_arg ("Topology." ^ name ^ ": bad node")
 
-let degree t v = List.length (neighbors t v)
+let iter_neighbors t v f =
+  check_node t v "iter_neighbors";
+  let up = t.up and nbr = t.csr_nbr and rel = t.csr_rel and lnk = t.csr_link in
+  for k = t.csr_off.(v) to t.csr_off.(v + 1) - 1 do
+    let id = Array.unsafe_get lnk k in
+    if Array.unsafe_get up id then
+      f (Array.unsafe_get nbr k)
+        (Array.unsafe_get code_rel (Array.unsafe_get rel k))
+        id
+  done
+
+let fold_neighbors t v ~init ~f =
+  check_node t v "fold_neighbors";
+  let up = t.up and nbr = t.csr_nbr and rel = t.csr_rel and lnk = t.csr_link in
+  let hi = t.csr_off.(v + 1) in
+  let rec go k acc =
+    if k >= hi then acc
+    else
+      let id = Array.unsafe_get lnk k in
+      let acc =
+        if Array.unsafe_get up id then
+          f acc (Array.unsafe_get nbr k)
+            (Array.unsafe_get code_rel (Array.unsafe_get rel k))
+            id
+        else acc
+      in
+      go (k + 1) acc
+  in
+  go t.csr_off.(v) init
+
+let neighbors t v =
+  check_node t v "neighbors";
+  let rec go k acc =
+    if k < t.csr_off.(v) then acc
+    else
+      let id = t.csr_link.(k) in
+      let acc =
+        if t.up.(id) then (t.csr_nbr.(k), code_rel.(t.csr_rel.(k)), id) :: acc
+        else acc
+      in
+      go (k - 1) acc
+  in
+  go (t.csr_off.(v + 1) - 1) []
+
+let degree t v =
+  check_node t v "degree";
+  let c = ref 0 in
+  for k = t.csr_off.(v) to t.csr_off.(v + 1) - 1 do
+    if t.up.(t.csr_link.(k)) then incr c
+  done;
+  !c
 
 let full_degree t v =
-  if v < 0 || v >= t.n then invalid_arg "Topology.full_degree: bad node";
-  List.length t.adj.(v)
+  check_node t v "full_degree";
+  t.csr_off.(v + 1) - t.csr_off.(v)
 
 let link_between t a b =
   Option.map snd (Hashtbl.find_opt t.pair (a, b))
@@ -109,14 +193,12 @@ let is_connected t =
     let count = ref 1 in
     while not (Queue.is_empty queue) do
       let v = Queue.pop queue in
-      List.iter
-        (fun (nb, _, id) ->
-          if t.up.(id) && not visited.(nb) then begin
+      iter_neighbors t v (fun nb _ _ ->
+          if not visited.(nb) then begin
             visited.(nb) <- true;
             incr count;
             Queue.push nb queue
           end)
-        t.adj.(v)
     done;
     !count = t.n
   end

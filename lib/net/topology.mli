@@ -37,7 +37,24 @@ val links : t -> link array
 (** All links (shared array — do not mutate). *)
 
 val neighbors : t -> int -> (int * Relationship.t * int) list
-(** [(neighbor, role-of-neighbor, link id)] over links currently up. *)
+(** [(neighbor, role-of-neighbor, link id)] over links currently up.
+    Allocates a fresh list per call; hot loops should use
+    {!iter_neighbors} or {!fold_neighbors} instead. *)
+
+val iter_neighbors : t -> int -> (int -> Relationship.t -> int -> unit) -> unit
+(** [iter_neighbors t v f] calls [f neighbor role_of_neighbor link_id]
+    for every up link of [v], in ascending neighbor id order (the same
+    order as {!neighbors}). Zero-allocation fast path: the adjacency is
+    stored in flat CSR arrays (offsets / neighbor ids / relationship
+    codes / link ids) built once at {!create}, and the visit allocates
+    nothing. *)
+
+val fold_neighbors :
+  t -> int -> init:'acc -> f:('acc -> int -> Relationship.t -> int -> 'acc) ->
+  'acc
+(** [fold_neighbors t v ~init ~f] folds [f acc neighbor role link_id]
+    over the up links of [v] in ascending neighbor id order, without
+    allocating the intermediate list. *)
 
 val degree : t -> int -> int
 (** Degree counting only up links. *)

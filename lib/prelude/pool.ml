@@ -1,0 +1,192 @@
+(* Worker domains park on [work_cond] between jobs. A job is a bag of
+   [total] indices claimed via fetch-and-add; every participant (the
+   caller included) drains the bag, and the caller blocks on [done_cond]
+   until the completion count reaches [total]. Determinism falls out of
+   storing results by index: claiming order varies run to run, but the
+   value computed for index [i] and where it lands do not.
+
+   Invariant kept by the entry points: [job.run] never raises (user
+   exceptions are captured per index and re-raised by the caller after
+   the join), so a worker can never die mid-job and the pool is always
+   reusable after a failure. *)
+
+let parse_env () =
+  match Sys.getenv_opt "CENTAUR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> Some v
+    | Some _ | None -> None)
+
+let default_size_lazy =
+  lazy
+    (match parse_env () with
+    | Some v -> v
+    | None -> max 1 (Domain.recommended_domain_count () - 1))
+
+let default_size () = Lazy.force default_size_lazy
+
+(* [inside]: true in worker domains, and in the caller while it drains a
+   job — any parallel entry from such a context runs sequentially
+   instead of re-entering the pool (which would deadlock on
+   [call_lock]). *)
+let inside = Domain.DLS.new_key (fun () -> false)
+
+let override = Domain.DLS.new_key (fun () -> None)
+
+let size () =
+  match Domain.DLS.get override with
+  | Some n -> n
+  | None -> default_size ()
+
+let with_size n f =
+  if n < 1 then invalid_arg "Pool.with_size: size must be >= 1";
+  let prev = Domain.DLS.get override in
+  Domain.DLS.set override (Some n);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set override prev) f
+
+type job = {
+  run : int -> unit;
+  total : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+let mutex = Mutex.create ()
+let work_cond = Condition.create ()
+let done_cond = Condition.create ()
+
+(* Serializes whole parallel calls from distinct domains; uncontended in
+   the common single-caller case. *)
+let call_lock = Mutex.create ()
+
+let current_job : job option ref = ref None
+let generation = ref 0
+let shutting_down = ref false
+let worker_handles : unit Domain.t list ref = ref []
+let num_workers = ref 0
+let exit_hook_registered = ref false
+
+let exec_job j =
+  let rec claim () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.total then begin
+      j.run i;
+      if 1 + Atomic.fetch_and_add j.completed 1 = j.total then begin
+        Mutex.lock mutex;
+        Condition.broadcast done_cond;
+        Mutex.unlock mutex
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker_main initial_gen () =
+  Domain.DLS.set inside true;
+  let rec park last_gen =
+    Mutex.lock mutex;
+    while !generation = last_gen && not !shutting_down do
+      Condition.wait work_cond mutex
+    done;
+    let gen = !generation in
+    let job = !current_job in
+    let quit = !shutting_down in
+    Mutex.unlock mutex;
+    if not quit then begin
+      (match job with Some j -> exec_job j | None -> ());
+      park gen
+    end
+  in
+  park initial_gen
+
+(* Called with [call_lock] held, so [num_workers] / [worker_handles]
+   are never mutated concurrently. *)
+let ensure_workers target =
+  if !num_workers < target then begin
+    if not !exit_hook_registered then begin
+      exit_hook_registered := true;
+      at_exit (fun () ->
+          Mutex.lock mutex;
+          shutting_down := true;
+          Condition.broadcast work_cond;
+          Mutex.unlock mutex;
+          List.iter Domain.join !worker_handles)
+    end;
+    Mutex.lock mutex;
+    let gen = !generation in
+    Mutex.unlock mutex;
+    while !num_workers < target do
+      worker_handles := Domain.spawn (worker_main gen) :: !worker_handles;
+      incr num_workers
+    done
+  end
+
+(* [run] must not raise; see the invariant at the top of the file. *)
+let run_job ~total run =
+  Mutex.lock call_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock call_lock)
+    (fun () ->
+      ensure_workers (min (size () - 1) (total - 1));
+      let j =
+        { run; total; next = Atomic.make 0; completed = Atomic.make 0 }
+      in
+      Mutex.lock mutex;
+      current_job := Some j;
+      incr generation;
+      Condition.broadcast work_cond;
+      Mutex.unlock mutex;
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () -> exec_job j);
+      Mutex.lock mutex;
+      while Atomic.get j.completed < j.total do
+        Condition.wait done_cond mutex
+      done;
+      current_job := None;
+      Mutex.unlock mutex)
+
+let use_sequential total = size () <= 1 || total <= 1 || Domain.DLS.get inside
+
+let reraise_first failures =
+  let first = ref None in
+  for i = Array.length failures - 1 downto 0 do
+    match failures.(i) with Some _ as f -> first := f | None -> ()
+  done;
+  match !first with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_map_array f a =
+  let total = Array.length a in
+  if use_sequential total then Array.map f a
+  else begin
+    let results = Array.make total None in
+    let failures = Array.make total None in
+    let run i =
+      match f (Array.unsafe_get a i) with
+      | v -> results.(i) <- Some v
+      | exception e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    run_job ~total run;
+    reraise_first failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_for total f =
+  if total > 0 then
+    if use_sequential total then
+      for i = 0 to total - 1 do
+        f i
+      done
+    else begin
+      let failures = Array.make total None in
+      let run i =
+        try f i
+        with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+      in
+      run_job ~total run;
+      reraise_first failures
+    end

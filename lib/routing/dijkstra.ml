@@ -29,12 +29,10 @@ let from topo ~src =
         settled.(v) <- true;
         dist.(v) <- d;
         pred.(v) <- p;
-        List.iter
-          (fun (nb, _, link_id) ->
+        Topology.iter_neighbors topo v (fun nb _ link_id ->
             if not settled.(nb) then
               let w = (Topology.link topo link_id).Topology.delay in
               Heap.push heap (d +. w, v, nb))
-          (Topology.neighbors topo v)
       end;
       drain ()
   in

@@ -27,8 +27,7 @@ let phase_customer topo t =
     let touched = ref [] in
     List.iter
       (fun x ->
-        List.iter
-          (fun (y, role_of_y, _) ->
+        Topology.iter_neighbors topo x (fun y role_of_y _ ->
             (* x announces to y; the class at y depends on x's role as
                seen from y, i.e. the inverse of [role_of_y]. *)
             let x_role_at_y = Relationship.invert role_of_y in
@@ -42,8 +41,7 @@ let phase_customer topo t =
                 tentative.(y) <- x;
                 touched := y :: !touched
               end
-              else if x < tentative.(y) then tentative.(y) <- x)
-          (Topology.neighbors topo x))
+              else if x < tentative.(y) then tentative.(y) <- x))
       !frontier;
     incr layer;
     let next =
@@ -90,22 +88,18 @@ let phase_peer topo t =
   let heap = Heap.create ~cmp:cmp_candidate in
   for y = 0 to t.n - 1 do
     if t.len.(y) = unreachable_len then
-      List.iter
-        (fun (x, role_of_x, _) ->
+      Topology.iter_neighbors topo y (fun x role_of_x _ ->
           match (role_of_x : Relationship.t) with
           | Relationship.Peer
             when t.len.(x) <> unreachable_len
                  && (t.cls.(x) = Origin || t.cls.(x) = Cust) ->
             Heap.push heap (t.len.(x) + 1, x, y)
           | _ -> ())
-        (Topology.neighbors topo y)
   done;
   let relax y l =
-    List.iter
-      (fun (z, role_of_z, _) ->
+    Topology.iter_neighbors topo y (fun z role_of_z _ ->
         if role_of_z = Relationship.Sibling && t.len.(z) = unreachable_len
         then Heap.push heap (l + 1, y, z))
-      (Topology.neighbors topo y)
   in
   dijkstra_phase t heap Peer_r relax
 
@@ -115,21 +109,17 @@ let phase_provider topo t =
   let heap = Heap.create ~cmp:cmp_candidate in
   for x = 0 to t.n - 1 do
     if t.len.(x) <> unreachable_len then
-      List.iter
-        (fun (y, role_of_y, _) ->
+      Topology.iter_neighbors topo x (fun y role_of_y _ ->
           if role_of_y = Relationship.Customer && t.len.(y) = unreachable_len
           then Heap.push heap (t.len.(x) + 1, x, y))
-        (Topology.neighbors topo x)
   done;
   let relax y l =
-    List.iter
-      (fun (z, role_of_z, _) ->
+    Topology.iter_neighbors topo y (fun z role_of_z _ ->
         if t.len.(z) = unreachable_len then
           match (role_of_z : Relationship.t) with
           | Relationship.Customer | Relationship.Sibling ->
             Heap.push heap (l + 1, y, z)
           | Relationship.Peer | Relationship.Provider -> ())
-      (Topology.neighbors topo y)
   in
   dijkstra_phase t heap Prov relax
 

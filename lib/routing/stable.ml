@@ -36,8 +36,7 @@ let best_response ~discipline topo state classes y d =
           Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1 c2
           < 0
     in
-    List.iter
-      (fun (x, role_of_x, _) ->
+    Topology.iter_neighbors topo y (fun x role_of_x _ ->
         match state.(x) with
         | None -> ()
         | Some p ->
@@ -60,8 +59,7 @@ let best_response ~discipline topo state classes y d =
                 if prefer (cand, via_sibling) (bc, bs) then
                   best := Some (cand, via_sibling, y :: p)
             end
-          end)
-      (Topology.neighbors topo y);
+          end);
     Option.map (fun (_, _, p) -> p) !best
   end
 

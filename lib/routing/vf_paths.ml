@@ -33,8 +33,7 @@ let from_source topo ~src =
     List.iter
       (fun st ->
         let x = st / 2 and phase = st land 1 in
-        List.iter
-          (fun (y, role_of_y, _) ->
+        Topology.iter_neighbors topo x (fun y role_of_y _ ->
             let next_phase =
               match (role_of_y : Relationship.t), phase with
               | Relationship.Sibling, ph -> Some ph
@@ -51,8 +50,7 @@ let from_source topo ~src =
                 match Hashtbl.find_opt tentative st' with
                 | Some prev when prev <= st -> ()
                 | Some _ | None -> Hashtbl.replace tentative st' st
-              end)
-          (Topology.neighbors topo x))
+              end))
       !frontier;
     let next = ref [] in
     Hashtbl.iter

@@ -204,6 +204,85 @@ let test_stats_summary_line () =
     (String.length line > 10 && String.sub line 0 3 = "lbl");
   Alcotest.(check string) "empty input" "x: n=0" (Stats.summary_line "x" [||])
 
+let test_pool_map_ordering () =
+  (* Results land by index regardless of which domain computed them. *)
+  Pool.with_size 4 (fun () ->
+      let a = Array.init 500 (fun i -> i) in
+      let r = Pool.parallel_map_array (fun x -> (2 * x) + 1) a in
+      Alcotest.(check bool) "index-ordered results" true
+        (r = Array.init 500 (fun i -> (2 * i) + 1)))
+
+let test_pool_exception_propagation () =
+  Pool.with_size 4 (fun () ->
+      let a = Array.init 100 (fun i -> i) in
+      Alcotest.check_raises "worker exception reaches caller"
+        (Failure "boom") (fun () ->
+          ignore
+            (Pool.parallel_map_array
+               (fun x -> if x = 37 then failwith "boom" else x)
+               a));
+      (* The failed job must not poison the pool. *)
+      let r = Pool.parallel_map_array (fun x -> x + 1) a in
+      Alcotest.(check bool) "pool usable after exception" true
+        (r = Array.init 100 (fun i -> i + 1)))
+
+let test_pool_first_failure_wins () =
+  (* With several failing indices the lowest index's exception is the
+     one re-raised — deterministic across schedules. *)
+  Pool.with_size 4 (fun () ->
+      let a = Array.init 64 (fun i -> i) in
+      Alcotest.check_raises "lowest failing index" (Failure "idx-5")
+        (fun () ->
+          ignore
+            (Pool.parallel_map_array
+               (fun x ->
+                 if x >= 5 && x mod 5 = 0 then
+                   failwith (Printf.sprintf "idx-%d" x)
+                 else x)
+               a)))
+
+let test_pool_reuse_across_calls () =
+  Pool.with_size 3 (fun () ->
+      for round = 1 to 5 do
+        let a = Array.init (50 * round) (fun i -> i) in
+        let r = Pool.parallel_map_array (fun x -> x * round) a in
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d" round)
+          true
+          (r = Array.init (50 * round) (fun i -> i * round))
+      done)
+
+let test_pool_size_one_sequential () =
+  Pool.with_size 1 (fun () ->
+      Alcotest.(check int) "forced size" 1 (Pool.size ());
+      let r = Pool.parallel_map_array string_of_int [| 3; 1; 4 |] in
+      Alcotest.(check (array string)) "sequential map" [| "3"; "1"; "4" |] r);
+  Alcotest.check_raises "size must be positive"
+    (Invalid_argument "Pool.with_size: size must be >= 1") (fun () ->
+      Pool.with_size 0 (fun () -> ()))
+
+let test_pool_parallel_for () =
+  Pool.with_size 4 (fun () ->
+      let acc = Array.make 200 0 in
+      Pool.parallel_for 200 (fun i -> acc.(i) <- i * i);
+      Alcotest.(check bool) "all indices visited" true
+        (acc = Array.init 200 (fun i -> i * i));
+      Pool.parallel_for 0 (fun _ -> Alcotest.fail "empty range ran"))
+
+let test_pool_nested_calls () =
+  (* A work item calling back into the pool runs sequentially instead of
+     deadlocking. *)
+  Pool.with_size 4 (fun () ->
+      let r =
+        Pool.parallel_map_array
+          (fun x ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_map_array (fun y -> y) (Array.init 10 (fun i -> i + x))))
+          (Array.init 20 (fun i -> i))
+      in
+      let expected = Array.init 20 (fun x -> 45 + (10 * x)) in
+      Alcotest.(check bool) "nested map correct" true (r = expected))
+
 let test_union_find () =
   let uf = Union_find.create 5 in
   Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
@@ -244,4 +323,15 @@ let suite =
     QCheck_alcotest.to_alcotest stats_percentile_qcheck;
     Alcotest.test_case "rng misc" `Quick test_rng_misc;
     Alcotest.test_case "stats summary line" `Quick test_stats_summary_line;
+    Alcotest.test_case "pool map ordering" `Quick test_pool_map_ordering;
+    Alcotest.test_case "pool exception propagation" `Quick
+      test_pool_exception_propagation;
+    Alcotest.test_case "pool first failure wins" `Quick
+      test_pool_first_failure_wins;
+    Alcotest.test_case "pool reuse across calls" `Quick
+      test_pool_reuse_across_calls;
+    Alcotest.test_case "pool size one sequential" `Quick
+      test_pool_size_one_sequential;
+    Alcotest.test_case "pool parallel for" `Quick test_pool_parallel_for;
+    Alcotest.test_case "pool nested calls" `Quick test_pool_nested_calls;
     Alcotest.test_case "union find" `Quick test_union_find ]

@@ -142,6 +142,34 @@ let test_fig5_ratio_grows_with_size () =
     (Printf.sprintf "ratio grows (%.1f -> %.1f)" small large)
     true (large > small)
 
+(* The domain pool must be invisible in the results: every Static entry
+   point forced to 1 domain (the exact sequential code path) and run on
+   a multi-domain pool must produce structurally equal stats. *)
+let parallel_matches_sequential_qcheck =
+  QCheck.Test.make ~name:"static analysis: multi-domain = sequential"
+    ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 20 60))
+    (fun (seed, n) ->
+      let topo = random_as_topology ~seed ~n in
+      let sources = [ 0; n / 3; n - 1 ] in
+      let both f = (Pool.with_size 1 f, Pool.with_size 3 f) in
+      let seq_std, par_std =
+        both (fun () -> Centaur.Static.analyze topo ~sources)
+      in
+      let seq_arb, par_arb =
+        both (fun () ->
+            Centaur.Static.analyze ~discipline:Gao_rexford.Arbitrary topo
+              ~sources)
+      in
+      let seq_vf, par_vf =
+        both (fun () -> Centaur.Static.analyze_vf topo ~sources)
+      in
+      let seq_ov, par_ov =
+        both (fun () -> Centaur.Static.immediate_overhead topo)
+      in
+      seq_std = par_std && seq_arb = par_arb && seq_vf = par_vf
+      && seq_ov = par_ov)
+
 let suite =
   [ Alcotest.test_case "pgraph of source" `Quick test_pgraph_of_source;
     Alcotest.test_case "analyze counts" `Quick test_analyze_counts;
@@ -158,4 +186,5 @@ let suite =
     Alcotest.test_case "static first wave <= simulation" `Quick
       test_immediate_overhead_matches_simulation_first_wave;
     Alcotest.test_case "fig5 ratio grows with size" `Quick
-      test_fig5_ratio_grows_with_size ]
+      test_fig5_ratio_grows_with_size;
+    QCheck_alcotest.to_alcotest parallel_matches_sequential_qcheck ]
