@@ -11,7 +11,9 @@
    2. Runs Bechamel micro-benchmarks of the kernels behind each
       artifact - BuildGraph, DerivePath, the static solver, delta
       diffing, a full protocol convergence step, the CSR adjacency fast
-      path, and the parallel Static.analyze pipeline at 1 and N domains
+      path, a full fault-injection churn scenario (the resilience
+      experiment's kernel), and the parallel Static.analyze pipeline at
+      1 and N domains
       - one Test.make per kernel (skipped with BENCH_NO_MICRO=1).
       Results print sorted by kernel name and are also written to
       BENCH_RESULTS.json so the perf trajectory is trackable across
@@ -147,6 +149,25 @@ let micro_tests () =
              Topology.iter_neighbors topo v (fun nb _ _ -> acc := !acc + nb)
            done;
            ignore !acc));
+    (* The resilience experiment's unit of work: one churn scenario
+       replayed against a cold-started Centaur network with the
+       transient-correctness observer sampling throughout. The topology
+       and runner are rebuilt per run - injection mutates link state, so
+       reuse would measure a different (partially restored) workload. *)
+    Test.make ~name:"resilience/churn-scenario"
+      (Staged.stage (fun () ->
+           let topo =
+             Brite.annotated (Rng.create 12) ~n:20 ~m:2 ~max_delay:5.0
+               ~num_tiers:4
+           in
+           let scenario =
+             Faults.Scenario.random_churn ~seed:3 ~horizon:120.0
+               ~sample_every:5.0 ~flaps:3 topo
+           in
+           let runner = Protocols.Centaur_net.network topo in
+           ignore
+             (Faults.Injector.run runner ~topo ~scenario
+                ~pairs:[ (0, 13); (5, 17); (11, 2) ])));
     (* The full Table 4 pipeline (one discipline) at one domain and
        fanned out across the domain pool. Run last: these grow the heap
        by orders of magnitude more than the kernels above and would

@@ -33,6 +33,20 @@ let config_of ~seed ~quick =
   in
   { base with Experiments.Config.seed }
 
+(* A diverging protocol surfaces as a Cmdliner error carrying both the
+   processed-event total and how much work was still queued when the
+   budget ran out. *)
+let or_diverged f =
+  match f () with
+  | ok -> ok
+  | exception Sim.Engine.Diverged { processed; pending } ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "simulation diverged: event budget exhausted after %d events \
+           with %d still pending — the protocol is not converging"
+          processed pending )
+
 (* --- exp --- *)
 
 let exp_cmd =
@@ -51,15 +65,16 @@ let exp_cmd =
       print_string (e.Experiments.Registry.run cfg);
       print_newline ()
     in
-    if id = "all" then begin
-      List.iter run_one Experiments.Registry.all;
-      `Ok ()
-    end
+    if id = "all" then
+      or_diverged (fun () ->
+          List.iter run_one Experiments.Registry.all;
+          `Ok ())
     else
       match Experiments.Registry.find id with
       | Some e ->
-        run_one e;
-        `Ok ()
+        or_diverged (fun () ->
+            run_one e;
+            `Ok ())
       | None ->
         `Error
           (false, Printf.sprintf "unknown experiment %S; try one of: %s" id
@@ -210,17 +225,18 @@ let simulate_cmd =
       let link = if link < 0 then 0 else link in
       if link >= Topology.num_links topo then
         `Error (false, Printf.sprintf "link %d out of range" link)
-      else begin
-        let report label (s : Sim.Engine.run_stats) =
-          Printf.printf "%-10s time=%8.2fms messages=%7d units=%8d events=%d\n"
-            label s.Sim.Engine.duration s.Sim.Engine.messages s.Sim.Engine.units
-            s.Sim.Engine.events
-        in
-        report "cold" (runner.Sim.Runner.cold_start ());
-        report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);
-        report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
-        `Ok ()
-      end
+      else
+        or_diverged (fun () ->
+            let report label (s : Sim.Engine.run_stats) =
+              Printf.printf
+                "%-10s time=%8.2fms messages=%7d units=%8d lost=%5d events=%d\n"
+                label s.Sim.Engine.duration s.Sim.Engine.messages
+                s.Sim.Engine.units s.Sim.Engine.losses s.Sim.Engine.events
+            in
+            report "cold" (runner.Sim.Runner.cold_start ());
+            report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);
+            report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
+            `Ok ())
   in
   let doc = "Cold-start a protocol on a topology and flip one link." in
   Cmd.v

@@ -9,6 +9,10 @@ type t = {
   fig8_sizes : int list;
   fig8_events : int;
   mrai : float;
+  resilience_scenarios : int;
+  resilience_pairs : int;
+  resilience_flaps : int;
+  resilience_horizon : float;
 }
 
 let default =
@@ -21,7 +25,11 @@ let default =
     fig5_dests = 0;
     fig8_sizes = [ 50; 100; 200; 400; 800 ];
     fig8_events = 12;
-    mrai = 30.0 }
+    mrai = 30.0;
+    resilience_scenarios = 8;
+    resilience_pairs = 40;
+    resilience_flaps = 6;
+    resilience_horizon = 400.0 }
 
 let quick =
   { seed = 42;
@@ -33,7 +41,11 @@ let quick =
     fig5_dests = 0;
     fig8_sizes = [ 30; 60; 120 ];
     fig8_events = 6;
-    mrai = 30.0 }
+    mrai = 30.0;
+    resilience_scenarios = 3;
+    resilience_pairs = 12;
+    resilience_flaps = 4;
+    resilience_horizon = 250.0 }
 
 let pp fmt t =
   Format.fprintf fmt

@@ -1,0 +1,39 @@
+(** Reliability under churn: the transient-correctness sweep.
+
+    Runs seeded fault scenarios (link flaps, a node outage, an SRLG cut,
+    a lossy-link window — {!Faults.Scenario.random_churn}) against
+    Centaur, BGP and OSPF on identical BRITE topologies, probing sampled
+    (src, dest) pairs mid-convergence with {!Faults.Observer}. Renders a
+    per-protocol availability table (blackhole time, transient-loop
+    time, recovery and time-to-first-correct-path) plus the per-pair
+    unavailability CDF. Scenarios fan out over the domain pool;
+    aggregation is by index, so the output is byte-identical at any
+    [CENTAUR_DOMAINS]. *)
+
+type agg = {
+  protocol : string;
+  availability : float;         (** delivered / routable pair-samples *)
+  blackhole_ms : float;
+  loop_ms : float;
+  unavailable_ms : float;       (** blackhole + loop *)
+  unroutable_ms : float;        (** excused: policy offered no route *)
+  pair_unavail : float array;
+  recovery : float array;
+  ttfc : float array;
+  messages : int;
+  losses : int;
+}
+
+type result = {
+  scenarios : int;
+  pairs : int;
+  horizon : float;
+  rows : agg list;  (** centaur, bgp, ospf *)
+}
+
+val run : Config.t -> result
+
+val find_row : result -> string -> agg
+(** Raises [Not_found] on an unknown protocol name. *)
+
+val render : result -> string

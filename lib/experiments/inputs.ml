@@ -23,3 +23,23 @@ let sample_links cfg topo ~count =
   let rng = stream cfg 5 in
   let links = Array.init (Topology.num_links topo) (fun i -> i) in
   Array.to_list (Rng.sample rng count links)
+
+let sample_pairs cfg topo ~count =
+  let n = Topology.num_nodes topo in
+  if n < 2 then invalid_arg "Inputs.sample_pairs: need at least two nodes";
+  let count = min count (n * (n - 1)) in
+  let rng = stream cfg 6 in
+  let seen = Hashtbl.create (2 * count) in
+  let rec draw acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let s = Rng.int rng n in
+      let d = Rng.int rng n in
+      if s = d || Hashtbl.mem seen (s, d) then draw acc remaining
+      else begin
+        Hashtbl.replace seen (s, d) ();
+        draw ((s, d) :: acc) (remaining - 1)
+      end
+    end
+  in
+  draw [] count

@@ -20,3 +20,8 @@ val sample_sources : Config.t -> Topology.t -> int list
 
 val sample_links : Config.t -> Topology.t -> count:int -> int list
 (** Distinct link ids for flip workloads. *)
+
+val sample_pairs : Config.t -> Topology.t -> count:int -> (int * int) list
+(** Distinct (src, dest) probe pairs with [src <> dest], for the
+    resilience observer ([count] is clamped to the number of ordered
+    pairs). *)

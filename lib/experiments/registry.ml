@@ -26,6 +26,9 @@ let all =
     { id = "fig8";
       title = "Scalability of update overhead";
       run = (fun cfg -> Exp_fig8.render (Exp_fig8.run cfg)) };
+    { id = "resilience";
+      title = "Routability over time under churn (Centaur vs BGP vs OSPF)";
+      run = (fun cfg -> Exp_resilience.render (Exp_resilience.run cfg)) };
     { id = "ablation-mrai";
       title = "MRAI sweep (what drives the Figure 6 gap)";
       run = (fun cfg -> Exp_ablations.render_mrai (Exp_ablations.run_mrai cfg)) };

@@ -1,0 +1,60 @@
+let add_stats (a : Sim.Engine.run_stats) (b : Sim.Engine.run_stats) =
+  { Sim.Engine.duration = a.Sim.Engine.duration +. b.Sim.Engine.duration;
+    messages = a.Sim.Engine.messages + b.Sim.Engine.messages;
+    units = a.Sim.Engine.units + b.Sim.Engine.units;
+    deliveries = a.Sim.Engine.deliveries + b.Sim.Engine.deliveries;
+    losses = a.Sim.Engine.losses + b.Sim.Engine.losses;
+    events = a.Sim.Engine.events + b.Sim.Engine.events }
+
+let run (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t) ~pairs =
+  let events =
+    (* Changes scheduled past the horizon are unobservable: drop them
+       rather than mutate state the report never sees. *)
+    List.filter
+      (fun (e : Scenario.event) -> e.Scenario.at <= scenario.Scenario.horizon)
+      (Scenario.compile topo scenario)
+  in
+  let obs =
+    Observer.create topo ~pairs
+      ~sample_every:scenario.Scenario.sample_every
+  in
+  runner.Sim.Runner.seed_loss scenario.Scenario.seed;
+  let total = ref (runner.Sim.Runner.cold_start ()) in
+  Observer.refresh_truth obs;
+  (* Scenario times are relative to the steady state reached by cold
+     start: offset them by the engine clock so t=0 means "converged". *)
+  let base = runner.Sim.Runner.now () in
+  let step t = total := add_stats !total (runner.Sim.Runner.run_until (base +. t)) in
+  let apply (e : Scenario.event) =
+    match e.Scenario.change with
+    | Scenario.Set_links changes ->
+      runner.Sim.Runner.inject changes;
+      Observer.refresh_truth obs;
+      if List.exists (fun (_, up) -> not up) changes then
+        Observer.note_disruption obs runner ~now:e.Scenario.at
+    | Scenario.Set_loss rates ->
+      List.iter
+        (fun (link_id, rate) -> runner.Sim.Runner.set_loss ~link_id ~rate)
+        rates
+  in
+  (* Interleave injections and samples in time order; at equal times the
+     injection applies first, so the sample observes the instant after
+     the fault (notifications still queued — the window starts here). *)
+  let rec go events next_sample =
+    match events with
+    | (e : Scenario.event) :: rest when e.Scenario.at <= next_sample ->
+      step e.Scenario.at;
+      apply e;
+      go rest next_sample
+    | _ ->
+      if next_sample <= scenario.Scenario.horizon then begin
+        step next_sample;
+        Observer.sample obs runner ~now:next_sample;
+        go events (next_sample +. scenario.Scenario.sample_every)
+      end
+  in
+  go events 0.0;
+  (* Drain whatever convergence is still in flight so the cost counters
+     cover the complete scenario. *)
+  total := add_stats !total (runner.Sim.Runner.run_to_quiescence ());
+  Observer.report obs ~protocol:runner.Sim.Runner.name ~stats:!total

@@ -1,0 +1,24 @@
+(** Scenario execution: replay a compiled fault timeline against a
+    protocol runner, interleaving injections with observer samples.
+
+    The schedule's times are relative to the steady state reached by
+    [cold_start] (t = 0 is "converged, nothing pending"). At each
+    timeline point the runner is stepped with [run_until], the change is
+    injected (link groups atomically; loss-rate updates on the engine's
+    seeded loss stream, re-seeded from the scenario seed), and at each
+    sample point the observer probes every watched pair — so blackhole
+    and transient-loop windows that close before quiescence are
+    measured, not inferred. Changes scheduled past the scenario horizon
+    are dropped. Fully deterministic: equal (scenario, topology, runner
+    construction) triples produce byte-identical reports. *)
+
+val run :
+  Sim.Runner.t ->
+  topo:Topology.t ->
+  scenario:Scenario.t ->
+  pairs:(int * int) list ->
+  Observer.report
+(** [topo] must be the same instance the runner's engine mutates — the
+    observer reads its live link state for ground truth. The report's
+    [stats] cover cold start, the whole observed window and the final
+    drain to quiescence. *)

@@ -1,0 +1,72 @@
+(** Fault-scenario DSL.
+
+    A scenario is a typed, seeded schedule of faults — link flaps, node
+    crash/restart, shared-risk link groups, maintenance windows and
+    lossy-link intervals — compiled into a deterministic timeline of
+    timed state changes that the {!Injector} replays against any
+    protocol runner. Equal scenarios compile to equal timelines; all
+    randomness is confined to {!random_churn}'s explicit seed. *)
+
+type fault =
+  | Link_flap of { link_id : int; at : float; duration : float }
+      (** One link down at [at], back up [duration] later. *)
+  | Node_outage of { node : int; at : float; duration : float }
+      (** Crash/restart: every link adjacent to the node (up or down) is
+          cut atomically at [at] and restored atomically at
+          [at +. duration]. *)
+  | Srlg_cut of { links : int list; at : float; duration : float }
+      (** Shared-risk link group: the listed links share fate — cut and
+          restored atomically. *)
+  | Maintenance of { links : int list; at : float; stagger : float;
+                     hold : float }
+      (** Graceful maintenance window: links go down one at a time,
+          [stagger] apart, each held down for [hold] then restored. *)
+  | Lossy_link of { link_id : int; rate : float; from_t : float;
+                    until_t : float }
+      (** The link delivers each message with probability [1 - rate]
+          during the window (drawn from the engine's seeded loss
+          stream). *)
+
+type t = {
+  name : string;
+  seed : int;           (** seeds the engine's loss stream *)
+  horizon : float;      (** observation end, ms *)
+  sample_every : float; (** observer probing period, ms *)
+  faults : fault list;
+}
+
+type change =
+  | Set_links of (int * bool) list  (** atomic group of link flips *)
+  | Set_loss of (int * float) list  (** per-link loss-rate updates *)
+
+type event = { at : float; change : change }
+
+val compile : Topology.t -> t -> event list
+(** Expand the faults into a timeline sorted by time (ties broken by the
+    faults' declaration order; a group's flips stay in one atomic
+    {!Set_links}). Raises [Invalid_argument] on out-of-range ids,
+    negative times or durations, loss rates outside \[0, 1\], or
+    non-positive [horizon]/[sample_every]. *)
+
+val num_disruptions : event list -> int
+(** Timeline events that take at least one link down — the
+    denominator for per-disruption recovery statistics. *)
+
+val adjacent_links : Topology.t -> int -> int list
+(** All links touching a node regardless of up/down state, ascending. *)
+
+val random_churn :
+  seed:int ->
+  horizon:float ->
+  sample_every:float ->
+  ?flaps:int ->
+  ?lossy:int ->
+  ?loss_rate:float ->
+  Topology.t ->
+  t
+(** Seeded churn schedule: [flaps] link flaps (default 6) with
+    exponential outage durations, one node outage and one two-link SRLG
+    cut (on topologies with at least 4 nodes and links), and [lossy]
+    (default 1) lossy-link windows at [loss_rate] (default 0.3). All
+    event times fall in the first 60% of the horizon so the tail of the
+    run observes convergence. Equal seeds yield equal scenarios. *)

@@ -301,21 +301,12 @@ let network ?(mrai = 30.0) ?(rcn = false) topo =
       states;
     Sim.Engine.run_to_quiescence ~since engine
   in
-  let flip ~link_id ~up =
-    Sim.Engine.flip_link engine ~link_id ~up;
-    Sim.Engine.run_to_quiescence engine
-  in
-  let flip_many changes =
-    List.iter
-      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
-      changes;
-    Sim.Engine.run_to_quiescence engine
-  in
   let next_hop ~src ~dest =
     match Hashtbl.find_opt states.(src).best dest with
     | Some (_ :: hop :: _) -> Some hop
     | Some _ | None -> None
   in
   let path ~src ~dest = Hashtbl.find_opt states.(src).best dest in
-  { Sim.Runner.name = (if rcn then "bgp-rcn" else "bgp");
-    cold_start; flip; flip_many; next_hop; path }
+  Sim.Runner.make
+    ~name:(if rcn then "bgp-rcn" else "bgp")
+    ~engine ~cold_start ~next_hop ~path

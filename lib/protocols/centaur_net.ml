@@ -30,16 +30,6 @@ let network topo =
       states;
     Sim.Engine.run_to_quiescence ~since engine
   in
-  let flip ~link_id ~up =
-    Sim.Engine.flip_link engine ~link_id ~up;
-    Sim.Engine.run_to_quiescence engine
-  in
-  let flip_many changes =
-    List.iter
-      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
-      changes;
-    Sim.Engine.run_to_quiescence engine
-  in
   let next_hop ~src ~dest = Centaur.Node.next_hop states.(src) ~dest in
   let path ~src ~dest = Centaur.Node.selected_path states.(src) ~dest in
-  { Sim.Runner.name = "centaur"; cold_start; flip; flip_many; next_hop; path }
+  Sim.Runner.make ~name:"centaur" ~engine ~cold_start ~next_hop ~path

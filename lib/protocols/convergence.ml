@@ -10,6 +10,26 @@ type result = {
   flips : flip_sample list;
 }
 
+type group_sample = {
+  links : int list;
+  g_down : Sim.Engine.run_stats;
+  g_up : Sim.Engine.run_stats;
+}
+
+type group_result = {
+  g_protocol : string;
+  g_cold : Sim.Engine.run_stats;
+  groups : group_sample list;
+}
+
+let zero_stats =
+  { Sim.Engine.duration = 0.0;
+    messages = 0;
+    units = 0;
+    deliveries = 0;
+    losses = 0;
+    events = 0 }
+
 let do_flips (runner : Sim.Runner.t) ~links =
   List.map
     (fun link_id ->
@@ -24,15 +44,22 @@ let flip_links (runner : Sim.Runner.t) ~links =
   { protocol = runner.Sim.Runner.name; cold; flips }
 
 let flip_links_preconverged (runner : Sim.Runner.t) ~links =
-  let zero =
-    { Sim.Engine.duration = 0.0;
-      messages = 0;
-      units = 0;
-      deliveries = 0;
-      events = 0 }
-  in
   let flips = do_flips runner ~links in
-  { protocol = runner.Sim.Runner.name; cold = zero; flips }
+  { protocol = runner.Sim.Runner.name; cold = zero_stats; flips }
+
+let flip_groups (runner : Sim.Runner.t) ~groups =
+  let g_cold = runner.Sim.Runner.cold_start () in
+  let groups =
+    List.map
+      (fun links ->
+        let cut = List.map (fun id -> (id, false)) links in
+        let restore = List.map (fun id -> (id, true)) links in
+        let g_down = runner.Sim.Runner.flip_many cut in
+        let g_up = runner.Sim.Runner.flip_many restore in
+        { links; g_down; g_up })
+      groups
+  in
+  { g_protocol = runner.Sim.Runner.name; g_cold; groups }
 
 let gather f result =
   let samples =
@@ -47,3 +74,16 @@ let message_counts result =
 
 let unit_counts result =
   gather (fun (s : Sim.Engine.run_stats) -> float_of_int s.units) result
+
+let gather_groups f result =
+  let samples =
+    List.concat_map (fun s -> [ f s.g_down; f s.g_up ]) result.groups
+  in
+  Array.of_list samples
+
+let group_times result =
+  gather_groups (fun (s : Sim.Engine.run_stats) -> s.duration) result
+
+let group_message_counts result =
+  gather_groups (fun (s : Sim.Engine.run_stats) -> float_of_int s.messages)
+    result

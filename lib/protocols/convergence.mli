@@ -4,7 +4,13 @@
     in the topology, i.e., first remove the link and wait till the
     routing protocol converges; then bring the link back up and wait for
     the convergence again. After each flip we measure the total count of
-    messages sent and the duration time required to re-stabilize." *)
+    messages sent and the duration time required to re-stabilize."
+
+    {!flip_groups} extends the harness to correlated failures: a group
+    of links (a shared-risk link group, or every link adjacent to a
+    crashing node) is cut atomically, re-converged, then restored
+    atomically — the fault-injection scenarios reuse this instead of
+    bypassing the harness. *)
 
 type flip_sample = {
   link_id : int;
@@ -18,6 +24,20 @@ type result = {
   flips : flip_sample list;
 }
 
+type group_sample = {
+  links : int list;           (** the correlated group, cut atomically *)
+  g_down : Sim.Engine.run_stats;
+  g_up : Sim.Engine.run_stats;
+}
+(** One correlated-failure sample: all links of the group go down in the
+    same instant (one convergence run), then all come back (another). *)
+
+type group_result = {
+  g_protocol : string;
+  g_cold : Sim.Engine.run_stats;
+  groups : group_sample list;
+}
+
 val flip_links : Sim.Runner.t -> links:int list -> result
 (** Cold-start the protocol, then flip each listed link down and back
     up, recording the two convergence runs per link. *)
@@ -25,6 +45,11 @@ val flip_links : Sim.Runner.t -> links:int list -> result
 val flip_links_preconverged : Sim.Runner.t -> links:int list -> result
 (** Like {!flip_links} for a runner whose [cold_start] already ran (the
     [cold] field is zeroed). *)
+
+val flip_groups : Sim.Runner.t -> groups:int list list -> group_result
+(** Cold-start, then for each group cut all its links atomically (via
+    the runner's [flip_many]), converge, restore them atomically, and
+    converge again. *)
 
 val times : result -> float array
 (** Convergence durations of all runs (down and up interleaved), for CDF
@@ -35,3 +60,9 @@ val message_counts : result -> float array
 
 val unit_counts : result -> float array
 (** Update-unit counts of all runs. *)
+
+val group_times : group_result -> float array
+(** Convergence durations of the correlated runs (cut and restore
+    interleaved). *)
+
+val group_message_counts : group_result -> float array

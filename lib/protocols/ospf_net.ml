@@ -122,16 +122,6 @@ let network topo =
       states;
     Sim.Engine.run_to_quiescence ~since engine
   in
-  let flip ~link_id ~up =
-    Sim.Engine.flip_link engine ~link_id ~up;
-    Sim.Engine.run_to_quiescence engine
-  in
-  let flip_many changes =
-    List.iter
-      (fun (link_id, up) -> Sim.Engine.flip_link engine ~link_id ~up)
-      changes;
-    Sim.Engine.run_to_quiescence engine
-  in
   let path ~src ~dest =
     let tree = shortest_tree states.(src) topo ~src in
     Dijkstra.path_to tree dest
@@ -141,4 +131,4 @@ let network topo =
     | Some (_ :: hop :: _) -> Some hop
     | Some _ | None -> None
   in
-  { Sim.Runner.name = "ospf"; cold_start; flip; flip_many; next_hop; path }
+  Sim.Runner.make ~name:"ospf" ~engine ~cold_start ~next_hop ~path

@@ -26,10 +26,13 @@ type 'msg t = {
   units : 'msg -> int;
   handlers : 'msg handlers;
   queue : (float * 'msg event) Heap.t;
+  loss : float array;  (* per-link delivery loss probability *)
+  mutable loss_rng : Rng.t;
   mutable clock : float;
   mutable sent_messages : int;
   mutable sent_units : int;
   mutable delivered : int;
+  mutable lost : int;
   mutable processed : int;
 }
 
@@ -38,6 +41,7 @@ type run_stats = {
   messages : int;
   units : int;
   deliveries : int;
+  losses : int;
   events : int;
 }
 
@@ -47,15 +51,29 @@ let create topo ~units ~handlers =
     units;
     handlers;
     queue = Heap.create ~cmp;
+    loss = Array.make (Topology.num_links topo) 0.0;
+    loss_rng = Rng.create 0;
     clock = 0.0;
     sent_messages = 0;
     sent_units = 0;
     delivered = 0;
+    lost = 0;
     processed = 0 }
 
 let topology t = t.topo
 
 let now t = t.clock
+
+let pending_events t = Heap.length t.queue
+
+let set_loss t ~link_id ~rate =
+  if link_id < 0 || link_id >= Array.length t.loss then
+    invalid_arg (Printf.sprintf "Engine.set_loss: bad link id %d" link_id);
+  if not (Float.is_finite rate) || rate < 0.0 || rate > 1.0 then
+    invalid_arg (Printf.sprintf "Engine.set_loss: bad rate %g" rate);
+  t.loss.(link_id) <- rate
+
+let seed_loss t seed = t.loss_rng <- Rng.create seed
 
 let perform t ~node actions =
   List.iter
@@ -85,13 +103,14 @@ let flip_link t ~link_id ~up =
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.a; link_id });
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.b; link_id })
 
-exception Diverged of int
+exception Diverged of { processed : int; pending : int }
 
 type mark = {
   m_time : float;
   m_messages : int;
   m_units : int;
   m_delivered : int;
+  m_lost : int;
   m_processed : int;
 }
 
@@ -100,28 +119,42 @@ let mark t =
     m_messages = t.sent_messages;
     m_units = t.sent_units;
     m_delivered = t.delivered;
+    m_lost = t.lost;
     m_processed = t.processed }
 
-let run_to_quiescence ?(max_events = 20_000_000) ?since t =
-  let since = match since with Some m -> m | None -> mark t in
+(* Shared event loop. [until = Some h] stops before the first event
+   scheduled after [h] and advances the clock to [h]; [None] drains the
+   queue. *)
+let run_core ~max_events ~since ~until t =
   let start_time = since.m_time in
-  let start_messages = since.m_messages in
-  let start_units = since.m_units in
-  let start_delivered = since.m_delivered in
-  let start_processed = since.m_processed in
   let budget = ref max_events in
+  let horizon_allows time =
+    match until with None -> true | Some h -> time <= h
+  in
   let rec loop () =
-    match Heap.pop t.queue with
+    match Heap.peek t.queue with
     | None -> ()
-    | Some (time, event) ->
-      if !budget = 0 then raise (Diverged t.processed);
+    | Some (time, _) when not (horizon_allows time) -> ()
+    | Some _ ->
+      let time, event = Heap.pop_exn t.queue in
+      if !budget = 0 then
+        raise
+          (Diverged
+             { processed = t.processed; pending = Heap.length t.queue + 1 });
       decr budget;
       t.clock <- time;
       t.processed <- t.processed + 1;
       (match event with
       | Deliver { src; dst; link_id; msg } ->
-        (* Lost if the link died while the message was in flight. *)
-        if Topology.is_up t.topo link_id then begin
+        (* Lost if the link died while the message was in flight, or to
+           the link's probabilistic loss process. The loss draw happens
+           only on links with a configured rate, so runs without a loss
+           model never touch the RNG. *)
+        if not (Topology.is_up t.topo link_id) then t.lost <- t.lost + 1
+        else if
+          t.loss.(link_id) > 0.0 && Rng.chance t.loss_rng t.loss.(link_id)
+        then t.lost <- t.lost + 1
+        else begin
           t.delivered <- t.delivered + 1;
           let actions =
             t.handlers.on_message ~now:t.clock ~node:dst ~src msg
@@ -139,15 +172,29 @@ let run_to_quiescence ?(max_events = 20_000_000) ?since t =
       loop ()
   in
   loop ();
+  (match until with
+  | Some h -> if h > t.clock then t.clock <- h
+  | None -> ());
   Log.debug (fun m ->
-      m "quiescent at t=%.3f: %d messages, %d events" t.clock
-        (t.sent_messages - start_messages)
-        (t.processed - start_processed));
+      m "%s at t=%.3f: %d messages, %d events"
+        (match until with None -> "quiescent" | Some _ -> "paused")
+        t.clock
+        (t.sent_messages - since.m_messages)
+        (t.processed - since.m_processed));
   { duration = t.clock -. start_time;
-    messages = t.sent_messages - start_messages;
-    units = t.sent_units - start_units;
-    deliveries = t.delivered - start_delivered;
-    events = t.processed - start_processed }
+    messages = t.sent_messages - since.m_messages;
+    units = t.sent_units - since.m_units;
+    deliveries = t.delivered - since.m_delivered;
+    losses = t.lost - since.m_lost;
+    events = t.processed - since.m_processed }
+
+let run_to_quiescence ?(max_events = 20_000_000) ?since t =
+  let since = match since with Some m -> m | None -> mark t in
+  run_core ~max_events ~since ~until:None t
+
+let run_until ?(max_events = 20_000_000) ?since t horizon =
+  let since = match since with Some m -> m | None -> mark t in
+  run_core ~max_events ~since ~until:(Some horizon) t
 
 let total_messages t = t.sent_messages
 

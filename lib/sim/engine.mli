@@ -9,12 +9,16 @@
     event.
 
     The engine is deterministic: simultaneous events are processed in
-    schedule order (the heap breaks ties FIFO).
+    schedule order (the heap breaks ties FIFO), and the probabilistic
+    loss model draws from a seeded generator in event order, so equal
+    seeds give equal runs.
 
     Protocols plug in as callbacks returning {!action}s — messages to
     emit and timers to arm (BGP's MRAI batching needs timers); all
     protocol state lives on the protocol side. Messages sent over a link
-    that is down at delivery time are lost, as on a real failed link. *)
+    that is down at delivery time are lost, as on a real failed link;
+    links may additionally be given a delivery loss probability
+    ({!set_loss}) to model lossy sessions. *)
 
 type 'msg action =
   | Send of int * 'msg       (** deliver to a neighbor over the link *)
@@ -34,21 +38,37 @@ val no_timers : now:float -> node:int -> key:int -> 'msg action list
 type 'msg t
 
 type run_stats = {
-  duration : float;   (** last-event time minus run start, ms *)
+  duration : float;   (** last-event time minus run start, ms; a
+                          {!run_until} run extends to its horizon *)
   messages : int;     (** messages sent during the run *)
   units : int;        (** protocol-specific update units sent *)
-  deliveries : int;   (** messages delivered (not lost) *)
+  deliveries : int;   (** messages delivered *)
+  losses : int;       (** messages lost — dead link at delivery time, or
+                          the probabilistic loss model *)
   events : int;       (** total events processed *)
 }
 
 val create :
   Topology.t -> units:('msg -> int) -> handlers:'msg handlers -> 'msg t
 (** [units] prices one message in protocol update units (per-prefix for
-    path vector, per-link for Centaur, 1 for OSPF LSAs). *)
+    path vector, per-link for Centaur, 1 for OSPF LSAs). All links start
+    loss-free; the loss RNG starts from seed 0 (see {!seed_loss}). *)
 
 val topology : 'msg t -> Topology.t
 
 val now : 'msg t -> float
+
+val pending_events : 'msg t -> int
+(** Events still queued (zero exactly when the network is quiescent). *)
+
+val set_loss : 'msg t -> link_id:int -> rate:float -> unit
+(** Set a link's delivery loss probability in \[0, 1\]. Applied
+    independently per message at delivery time, from the seeded loss
+    stream. Raises [Invalid_argument] on a bad id or rate. *)
+
+val seed_loss : 'msg t -> int -> unit
+(** Reset the loss draw stream. Call before a measurement run so loss
+    patterns are reproducible regardless of engine history. *)
 
 val perform : 'msg t -> node:int -> 'msg action list -> unit
 (** Execute actions on behalf of a node: schedule message deliveries over
@@ -59,10 +79,10 @@ val flip_link : 'msg t -> link_id:int -> up:bool -> unit
 (** Change a link's state now and schedule the two endpoints'
     [on_link_change] notifications. *)
 
-exception Diverged of int
-(** Raised by {!run_to_quiescence} when the event budget is exhausted —
-    the protocol is not converging. Carries the number of events
-    processed. *)
+exception Diverged of { processed : int; pending : int }
+(** Raised by the run functions when the event budget is exhausted — the
+    protocol is not converging. Carries the number of events processed
+    and the number still pending in the queue. *)
 
 type mark
 (** Snapshot of the engine's counters, delimiting a measurement run. *)
@@ -74,6 +94,16 @@ val run_to_quiescence : ?max_events:int -> ?since:mark -> 'msg t -> run_stats
     Counters in the result cover the span since [since] (default: since
     this call) — pass a mark taken before injecting the initial sends so
     they are included. *)
+
+val run_until :
+  ?max_events:int -> ?since:mark -> 'msg t -> float -> run_stats
+(** [run_until t horizon] processes every event scheduled at or before
+    [horizon], leaves later events queued, and advances the clock to
+    [horizon] (so injections performed next are stamped there). Protocol
+    state can be inspected mid-convergence between calls. A sequence of
+    [run_until] calls followed by {!run_to_quiescence} processes exactly
+    the events one {!run_to_quiescence} would, with identical counter
+    totals. *)
 
 val total_messages : 'msg t -> int
 (** Messages sent since creation (across all runs). *)

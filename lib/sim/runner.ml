@@ -3,9 +3,45 @@ type t = {
   cold_start : unit -> Engine.run_stats;
   flip : link_id:int -> up:bool -> Engine.run_stats;
   flip_many : (int * bool) list -> Engine.run_stats;
+  inject : (int * bool) list -> unit;
+  run_until : float -> Engine.run_stats;
+  run_to_quiescence : unit -> Engine.run_stats;
+  set_loss : link_id:int -> rate:float -> unit;
+  seed_loss : int -> unit;
+  pending_events : unit -> int;
+  now : unit -> float;
   next_hop : src:int -> dest:int -> int option;
   path : src:int -> dest:int -> Path.t option;
 }
+
+let make ~name ~engine ~cold_start ~next_hop ~path =
+  let inject changes =
+    List.iter
+      (fun (link_id, up) -> Engine.flip_link engine ~link_id ~up)
+      changes
+  in
+  let flip ~link_id ~up =
+    Engine.flip_link engine ~link_id ~up;
+    Engine.run_to_quiescence engine
+  in
+  let flip_many changes =
+    inject changes;
+    Engine.run_to_quiescence engine
+  in
+  { name;
+    cold_start;
+    flip;
+    flip_many;
+    inject;
+    run_until = (fun horizon -> Engine.run_until engine horizon);
+    run_to_quiescence = (fun () -> Engine.run_to_quiescence engine);
+    set_loss =
+      (fun ~link_id ~rate -> Engine.set_loss engine ~link_id ~rate);
+    seed_loss = (fun seed -> Engine.seed_loss engine seed);
+    pending_events = (fun () -> Engine.pending_events engine);
+    now = (fun () -> Engine.now engine);
+    next_hop;
+    path }
 
 let forwarding_path t ~src ~dest ~max_hops =
   let rec go current acc hops =

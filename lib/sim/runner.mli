@@ -3,7 +3,10 @@
     Each protocol implementation (BGP, OSPF, Centaur) packages itself as
     one of these records so the convergence experiments can drive any of
     them interchangeably: cold-start it, flip links, and inspect the
-    converged forwarding state. *)
+    converged forwarding state. The stepping fields ([inject],
+    [run_until], [run_to_quiescence]) additionally let the fault
+    subsystem interleave injections with mid-convergence observation
+    instead of always running to quiescence. *)
 
 type t = {
   name : string;
@@ -15,12 +18,40 @@ type t = {
       (** Change several links simultaneously — correlated failures, a
           shared-risk link group, a node-adjacent cut — then run to
           quiescence once. *)
+  inject : (int * bool) list -> unit;
+      (** Change several links at the current simulation time {e without}
+          running: the endpoint notifications stay queued until the next
+          run call. The fault injector's primitive. *)
+  run_until : float -> Engine.run_stats;
+      (** Partial run to a time horizon (see {!Engine.run_until}). *)
+  run_to_quiescence : unit -> Engine.run_stats;
+      (** Drain all pending events. *)
+  set_loss : link_id:int -> rate:float -> unit;
+      (** Set a link's delivery loss probability. *)
+  seed_loss : int -> unit;
+      (** Reset the engine's loss draw stream. *)
+  pending_events : unit -> int;
+      (** Queued events; zero exactly when converged. *)
+  now : unit -> float;
+      (** Current simulation clock, ms. *)
   next_hop : src:int -> dest:int -> int option;
-      (** Converged forwarding decision of [src] toward [dest]. *)
+      (** Current forwarding decision of [src] toward [dest] — converged
+          or mid-convergence, depending on how the runner was stepped. *)
   path : src:int -> dest:int -> Path.t option;
-      (** Converged full path where the protocol knows it; [None] when
+      (** Full path where the protocol knows it; [None] when
           unreachable. *)
 }
+
+val make :
+  name:string ->
+  engine:'msg Engine.t ->
+  cold_start:(unit -> Engine.run_stats) ->
+  next_hop:(src:int -> dest:int -> int option) ->
+  path:(src:int -> dest:int -> Path.t option) ->
+  t
+(** Build the record from an engine plus the protocol-specific pieces:
+    every field except [cold_start]/[next_hop]/[path] is derived
+    uniformly from the engine. *)
 
 val forwarding_path :
   t -> src:int -> dest:int -> max_hops:int -> Path.t option

@@ -12,7 +12,11 @@ let tiny =
     fig5_dests = 0;
     fig8_sizes = [ 20; 40 ];
     fig8_events = 4;
-    mrai = 10.0 }
+    mrai = 10.0;
+    resilience_scenarios = 2;
+    resilience_pairs = 6;
+    resilience_flaps = 3;
+    resilience_horizon = 150.0 }
 
 let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
@@ -23,7 +27,7 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "all artifacts present"
     [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8";
-      "ablation-mrai"; "ablation-multipath" ]
+      "resilience"; "ablation-mrai"; "ablation-multipath" ]
     Experiments.Registry.ids;
   Alcotest.(check bool) "find hit" true
     (Experiments.Registry.find "fig6" <> None);
@@ -128,6 +132,42 @@ let test_registry_renders () =
         Alcotest.(check bool) (id ^ " renders") true (String.length s > 40))
     [ "table3"; "fig5" ]
 
+let test_resilience_shapes () =
+  let open Experiments.Exp_resilience in
+  let r = Experiments.Exp_resilience.run tiny in
+  Alcotest.(check (list string))
+    "protocol order" [ "centaur"; "bgp"; "ospf" ]
+    (List.map (fun a -> a.protocol) r.rows);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (a.protocol ^ " availability in range") true
+        (a.availability >= 0.0 && a.availability <= 1.0);
+      Alcotest.(check bool) (a.protocol ^ " unavail = blackhole + loop") true
+        (Float.abs (a.unavailable_ms -. (a.blackhole_ms +. a.loop_ms)) < 1e-6);
+      Alcotest.(check int) (a.protocol ^ " pair samples") (2 * 6)
+        (Array.length a.pair_unavail))
+    r.rows;
+  let centaur = find_row r "centaur" and bgp = find_row r "bgp" in
+  Alcotest.(check bool) "centaur at most bgp unavailability" true
+    (centaur.unavailable_ms <= bgp.unavailable_ms);
+  Alcotest.(check bool) "render has headline" true
+    (contains (render r) "Centaur unavailable")
+
+let test_sample_pairs () =
+  let topo = Experiments.Inputs.brite tiny in
+  let pairs = Experiments.Inputs.sample_pairs tiny topo ~count:10 in
+  Alcotest.(check int) "count" 10 (List.length pairs);
+  Alcotest.(check int) "distinct" 10
+    (List.length (List.sort_uniq compare pairs));
+  List.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "valid pair" true
+        (s <> d && s >= 0 && d >= 0 && s < Topology.num_nodes topo
+        && d < Topology.num_nodes topo))
+    pairs;
+  Alcotest.(check bool) "deterministic" true
+    (Experiments.Inputs.sample_pairs tiny topo ~count:10 = pairs)
+
 let test_inputs_deterministic () =
   let a = Experiments.Inputs.brite tiny and b = Experiments.Inputs.brite tiny in
   Alcotest.(check string) "same topology from same seed"
@@ -147,5 +187,7 @@ let suite =
     Alcotest.test_case "ablation mrai monotone" `Quick
       test_ablation_mrai_monotone;
     Alcotest.test_case "registry renders" `Quick test_registry_renders;
+    Alcotest.test_case "resilience shapes" `Quick test_resilience_shapes;
+    Alcotest.test_case "sample pairs" `Quick test_sample_pairs;
     Alcotest.test_case "inputs deterministic" `Quick
       test_inputs_deterministic ]

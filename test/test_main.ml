@@ -21,4 +21,5 @@ let () =
       ("bgp-rcn", Test_rcn.suite);
       ("multipath", Test_multipath.suite);
       ("privacy", Test_privacy.suite);
+      ("faults", Test_faults.suite);
       ("experiments", Test_experiments.suite) ]

@@ -70,6 +70,7 @@ let test_in_flight_loss () =
   let stats = Sim.Engine.run_to_quiescence ~since e in
   Alcotest.(check int) "sent but lost" 1 stats.Sim.Engine.messages;
   Alcotest.(check int) "not delivered" 0 stats.Sim.Engine.deliveries;
+  Alcotest.(check int) "counted as lost" 1 stats.Sim.Engine.losses;
   (* Only the two link notifications reached handlers. *)
   Alcotest.(check int) "two notifications" 2 (List.length !log)
 
@@ -140,6 +141,49 @@ let test_mark_spans_initial_sends () =
   let stats = Sim.Engine.run_to_quiescence ~since e in
   Alcotest.(check int) "initial send counted" 1 stats.Sim.Engine.messages
 
+let test_probabilistic_loss () =
+  (* Rate 1.0 loses everything; rate 0.0 loses nothing; the draws come
+     from the seeded stream so equal seeds lose identical messages. *)
+  let run_with ~rate ~seed =
+    let topo = line_topo [ 1.0 ] in
+    let log = ref [] in
+    let e = engine_with ~topo ~log ~forward:false () in
+    Sim.Engine.seed_loss e seed;
+    Sim.Engine.set_loss e ~link_id:0 ~rate;
+    let since = Sim.Engine.mark e in
+    Sim.Engine.perform e ~node:0
+      (List.init 40 (fun i -> Sim.Engine.Send (1, { payload = i })));
+    Sim.Engine.run_to_quiescence ~since e
+  in
+  let all = run_with ~rate:1.0 ~seed:1 in
+  Alcotest.(check int) "rate 1: all lost" 40 all.Sim.Engine.losses;
+  Alcotest.(check int) "rate 1: none delivered" 0 all.Sim.Engine.deliveries;
+  let none = run_with ~rate:0.0 ~seed:1 in
+  Alcotest.(check int) "rate 0: none lost" 0 none.Sim.Engine.losses;
+  let a = run_with ~rate:0.5 ~seed:9 and b = run_with ~rate:0.5 ~seed:9 in
+  Alcotest.(check int) "seeded loss deterministic" a.Sim.Engine.losses
+    b.Sim.Engine.losses;
+  Alcotest.(check bool) "rate 0.5 loses some" true (a.Sim.Engine.losses > 0);
+  Alcotest.(check bool) "rate 0.5 delivers some" true
+    (a.Sim.Engine.deliveries > 0)
+
+let test_run_until_pauses_and_resumes () =
+  let topo = line_topo [ 2.0; 3.0 ] in
+  let log = ref [] in
+  let e = engine_with ~topo ~log () in
+  let since = Sim.Engine.mark e in
+  Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 7 }) ];
+  let first = Sim.Engine.run_until ~since e 2.5 in
+  Alcotest.(check int) "one delivery so far" 1 first.Sim.Engine.deliveries;
+  Alcotest.(check int) "one event pending" 1 (Sim.Engine.pending_events e);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.5 (Sim.Engine.now e);
+  Alcotest.(check (float 1e-9)) "duration to horizon" 2.5
+    first.Sim.Engine.duration;
+  let rest = Sim.Engine.run_to_quiescence e in
+  Alcotest.(check int) "second delivery" 1 rest.Sim.Engine.deliveries;
+  Alcotest.(check int) "quiescent" 0 (Sim.Engine.pending_events e);
+  Alcotest.(check (float 1e-9)) "final clock" 5.0 (Sim.Engine.now e)
+
 let test_forwarding_path_helper () =
   let topo = Fixtures.figure2a () in
   let runner = Protocols.Centaur_net.network topo in
@@ -163,6 +207,9 @@ let suite =
     Alcotest.test_case "timers fire in order" `Quick
       test_timers_fire_in_order;
     Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+    Alcotest.test_case "probabilistic loss" `Quick test_probabilistic_loss;
+    Alcotest.test_case "run_until pauses and resumes" `Quick
+      test_run_until_pauses_and_resumes;
     Alcotest.test_case "mark spans initial sends" `Quick
       test_mark_spans_initial_sends;
     Alcotest.test_case "forwarding path helper" `Quick
