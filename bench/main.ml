@@ -11,9 +11,11 @@
    2. Runs Bechamel micro-benchmarks of the kernels behind each
       artifact - BuildGraph, DerivePath, the static solver, delta
       diffing, a full protocol convergence step, the CSR adjacency fast
-      path, a full fault-injection churn scenario (the resilience
-      experiment's kernel), and the parallel Static.analyze pipeline at
-      1 and N domains
+      path, the incremental-vs-full recomputation twins (staged BGP
+      pipeline and cached-SPF OSPF against their from-scratch modes), a
+      full fault-injection churn scenario (the resilience experiment's
+      kernel), and the parallel Static.analyze pipeline at 1 and N
+      domains
       - one Test.make per kernel (skipped with BENCH_NO_MICRO=1).
       Results print sorted by kernel name and are also written to
       BENCH_RESULTS.json so the perf trajectory is trackable across
@@ -102,6 +104,45 @@ let micro_tests () =
   in
   let flip_runner = Protocols.Centaur_net.network flip_topo in
   ignore (flip_runner.Sim.Runner.cold_start ());
+  (* Incremental-vs-full twins: each gets its own topology instance (the
+     engine mutates link state), cold-started once and flipped in place
+     per run — the flip restores the link, so iterations see identical
+     workloads. *)
+  let churn_topo () =
+    Brite.annotated (Rng.create 8) ~n:60 ~m:2 ~max_delay:5.0 ~num_tiers:4
+  in
+  let converged make =
+    let topo = churn_topo () in
+    let runner : Sim.Runner.t = make topo in
+    ignore (runner.Sim.Runner.cold_start ());
+    runner
+  in
+  let ospf_incr = converged (Protocols.Ospf_net.network ~incremental:true) in
+  let ospf_full = converged (Protocols.Ospf_net.network ~incremental:false) in
+  let bgp_incr = converged (Protocols.Bgp_net.network ~incremental:true) in
+  let bgp_full = converged (Protocols.Bgp_net.network ~incremental:false) in
+  let n_flip = Topology.num_nodes flip_topo in
+  (* One churn round: break a link, read the whole forwarding table,
+     restore it, read again — the recompute-plus-query cost profile the
+     delta-first pipeline is built to amortize. *)
+  let churn_round (runner : Sim.Runner.t) =
+    let query_all () =
+      let acc = ref 0 in
+      for src = 0 to n_flip - 1 do
+        for dest = 0 to n_flip - 1 do
+          if src <> dest then
+            match runner.Sim.Runner.next_hop ~src ~dest with
+            | Some h -> acc := !acc + h
+            | None -> ()
+        done
+      done;
+      ignore !acc
+    in
+    ignore (runner.Sim.Runner.flip ~link_id:3 ~up:false);
+    query_all ();
+    ignore (runner.Sim.Runner.flip ~link_id:3 ~up:true);
+    query_all ()
+  in
   (* Full Static.analyze workload: the quick configuration's CAIDA-like
      topology and source sample, as used by table4. *)
   let qcfg = Experiments.Config.quick in
@@ -149,6 +190,20 @@ let micro_tests () =
              Topology.iter_neighbors topo v (fun nb _ _ -> acc := !acc + nb)
            done;
            ignore !acc));
+    (* Delta-first payoff: the same flip-and-read-table round under the
+       staged incremental pipelines vs their from-scratch twins (every
+       event invalidates everything / every query re-runs Dijkstra).
+       Both members of each pair compute identical routes — the
+       test suite's equivalence properties — so the gap is pure
+       recomputation cost. *)
+    Test.make ~name:"incremental-vs-full/ospf-incremental"
+      (Staged.stage (fun () -> churn_round ospf_incr));
+    Test.make ~name:"incremental-vs-full/ospf-full"
+      (Staged.stage (fun () -> churn_round ospf_full));
+    Test.make ~name:"incremental-vs-full/bgp-incremental"
+      (Staged.stage (fun () -> churn_round bgp_incr));
+    Test.make ~name:"incremental-vs-full/bgp-full"
+      (Staged.stage (fun () -> churn_round bgp_full));
     (* The resilience experiment's unit of work: one churn scenario
        replayed against a cold-started Centaur network with the
        transient-correctness observer sampling throughout. The topology

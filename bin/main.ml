@@ -76,9 +76,18 @@ let exp_cmd =
             run_one e;
             `Ok ())
       | None ->
+        let available =
+          List.map
+            (fun (e : Experiments.Registry.entry) ->
+              Printf.sprintf "  %-12s %s" e.Experiments.Registry.id
+                e.Experiments.Registry.title)
+            Experiments.Registry.all
+          @ [ "  all          every experiment above" ]
+        in
         `Error
-          (false, Printf.sprintf "unknown experiment %S; try one of: %s" id
-                    (String.concat ", " ("all" :: Experiments.Registry.ids)))
+          ( false,
+            Printf.sprintf "unknown experiment %S; available:\n%s" id
+              (String.concat "\n" available) )
   in
   let doc = "Regenerate a table or figure from the paper's evaluation." in
   Cmd.v
@@ -200,9 +209,17 @@ let pgraph_cmd =
 
 (* --- simulate --- *)
 
+let protocols : (string * (Topology.t -> Sim.Runner.t)) list =
+  [ ("centaur", Protocols.Centaur_net.network);
+    ("bgp", fun topo -> Protocols.Bgp_net.network topo);
+    ("bgp-rcn", fun topo -> Protocols.Bgp_net.network ~rcn:true topo);
+    ("ospf", fun topo -> Protocols.Ospf_net.network topo) ]
+
 let simulate_cmd =
   let proto_t =
-    let doc = "Protocol: centaur, bgp, bgp-rcn, or ospf." in
+    let doc =
+      "Protocol: " ^ String.concat ", " (List.map fst protocols) ^ "."
+    in
     Arg.(value & opt string "centaur" & info [ "protocol" ] ~docv:"PROTO" ~doc)
   in
   let link_t =
@@ -211,17 +228,14 @@ let simulate_cmd =
   in
   let run path proto link =
     let topo = read_topology path in
-    let runner =
-      match proto with
-      | "centaur" -> Some (Protocols.Centaur_net.network topo)
-      | "bgp" -> Some (Protocols.Bgp_net.network topo)
-      | "bgp-rcn" -> Some (Protocols.Bgp_net.network ~rcn:true topo)
-      | "ospf" -> Some (Protocols.Ospf_net.network topo)
-      | _ -> None
-    in
-    match runner with
-    | None -> `Error (false, Printf.sprintf "unknown protocol %S" proto)
-    | Some runner ->
+    match List.assoc_opt proto protocols with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown protocol %S; available: %s" proto
+            (String.concat ", " (List.map fst protocols)) )
+    | Some network ->
+      let runner = network topo in
       let link = if link < 0 then 0 else link in
       if link >= Topology.num_links topo then
         `Error (false, Printf.sprintf "link %d out of range" link)

@@ -20,17 +20,25 @@ type t = {
   selected : (int, Path.t) Hashtbl.t; (* dest -> my path (starts at me) *)
   local : Builder.t;
   mutable exports : Builder.t Imap.t; (* per neighbor *)
+  (* Destinations whose selection must be revisited: every absorbed
+     delta and adjacency change marks here (across all sessions), and
+     one [recompute] drains it — the cross-session invalidation shares
+     the dirty-set scheduler with the other protocols. *)
+  dirty : Dirty.t;
+  on_change : (int -> unit) option; (* selection-change tap *)
 }
 
 type output = (int * Announce.t) list
 
-let create topo ~id =
+let create ?on_change topo ~id =
   { node_id = id;
     topo;
     sessions = Imap.empty;
     selected = Hashtbl.create 64;
     local = Builder.create ~root:id;
-    exports = Imap.empty }
+    exports = Imap.empty;
+    dirty = Dirty.create ();
+    on_change }
 
 let id t = t.node_id
 
@@ -224,6 +232,7 @@ let reselect t ~dest =
       (match new_path with
       | Some p -> Hashtbl.replace t.selected dest p
       | None -> Hashtbl.remove t.selected dest);
+      (match t.on_change with Some f -> f dest | None -> ());
       Builder.set_path t.local ~dest new_path;
       List.iter
         (fun (n, role, _) ->
@@ -253,24 +262,33 @@ let flush t =
     t.exports []
   |> List.rev
 
-let handle t ann =
-  let sender = ann.Announce.sender in
-  match Imap.find_opt sender t.sessions with
+(* Absorb one announcement: apply the delta to the sender's P-graph,
+   re-derive the destinations it can affect and mark those whose derived
+   path changed for re-selection. Emits nothing — [recompute] drains the
+   marks. *)
+let absorb t ann =
+  (match Imap.find_opt ann.Announce.sender t.sessions with
   | None ->
     (* Session no longer exists (link went down while the message was in
        flight, or raced the adjacency notification): drop silently. *)
-    (t, [])
+    ()
   | Some s ->
     let ann = Announce.import ann ~receiver:t.node_id in
     let delta = ann.Announce.delta in
     let affected = affected_dests s delta in
     Pgraph.apply s.pg delta;
-    let to_reselect = Hashtbl.create 16 in
     Hashtbl.iter
-      (fun dest () -> if rederive s ~dest then Hashtbl.replace to_reselect dest ())
-      affected;
-    Hashtbl.iter (fun dest () -> reselect t ~dest) to_reselect;
-    (t, flush t)
+      (fun dest () -> if rederive s ~dest then Dirty.mark t.dirty dest)
+      affected);
+  t
+
+let recompute t =
+  Dirty.drain t.dirty (fun dest -> reselect t ~dest);
+  (t, flush t)
+
+let handle t ann =
+  let t = absorb t ann in
+  recompute t
 
 (* Full export of the current table to a fresh session. *)
 let populate_export t builder ~neighbor ~role =
@@ -283,23 +301,25 @@ let populate_export t builder ~neighbor ~role =
       then Builder.set_path builder ~dest (Some p))
     t.selected
 
-let on_adjacency_change t =
+(* Absorb a local adjacency change: reconcile sessions with the live
+   neighbor set and mark the affected destinations dirty. Like [absorb],
+   emits nothing until [recompute]. *)
+let absorb_adjacency t =
   let live = neighbors t in
   let live_set =
     List.fold_left (fun acc (n, _, _) -> Imap.add n () acc) Imap.empty live
   in
-  let to_reselect = Hashtbl.create 16 in
   (* Dead sessions: drop state; every destination currently routed
      through the vanished neighbor needs re-selection, as does the
      neighbor's own prefix. *)
   Imap.iter
     (fun n _s ->
       if not (Imap.mem n live_set) then begin
-        Hashtbl.replace to_reselect n ();
+        Dirty.mark t.dirty n;
         Hashtbl.iter
           (fun dest p ->
             match Path.next_hop p with
-            | Some hop when hop = n -> Hashtbl.replace to_reselect dest ()
+            | Some hop when hop = n -> Dirty.mark t.dirty dest
             | Some _ | None -> ())
           t.selected
       end)
@@ -314,11 +334,14 @@ let on_adjacency_change t =
         let builder = Builder.create ~root:t.node_id in
         populate_export t builder ~neighbor:n ~role;
         t.exports <- Imap.add n builder t.exports;
-        Hashtbl.replace to_reselect n ()
+        Dirty.mark t.dirty n
       end)
     live;
-  Hashtbl.iter (fun dest () -> reselect t ~dest) to_reselect;
-  (t, flush t)
+  t
+
+let on_adjacency_change t =
+  let t = absorb_adjacency t in
+  recompute t
 
 let start t = on_adjacency_change t
 

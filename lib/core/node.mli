@@ -23,8 +23,11 @@ type t
 type output = (int * Announce.t) list
 (** [(neighbor, announcement)] pairs to deliver. *)
 
-val create : Topology.t -> id:int -> t
-(** A node with empty routing state. *)
+val create : ?on_change:(int -> unit) -> Topology.t -> id:int -> t
+(** A node with empty routing state. [on_change] is called with the
+    destination id every time the node's selected path for that
+    destination changes — the tap the simulator uses to feed the uniform
+    changed-destination interface. *)
 
 val id : t -> int
 
@@ -37,13 +40,32 @@ val handle : t -> Announce.t -> t * output
 (** Receive one announcement (§4.3.1 Step 2 / §4.3.2 Step 5): apply the
     import filter, merge the delta into the sender's P-graph, re-derive
     and re-select the affected destinations, update the local P-graph and
-    emit per-neighbor deltas. *)
+    emit per-neighbor deltas. Equivalent to {!absorb} followed by
+    {!recompute}. *)
+
+val absorb : t -> Announce.t -> t
+(** The delta-first absorb stage of {!handle}: apply the delta and mark
+    the destinations whose derived path changed on the node's dirty set,
+    without re-selecting or emitting. The simulator absorbs every
+    announcement of a same-timestamp burst, then runs one
+    {!recompute}. *)
+
+val recompute : t -> t * output
+(** Drain the dirty set (deterministic ascending-destination order),
+    re-select each marked destination and flush the per-neighbor deltas
+    that follow. Idempotent when nothing is marked. *)
 
 val on_adjacency_change : t -> t * output
 (** React to a local link having gone down or come up: sessions over down
     links are flushed (their P-graphs discarded), new sessions start from
     an empty exported view (so the first delta is a full announcement),
-    and the affected destinations are re-selected. *)
+    and the affected destinations are re-selected. Equivalent to
+    {!absorb_adjacency} followed by {!recompute}. *)
+
+val absorb_adjacency : t -> t
+(** The absorb stage of {!on_adjacency_change}: reconcile sessions with
+    the live neighbor set and mark affected destinations dirty, deferring
+    re-selection and emission to {!recompute}. *)
 
 val selected_path : t -> dest:int -> Path.t option
 (** Currently selected path (starting at the node itself). *)

@@ -20,6 +20,12 @@ type t = {
   mutable ttfc : float list;
   mutable open_disruptions : float list; (* times not yet fully recovered *)
   mutable recoveries : float list;
+  (* verdict cache over the runner's changed-destination feed *)
+  last_verdict : verdict option array;
+  mutable view_stale : bool;  (* truth or link state moved since the
+                                 last sample; set by refresh_truth *)
+  mutable fresh_probes : int;
+  mutable cached_probes : int;
 }
 
 let create topo ~pairs ~sample_every =
@@ -50,7 +56,11 @@ let create topo ~pairs ~sample_every =
     awaiting_since = Array.make (Array.length pairs) None;
     ttfc = [];
     open_disruptions = [];
-    recoveries = [] }
+    recoveries = [];
+    last_verdict = Array.make (Array.length pairs) None;
+    view_stale = true;
+    fresh_probes = 0;
+    cached_probes = 0 }
 
 (* Policy ground truth under the topology's current link state: which
    sources have any Gao-Rexford route to each probed destination. *)
@@ -63,7 +73,8 @@ let refresh_truth t =
             Solver.reachable routes src)
       in
       Hashtbl.replace t.reachable dest per_src)
-    t.dests
+    t.dests;
+  t.view_stale <- true
 
 let truth_reachable t ~src ~dest =
   match Hashtbl.find_opt t.reachable dest with
@@ -106,11 +117,31 @@ let note_disruption t runner ~now =
         | Blackholed | Looped -> t.awaiting_since.(i) <- Some now)
     t.pairs
 
+(* A pair's verdict can only move when the ground truth or a link state
+   changed (refresh_truth marks the view stale) or some node re-routed
+   toward the pair's destination — which the runner's drained
+   changed-destination feed reports. Everything else replays the cached
+   verdict, so steady sampling of a quiet network costs no data-plane
+   walks. *)
 let sample t runner ~now =
+  let changed = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.replace changed d ())
+    (runner.Sim.Runner.changed_dests ());
   let routable = ref 0 and ok = ref 0 in
   Array.iteri
     (fun i (src, dest) ->
-      let v = probe t runner ~src ~dest in
+      let v =
+        match t.last_verdict.(i) with
+        | Some v when (not t.view_stale) && not (Hashtbl.mem changed dest)
+          ->
+          t.cached_probes <- t.cached_probes + 1;
+          v
+        | _ ->
+          t.fresh_probes <- t.fresh_probes + 1;
+          probe t runner ~src ~dest
+      in
+      t.last_verdict.(i) <- Some v;
       (match v with
       | Delivered ->
         incr routable;
@@ -129,6 +160,7 @@ let sample t runner ~now =
       | Unroutable ->
         t.unroutable.(i) <- t.unroutable.(i) +. t.sample_every))
     t.pairs;
+  t.view_stale <- false;
   t.samples <- t.samples + 1;
   t.delivered_samples <- t.delivered_samples + !ok;
   t.routable_samples <- t.routable_samples + !routable;
@@ -143,6 +175,8 @@ let sample t runner ~now =
       t.open_disruptions;
     t.open_disruptions <- []
   end
+
+let cache_stats t = (t.fresh_probes, t.cached_probes)
 
 type report = {
   protocol : string;

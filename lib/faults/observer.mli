@@ -42,7 +42,17 @@ val note_disruption : t -> Sim.Runner.t -> now:float -> unit
     broken right now starts a time-to-first-correct-path clock. *)
 
 val sample : t -> Sim.Runner.t -> now:float -> unit
-(** Probe every pair and accumulate. *)
+(** Probe every pair and accumulate. Pairs whose destination is absent
+    from the runner's drained [changed_dests] feed — and with the truth
+    view unchanged since the last sample — replay their cached verdict
+    instead of walking the data plane, so sampling a quiet network is
+    free. {!refresh_truth} invalidates the whole cache (any link-state
+    change can reroute a walk mid-path). *)
+
+val cache_stats : t -> int * int
+(** [(fresh, cached)] probe counts over all samples so far — how often
+    the changed-destination feed let the observer skip a data-plane
+    walk. *)
 
 type report = {
   protocol : string;

@@ -19,6 +19,7 @@ type t = {
   csr_rel : int array;   (* role-of-neighbor code per half-edge *)
   csr_link : int array;  (* link id per half-edge *)
   up : bool array;
+  mutable version : int;  (* bumped on every effective link-state change *)
   (* O(1) pair lookup: (a, b) -> (role of b w.r.t. a, link id). *)
   pair : (int * int, Relationship.t * int) Hashtbl.t;
 }
@@ -88,7 +89,7 @@ let create ~n edges =
       Hashtbl.replace pair (l.b, l.a) (Relationship.invert l.rel_ab, l.id))
     link_arr;
   { n; link_arr; csr_off; csr_nbr; csr_rel; csr_link;
-    up = Array.make (Array.length link_arr) true; pair }
+    up = Array.make (Array.length link_arr) true; version = 0; pair }
 
 let num_nodes t = t.n
 
@@ -176,7 +177,12 @@ let is_up t id =
 
 let set_up t id v =
   if id < 0 || id >= Array.length t.up then invalid_arg "Topology.set_up: bad id";
-  t.up.(id) <- v
+  if t.up.(id) <> v then begin
+    t.up.(id) <- v;
+    t.version <- t.version + 1
+  end
+
+let state_version t = t.version
 
 let with_link_down t id f =
   let prev = is_up t id in

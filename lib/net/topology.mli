@@ -78,6 +78,12 @@ val is_up : t -> int -> bool
 val set_up : t -> int -> bool -> unit
 (** Flip a link's state. *)
 
+val state_version : t -> int
+(** Monotone counter bumped by every {!set_up} call that actually changes
+    a link's state. Lets derived structures (cached shortest-path trees,
+    solver snapshots) detect that the ground-truth link state moved under
+    them without subscribing to individual flips. *)
+
 val with_link_down : t -> int -> (unit -> 'a) -> 'a
 (** Run a computation with one link forced down, restoring the previous
     state afterwards (exception-safe). *)

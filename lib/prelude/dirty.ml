@@ -1,0 +1,38 @@
+type t = { set : (int, unit) Hashtbl.t }
+
+let create ?(size = 64) () = { set = Hashtbl.create size }
+
+let mark t key = if not (Hashtbl.mem t.set key) then Hashtbl.replace t.set key ()
+
+let mark_list t keys = List.iter (mark t) keys
+
+let mark_range t lo hi =
+  for key = lo to hi do
+    mark t key
+  done
+
+let mem t key = Hashtbl.mem t.set key
+
+let is_empty t = Hashtbl.length t.set = 0
+
+let cardinal t = Hashtbl.length t.set
+
+let clear t = Hashtbl.reset t.set
+
+let sorted_keys t =
+  Hashtbl.fold (fun key () acc -> key :: acc) t.set []
+  |> List.sort (fun (a : int) b -> compare a b)
+
+let take t =
+  let keys = sorted_keys t in
+  Hashtbl.reset t.set;
+  keys
+
+let rec drain t f =
+  match take t with
+  | [] -> ()
+  | keys ->
+    List.iter f keys;
+    drain t f
+
+let fold t ~init ~f = List.fold_left f init (sorted_keys t)

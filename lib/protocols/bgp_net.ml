@@ -1,3 +1,19 @@
+(* BGP restructured as three explicit RIB stages over the dirty-set
+   scheduler:
+
+     Adj-RIB-In   absorb updates / session events, mark affected
+                  destinations dirty (with their root cause in RCN mode)
+     Decision     drain the dirty set in deterministic order, re-select,
+                  keep only destinations whose best route changed
+     Adj-RIB-Out  diff the desired advertisement per (neighbor, changed
+                  destination) against what was last sent, and push the
+                  net updates through the MRAI gate
+
+   The absorb stage runs per delivered event; the decision and export
+   stages run once per same-timestamp burst (the engine's batch end), so
+   a correlated cut or a fan-in of simultaneous updates costs one
+   decision pass instead of one per message. *)
+
 type msg = {
   dest : int;
   path : Path.t option;
@@ -7,19 +23,23 @@ type msg = {
          and on updates not caused by a failure *)
 }
 
-(* Per-node BGP state. [rib_in] is the Adj-RIB-In: the last path each
-   neighbor announced per destination (stored as announced, i.e. starting
-   at the neighbor). [best] holds the selected path starting at the node
-   itself. [adv] tracks what we last sent each neighbor, so we know when
-   a withdrawal is due. [pending]/[deadline]/[timer_armed] implement the
-   per-peer MRAI batch: latest pending update per (peer, prefix), the
-   earliest time the next batch may leave, and whether a flush timer is
-   already scheduled. *)
+(* Per-node state, one field group per stage. [rib_in] is the Adj-RIB-In:
+   the last path each neighbor announced per destination (stored as
+   announced, i.e. starting at the neighbor). [best] is the Loc-RIB:
+   selected paths starting at the node itself. [adv] is the Adj-RIB-Out:
+   what we last sent each neighbor. [dirty]/[causes]/[fresh_sessions]
+   carry the absorb stage's marks to the next decision run.
+   [pending]/[deadline]/[timer_armed] implement the per-peer MRAI batch:
+   latest pending update per (peer, prefix), the earliest time the next
+   batch may leave, and whether a flush timer is already scheduled. *)
 type node_state = {
   id : int;
   rib_in : (int * int, Path.t) Hashtbl.t;
   best : (int, Path.t) Hashtbl.t;
   adv : (int * int, Path.t) Hashtbl.t;
+  dirty : Dirty.t;
+  causes : (int, int * int) Hashtbl.t;  (* dest -> pending root cause *)
+  mutable fresh_sessions : int list;    (* peers owed a full-table export *)
   pending : (int, (int, msg) Hashtbl.t) Hashtbl.t;
   deadline : (int, float) Hashtbl.t;
   timer_armed : (int, unit) Hashtbl.t;
@@ -30,11 +50,25 @@ let make_state id =
     rib_in = Hashtbl.create 64;
     best = Hashtbl.create 64;
     adv = Hashtbl.create 64;
+    dirty = Dirty.create ();
+    causes = Hashtbl.create 8;
+    fresh_sessions = [];
     pending = Hashtbl.create 8;
     deadline = Hashtbl.create 8;
     timer_armed = Hashtbl.create 8 }
 
 let neighbors topo st = Topology.neighbors topo st.id
+
+(* Mark a destination for the next decision run. The most recent cause
+   wins (matching sequential processing order); a causeless mark clears a
+   stale one. *)
+let mark ?cause st dest =
+  Dirty.mark st.dirty dest;
+  match cause with
+  | Some c -> Hashtbl.replace st.causes dest c
+  | None -> Hashtbl.remove st.causes dest
+
+(* --- MRAI gate (unchanged semantics) --- *)
 
 (* Session MRAI, jittered ±25% deterministically per (node, peer). *)
 let session_mrai mrai node peer =
@@ -95,6 +129,77 @@ let on_timer topo states ~mrai ~now ~node ~key:peer =
       List.map (fun m -> Sim.Engine.Send (peer, m)) batch
     end
 
+(* --- Adj-RIB-In stage --- *)
+
+(* Purge every Adj-RIB-In entry whose path traverses the failed link:
+   the root-cause information lets a node discard stale alternatives at
+   once instead of exploring them (BGP-RCN, Pei et al.). Marks the
+   destinations whose candidate set changed. *)
+let purge_cause st ((u, v) as link) =
+  let doomed =
+    Hashtbl.fold
+      (fun ((_nbr, dest) as key) p acc ->
+        if List.mem (u, v) (Path.links p) || List.mem (v, u) (Path.links p)
+        then begin
+          mark ~cause:link st dest;
+          key :: acc
+        end
+        else acc)
+      st.rib_in []
+  in
+  List.iter (Hashtbl.remove st.rib_in) doomed
+
+(* In full-recompute mode every absorbed event invalidates every known
+   destination — the from-scratch baseline the bench compares against. *)
+let mark_all_known st =
+  Hashtbl.iter (fun dest _ -> Dirty.mark st.dirty dest) st.best;
+  Hashtbl.iter (fun (_, dest) _ -> Dirty.mark st.dirty dest) st.rib_in
+
+let rib_in_update st ~rcn ~incremental ~src (m : msg) =
+  (match (rcn, m.cause) with
+  | true, Some link -> purge_cause st link
+  | _ -> ());
+  (match m.path with
+  | Some p -> Hashtbl.replace st.rib_in (src, m.dest) p
+  | None -> Hashtbl.remove st.rib_in (src, m.dest));
+  if m.dest <> st.id then mark ?cause:m.cause st m.dest;
+  if not incremental then mark_all_known st
+
+(* Session maintenance, also part of the absorb stage: a link down
+   flushes everything learned from, advertised to and queued for that
+   neighbor; a link up only notes that the peer is owed a full table —
+   the export happens after the next decision run. *)
+let session_change st ~rcn ~incremental ~other ~up =
+  if not up then begin
+    Hashtbl.remove st.pending other;
+    st.fresh_sessions <- List.filter (fun n -> n <> other) st.fresh_sessions;
+    let cause =
+      if rcn then Some (min st.id other, max st.id other) else None
+    in
+    let dead_keys tbl =
+      Hashtbl.fold
+        (fun ((n, dest) as key) _ acc ->
+          if n = other then begin
+            mark ?cause st dest;
+            key :: acc
+          end
+          else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove st.rib_in) (dead_keys st.rib_in);
+    List.iter (Hashtbl.remove st.adv) (dead_keys st.adv);
+    (* In RCN mode the endpoint also drops its own stale alternatives
+       through the dead link learned from other neighbors. *)
+    match cause with
+    | Some c -> purge_cause st c
+    | None -> ()
+  end
+  else if not (List.mem other st.fresh_sessions) then
+    st.fresh_sessions <- other :: st.fresh_sessions;
+  if not incremental then mark_all_known st
+
+(* --- Decision stage --- *)
+
 (* Decision process for one destination: candidates are the RIB-in
    entries of live sessions that pass loop detection, ranked by the
    Gao–Rexford preference. *)
@@ -125,6 +230,32 @@ let select topo st dest =
     Option.map fst !best
   end
 
+(* Drain the dirty set and re-select each marked destination; only those
+   whose best route changed flow on to the export stage. [track] feeds
+   the runner's uniform changed-destination interface. *)
+let decision_run topo st ~track =
+  let changed = ref [] in
+  Dirty.drain st.dirty (fun dest ->
+      let old_best = Hashtbl.find_opt st.best dest in
+      let new_best = select topo st dest in
+      let same =
+        match (old_best, new_best) with
+        | None, None -> true
+        | Some a, Some b -> Path.equal a b
+        | None, Some _ | Some _, None -> false
+      in
+      if not same then begin
+        (match new_best with
+        | None -> Hashtbl.remove st.best dest
+        | Some p -> Hashtbl.replace st.best dest p);
+        track dest;
+        changed := (dest, Hashtbl.find_opt st.causes dest) :: !changed
+      end);
+  Hashtbl.reset st.causes;
+  List.rev !changed
+
+(* --- Adj-RIB-Out stage --- *)
+
 (* Advertisement due to neighbor [n] for [dest] under export policy and
    split horizon (never offer a path back to a node already on it). *)
 let desired_adv topo st ~dest (n, role, _) =
@@ -135,171 +266,91 @@ let desired_adv topo st ~dest (n, role, _) =
     else if Path_class.exportable_to topo p ~neighbor_role:role then Some p
     else None
 
-(* Re-run selection for [dest]; if the choice changed, queue the per
-   neighbor announcements/withdrawals that follow, annotated with the
-   root cause that triggered the recomputation (RCN mode). *)
-let update_dest ?cause topo st dest =
-  let old_best = Hashtbl.find_opt st.best dest in
-  let new_best = select topo st dest in
-  let changed =
-    match (old_best, new_best) with
-    | None, None -> false
-    | Some a, Some b -> not (Path.equal a b)
-    | None, Some _ | Some _, None -> true
-  in
-  if not changed then []
+(* Net update owed to one neighbor for one destination: the desired
+   advertisement diffed against the Adj-RIB-Out entry. *)
+let adv_delta topo st ~dest ~cause ((n, _, _) as nbr) =
+  let desired = desired_adv topo st ~dest nbr in
+  let current = Hashtbl.find_opt st.adv (n, dest) in
+  match (desired, current) with
+  | None, None -> None
+  | Some d, Some c when Path.equal d c -> None
+  | Some d, _ ->
+    Hashtbl.replace st.adv (n, dest) d;
+    Some (n, { dest; path = Some d; cause })
+  | None, Some _ ->
+    Hashtbl.remove st.adv (n, dest);
+    Some (n, { dest; path = None; cause })
+
+let rib_out_updates topo st changed =
+  List.concat_map
+    (fun (dest, cause) ->
+      List.filter_map (adv_delta topo st ~dest ~cause) (neighbors topo st))
+    changed
+
+(* Full-table export to a freshly established session, deduplicated
+   against anything the export stage already pushed this run. *)
+let fresh_session_exports topo st =
+  let fresh = st.fresh_sessions in
+  st.fresh_sessions <- [];
+  List.concat_map
+    (fun other ->
+      match
+        List.find_opt (fun (n, _, _) -> n = other) (neighbors topo st)
+      with
+      | None -> [] (* session died again before the batch closed *)
+      | Some nbr ->
+        Hashtbl.fold (fun dest _ acc -> dest :: acc) st.best []
+        |> List.sort compare
+        |> List.filter_map (fun dest ->
+               adv_delta topo st ~dest ~cause:None nbr))
+    (List.sort compare fresh)
+
+(* One decision + export pass: the engine's batch end, shared by the
+   cold-start path. *)
+let recompute topo states ~mrai ~now ~track ~node =
+  let st = states.(node) in
+  if Dirty.is_empty st.dirty && st.fresh_sessions = [] then []
   else begin
-    (match new_best with
-    | None -> Hashtbl.remove st.best dest
-    | Some p -> Hashtbl.replace st.best dest p);
-    List.filter_map
-      (fun ((n, _, _) as nbr) ->
-        let desired = desired_adv topo st ~dest nbr in
-        let current = Hashtbl.find_opt st.adv (n, dest) in
-        match (desired, current) with
-        | None, None -> None
-        | Some d, Some c when Path.equal d c -> None
-        | Some d, _ ->
-          Hashtbl.replace st.adv (n, dest) d;
-          Some (n, { dest; path = Some d; cause })
-        | None, Some _ ->
-          Hashtbl.remove st.adv (n, dest);
-          Some (n, { dest; path = None; cause }))
-      (neighbors topo st)
-  end
-
-(* Purge every Adj-RIB-In entry whose path traverses the failed link:
-   the root-cause information lets a node discard stale alternatives at
-   once instead of exploring them (BGP-RCN, Pei et al.). Returns the
-   destinations whose candidate set changed. *)
-let purge_cause st (u, v) =
-  let affected = ref [] in
-  let doomed =
-    Hashtbl.fold
-      (fun ((_nbr, dest) as key) p acc ->
-        if List.mem (u, v) (Path.links p) || List.mem (v, u) (Path.links p)
-        then begin
-          affected := dest :: !affected;
-          key :: acc
-        end
-        else acc)
-      st.rib_in []
-  in
-  List.iter (Hashtbl.remove st.rib_in) doomed;
-  List.sort_uniq compare !affected
-
-let on_message topo states ~rcn ~mrai ~now ~node ~src msg =
-  let st = states.(node) in
-  let cause_dests =
-    match (rcn, msg.cause) with
-    | true, Some link -> purge_cause st link
-    | _ -> []
-  in
-  (match msg.path with
-  | Some p -> Hashtbl.replace st.rib_in (src, msg.dest) p
-  | None -> Hashtbl.remove st.rib_in (src, msg.dest));
-  let dests =
-    if msg.dest = st.id then cause_dests
-    else List.sort_uniq compare (msg.dest :: cause_dests)
-  in
-  let msgs =
-    List.concat_map (fun d -> update_dest ?cause:msg.cause topo st d) dests
-  in
-  emit st ~mrai ~now msgs
-
-(* Session maintenance: a link down flushes everything learned from,
-   advertised to and queued for that neighbor; a link up opens a fresh
-   session and sends the full exportable table. *)
-let on_link_change topo states ~rcn ~mrai ~now ~node ~link_id =
-  let st = states.(node) in
-  let link = Topology.link topo link_id in
-  let other =
-    if link.Topology.a = node then link.Topology.b else link.Topology.a
-  in
-  if not (Topology.is_up topo link_id) then begin
-    Hashtbl.remove st.pending other;
-    let cause =
-      if rcn then Some (min node other, max node other) else None
-    in
-    let affected = Hashtbl.create 64 in
-    let dead_keys tbl =
-      Hashtbl.fold
-        (fun ((n, dest) as key) _ acc ->
-          if n = other then begin
-            Hashtbl.replace affected dest ();
-            key :: acc
-          end
-          else acc)
-        tbl []
-    in
-    List.iter (Hashtbl.remove st.rib_in) (dead_keys st.rib_in);
-    List.iter (Hashtbl.remove st.adv) (dead_keys st.adv);
-    (* In RCN mode the endpoint also drops its own stale alternatives
-       through the dead link learned from other neighbors. *)
-    (match cause with
-    | Some c ->
-      List.iter (fun d -> Hashtbl.replace affected d ()) (purge_cause st c)
-    | None -> ());
-    let msgs =
-      Hashtbl.fold
-        (fun dest () acc -> update_dest ?cause topo st dest @ acc)
-        affected []
-    in
+    let changed = decision_run topo st ~track in
+    let msgs = rib_out_updates topo st changed in
+    let msgs = msgs @ fresh_session_exports topo st in
     emit st ~mrai ~now msgs
   end
-  else begin
-    (* New session: advertise the whole table to the new neighbor. *)
-    match
-      List.find_opt (fun (n, _, _) -> n = other) (neighbors topo st)
-    with
-    | None -> []
-    | Some nbr ->
-      let msgs =
-        Hashtbl.fold
-          (fun dest _p acc ->
-            match desired_adv topo st ~dest nbr with
-            | None -> acc
-            | Some d ->
-              Hashtbl.replace st.adv (other, dest) d;
-              (other, { dest; path = Some d; cause = None }) :: acc)
-          st.best []
-      in
-      emit st ~mrai ~now msgs
-  end
 
-let network ?(mrai = 30.0) ?(rcn = false) topo =
+let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true) topo =
   let n = Topology.num_nodes topo in
+  let changed = Dirty.create ~size:n () in
+  let track = Dirty.mark changed in
   let states = Array.init n make_state in
   let handlers =
     { Sim.Engine.on_message =
-        (fun ~now ~node ~src msg ->
-          on_message topo states ~rcn ~mrai ~now ~node ~src msg);
+        (fun ~now:_ ~node ~src msg ->
+          rib_in_update states.(node) ~rcn ~incremental ~src msg;
+          []);
       Sim.Engine.on_link_change =
-        (fun ~now ~node ~link_id ->
-          on_link_change topo states ~rcn ~mrai ~now ~node ~link_id);
+        (fun ~now:_ ~node ~link_id ->
+          let st = states.(node) in
+          let link = Topology.link topo link_id in
+          let other =
+            if link.Topology.a = node then link.Topology.b
+            else link.Topology.a
+          in
+          session_change st ~rcn ~incremental ~other
+            ~up:(Topology.is_up topo link_id);
+          []);
       Sim.Engine.on_timer =
-        (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key) }
+        (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key);
+      Sim.Engine.on_batch_end =
+        (fun ~now ~node -> recompute topo states ~mrai ~now ~track ~node) }
   in
   let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
   let cold_start () =
-    let since = Sim.Engine.mark engine in
-    Array.iter
-      (fun st ->
-        Hashtbl.replace st.best st.id [ st.id ];
-        let msgs =
-          List.filter_map
-            (fun ((nb, _, _) as nbr) ->
-              match desired_adv topo st ~dest:st.id nbr with
-              | None -> None
-              | Some d ->
-                Hashtbl.replace st.adv (nb, st.id) d;
-                Some (nb, { dest = st.id; path = Some d; cause = None }))
-            (neighbors topo st)
-        in
-        Sim.Engine.perform engine ~node:st.id
-          (emit st ~mrai ~now:(Sim.Engine.now engine) msgs))
-      states;
-    Sim.Engine.run_to_quiescence ~since engine
+    Sim.Runner.cold_start_states engine states (fun i st ->
+        (* Originating the own prefix is just the first decision: mark it
+           dirty and run the same pipeline as any other recompute. *)
+        mark st st.id;
+        recompute topo states ~mrai ~now:(Sim.Engine.now engine) ~track
+          ~node:i)
   in
   let next_hop ~src ~dest =
     match Hashtbl.find_opt states.(src).best dest with
@@ -309,4 +360,4 @@ let network ?(mrai = 30.0) ?(rcn = false) topo =
   let path ~src ~dest = Hashtbl.find_opt states.(src).best dest in
   Sim.Runner.make
     ~name:(if rcn then "bgp-rcn" else "bgp")
-    ~engine ~cold_start ~next_hop ~path
+    ~engine ~cold_start ~changed ~next_hop ~path

@@ -28,9 +28,21 @@ type msg = {
           triggered this update; [None] on plain BGP *)
 }
 
-val network : ?mrai:float -> ?rcn:bool -> Topology.t -> Sim.Runner.t
+val network :
+  ?mrai:float -> ?rcn:bool -> ?incremental:bool -> Topology.t ->
+  Sim.Runner.t
 (** Build a BGP network over the topology. [mrai] is the batching
     interval in milliseconds (default 30.0; 0 disables batching).
+
+    The implementation runs the standard three-stage pipeline — Adj-RIB-In
+    absorb, decision, Adj-RIB-Out export — over a per-node dirty set: each
+    absorbed event marks only the destinations it can affect, one decision
+    pass per same-timestamp burst re-selects exactly those, and only
+    prefixes whose best route changed reach the export diff.
+    [incremental:false] degrades the absorb stage to mark {e every} known
+    destination per event, forcing a from-scratch decision pass — the
+    baseline the [incremental-vs-full] bench kernel compares against.
+    Both modes select identical routes.
 
     [rcn] enables BGP-RCN (Pei et al., root cause notification — the
     paper's reference [15]): failure-triggered updates carry the failed

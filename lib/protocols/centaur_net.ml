@@ -1,35 +1,41 @@
+(* Delta-first wiring: announcements and adjacency notifications are
+   absorbed as they arrive (P-graph deltas applied, affected destinations
+   marked on the node's dirty set) and one recomputation per
+   same-timestamp burst re-selects and flushes at the engine's batch
+   end. *)
 let network topo =
   let n = Topology.num_nodes topo in
-  let states = Array.init n (fun id -> Centaur.Node.create topo ~id) in
-  let sends_to_actions sends =
-    List.map (fun (dst, m) -> Sim.Engine.Send (dst, m)) sends
+  let changed = Dirty.create ~size:n () in
+  let states =
+    Array.init n (fun id ->
+        Centaur.Node.create ~on_change:(Dirty.mark changed) topo ~id)
   in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src:_ ann ->
-          let st, sends = Centaur.Node.handle states.(node) ann in
-          states.(node) <- st;
-          sends_to_actions sends);
+          states.(node) <- Centaur.Node.absorb states.(node) ann;
+          []);
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id:_ ->
-          let st, sends = Centaur.Node.on_adjacency_change states.(node) in
+          states.(node) <- Centaur.Node.absorb_adjacency states.(node);
+          []);
+      Sim.Engine.on_timer = Sim.Engine.no_timers;
+      Sim.Engine.on_batch_end =
+        (fun ~now:_ ~node ->
+          let st, sends = Centaur.Node.recompute states.(node) in
           states.(node) <- st;
-          sends_to_actions sends);
-      Sim.Engine.on_timer = Sim.Engine.no_timers }
+          Sim.Runner.sends_to_actions sends) }
   in
   let engine =
     Sim.Engine.create topo ~units:Centaur.Announce.units ~handlers
   in
   let cold_start () =
-    let since = Sim.Engine.mark engine in
-    Array.iteri
-      (fun i _ ->
+    Sim.Runner.cold_start_states engine states (fun i _ ->
         let st, sends = Centaur.Node.start states.(i) in
         states.(i) <- st;
-        Sim.Engine.perform engine ~node:i (sends_to_actions sends))
-      states;
-    Sim.Engine.run_to_quiescence ~since engine
+        Sim.Runner.sends_to_actions sends)
   in
   let next_hop ~src ~dest = Centaur.Node.next_hop states.(src) ~dest in
   let path ~src ~dest = Centaur.Node.selected_path states.(src) ~dest in
-  Sim.Runner.make ~name:"centaur" ~engine ~cold_start ~next_hop ~path
+  Sim.Runner.make ~name:"centaur" ~engine ~cold_start ~changed ~next_hop
+    ~path

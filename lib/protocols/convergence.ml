@@ -2,6 +2,8 @@ type flip_sample = {
   link_id : int;
   down : Sim.Engine.run_stats;
   up : Sim.Engine.run_stats;
+  down_changed : int;
+  up_changed : int;
 }
 
 type result = {
@@ -14,6 +16,8 @@ type group_sample = {
   links : int list;
   g_down : Sim.Engine.run_stats;
   g_up : Sim.Engine.run_stats;
+  g_down_changed : int;
+  g_up_changed : int;
 }
 
 type group_result = {
@@ -30,12 +34,26 @@ let zero_stats =
     losses = 0;
     events = 0 }
 
+(* Run one convergence and read how many destinations actually
+   re-routed, off the runner's uniform changed-destination feed. The
+   feed drains on read, so each count covers exactly one run. *)
+let converge_counting (runner : Sim.Runner.t) run =
+  ignore (runner.Sim.Runner.changed_dests ());
+  let stats = run () in
+  (stats, List.length (runner.Sim.Runner.changed_dests ()))
+
 let do_flips (runner : Sim.Runner.t) ~links =
   List.map
     (fun link_id ->
-      let down = runner.Sim.Runner.flip ~link_id ~up:false in
-      let up = runner.Sim.Runner.flip ~link_id ~up:true in
-      { link_id; down; up })
+      let down, down_changed =
+        converge_counting runner (fun () ->
+            runner.Sim.Runner.flip ~link_id ~up:false)
+      in
+      let up, up_changed =
+        converge_counting runner (fun () ->
+            runner.Sim.Runner.flip ~link_id ~up:true)
+      in
+      { link_id; down; up; down_changed; up_changed })
     links
 
 let flip_links (runner : Sim.Runner.t) ~links =
@@ -54,9 +72,15 @@ let flip_groups (runner : Sim.Runner.t) ~groups =
       (fun links ->
         let cut = List.map (fun id -> (id, false)) links in
         let restore = List.map (fun id -> (id, true)) links in
-        let g_down = runner.Sim.Runner.flip_many cut in
-        let g_up = runner.Sim.Runner.flip_many restore in
-        { links; g_down; g_up })
+        let g_down, g_down_changed =
+          converge_counting runner (fun () ->
+              runner.Sim.Runner.flip_many cut)
+        in
+        let g_up, g_up_changed =
+          converge_counting runner (fun () ->
+              runner.Sim.Runner.flip_many restore)
+        in
+        { links; g_down; g_up; g_down_changed; g_up_changed })
       groups
   in
   { g_protocol = runner.Sim.Runner.name; g_cold; groups }
@@ -74,6 +98,13 @@ let message_counts result =
 
 let unit_counts result =
   gather (fun (s : Sim.Engine.run_stats) -> float_of_int s.units) result
+
+let changed_counts result =
+  Array.of_list
+    (List.concat_map
+       (fun s ->
+         [ float_of_int s.down_changed; float_of_int s.up_changed ])
+       result.flips)
 
 let gather_groups f result =
   let samples =

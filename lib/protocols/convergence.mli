@@ -16,6 +16,10 @@ type flip_sample = {
   link_id : int;
   down : Sim.Engine.run_stats;
   up : Sim.Engine.run_stats;
+  down_changed : int;
+      (** destinations whose selected route changed anywhere during the
+          down run, per the runner's [changed_dests] feed *)
+  up_changed : int;
 }
 
 type result = {
@@ -28,6 +32,8 @@ type group_sample = {
   links : int list;           (** the correlated group, cut atomically *)
   g_down : Sim.Engine.run_stats;
   g_up : Sim.Engine.run_stats;
+  g_down_changed : int;  (** changed destinations, as in {!flip_sample} *)
+  g_up_changed : int;
 }
 (** One correlated-failure sample: all links of the group go down in the
     same instant (one convergence run), then all come back (another). *)
@@ -60,6 +66,11 @@ val message_counts : result -> float array
 
 val unit_counts : result -> float array
 (** Update-unit counts of all runs. *)
+
+val changed_counts : result -> float array
+(** Changed-destination counts of all runs (down and up interleaved) —
+    how much of the forwarding state each re-convergence actually
+    touched, the denominator-free companion to {!message_counts}. *)
 
 val group_times : group_result -> float array
 (** Convergence durations of the correlated runs (cut and restore

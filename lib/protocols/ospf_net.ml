@@ -5,49 +5,129 @@ type msg = {
   up : bool;
 }
 
-(* Per-node link-state database: newest LSA seen per (origin, link). *)
+(* Per-node link-state database plus the cached shortest-path tree.
+   [tree] is the last SPF result over the node's believed topology;
+   [tree_version] stamps the ground-truth {!Topology.state_version} it
+   was computed under, so a ground-truth flip the node has not absorbed
+   yet invalidates the cache at the next query. Believed-state changes
+   invalidate (or deliberately keep) the cache at LSA-install time. *)
 type node_state = {
   id : int;
   db : (int * int, int * bool) Hashtbl.t;
   own_seq : (int, int) Hashtbl.t;  (* link -> last sequence we issued *)
+  mutable tree : Dijkstra.tree option;
+  mutable tree_version : int;
 }
 
 let make_state id =
-  { id; db = Hashtbl.create 64; own_seq = Hashtbl.create 8 }
+  { id;
+    db = Hashtbl.create 64;
+    own_seq = Hashtbl.create 8;
+    tree = None;
+    tree_version = -1 }
 
 let fresher st m =
   match Hashtbl.find_opt st.db (m.origin, m.link_id) with
   | None -> true
   | Some (seq, _) -> m.seq > seq
 
-let install st m = Hashtbl.replace st.db (m.origin, m.link_id) (m.seq, m.up)
+(* A node's view of one link: believed up when every LSA it holds for it
+   says up — both endpoints flood, so after convergence this matches the
+   ground truth. *)
+let link_believed_up st topo link_id =
+  let link = Topology.link topo link_id in
+  let views =
+    List.filter_map
+      (fun origin -> Hashtbl.find_opt st.db (origin, link_id))
+      [ link.Topology.a; link.Topology.b ]
+  in
+  match views with
+  | [] -> false
+  | vs -> List.for_all (fun (_seq, up) -> up) vs
+
+(* The link state the route computation sees: actually up (messages over
+   a dead link are lost regardless of belief) and believed up. *)
+let effective_up st topo link_id =
+  Topology.is_up topo link_id && link_believed_up st topo link_id
+
+(* Incremental-SPF cache decision after the effective state of [link_id]
+   flipped at this node. The cached tree stays valid exactly when the
+   flip provably cannot alter any shortest path:
+   - a link going {e down} that is not a tree edge removes only unused
+     capacity;
+   - a link coming {e up} between two unreachable nodes cannot create a
+     path from the (reachable) root;
+   - a link coming up that offers no path at most as short as the
+     existing distances changes nothing — [<=] rather than [<] because
+     Dijkstra breaks distance ties toward the lowest predecessor id, so
+     an equal-cost arrival can still rewrite the tree. *)
+let note_effective_change st topo link_id ~now_up =
+  match st.tree with
+  | None -> ()
+  | Some tree ->
+    if st.tree_version <> Topology.state_version topo then st.tree <- None
+    else begin
+      let link = Topology.link topo link_id in
+      let a = link.Topology.a and b = link.Topology.b in
+      let keep =
+        if not now_up then
+          not
+            (Dijkstra.predecessor tree b = Some a
+            || Dijkstra.predecessor tree a = Some b)
+        else begin
+          let d v =
+            Option.value (Dijkstra.dist tree v) ~default:infinity
+          in
+          let da = d a and db = d b and w = link.Topology.delay in
+          if da = infinity && db = infinity then true
+          else not (da +. w <= db || db +. w <= da)
+        end
+      in
+      if not keep then st.tree <- None
+    end
+
+(* Install an LSA; when it flips the link's effective state, every
+   destination may re-route, so the whole range is reported on the
+   uniform changed-destination feed (a deliberate over-approximation —
+   see {!Sim.Runner.t.changed_dests}) and the SPF cache is re-examined. *)
+let install ~changed topo st m =
+  let before = effective_up st topo m.link_id in
+  Hashtbl.replace st.db (m.origin, m.link_id) (m.seq, m.up);
+  let after = effective_up st topo m.link_id in
+  if before <> after then begin
+    Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
+    note_effective_change st topo m.link_id ~now_up:after
+  end
 
 let flood_except topo st ~except m =
   List.filter_map
     (fun (n, _, _) -> if Some n = except then None else Some (n, m))
     (Topology.neighbors topo st.id)
 
-let on_message topo states ~node ~src msg =
+let on_message ~changed topo states ~node ~src msg =
   let st = states.(node) in
   if fresher st msg then begin
-    install st msg;
+    install ~changed topo st msg;
     flood_except topo st ~except:(Some src) msg
   end
   else []
 
-let originate topo st link_id ~up =
+let originate ~changed topo st link_id ~up =
   let seq =
     1 + Option.value (Hashtbl.find_opt st.own_seq link_id) ~default:(-1)
   in
   Hashtbl.replace st.own_seq link_id seq;
   let m = { origin = st.id; link_id; seq; up } in
-  install st m;
+  install ~changed topo st m;
   flood_except topo st ~except:None m
 
-let on_link_change topo states ~node ~link_id =
+let on_link_change ~changed topo states ~node ~link_id =
   let st = states.(node) in
   let up = Topology.is_up topo link_id in
-  let own = originate topo st link_id ~up in
+  (* The ground truth flipped: effective state changes at once for every
+     node that believed the link up, before any LSA propagates. *)
+  Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
+  let own = originate ~changed topo st link_id ~up in
   if not up then own
   else begin
     (* Database exchange over the restored adjacency: send the peer our
@@ -65,70 +145,58 @@ let on_link_change topo states ~node ~link_id =
     own @ db_sync
   end
 
-(* A node's view of the topology: links it believes up (a link counts as
-   up when every LSA it holds for it says up — both endpoints flood, so
-   after convergence this matches the ground truth). *)
-let link_believed_up st topo link_id =
-  let link = Topology.link topo link_id in
-  let views =
-    List.filter_map
-      (fun origin -> Hashtbl.find_opt st.db (origin, link_id))
-      [ link.Topology.a; link.Topology.b ]
-  in
-  match views with
-  | [] -> false
-  | vs -> List.for_all (fun (_seq, up) -> up) vs
+(* Dijkstra over the node's believed topology, cached until an install or
+   a ground-truth flip invalidates it. [incremental:false] disables the
+   cache — a from-scratch SPF per query, the bench baseline. *)
+let tree_of ~incremental topo st =
+  let version = Topology.state_version topo in
+  match st.tree with
+  | Some tree when incremental && st.tree_version = version -> tree
+  | _ ->
+    let tree =
+      Dijkstra.from_filtered topo ~src:st.id
+        ~link_ok:(fun link_id -> link_believed_up st topo link_id)
+    in
+    if incremental then begin
+      st.tree <- Some tree;
+      st.tree_version <- version
+    end;
+    tree
 
-(* Dijkstra over the node's believed topology. Rather than duplicating
-   the algorithm, we run it on a scratch copy of the topology with the
-   disbelieved links forced down. *)
-let shortest_tree st topo ~src =
-  let num = Topology.num_links topo in
-  let saved = Array.init num (fun id -> Topology.is_up topo id) in
-  for id = 0 to num - 1 do
-    Topology.set_up topo id (saved.(id) && link_believed_up st topo id)
-  done;
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iteri (fun id up -> Topology.set_up topo id up) saved)
-    (fun () -> Dijkstra.from topo ~src)
-
-let network topo =
+let network ?(incremental = true) topo =
   let n = Topology.num_nodes topo in
+  let changed = Dirty.create ~size:n () in
   let states = Array.init n make_state in
-  let sends_to_actions sends =
-    List.map (fun (dst, m) -> Sim.Engine.Send (dst, m)) sends
-  in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src msg ->
-          sends_to_actions (on_message topo states ~node ~src msg));
+          Sim.Runner.sends_to_actions
+            (on_message ~changed topo states ~node ~src msg));
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id ->
-          sends_to_actions (on_link_change topo states ~node ~link_id));
-      Sim.Engine.on_timer = Sim.Engine.no_timers }
+          Sim.Runner.sends_to_actions
+            (on_link_change ~changed topo states ~node ~link_id));
+      Sim.Engine.on_timer = Sim.Engine.no_timers;
+      (* Recomputation is pull-based: queries rebuild the SPF tree
+         lazily, so a burst costs nothing until the next lookup and the
+         batch end has no work to do. *)
+      Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
   let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
   let cold_start () =
-    let since = Sim.Engine.mark engine in
-    Array.iter
-      (fun st ->
-        let sends =
-          List.concat_map
-            (fun (_, _, link_id) -> originate topo st link_id ~up:true)
-            (Topology.neighbors topo st.id)
-        in
-        Sim.Engine.perform engine ~node:st.id (sends_to_actions sends))
-      states;
-    Sim.Engine.run_to_quiescence ~since engine
+    Sim.Runner.cold_start_states engine states (fun _ st ->
+        Sim.Runner.sends_to_actions
+          (List.concat_map
+             (fun (_, _, link_id) ->
+               originate ~changed topo st link_id ~up:true)
+             (Topology.neighbors topo st.id)))
   in
   let path ~src ~dest =
-    let tree = shortest_tree states.(src) topo ~src in
-    Dijkstra.path_to tree dest
+    Dijkstra.path_to (tree_of ~incremental topo states.(src)) dest
   in
   let next_hop ~src ~dest =
     match path ~src ~dest with
     | Some (_ :: hop :: _) -> Some hop
     | Some _ | None -> None
   in
-  Sim.Runner.make ~name:"ospf" ~engine ~cold_start ~next_hop ~path
+  Sim.Runner.make ~name:"ospf" ~engine ~cold_start ~changed ~next_hop ~path

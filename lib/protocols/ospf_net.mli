@@ -15,9 +15,18 @@ type msg = {
   up : bool;
 }
 
-val network : Topology.t -> Sim.Runner.t
+val network : ?incremental:bool -> Topology.t -> Sim.Runner.t
 (** Cold start floods one LSA per (endpoint, adjacent link); a link flip
     floods a re-sequenced LSA from both endpoints, and a restored link
     additionally carries a database exchange to resynchronise the two
     ends. The runner's [next_hop]/[path] report delay-shortest routes
-    over each node's link-state database. *)
+    over each node's link-state database.
+
+    Each node caches its shortest-path tree and keeps it across LSA
+    installs that provably cannot change any shortest path (a non-tree
+    link going down; a link coming up that offers no competitive
+    distance) — the incremental-SPF optimisation deployed router stacks
+    use. [incremental:false] disables the cache and recomputes a
+    from-scratch SPF per query, as a baseline for the
+    [incremental-vs-full] bench kernel. Both modes compute identical
+    routes. *)

@@ -6,7 +6,7 @@ type tree = {
 
 let src t = t.src
 
-let from topo ~src =
+let from_filtered topo ~src ~link_ok =
   let n = Topology.num_nodes topo in
   if src < 0 || src >= n then invalid_arg "Dijkstra.from: source out of range";
   let dist = Array.make n infinity in
@@ -30,7 +30,7 @@ let from topo ~src =
         dist.(v) <- d;
         pred.(v) <- p;
         Topology.iter_neighbors topo v (fun nb _ link_id ->
-            if not settled.(nb) then
+            if (not settled.(nb)) && link_ok link_id then
               let w = (Topology.link topo link_id).Topology.delay in
               Heap.push heap (d +. w, v, nb))
       end;
@@ -38,6 +38,10 @@ let from topo ~src =
   in
   drain ();
   { src; dist; pred }
+
+let all_links _ = true
+
+let from topo ~src = from_filtered topo ~src ~link_ok:all_links
 
 let dist t v = if t.dist.(v) = infinity then None else Some t.dist.(v)
 

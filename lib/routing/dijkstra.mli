@@ -11,6 +11,12 @@ val from : Topology.t -> src:int -> tree
     break toward the lowest predecessor id, keeping route choice
     deterministic. *)
 
+val from_filtered : Topology.t -> src:int -> link_ok:(int -> bool) -> tree
+(** Like {!from} but additionally restricted to up links for which
+    [link_ok link_id] holds — the route computation over a node's
+    {e believed} topology (a link-state database may disagree with the
+    ground truth mid-convergence) without mutating the shared topology. *)
+
 val src : tree -> int
 
 val dist : tree -> int -> float option

@@ -10,11 +10,14 @@ type 'msg handlers = {
   on_message : now:float -> node:int -> src:int -> 'msg -> 'msg action list;
   on_link_change : now:float -> node:int -> link_id:int -> 'msg action list;
   on_timer : now:float -> node:int -> key:int -> 'msg action list;
+  on_batch_end : now:float -> node:int -> 'msg action list;
 }
 
 let no_timers ~now:_ ~node ~key =
   invalid_arg
     (Printf.sprintf "Engine.no_timers: node %d armed timer %d" node key)
+
+let no_batching ~now:_ ~node:_ = []
 
 type 'msg event =
   | Deliver of { src : int; dst : int; link_id : int; msg : 'msg }
@@ -124,14 +127,48 @@ let mark t =
 
 (* Shared event loop. [until = Some h] stops before the first event
    scheduled after [h] and advances the clock to [h]; [None] drains the
-   queue. *)
+   queue.
+
+   Deliveries and link notifications hitting the {e same node at the same
+   timestamp} form a batch: each event's handler runs as usual (absorb
+   phase), and when no further same-(time, node) event is queued the
+   node's [on_batch_end] runs once (recompute phase). Protocols built on
+   the dirty-set scheduler defer their recomputation to the batch end, so
+   one recompute amortizes a burst of simultaneous updates — a node
+   crash's adjacent-link cut, an SRLG, or a fan-in of equal-delay
+   floods. A batch closes before any other event is processed, so its
+   emissions enter the queue in correct time order. *)
 let run_core ~max_events ~since ~until t =
   let start_time = since.m_time in
   let budget = ref max_events in
   let horizon_allows time =
     match until with None -> true | Some h -> time <= h
   in
+  (* Open batch: Some (time, node) after a handler ran for that node at
+     that timestamp and its batch end is still pending. *)
+  let open_batch = ref None in
+  let close_batch () =
+    match !open_batch with
+    | None -> ()
+    | Some (bt, bn) ->
+      open_batch := None;
+      perform t ~node:bn (t.handlers.on_batch_end ~now:bt ~node:bn)
+  in
   let rec loop () =
+    (* Close the open batch as soon as the next event cannot extend it
+       (different node, different time, a timer, horizon, quiescence). *)
+    (match !open_batch with
+    | Some (bt, bn) ->
+      let continues =
+        match Heap.peek t.queue with
+        | Some (time, Deliver { dst; _ }) ->
+          time = bt && dst = bn && horizon_allows time
+        | Some (time, Link_notify { node; _ }) ->
+          time = bt && node = bn && horizon_allows time
+        | Some (_, Timer_fire _) | None -> false
+      in
+      if not continues then close_batch ()
+    | None -> ());
     match Heap.peek t.queue with
     | None -> ()
     | Some (time, _) when not (horizon_allows time) -> ()
@@ -159,18 +196,23 @@ let run_core ~max_events ~since ~until t =
           let actions =
             t.handlers.on_message ~now:t.clock ~node:dst ~src msg
           in
+          open_batch := Some (time, dst);
           perform t ~node:dst actions
         end
       | Link_notify { node; link_id } ->
         let actions =
           t.handlers.on_link_change ~now:t.clock ~node ~link_id
         in
+        open_batch := Some (time, node);
         perform t ~node actions
       | Timer_fire { node; key } ->
         let actions = t.handlers.on_timer ~now:t.clock ~node ~key in
         perform t ~node actions);
       loop ()
   in
+  (* The top-of-loop check closes any open batch (and processes whatever
+     its recompute emitted) before the loop can exit, so on return no
+     batch is pending. *)
   loop ();
   (match until with
   | Some h -> if h > t.clock then t.clock <- h

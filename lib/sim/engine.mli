@@ -30,10 +30,23 @@ type 'msg handlers = {
   on_link_change : now:float -> node:int -> link_id:int -> 'msg action list;
       (** One endpoint notices its adjacent link changed state. *)
   on_timer : now:float -> node:int -> key:int -> 'msg action list;
+  on_batch_end : now:float -> node:int -> 'msg action list;
+      (** Called once after a maximal run of deliveries and link
+          notifications hitting the same node at the same timestamp, and
+          before any other event is processed. Delta-first protocols
+          absorb updates in [on_message]/[on_link_change] (mark dirty,
+          emit nothing) and recompute here, so one recomputation
+          amortizes a simultaneous burst — correlated link cuts, node
+          crashes, equal-delay flood fan-in. Protocols that do all work
+          per event use {!no_batching}. *)
 }
 
 val no_timers : now:float -> node:int -> key:int -> 'msg action list
 (** Handler for protocols that never arm timers (raises on call). *)
+
+val no_batching : now:float -> node:int -> 'msg action list
+(** Batch-end handler for protocols that recompute per event (returns
+    no actions). *)
 
 type 'msg t
 

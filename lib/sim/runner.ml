@@ -12,9 +12,20 @@ type t = {
   now : unit -> float;
   next_hop : src:int -> dest:int -> int option;
   path : src:int -> dest:int -> Path.t option;
+  changed_dests : unit -> int list;
 }
 
-let make ~name ~engine ~cold_start ~next_hop ~path =
+let sends_to_actions sends =
+  List.map (fun (dst, m) -> Engine.Send (dst, m)) sends
+
+let cold_start_states engine states init =
+  let since = Engine.mark engine in
+  Array.iteri
+    (fun i st -> Engine.perform engine ~node:i (init i st))
+    states;
+  Engine.run_to_quiescence ~since engine
+
+let make ~name ~engine ~cold_start ~changed ~next_hop ~path =
   let inject changes =
     List.iter
       (fun (link_id, up) -> Engine.flip_link engine ~link_id ~up)
@@ -27,6 +38,13 @@ let make ~name ~engine ~cold_start ~next_hop ~path =
   let flip_many changes =
     inject changes;
     Engine.run_to_quiescence engine
+  in
+  let cold_start () =
+    let stats = cold_start () in
+    (* Cold start changes everything; consumers of the change feed care
+       about what moves after the initial convergence. *)
+    Dirty.clear changed;
+    stats
   in
   { name;
     cold_start;
@@ -41,7 +59,8 @@ let make ~name ~engine ~cold_start ~next_hop ~path =
     pending_events = (fun () -> Engine.pending_events engine);
     now = (fun () -> Engine.now engine);
     next_hop;
-    path }
+    path;
+    changed_dests = (fun () -> Dirty.take changed) }
 
 let forwarding_path t ~src ~dest ~max_hops =
   let rec go current acc hops =

@@ -40,18 +40,41 @@ type t = {
   path : src:int -> dest:int -> Path.t option;
       (** Full path where the protocol knows it; [None] when
           unreachable. *)
+  changed_dests : unit -> int list;
+      (** Destinations whose selected route changed {e at any node} since
+          the last call (or since cold start), in ascending order; the
+          set drains on read. May over-approximate (OSPF reports every
+          destination when a link-state change invalidates trees), but a
+          destination absent from the feed is guaranteed unchanged at
+          every node — the contract the convergence harness and the fault
+          observer rely on to skip untouched work. *)
 }
+
+val sends_to_actions : (int * 'msg) list -> 'msg Engine.action list
+(** Lift a protocol transition's [(neighbor, message)] output into engine
+    actions — shared by every protocol net. *)
+
+val cold_start_states :
+  'msg Engine.t -> 'st array -> (int -> 'st -> 'msg Engine.action list) ->
+  Engine.run_stats
+(** Shared cold-start plumbing: mark the engine, let every node emit its
+    initial actions ([init node state]), and run to quiescence with the
+    initial sends counted in the returned stats. *)
 
 val make :
   name:string ->
   engine:'msg Engine.t ->
   cold_start:(unit -> Engine.run_stats) ->
+  changed:Dirty.t ->
   next_hop:(src:int -> dest:int -> int option) ->
   path:(src:int -> dest:int -> Path.t option) ->
   t
 (** Build the record from an engine plus the protocol-specific pieces:
-    every field except [cold_start]/[next_hop]/[path] is derived
-    uniformly from the engine. *)
+    every field except [cold_start]/[changed]/[next_hop]/[path] is
+    derived uniformly from the engine. [changed] is the protocol's
+    route-change tracker (a {!Dirty.t} the protocol marks whenever a
+    node's selection for a destination changes); [make] wires it to
+    {!t.changed_dests} and clears it after [cold_start]. *)
 
 val forwarding_path :
   t -> src:int -> dest:int -> max_hops:int -> Path.t option

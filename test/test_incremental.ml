@@ -1,0 +1,182 @@
+(* Delta-first equivalence obligations: after an arbitrary churn of link
+   flips (singles and correlated bursts), the staged incremental
+   pipelines must hold exactly the forwarding state a from-scratch
+   instance computes on the final topology — same next-hop table, same
+   selected paths — and the [incremental:false] bench baselines must
+   agree with the incremental modes step for step. *)
+
+open Helpers
+
+(* Toggle a few links, mixing lone flips with simultaneous bursts so the
+   engine's same-timestamp batching is exercised, mirroring the same
+   churn onto [state]. *)
+let apply_churn rng (runner : Sim.Runner.t) state =
+  let num_links = Array.length state in
+  let all_links = Array.init num_links (fun i -> i) in
+  let events = 2 + Rng.int rng 5 in
+  for _ = 1 to events do
+    if Rng.bool rng then begin
+      let k = 1 + Rng.int rng 3 in
+      let links = Rng.sample rng k all_links in
+      let changes =
+        Array.to_list links
+        |> List.map (fun l ->
+               state.(l) <- not state.(l);
+               (l, state.(l)))
+      in
+      ignore (runner.Sim.Runner.flip_many changes)
+    end
+    else begin
+      let l = Rng.int rng num_links in
+      state.(l) <- not state.(l);
+      ignore (runner.Sim.Runner.flip ~link_id:l ~up:state.(l))
+    end
+  done
+
+let same_forwarding n (a : Sim.Runner.t) (b : Sim.Runner.t) =
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    for dest = 0 to n - 1 do
+      if src <> dest then begin
+        if a.Sim.Runner.next_hop ~src ~dest <> b.Sim.Runner.next_hop ~src ~dest
+        then ok := false;
+        if
+          not
+            (Option.equal Path.equal
+               (a.Sim.Runner.path ~src ~dest)
+               (b.Sim.Runner.path ~src ~dest))
+        then ok := false
+      end
+    done
+  done;
+  !ok
+
+let nodes = 12
+
+(* Churn one instance, then cold-start a second instance directly on the
+   final link state: identical forwarding tables required. *)
+let churn_vs_fresh ~name make_runner =
+  QCheck.Test.make ~name:(name ^ ": churned == fresh cold start") ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let topo = random_brite ~seed ~n:nodes ~m:2 in
+      let runner = make_runner topo in
+      ignore (runner.Sim.Runner.cold_start ());
+      let state = Array.make (Topology.num_links topo) true in
+      apply_churn (Rng.create (seed + 17)) runner state;
+      let fresh_topo = random_brite ~seed ~n:nodes ~m:2 in
+      Array.iteri
+        (fun l up -> if not up then Topology.set_up fresh_topo l false)
+        state;
+      let fresh = make_runner fresh_topo in
+      ignore (fresh.Sim.Runner.cold_start ());
+      same_forwarding nodes runner fresh)
+
+(* Drive the incremental pipeline and its from-scratch twin through the
+   identical churn: they must agree after every single step. *)
+let incremental_vs_full ~name make_runner =
+  QCheck.Test.make ~name:(name ^ ": incremental == full recompute")
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let topo_i = random_brite ~seed ~n:nodes ~m:2 in
+      let topo_f = random_brite ~seed ~n:nodes ~m:2 in
+      let incr = make_runner ~incremental:true topo_i in
+      let full = make_runner ~incremental:false topo_f in
+      ignore (incr.Sim.Runner.cold_start ());
+      ignore (full.Sim.Runner.cold_start ());
+      let state_i = Array.make (Topology.num_links topo_i) true in
+      let state_f = Array.make (Topology.num_links topo_f) true in
+      let ok = ref (same_forwarding nodes incr full) in
+      for round = 0 to 3 do
+        let seed' = (seed * 31) + round in
+        apply_churn (Rng.create seed') incr state_i;
+        apply_churn (Rng.create seed') full state_f;
+        if not (same_forwarding nodes incr full) then ok := false
+      done;
+      !ok)
+
+(* The changed-destination feed may over-approximate but must never miss
+   a destination whose forwarding changed somewhere. *)
+let changed_dests_sound ~name make_runner =
+  QCheck.Test.make ~name:(name ^ ": changed_dests feed is sound") ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let topo = random_brite ~seed ~n:nodes ~m:2 in
+      let runner = make_runner topo in
+      ignore (runner.Sim.Runner.cold_start ());
+      let snapshot () =
+        Array.init nodes (fun src ->
+            Array.init nodes (fun dest ->
+                if src = dest then None
+                else runner.Sim.Runner.next_hop ~src ~dest))
+      in
+      let state = Array.make (Topology.num_links topo) true in
+      let rng = Rng.create (seed + 23) in
+      let ok = ref true in
+      for _ = 0 to 4 do
+        let before = snapshot () in
+        ignore (runner.Sim.Runner.changed_dests ());
+        let l = Rng.int rng (Array.length state) in
+        state.(l) <- not state.(l);
+        ignore (runner.Sim.Runner.flip ~link_id:l ~up:state.(l));
+        let reported = runner.Sim.Runner.changed_dests () in
+        let after = snapshot () in
+        for src = 0 to nodes - 1 do
+          for dest = 0 to nodes - 1 do
+            if
+              before.(src).(dest) <> after.(src).(dest)
+              && not (List.mem dest reported)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let centaur topo = Protocols.Centaur_net.network topo
+
+let bgp ~incremental topo = Protocols.Bgp_net.network ~incremental topo
+
+let bgp_rcn topo = Protocols.Bgp_net.network ~rcn:true topo
+
+let ospf ~incremental topo = Protocols.Ospf_net.network ~incremental topo
+
+(* Deterministic spot check of the observer's verdict cache riding the
+   same feed: a second sample with no traffic in between replays every
+   verdict from cache; a flip forces fresh probes again. *)
+let test_observer_cache () =
+  let topo = random_brite ~seed:5 ~n:10 ~m:2 in
+  let runner = centaur topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  let pairs = [ (0, 7); (2, 9); (4, 1) ] in
+  let obs = Faults.Observer.create topo ~pairs ~sample_every:5.0 in
+  Faults.Observer.refresh_truth obs;
+  Faults.Observer.sample obs runner ~now:0.0;
+  let fresh0, cached0 = Faults.Observer.cache_stats obs in
+  Alcotest.(check int) "first sample probes fresh" 3 fresh0;
+  Alcotest.(check int) "first sample caches nothing" 0 cached0;
+  Faults.Observer.sample obs runner ~now:5.0;
+  let fresh1, cached1 = Faults.Observer.cache_stats obs in
+  Alcotest.(check int) "quiet sample all cached" 3 (cached1 - cached0);
+  Alcotest.(check int) "quiet sample no fresh walks" fresh0 fresh1;
+  ignore (runner.Sim.Runner.flip ~link_id:0 ~up:false);
+  Faults.Observer.refresh_truth obs;
+  Faults.Observer.sample obs runner ~now:10.0;
+  let fresh2, _ = Faults.Observer.cache_stats obs in
+  Alcotest.(check int) "stale view re-probes everything" (fresh1 + 3) fresh2
+
+let suite =
+  [ QCheck_alcotest.to_alcotest (churn_vs_fresh ~name:"centaur" centaur);
+    QCheck_alcotest.to_alcotest
+      (churn_vs_fresh ~name:"bgp" (bgp ~incremental:true));
+    QCheck_alcotest.to_alcotest (churn_vs_fresh ~name:"bgp-rcn" bgp_rcn);
+    QCheck_alcotest.to_alcotest
+      (churn_vs_fresh ~name:"ospf" (ospf ~incremental:true));
+    QCheck_alcotest.to_alcotest (incremental_vs_full ~name:"bgp" bgp);
+    QCheck_alcotest.to_alcotest (incremental_vs_full ~name:"ospf" ospf);
+    QCheck_alcotest.to_alcotest (changed_dests_sound ~name:"centaur" centaur);
+    QCheck_alcotest.to_alcotest
+      (changed_dests_sound ~name:"bgp" (bgp ~incremental:true));
+    QCheck_alcotest.to_alcotest
+      (changed_dests_sound ~name:"ospf" (ospf ~incremental:true));
+    Alcotest.test_case "observer verdict cache" `Quick test_observer_cache ]

@@ -22,4 +22,5 @@ let () =
       ("multipath", Test_multipath.suite);
       ("privacy", Test_privacy.suite);
       ("faults", Test_faults.suite);
+      ("incremental", Test_incremental.suite);
       ("experiments", Test_experiments.suite) ]

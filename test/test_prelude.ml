@@ -295,6 +295,43 @@ let test_union_find () =
   ignore (Union_find.union uf 0 2);
   Alcotest.(check bool) "transitive" true (Union_find.same uf 1 3)
 
+let test_dirty_mark_take () =
+  let d = Dirty.create () in
+  Alcotest.(check bool) "starts empty" true (Dirty.is_empty d);
+  Dirty.mark d 7;
+  Dirty.mark d 3;
+  Dirty.mark d 7;
+  Dirty.mark_list d [ 11; 3 ];
+  Alcotest.(check int) "deduplicated" 3 (Dirty.cardinal d);
+  Alcotest.(check bool) "mem" true (Dirty.mem d 3);
+  Alcotest.(check (list int)) "take sorts ascending" [ 3; 7; 11 ]
+    (Dirty.take d);
+  Alcotest.(check bool) "take drains" true (Dirty.is_empty d);
+  Dirty.mark d 1;
+  Dirty.clear d;
+  Alcotest.(check (list int)) "clear empties" [] (Dirty.take d)
+
+let test_dirty_drain_cascades () =
+  (* A key marked during the drain is processed in a later round of the
+     same call — the recompute-cascading-into-recompute case. *)
+  let d = Dirty.create () in
+  Dirty.mark_list d [ 2; 5 ];
+  let seen = ref [] in
+  Dirty.drain d (fun k ->
+      seen := k :: !seen;
+      if k = 2 then Dirty.mark d 9);
+  Alcotest.(check (list int)) "cascade handled in order" [ 2; 5; 9 ]
+    (List.rev !seen);
+  Alcotest.(check bool) "drained" true (Dirty.is_empty d)
+
+let test_dirty_range_fold () =
+  let d = Dirty.create () in
+  Dirty.mark_range d 4 7;
+  Alcotest.(check int) "range cardinality" 4 (Dirty.cardinal d);
+  let sum = Dirty.fold d ~init:0 ~f:( + ) in
+  Alcotest.(check int) "fold ascending sum" 22 sum;
+  Alcotest.(check bool) "fold preserves" false (Dirty.is_empty d)
+
 let suite =
   [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng split independence" `Quick
@@ -334,4 +371,9 @@ let suite =
       test_pool_size_one_sequential;
     Alcotest.test_case "pool parallel for" `Quick test_pool_parallel_for;
     Alcotest.test_case "pool nested calls" `Quick test_pool_nested_calls;
-    Alcotest.test_case "union find" `Quick test_union_find ]
+    Alcotest.test_case "union find" `Quick test_union_find;
+    Alcotest.test_case "dirty mark and take" `Quick test_dirty_mark_take;
+    Alcotest.test_case "dirty drain cascades" `Quick
+      test_dirty_drain_cascades;
+    Alcotest.test_case "dirty range and fold" `Quick
+      test_dirty_range_fold ]

@@ -21,7 +21,8 @@ let engine_with ~topo ~log ?(units = fun _ -> 1) ?(forward = true) () =
         (fun ~now ~node ~link_id ->
           log := (now, node, -1, -link_id - 1) :: !log;
           []);
-      Sim.Engine.on_timer = Sim.Engine.no_timers }
+      Sim.Engine.on_timer = Sim.Engine.no_timers;
+      Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
   Sim.Engine.create topo ~units ~handlers
 
@@ -108,7 +109,8 @@ let test_timers_fire_in_order () =
       Sim.Engine.on_timer =
         (fun ~now ~node:_ ~key ->
           fired := (now, key) :: !fired;
-          []) }
+          []);
+      Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
   let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
   Sim.Engine.perform e ~node:0
@@ -124,7 +126,8 @@ let test_divergence_guard () =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node:_ ~src msg -> [ Sim.Engine.Send (src, msg) ]);
       Sim.Engine.on_link_change = (fun ~now:_ ~node:_ ~link_id:_ -> []);
-      Sim.Engine.on_timer = Sim.Engine.no_timers }
+      Sim.Engine.on_timer = Sim.Engine.no_timers;
+      Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
   let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
   Sim.Engine.perform e ~node:0 [ Sim.Engine.Send (1, { payload = 0 }) ];
@@ -184,6 +187,62 @@ let test_run_until_pauses_and_resumes () =
   Alcotest.(check int) "quiescent" 0 (Sim.Engine.pending_events e);
   Alcotest.(check (float 1e-9)) "final clock" 5.0 (Sim.Engine.now e)
 
+let test_batch_end_per_burst () =
+  (* All deliveries hitting one node at one timestamp form a single
+     batch: on_batch_end runs once after the burst, and again for a
+     later lone delivery. *)
+  let topo = line_topo [ 1.0; 2.0 ] in
+  let batches = ref [] and delivered = ref 0 in
+  let handlers =
+    { Sim.Engine.on_message =
+        (fun ~now:_ ~node:_ ~src:_ _ ->
+          incr delivered;
+          []);
+      Sim.Engine.on_link_change = (fun ~now:_ ~node:_ ~link_id:_ -> []);
+      Sim.Engine.on_timer = Sim.Engine.no_timers;
+      Sim.Engine.on_batch_end =
+        (fun ~now ~node ->
+          batches := (now, node, !delivered) :: !batches;
+          []) }
+  in
+  let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  (* Two messages reach node 1 at t=1 (one burst), a third at t=2. *)
+  Sim.Engine.perform e ~node:0
+    [ Sim.Engine.Send (1, { payload = 1 }); Sim.Engine.Send (1, { payload = 2 }) ];
+  Sim.Engine.perform e ~node:2 [ Sim.Engine.Send (1, { payload = 3 }) ];
+  ignore (Sim.Engine.run_to_quiescence e);
+  Alcotest.(check (list (triple (float 1e-9) int int)))
+    "one batch end per (time, node) burst"
+    [ (1.0, 1, 2); (2.0, 1, 3) ]
+    (List.rev !batches)
+
+let test_batch_survives_run_until_split () =
+  (* Splitting a run at an arbitrary horizon must not change how bursts
+     are batched: a horizon beyond the burst's timestamp keeps it whole. *)
+  let run split =
+    let topo = line_topo [ 1.0; 2.0 ] in
+    let batches = ref [] in
+    let handlers =
+      { Sim.Engine.on_message = (fun ~now:_ ~node:_ ~src:_ _ -> []);
+        Sim.Engine.on_link_change = (fun ~now:_ ~node:_ ~link_id:_ -> []);
+        Sim.Engine.on_timer = Sim.Engine.no_timers;
+        Sim.Engine.on_batch_end =
+          (fun ~now ~node ->
+            batches := (now, node) :: !batches;
+            []) }
+    in
+    let e = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+    Sim.Engine.perform e ~node:0
+      [ Sim.Engine.Send (1, { payload = 1 });
+        Sim.Engine.Send (1, { payload = 2 }) ];
+    Sim.Engine.perform e ~node:2 [ Sim.Engine.Send (1, { payload = 3 }) ];
+    if split then ignore (Sim.Engine.run_until e 1.5);
+    ignore (Sim.Engine.run_to_quiescence e);
+    List.rev !batches
+  in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "same batching split or not" (run false) (run true)
+
 let test_forwarding_path_helper () =
   let topo = Fixtures.figure2a () in
   let runner = Protocols.Centaur_net.network topo in
@@ -212,5 +271,8 @@ let suite =
       test_run_until_pauses_and_resumes;
     Alcotest.test_case "mark spans initial sends" `Quick
       test_mark_spans_initial_sends;
+    Alcotest.test_case "batch end per burst" `Quick test_batch_end_per_burst;
+    Alcotest.test_case "batching stable under run_until split" `Quick
+      test_batch_survives_run_until_split;
     Alcotest.test_case "forwarding path helper" `Quick
       test_forwarding_path_helper ]
