@@ -83,9 +83,15 @@ let regenerate cfg =
 (* --- part 2: micro-benchmarks of the kernels --- *)
 
 (* The parallel analyze kernel is benchmarked at 1 domain and at
-   [multi_domains]: at least 4, or more if the pool default (cores - 1 /
-   CENTAUR_DOMAINS) is larger. *)
-let multi_domains = max 4 (Pool.default_size ())
+   [multi_domains]: 4 (or the pool default if larger), clamped to the
+   hardware's recommended domain count so machines with fewer than 5
+   cores are never oversubscribed — timesharing domains on one core
+   measures scheduler thrash, not the pipeline. The value actually used
+   is recorded in BENCH_RESULTS.json. *)
+let recommended_domains = Domain.recommended_domain_count ()
+
+let multi_domains =
+  max 1 (min (max 4 (Pool.default_size ())) recommended_domains)
 
 let micro_tests () =
   (* Shared small workload: a 200-node CAIDA-like AS graph. *)
@@ -150,96 +156,145 @@ let micro_tests () =
   let qsources = Experiments.Inputs.sample_sources qcfg qtopo in
   let n_nodes = Topology.num_nodes topo in
   [ (* Table 4/5 kernel: BuildGraph over a full selected path set. *)
-    Test.make ~name:"table4/buildgraph"
-      (Staged.stage (fun () -> Centaur.Pgraph.of_paths ~root:5 paths));
+    ( "table4/buildgraph",
+      fun () -> ignore (Centaur.Pgraph.of_paths ~root:5 paths) );
     (* §4.2 DerivePath over every destination of the P-graph. *)
-    Test.make ~name:"table4/derivepath-all"
-      (Staged.stage (fun () ->
-           List.iter
-             (fun d -> ignore (Centaur.Pgraph.derive_path pgraph ~dest:d))
-             dests));
+    ( "table4/derivepath-all",
+      fun () ->
+        List.iter
+          (fun d -> ignore (Centaur.Pgraph.derive_path pgraph ~dest:d))
+          dests );
     (* The static solver behind Tables 4/5 and Figure 5 (one dest). *)
-    Test.make ~name:"fig5/solver-to-dest"
-      (Staged.stage (fun () -> ignore (Solver.to_dest topo 17)));
+    ("fig5/solver-to-dest", fun () -> ignore (Solver.to_dest topo 17));
     (* §4.3 steady phase: delta between two consistent P-graphs. *)
-    Test.make ~name:"fig5/pgraph-diff"
-      (Staged.stage (fun () ->
-           ignore (Centaur.Pgraph.diff ~old_:pgraph ~new_:perturbed)));
+    ( "fig5/pgraph-diff",
+      fun () -> ignore (Centaur.Pgraph.diff ~old_:pgraph ~new_:perturbed) );
     (* Figure 6/7 kernel: one full link flip to re-convergence. *)
-    Test.make ~name:"fig6/centaur-link-flip"
-      (Staged.stage (fun () ->
-           ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:false);
-           ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:true)));
+    ( "fig6/centaur-link-flip",
+      fun () ->
+        ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:false);
+        ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:true) );
     (* Figure 8 kernel: Dijkstra (the OSPF baseline's route compute). *)
-    Test.make ~name:"fig7/ospf-dijkstra"
-      (Staged.stage (fun () -> ignore (Dijkstra.from flip_topo ~src:0)));
+    ("fig7/ospf-dijkstra", fun () -> ignore (Dijkstra.from flip_topo ~src:0));
     (* Adjacency visit: the allocating list API vs the CSR fast path. *)
-    Test.make ~name:"topo/neighbors-list"
-      (Staged.stage (fun () ->
-           let acc = ref 0 in
-           for v = 0 to n_nodes - 1 do
-             List.iter
-               (fun (nb, _, _) -> acc := !acc + nb)
-               (Topology.neighbors topo v)
-           done;
-           ignore !acc));
-    Test.make ~name:"topo/neighbors-csr"
-      (Staged.stage (fun () ->
-           let acc = ref 0 in
-           for v = 0 to n_nodes - 1 do
-             Topology.iter_neighbors topo v (fun nb _ _ -> acc := !acc + nb)
-           done;
-           ignore !acc));
+    ( "topo/neighbors-list",
+      fun () ->
+        let acc = ref 0 in
+        for v = 0 to n_nodes - 1 do
+          List.iter
+            (fun (nb, _, _) -> acc := !acc + nb)
+            (Topology.neighbors topo v)
+        done;
+        ignore !acc );
+    ( "topo/neighbors-csr",
+      fun () ->
+        let acc = ref 0 in
+        for v = 0 to n_nodes - 1 do
+          Topology.iter_neighbors topo v (fun nb _ _ -> acc := !acc + nb)
+        done;
+        ignore !acc );
     (* Delta-first payoff: the same flip-and-read-table round under the
        staged incremental pipelines vs their from-scratch twins (every
        event invalidates everything / every query re-runs Dijkstra).
        Both members of each pair compute identical routes — the
        test suite's equivalence properties — so the gap is pure
        recomputation cost. *)
-    Test.make ~name:"incremental-vs-full/ospf-incremental"
-      (Staged.stage (fun () -> churn_round ospf_incr));
-    Test.make ~name:"incremental-vs-full/ospf-full"
-      (Staged.stage (fun () -> churn_round ospf_full));
-    Test.make ~name:"incremental-vs-full/bgp-incremental"
-      (Staged.stage (fun () -> churn_round bgp_incr));
-    Test.make ~name:"incremental-vs-full/bgp-full"
-      (Staged.stage (fun () -> churn_round bgp_full));
+    ("incremental-vs-full/ospf-incremental", fun () -> churn_round ospf_incr);
+    ("incremental-vs-full/ospf-full", fun () -> churn_round ospf_full);
+    ("incremental-vs-full/bgp-incremental", fun () -> churn_round bgp_incr);
+    ("incremental-vs-full/bgp-full", fun () -> churn_round bgp_full);
     (* The resilience experiment's unit of work: one churn scenario
        replayed against a cold-started Centaur network with the
        transient-correctness observer sampling throughout. The topology
        and runner are rebuilt per run - injection mutates link state, so
        reuse would measure a different (partially restored) workload. *)
-    Test.make ~name:"resilience/churn-scenario"
-      (Staged.stage (fun () ->
-           let topo =
-             Brite.annotated (Rng.create 12) ~n:20 ~m:2 ~max_delay:5.0
-               ~num_tiers:4
-           in
-           let scenario =
-             Faults.Scenario.random_churn ~seed:3 ~horizon:120.0
-               ~sample_every:5.0 ~flaps:3 topo
-           in
-           let runner = Protocols.Centaur_net.network topo in
-           ignore
-             (Faults.Injector.run runner ~topo ~scenario
-                ~pairs:[ (0, 13); (5, 17); (11, 2) ])));
+    ( "resilience/churn-scenario",
+      fun () ->
+        let topo =
+          Brite.annotated (Rng.create 12) ~n:20 ~m:2 ~max_delay:5.0
+            ~num_tiers:4
+        in
+        let scenario =
+          Faults.Scenario.random_churn ~seed:3 ~horizon:120.0
+            ~sample_every:5.0 ~flaps:3 topo
+        in
+        let runner = Protocols.Centaur_net.network topo in
+        ignore
+          (Faults.Injector.run runner ~topo ~scenario
+             ~pairs:[ (0, 13); (5, 17); (11, 2) ]) );
     (* The full Table 4 pipeline (one discipline) at one domain and
        fanned out across the domain pool. Run last: these grow the heap
        by orders of magnitude more than the kernels above and would
        skew their GC costs. *)
-    Test.make ~name:"table4/analyze-standard-1dom"
-      (Staged.stage (fun () ->
-           Pool.with_size 1 (fun () ->
-               ignore (Centaur.Static.analyze qtopo ~sources:qsources))));
-    Test.make ~name:"table4/analyze-standard-ndom"
-      (Staged.stage (fun () ->
-           Pool.with_size multi_domains (fun () ->
-               ignore (Centaur.Static.analyze qtopo ~sources:qsources)))) ]
+    ( "table4/analyze-standard-1dom",
+      fun () ->
+        Pool.with_size 1 (fun () ->
+            ignore (Centaur.Static.analyze qtopo ~sources:qsources)) );
+    ( "table4/analyze-standard-ndom",
+      fun () ->
+        Pool.with_size multi_domains (fun () ->
+            ignore (Centaur.Static.analyze qtopo ~sources:qsources)) ) ]
+
+(* Allocation per run: warm once, then average the caller-domain
+   minor-heap words across a few runs. [Gc.minor_words] rather than
+   [Gc.quick_stat], because on OCaml 5 the latter omits the current
+   minor heap's un-flushed allocation pointer and reads 0 for any
+   kernel that fits in one minor heap. For the multi-domain kernels
+   this counts the caller's share only (worker domains keep their own
+   counters), which is exactly the number that should shrink when
+   per-index allocations move into per-domain scratch. *)
+let minor_words_per_run ?(runs = 3) fn =
+  fn ();
+  let m0 = Gc.minor_words () in
+  for _ = 1 to runs do
+    fn ()
+  done;
+  let m1 = Gc.minor_words () in
+  (m1 -. m0) /. float_of_int runs
+
+(* Wall-clock + allocation of [fn] averaged over [reps] runs (one warm-up
+   run first). Coarser than bechamel but cheap enough to sweep domain
+   counts with. *)
+let time_runs ?(reps = 3) fn =
+  fn ();
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    fn ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let m1 = Gc.minor_words () in
+  ( (t1 -. t0) *. 1e9 /. float_of_int reps,
+    (m1 -. m0) /. float_of_int reps )
+
+(* The tentpole scaling story: the full Static.analyze pipeline at 1, 2,
+   4 and [multi_domains] domains (deduplicated, capped at the clamped
+   value so a small machine is never oversubscribed). *)
+let scaling_domain_counts =
+  List.sort_uniq Int.compare
+    (List.filter (fun d -> d <= multi_domains) [ 1; 2; 4; multi_domains ])
+
+let analyze_at_domains cfg ~domains =
+  let qtopo = Experiments.Inputs.caida cfg in
+  let qsources = Experiments.Inputs.sample_sources cfg qtopo in
+  fun () ->
+    Pool.with_size domains (fun () ->
+        ignore (Centaur.Static.analyze qtopo ~sources:qsources))
+
+let scaling_sweep cfg =
+  Printf.printf "== analyze scaling sweep (domains -> ns/run) ==\n%!";
+  List.map
+    (fun domains ->
+      let ns, mw = time_runs (analyze_at_domains cfg ~domains) in
+      Printf.printf "  %d domains: %14.1f ns/run  (%.0f minor words/run)\n%!"
+        domains ns mw;
+      (domains, ns, mw))
+    scaling_domain_counts
 
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
-let write_results_json ~cfg ~quick results =
+let write_results_json ~cfg ~quick ~scaling results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -249,14 +304,28 @@ let write_results_json ~cfg ~quick results =
   Buffer.add_string buf
     (Printf.sprintf "  \"domains\": %d,\n" (Pool.default_size ()));
   Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" recommended_domains);
+  Buffer.add_string buf
     (Printf.sprintf "  \"multi_domains\": %d,\n" multi_domains);
-  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf "  \"scaling\": [\n";
   List.iteri
-    (fun i (name, est, r2) ->
+    (fun i (domains, ns, mw) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n" name
-           (json_float est) (json_float r2)
+           "    {\"domains\": %d, \"ns_per_run\": %s, \
+            \"minor_words_per_run\": %s}%s\n"
+           domains (json_float ns) (json_float mw)
+           (if i = List.length scaling - 1 then "" else ",")))
+    scaling;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (name, est, r2, mw) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s, \
+            \"minor_words_per_run\": %s}%s\n"
+           name (json_float est) (json_float r2) (json_float mw)
            (if i = List.length results - 1 then "" else ",")))
     results;
   Buffer.add_string buf "  ]\n}\n";
@@ -265,7 +334,7 @@ let write_results_json ~cfg ~quick results =
   close_out oc
 
 let run_micro ~cfg ~quick =
-  let tests = micro_tests () in
+  let kernels = micro_tests () in
   let bench_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -273,11 +342,13 @@ let run_micro ~cfg ~quick =
   Printf.printf "== micro-benchmarks (ns/run, OLS on monotonic clock) ==\n%!";
   let results = ref [] in
   List.iter
-    (fun test ->
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
       let raw =
         Benchmark.all bench_cfg Toolkit.Instance.[ monotonic_clock ] test
       in
       let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let mw = minor_words_per_run fn in
       Hashtbl.iter
         (fun name ols_result ->
           let estimate =
@@ -290,29 +361,55 @@ let run_micro ~cfg ~quick =
             | Some r -> r
             | None -> nan
           in
-          results := (name, estimate, r2) :: !results)
+          results := (name, estimate, r2, mw) :: !results)
         analyzed)
-    tests;
+    kernels;
   (* Hashtbl.iter surfaces kernels in hash order; sort by name so the
      report is stable run to run. *)
   let sorted =
-    List.sort (fun (a, _, _) (b, _, _) -> compare (a : string) b) !results
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare (a : string) b)
+      !results
   in
   List.iter
-    (fun (name, estimate, r2) ->
-      Printf.printf "  %-32s %14.1f ns/run   (r²=%.3f)\n%!" name estimate r2)
+    (fun (name, estimate, r2, mw) ->
+      Printf.printf
+        "  %-36s %14.1f ns/run   (r²=%.3f, %11.0f minor words/run)\n%!" name
+        estimate r2 mw)
     sorted;
-  write_results_json ~cfg ~quick sorted;
+  let scaling = scaling_sweep cfg in
+  write_results_json ~cfg ~quick ~scaling sorted;
   Printf.printf "(wrote BENCH_RESULTS.json)\n%!"
+
+(* `bench scaling`: the CI smoke gate. Times the analyze pipeline at one
+   domain and at [multi_domains] and fails when the parallel run is more
+   than 20% slower — the regression mode that motivated the flat
+   layouts (shared-minor-heap contention) would blow well past that. *)
+let scaling_gate ~cfg =
+  let reps = 4 in
+  let t1, _ = time_runs ~reps (analyze_at_domains cfg ~domains:1) in
+  let tn, _ = time_runs ~reps (analyze_at_domains cfg ~domains:multi_domains) in
+  Printf.printf
+    "scaling gate: analyze 1dom %.2f ms, %ddom %.2f ms (ratio %.2f, \
+     recommended=%d)\n%!"
+    (t1 /. 1e6) multi_domains (tn /. 1e6) (tn /. t1) recommended_domains;
+  if tn > 1.2 *. t1 then begin
+    Printf.eprintf
+      "FAIL: analyze at %d domains is %.2fx the 1-domain time (limit 1.2x)\n"
+      multi_domains (tn /. t1);
+    exit 1
+  end
 
 let () =
   let quick = quick_requested () in
   let cfg =
     if quick then Experiments.Config.quick else Experiments.Config.default
   in
-  Printf.printf "configuration: %s (%s), domains=%d\n\n%!"
-    (Format.asprintf "%a" Experiments.Config.pp cfg)
-    (if quick then "quick" else "default")
-    (Pool.default_size ());
-  regenerate cfg;
-  if Sys.getenv_opt "BENCH_NO_MICRO" <> Some "1" then run_micro ~cfg ~quick
+  if Array.exists (fun a -> a = "scaling") Sys.argv then scaling_gate ~cfg
+  else begin
+    Printf.printf "configuration: %s (%s), domains=%d\n\n%!"
+      (Format.asprintf "%a" Experiments.Config.pp cfg)
+      (if quick then "quick" else "default")
+      (Pool.default_size ());
+    regenerate cfg;
+    if Sys.getenv_opt "BENCH_NO_MICRO" <> Some "1" then run_micro ~cfg ~quick
+  end

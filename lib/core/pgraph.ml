@@ -3,140 +3,165 @@ type link_data = {
   plist : Permission_list.t option;
 }
 
+(* Flat layout: a link (parent, child) is a single immediate int key —
+   [parent lsl 31 lor child] — into one int-keyed table, instead of the
+   former nested (int, (int, link_data) Hashtbl.t) Hashtbl.t. Packed
+   keys hash in one word, compare with [Int.equal] (no polymorphic
+   compare), and packed-key order is exactly (parent, child)
+   lexicographic order, so every sorted view sorts immediate ints. The
+   per-node adjacency needed by DerivePath is kept as int lists in two
+   side tables. *)
+
+let pack_shift = 31
+let pack_mask = (1 lsl pack_shift) - 1
+let max_node = pack_mask
+
+let pack ~parent ~child = (parent lsl pack_shift) lor child
+let key_parent k = k lsr pack_shift
+let key_child k = k land pack_mask
+
+let check_node what v =
+  if v < 0 || v > max_node then
+    invalid_arg (what ^ ": node id out of packed range")
+
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 type t = {
   root_node : int;
-  (* child -> parent -> data; the in-edge index DerivePath walks. *)
-  parents : (int, (int, link_data) Hashtbl.t) Hashtbl.t;
-  (* parent -> children, kept in sync for iteration and export. *)
-  children : (int, (int, unit) Hashtbl.t) Hashtbl.t;
-  dest_marks : (int, unit) Hashtbl.t;
+  (* packed (parent, child) -> data; the in-edge index DerivePath walks. *)
+  link_tbl : link_data ITbl.t;
+  (* child -> parent ids (unsorted), kept in sync with [link_tbl]. *)
+  parent_idx : int list ITbl.t;
+  (* parent -> child ids (unsorted), for iteration and export. *)
+  child_idx : int list ITbl.t;
+  dest_marks : unit ITbl.t;
   mutable link_count : int;
 }
 
 let create ~root =
+  check_node "Pgraph.create" root;
   { root_node = root;
-    parents = Hashtbl.create 64;
-    children = Hashtbl.create 64;
-    dest_marks = Hashtbl.create 16;
+    link_tbl = ITbl.create 64;
+    parent_idx = ITbl.create 64;
+    child_idx = ITbl.create 64;
+    dest_marks = ITbl.create 16;
     link_count = 0 }
 
 let root t = t.root_node
 
 let dests t =
-  Hashtbl.fold (fun d () acc -> d :: acc) t.dest_marks [] |> List.sort compare
+  ITbl.fold (fun d () acc -> d :: acc) t.dest_marks []
+  |> List.sort Int.compare
 
-let is_dest t d = Hashtbl.mem t.dest_marks d
+let is_dest t d = ITbl.mem t.dest_marks d
 
-let mark_dest t d = Hashtbl.replace t.dest_marks d ()
+let mark_dest t d =
+  check_node "Pgraph.mark_dest" d;
+  ITbl.replace t.dest_marks d ()
 
-let unmark_dest t d = Hashtbl.remove t.dest_marks d
+let unmark_dest t d = ITbl.remove t.dest_marks d
+
+let idx_add idx ~at v =
+  let prev = Option.value (ITbl.find_opt idx at) ~default:[] in
+  ITbl.replace idx at (v :: prev)
+
+let idx_remove idx ~at v =
+  match ITbl.find_opt idx at with
+  | None -> ()
+  | Some l -> (
+    match List.filter (fun x -> x <> v) l with
+    | [] -> ITbl.remove idx at
+    | l' -> ITbl.replace idx at l')
 
 let add_link t ~parent ~child ~data =
   if parent = child then invalid_arg "Pgraph.add_link: self-loop";
-  let m =
-    match Hashtbl.find_opt t.parents child with
-    | Some m -> m
-    | None ->
-      let m = Hashtbl.create 4 in
-      Hashtbl.replace t.parents child m;
-      m
-  in
-  if not (Hashtbl.mem m parent) then t.link_count <- t.link_count + 1;
-  Hashtbl.replace m parent data;
-  let s =
-    match Hashtbl.find_opt t.children parent with
-    | Some s -> s
-    | None ->
-      let s = Hashtbl.create 4 in
-      Hashtbl.replace t.children parent s;
-      s
-  in
-  Hashtbl.replace s child ()
+  check_node "Pgraph.add_link" parent;
+  check_node "Pgraph.add_link" child;
+  let key = pack ~parent ~child in
+  if not (ITbl.mem t.link_tbl key) then begin
+    t.link_count <- t.link_count + 1;
+    idx_add t.parent_idx ~at:child parent;
+    idx_add t.child_idx ~at:parent child
+  end;
+  ITbl.replace t.link_tbl key data
 
 let remove_link t ~parent ~child =
-  (match Hashtbl.find_opt t.parents child with
-  | None -> ()
-  | Some m ->
-    if Hashtbl.mem m parent then begin
-      Hashtbl.remove m parent;
-      t.link_count <- t.link_count - 1
-    end;
-    if Hashtbl.length m = 0 then Hashtbl.remove t.parents child);
-  match Hashtbl.find_opt t.children parent with
-  | None -> ()
-  | Some s ->
-    Hashtbl.remove s child;
-    if Hashtbl.length s = 0 then Hashtbl.remove t.children parent
+  if parent >= 0 && parent <= max_node && child >= 0 && child <= max_node
+  then begin
+    let key = pack ~parent ~child in
+    if ITbl.mem t.link_tbl key then begin
+      ITbl.remove t.link_tbl key;
+      t.link_count <- t.link_count - 1;
+      idx_remove t.parent_idx ~at:child parent;
+      idx_remove t.child_idx ~at:parent child
+    end
+  end
 
 let link_data t ~parent ~child =
-  match Hashtbl.find_opt t.parents child with
-  | None -> None
-  | Some m -> Hashtbl.find_opt m parent
+  if parent < 0 || parent > max_node || child < 0 || child > max_node then
+    None
+  else ITbl.find_opt t.link_tbl (pack ~parent ~child)
 
 let mem_link t ~parent ~child = link_data t ~parent ~child <> None
 
 let in_degree t node =
-  match Hashtbl.find_opt t.parents node with
+  match ITbl.find_opt t.parent_idx node with
   | None -> 0
-  | Some m -> Hashtbl.length m
+  | Some l -> List.length l
 
 let parents_of t node =
-  match Hashtbl.find_opt t.parents node with
+  match ITbl.find_opt t.parent_idx node with
   | None -> []
-  | Some m ->
-    Hashtbl.fold (fun parent data acc -> (parent, data) :: acc) m []
-    |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+  | Some l ->
+    List.sort Int.compare l
+    |> List.map (fun parent ->
+           (parent, ITbl.find t.link_tbl (pack ~parent ~child:node)))
 
 let children_of t node =
-  match Hashtbl.find_opt t.children node with
+  match ITbl.find_opt t.child_idx node with
   | None -> []
-  | Some s -> Hashtbl.fold (fun c () acc -> c :: acc) s [] |> List.sort compare
+  | Some l -> List.sort Int.compare l
 
 let links t =
-  Hashtbl.fold
-    (fun child m acc ->
-      Hashtbl.fold (fun parent data acc -> (parent, child, data) :: acc) m acc)
-    t.parents []
-  |> List.sort (fun (p1, c1, _) (p2, c2, _) -> compare (p1, c1) (p2, c2))
+  ITbl.fold (fun key data acc -> (key, data) :: acc) t.link_tbl []
+  |> List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+  |> List.map (fun (k, data) -> (key_parent k, key_child k, data))
 
 let num_links t = t.link_count
 
 let num_permission_lists t =
-  Hashtbl.fold
-    (fun _child m acc ->
-      Hashtbl.fold
-        (fun _parent data acc -> if data.plist <> None then acc + 1 else acc)
-        m acc)
-    t.parents 0
+  ITbl.fold
+    (fun _key data acc -> if data.plist <> None then acc + 1 else acc)
+    t.link_tbl 0
 
 let permission_lists t =
-  Hashtbl.fold
-    (fun _child m acc ->
-      Hashtbl.fold
-        (fun _parent data acc ->
-          match data.plist with None -> acc | Some pl -> pl :: acc)
-        m acc)
-    t.parents []
+  ITbl.fold
+    (fun _key data acc ->
+      match data.plist with None -> acc | Some pl -> pl :: acc)
+    t.link_tbl []
 
 let nodes t =
-  let set = Hashtbl.create 64 in
-  Hashtbl.replace set t.root_node ();
-  Hashtbl.iter
-    (fun child m ->
-      Hashtbl.replace set child ();
-      Hashtbl.iter (fun parent _ -> Hashtbl.replace set parent ()) m)
-    t.parents;
-  Hashtbl.fold (fun n () acc -> n :: acc) set [] |> List.sort compare
+  let set = ITbl.create 64 in
+  ITbl.replace set t.root_node ();
+  ITbl.iter
+    (fun key _ ->
+      ITbl.replace set (key_parent key) ();
+      ITbl.replace set (key_child key) ())
+    t.link_tbl;
+  ITbl.fold (fun n () acc -> n :: acc) set [] |> List.sort Int.compare
 
 let copy t =
   let fresh = create ~root:t.root_node in
-  Hashtbl.iter
-    (fun child m ->
-      Hashtbl.iter
-        (fun parent data -> add_link fresh ~parent ~child ~data)
-        m)
-    t.parents;
-  Hashtbl.iter (fun d () -> mark_dest fresh d) t.dest_marks;
+  ITbl.iter
+    (fun key data ->
+      add_link fresh ~parent:(key_parent key) ~child:(key_child key) ~data)
+    t.link_tbl;
+  ITbl.iter (fun d () -> mark_dest fresh d) t.dest_marks;
   fresh
 
 (* BuildGraph (paper Table 2), with retroactive Permission Lists: the
@@ -147,7 +172,7 @@ let copy t =
    fixed point the incremental protocol maintains ("a Permission List
    will be created if a multi-homed node appears", §4.3). *)
 let build_graph ~what ~allow_multi ~root paths =
-  let seen_dest = Hashtbl.create 16 in
+  let seen_dest = ITbl.create 16 in
   let seen_path = Hashtbl.create 16 in
   let paths =
     List.filter
@@ -162,19 +187,18 @@ let build_graph ~what ~allow_multi ~root paths =
         let d = Path.destination p in
         if Hashtbl.mem seen_path p then false
         else begin
-          if (not allow_multi) && Hashtbl.mem seen_dest d then
+          if (not allow_multi) && ITbl.mem seen_dest d then
             invalid_arg (what ^ ": two paths for one destination");
-          Hashtbl.add seen_dest d ();
+          ITbl.replace seen_dest d ();
           Hashtbl.add seen_path p ();
           true
         end)
       paths
   in
-  (* Pass 1: counters and per-link traversal records. *)
-  let counters : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  let traversals : (int * int, (int * int option) list) Hashtbl.t =
-    Hashtbl.create 64
-  in
+  (* Pass 1: counters and per-link traversal records, keyed by packed
+     link. *)
+  let counters : int ITbl.t = ITbl.create 64 in
+  let traversals : (int * int option) list ITbl.t = ITbl.create 64 in
   let graph = create ~root in
   List.iter
     (fun p ->
@@ -182,30 +206,34 @@ let build_graph ~what ~allow_multi ~root paths =
       mark_dest graph d;
       List.iter
         (fun (a, b) ->
-          let key = (a, b) in
-          Hashtbl.replace counters key
-            (1 + Option.value (Hashtbl.find_opt counters key) ~default:0);
+          check_node what a;
+          check_node what b;
+          let key = pack ~parent:a ~child:b in
+          ITbl.replace counters key
+            (1 + Option.value (ITbl.find_opt counters key) ~default:0);
           let next = Path.next_hop_of p b in
-          let prev = Option.value (Hashtbl.find_opt traversals key) ~default:[] in
-          Hashtbl.replace traversals key ((d, next) :: prev))
+          let prev = Option.value (ITbl.find_opt traversals key) ~default:[] in
+          ITbl.replace traversals key ((d, next) :: prev))
         (Path.links p))
     paths;
   (* In-degree per child over the collected links. *)
-  let indeg = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun (_a, b) _ ->
-      Hashtbl.replace indeg b (1 + Option.value (Hashtbl.find_opt indeg b) ~default:0))
+  let indeg = ITbl.create 64 in
+  ITbl.iter
+    (fun key _ ->
+      let b = key_child key in
+      ITbl.replace indeg b
+        (1 + Option.value (ITbl.find_opt indeg b) ~default:0))
     counters;
   (* Pass 2: insert links; multi-homed children get Permission Lists. *)
-  Hashtbl.iter
-    (fun (a, b) count ->
+  ITbl.iter
+    (fun key count ->
+      let a = key_parent key and b = key_child key in
       let plist =
-        if Option.value (Hashtbl.find_opt indeg b) ~default:0 > 1 then
+        if Option.value (ITbl.find_opt indeg b) ~default:0 > 1 then
           Some
             (List.fold_left
                (fun pl (dest, next) -> Permission_list.add pl ~dest ~next)
-               Permission_list.empty
-               (Hashtbl.find traversals (a, b)))
+               Permission_list.empty (ITbl.find traversals key))
         else None
       in
       add_link graph ~parent:a ~child:b ~data:{ counter = count; plist })
@@ -231,15 +259,17 @@ let derive_path t ~dest =
       if fuel = 0 then None
       else if current = t.root_node then Some acc
       else
-        match Hashtbl.find_opt t.parents current with
+        match ITbl.find_opt t.parent_idx current with
         | None -> None
-        | Some m when Hashtbl.length m = 1 ->
-          let parent = Hashtbl.fold (fun p _ _ -> p) m (-1) in
+        | Some [ parent ] ->
           go parent (Some current) (parent :: acc) (fuel - 1)
-        | Some m ->
+        | Some parents ->
           let permitted =
-            Hashtbl.fold
-              (fun parent data best ->
+            List.fold_left
+              (fun best parent ->
+                let data =
+                  ITbl.find t.link_tbl (pack ~parent ~child:current)
+                in
                 let ok =
                   match data.plist with
                   | None -> false
@@ -250,7 +280,7 @@ let derive_path t ~dest =
                   match best with
                   | Some p when p <= parent -> best
                   | Some _ | None -> Some parent)
-              m None
+              None parents
           in
           (match permitted with
           | None -> None
@@ -291,26 +321,28 @@ let derive_paths ?(limit = 64) t ~dest =
           results := acc :: !results
         end
         else
-          match Hashtbl.find_opt t.parents current with
+          match ITbl.find_opt t.parent_idx current with
           | None -> ()
-          | Some m ->
+          | Some parents ->
             let follow parent =
               if not (List.mem parent acc) then
                 go parent (Some current) (parent :: acc)
             in
-            if Hashtbl.length m = 1 then
-              Hashtbl.iter (fun parent _ -> follow parent) m
-            else
+            (match parents with
+            | [ parent ] -> follow parent
+            | parents ->
               List.iter
-                (fun (parent, data) ->
+                (fun parent ->
+                  let data =
+                    ITbl.find t.link_tbl (pack ~parent ~child:current)
+                  in
                   match data.plist with
                   | None -> ()
                   | Some pl ->
                     if Permission_list.permit pl ~dest ~next:prev then
                       follow parent)
                 (* Sorted for deterministic result order. *)
-                (Hashtbl.fold (fun p d acc -> (p, d) :: acc) m []
-                |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2))
+                (List.sort Int.compare parents))
     in
     go dest None [ dest ];
     List.sort_uniq Path.compare !results
@@ -325,20 +357,16 @@ let plist_opt_equal a b =
 let equal a b =
   a.root_node = b.root_node
   && a.link_count = b.link_count
-  && Hashtbl.length a.dest_marks = Hashtbl.length b.dest_marks
-  && Hashtbl.fold (fun d () ok -> ok && Hashtbl.mem b.dest_marks d) a.dest_marks true
-  && Hashtbl.fold
-       (fun child m ok ->
+  && ITbl.length a.dest_marks = ITbl.length b.dest_marks
+  && ITbl.fold (fun d () ok -> ok && ITbl.mem b.dest_marks d) a.dest_marks true
+  && ITbl.fold
+       (fun key data ok ->
          ok
-         && Hashtbl.fold
-              (fun parent data ok ->
-                ok
-                &&
-                match link_data b ~parent ~child with
-                | None -> false
-                | Some data' -> plist_opt_equal data.plist data'.plist)
-              m ok)
-       a.parents true
+         &&
+         match ITbl.find_opt b.link_tbl key with
+         | None -> false
+         | Some data' -> plist_opt_equal data.plist data'.plist)
+       a.link_tbl true
 
 type delta = {
   add_links : (int * int * Permission_list.t option) list;
@@ -353,31 +381,42 @@ let delta_is_empty d =
 
 let delta_units d = List.length d.add_links + List.length d.remove_links
 
+(* Both sides are iterated in place over their packed-key tables — no
+   intermediate sorted link lists. Results are sorted on the (small)
+   delta, by immediate-int key, so the output order is the same
+   (parent, child) order as before. *)
 let diff ~old_ ~new_ =
-  let old_links = links old_ and new_links = links new_ in
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun (p, c, d) -> Hashtbl.replace tbl (p, c) d.plist) old_links;
+  let added = ref [] in
+  ITbl.iter
+    (fun key data ->
+      match ITbl.find_opt old_.link_tbl key with
+      | Some od when plist_opt_equal od.plist data.plist -> ()
+      | Some _ | None -> added := (key, data.plist) :: !added)
+    new_.link_tbl;
   let add_links =
-    List.filter_map
-      (fun (p, c, d) ->
-        match Hashtbl.find_opt tbl (p, c) with
-        | Some old_pl when plist_opt_equal old_pl d.plist -> None
-        | Some _ | None -> Some (p, c, d.plist))
-      new_links
+    List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) !added
+    |> List.map (fun (k, pl) -> (key_parent k, key_child k, pl))
   in
-  let new_tbl = Hashtbl.create 64 in
-  List.iter (fun (p, c, _) -> Hashtbl.replace new_tbl (p, c) ()) new_links;
+  let removed = ref [] in
+  ITbl.iter
+    (fun key _ ->
+      if not (ITbl.mem new_.link_tbl key) then removed := key :: !removed)
+    old_.link_tbl;
   let remove_links =
-    List.filter_map
-      (fun (p, c, _) ->
-        if Hashtbl.mem new_tbl (p, c) then None else Some (p, c))
-      old_links
+    List.sort Int.compare !removed
+    |> List.map (fun k -> (key_parent k, key_child k))
   in
   let add_dests =
-    List.filter (fun d -> not (is_dest old_ d)) (dests new_)
+    ITbl.fold
+      (fun d () acc -> if is_dest old_ d then acc else d :: acc)
+      new_.dest_marks []
+    |> List.sort Int.compare
   in
   let remove_dests =
-    List.filter (fun d -> not (is_dest new_ d)) (dests old_)
+    ITbl.fold
+      (fun d () acc -> if is_dest new_ d then acc else d :: acc)
+      old_.dest_marks []
+    |> List.sort Int.compare
   in
   { add_links; remove_links; add_dests; remove_dests }
 

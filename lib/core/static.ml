@@ -76,51 +76,71 @@ let aggregate ~sources pgraph_of =
       (if plist_count = 0 then 0.0
        else float_of_int !total_bytes /. float_of_int plist_count) }
 
+(* Per-domain scratch for the per-destination sweep: a reusable solver
+   workspace plus one (dest, path) bag per requested source. *)
+type analyze_ws = {
+  sws : Solver.workspace;
+  bags : (int * Path.t) list array;
+}
+
 let analyze ?(discipline = Gao_rexford.Standard) topo ~sources =
   if sources = [] then invalid_arg "Static.analyze: empty source list";
   let n = Topology.num_nodes topo in
-  (* One solver run per destination; paths extracted for every requested
-     source and bagged per source. The dedicated three-phase solver
-     implements the Standard discipline; other disciplines go through
-     the generic fixpoint solver. *)
-  let solve_paths d =
-    match discipline with
-    | Gao_rexford.Standard ->
-      let r = Solver.to_dest topo d in
-      fun s -> Solver.path r s
-    | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary -> (
-      (* Sibling structures can sit outside the Gao-Rexford safety
-         theorem; a destination with no stable solution is skipped (its
-         routes are simply absent from every sampled P-graph) rather
-         than aborting the whole sweep. *)
-      match Stable.to_dest ~discipline ~max_rounds:512 topo d with
-      | r -> fun s -> Stable.path r s
-      | exception Failure _ -> fun _ -> None)
-  in
-  (* Per-destination solves are independent: fan them out, then fold the
-     per-source path bags in destination order so the bags are exactly
-     the lists the sequential loop would have built. *)
   let src_arr = Array.of_list sources in
-  let per_dest =
-    Pool.parallel_map_array
-      (fun d ->
-        let path_of = solve_paths d in
-        Array.map (fun s -> if s = d then None else path_of s) src_arr)
-      (Array.init n (fun d -> d))
-  in
-  let bags = Hashtbl.create (List.length sources) in
-  List.iter (fun s -> Hashtbl.replace bags s []) sources;
-  for d = 0 to n - 1 do
-    Array.iteri
-      (fun i path ->
-        match path with
+  let k = Array.length src_arr in
+  (* One solver run per destination, fanned out across the pool; each
+     domain streams the extracted paths straight into its own per-source
+     bags (tagged with the destination) instead of materializing the
+     full n × sources option-path matrix. The dedicated three-phase
+     solver implements the Standard discipline against the domain's
+     reusable workspace; other disciplines go through the generic
+     fixpoint solver. *)
+  let body ws d =
+    let path_of =
+      match discipline with
+      | Gao_rexford.Standard ->
+        let r = Solver.to_dest_with ws.sws topo d in
+        fun s -> Solver.path r s
+      | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary
+        -> (
+        (* Sibling structures can sit outside the Gao-Rexford safety
+           theorem; a destination with no stable solution is skipped (its
+           routes are simply absent from every sampled P-graph) rather
+           than aborting the whole sweep. *)
+        match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+        | r -> fun s -> Stable.path r s
+        | exception Failure _ -> fun _ -> None)
+    in
+    for i = 0 to k - 1 do
+      let s = Array.unsafe_get src_arr i in
+      if s <> d then
+        match path_of s with
         | None -> ()
-        | Some p ->
-          let s = src_arr.(i) in
-          Hashtbl.replace bags s (p :: Hashtbl.find bags s))
-      per_dest.(d)
+        | Some p -> ws.bags.(i) <- (d, p) :: ws.bags.(i)
+    done
+  in
+  let merged = Array.make k [] in
+  Pool.parallel_fold
+    ~create:(fun () ->
+      { sws = Solver.create_workspace (); bags = Array.make k [] })
+    ~merge:(fun () ws ->
+      for i = 0 to k - 1 do
+        merged.(i) <- List.rev_append ws.bags.(i) merged.(i)
+      done)
+    ~init:() n body;
+  (* Which domain bagged which destination depends on scheduling; the
+     destination tags restore the sequential order (each bag was built
+     by prepending for d ascending, i.e. destination descending). *)
+  let bag_of = Array.make k [] in
+  for i = 0 to k - 1 do
+    bag_of.(i) <-
+      List.sort (fun (d1, _) (d2, _) -> Int.compare d2 d1) merged.(i)
+      |> List.map snd
   done;
-  aggregate ~sources (fun s -> Pgraph.of_paths ~root:s (Hashtbl.find bags s))
+  let idx = Hashtbl.create k in
+  Array.iteri (fun i s -> Hashtbl.replace idx s i) src_arr;
+  aggregate ~sources (fun s ->
+      Pgraph.of_paths ~root:s bag_of.(Hashtbl.find idx s))
 
 type link_overhead = {
   link_id : int;
@@ -137,6 +157,16 @@ let class_bit = function
   | Prov -> 4
   | Origin -> 0
 
+(* Per-domain scratch for the overhead sweep: solver workspace plus
+   dense per-link accumulators. [masks] holds one class mask per
+   (link, endpoint): slot [2 * link_id] for the link's [a] side,
+   [2 * link_id + 1] for [b]. *)
+type overhead_ws = {
+  o_sws : Solver.workspace;
+  o_bgp : int array;
+  o_masks : int array;
+}
+
 let immediate_overhead ?dests ?prefixes topo =
   let n = Topology.num_nodes topo in
   let dests =
@@ -146,80 +176,78 @@ let immediate_overhead ?dests ?prefixes topo =
     match prefixes with None -> 1 | Some t -> Prefix.count t d
   in
   let num_links = Topology.num_links topo in
-  (* One solver run per destination, in parallel; each returns its local
-     per-link BGP unit counts and (link, endpoint) class masks. Merging
-     is addition and bitwise-or — commutative — so the merged totals
-     equal the sequential single-table accumulation. *)
-  let per_dest =
-    Pool.parallel_map_array
-      (fun d ->
-        let r = Solver.to_dest topo d in
-        let bgp_local : (int, int) Hashtbl.t = Hashtbl.create 256 in
-        let masks_local : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
-        Solver.iter_reachable r (fun x ->
-            match Solver.next_hop r x with
-            | None -> ()
-            | Some y ->
-              let link_id =
-                match Topology.link_between topo x y with
-                | Some id -> id
-                | None -> invalid_arg "Static.immediate_overhead: broken route"
-              in
-              let cls =
-                match Solver.class_of r x with
-                | Some c -> c
-                | None -> assert false
-              in
-              (* BGP: x withdraws its route to d — one update per prefix d
-                 announces — on every session it had exported the route
-                 on. *)
-              Topology.iter_neighbors topo x (fun nb role _ ->
-                  if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
-                    let prev =
-                      Option.value (Hashtbl.find_opt bgp_local link_id)
-                        ~default:0
-                    in
-                    Hashtbl.replace bgp_local link_id (prev + weight d));
-              let key = (link_id, x) in
-              let prev =
-                Option.value (Hashtbl.find_opt masks_local key) ~default:0
-              in
-              Hashtbl.replace masks_local key (prev lor class_bit cls));
-        (bgp_local, masks_local))
-      (Array.of_list dests)
+  let dest_arr = Array.of_list dests in
+  (* One solver run per destination, fanned out across the pool; each
+     domain accumulates into its own flat per-link BGP unit counts and
+     (link, endpoint) class masks. Merging is addition and bitwise-or —
+     commutative — so the merged totals equal the sequential single-
+     table accumulation. *)
+  let body ws di =
+    let d = dest_arr.(di) in
+    let r = Solver.to_dest_with ws.o_sws topo d in
+    Solver.iter_reachable r (fun x ->
+        match Solver.next_hop r x with
+        | None -> ()
+        | Some y ->
+          let link_id =
+            match Topology.link_between topo x y with
+            | Some id -> id
+            | None -> invalid_arg "Static.immediate_overhead: broken route"
+          in
+          let cls =
+            match Solver.class_of r x with
+            | Some c -> c
+            | None -> assert false
+          in
+          (* BGP: x withdraws its route to d — one update per prefix d
+             announces — on every session it had exported the route
+             on. *)
+          Topology.iter_neighbors topo x (fun nb role _ ->
+              if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
+                ws.o_bgp.(link_id) <- ws.o_bgp.(link_id) + weight d);
+          let link = Topology.link topo link_id in
+          let mi = (2 * link_id) + if link.Topology.a = x then 0 else 1 in
+          ws.o_masks.(mi) <- ws.o_masks.(mi) lor class_bit cls)
   in
   let bgp = Array.make num_links 0 in
-  let class_masks : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
-  Array.iter
-    (fun (bgp_local, masks_local) ->
-      Hashtbl.iter
-        (fun link_id units -> bgp.(link_id) <- bgp.(link_id) + units)
-        bgp_local;
-      Hashtbl.iter
-        (fun key mask ->
-          let prev = Option.value (Hashtbl.find_opt class_masks key) ~default:0 in
-          Hashtbl.replace class_masks key (prev lor mask))
-        masks_local)
-    per_dest;
+  let class_masks = Array.make (2 * num_links) 0 in
+  Pool.parallel_fold
+    ~create:(fun () ->
+      { o_sws = Solver.create_workspace ();
+        o_bgp = Array.make num_links 0;
+        o_masks = Array.make (2 * num_links) 0 })
+    ~merge:(fun () ws ->
+      for link_id = 0 to num_links - 1 do
+        bgp.(link_id) <- bgp.(link_id) + ws.o_bgp.(link_id)
+      done;
+      for mi = 0 to (2 * num_links) - 1 do
+        class_masks.(mi) <- class_masks.(mi) lor ws.o_masks.(mi)
+      done)
+    ~init:() (Array.length dest_arr) body;
   let centaur = Array.make num_links 0 in
-  Hashtbl.iter
-    (fun (link_id, x) mask ->
-      let link = Topology.link topo link_id in
-      let y = if link.Topology.a = x then link.Topology.b else link.Topology.a in
-      (* Centaur: x withdraws the single failed link on every session
-         whose exported view contained it — i.e. every neighbor some
-         affected class was exportable to. *)
-      Topology.iter_neighbors topo x (fun nb role _ ->
-          if nb <> y then
-            let visible =
-              List.exists
-                (fun c ->
-                  mask land class_bit c <> 0
-                  && Gao_rexford.exportable ~cls:c ~to_role:role)
-                [ Cust; Peer_r; Prov ]
-            in
-            if visible then centaur.(link_id) <- centaur.(link_id) + 1))
-    class_masks;
+  for link_id = 0 to num_links - 1 do
+    let link = Topology.link topo link_id in
+    for side = 0 to 1 do
+      let mask = class_masks.((2 * link_id) + side) in
+      if mask <> 0 then begin
+        let x = if side = 0 then link.Topology.a else link.Topology.b in
+        let y = if side = 0 then link.Topology.b else link.Topology.a in
+        (* Centaur: x withdraws the single failed link on every session
+           whose exported view contained it — i.e. every neighbor some
+           affected class was exportable to. *)
+        Topology.iter_neighbors topo x (fun nb role _ ->
+            if nb <> y then
+              let visible =
+                List.exists
+                  (fun c ->
+                    mask land class_bit c <> 0
+                    && Gao_rexford.exportable ~cls:c ~to_role:role)
+                  [ Cust; Peer_r; Prov ]
+              in
+              if visible then centaur.(link_id) <- centaur.(link_id) + 1)
+      end
+    done
+  done;
   Array.init num_links (fun link_id ->
       { link_id; bgp_units = bgp.(link_id); centaur_units = centaur.(link_id) })
 

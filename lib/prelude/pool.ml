@@ -1,9 +1,20 @@
 (* Worker domains park on [work_cond] between jobs. A job is a bag of
-   [total] indices claimed via fetch-and-add; every participant (the
-   caller included) drains the bag, and the caller blocks on [done_cond]
-   until the completion count reaches [total]. Determinism falls out of
-   storing results by index: claiming order varies run to run, but the
-   value computed for index [i] and where it lands do not.
+   [total] indices claimed in chunks of [chunk] via fetch-and-add; every
+   participant (the caller included) drains the bag, and the caller
+   blocks on [done_cond] until the completion count reaches [total].
+   Determinism falls out of storing results by index: claiming order
+   varies run to run, but the value computed for index [i] and where it
+   lands do not.
+
+   Chunked claiming keeps the atomic off the hot path: one fetch-and-add
+   hands a participant [chunk] consecutive indices, so for fine-grained
+   work items the claim cost and the cache-line ping-pong on [next]
+   amortize across the whole chunk.
+
+   Every participant has a stable slot id: the caller is slot 0, the
+   i-th spawned worker is slot i. [parallel_fold] keys per-domain
+   scratch workspaces by slot, so state that would otherwise be
+   allocated per index is allocated once per participating domain.
 
    Invariant kept by the entry points: [job.run] never raises (user
    exceptions are captured per index and re-raised by the caller after
@@ -46,8 +57,10 @@ let with_size n f =
   Fun.protect ~finally:(fun () -> Domain.DLS.set override prev) f
 
 type job = {
-  run : int -> unit;
+  (* [run ~slot ~lo ~hi] processes indices [lo, hi); must not raise. *)
+  run : slot:int -> lo:int -> hi:int -> unit;
   total : int;
+  chunk : int;
   next : int Atomic.t;
   completed : int Atomic.t;
 }
@@ -67,12 +80,14 @@ let worker_handles : unit Domain.t list ref = ref []
 let num_workers = ref 0
 let exit_hook_registered = ref false
 
-let exec_job j =
+let exec_job ~slot j =
   let rec claim () =
-    let i = Atomic.fetch_and_add j.next 1 in
-    if i < j.total then begin
-      j.run i;
-      if 1 + Atomic.fetch_and_add j.completed 1 = j.total then begin
+    let lo = Atomic.fetch_and_add j.next j.chunk in
+    if lo < j.total then begin
+      let hi = min (lo + j.chunk) j.total in
+      j.run ~slot ~lo ~hi;
+      if hi - lo + Atomic.fetch_and_add j.completed (hi - lo) = j.total
+      then begin
         Mutex.lock mutex;
         Condition.broadcast done_cond;
         Mutex.unlock mutex
@@ -82,7 +97,7 @@ let exec_job j =
   in
   claim ()
 
-let worker_main initial_gen () =
+let worker_main ~slot initial_gen () =
   Domain.DLS.set inside true;
   let rec park last_gen =
     Mutex.lock mutex;
@@ -94,7 +109,7 @@ let worker_main initial_gen () =
     let quit = !shutting_down in
     Mutex.unlock mutex;
     if not quit then begin
-      (match job with Some j -> exec_job j | None -> ());
+      (match job with Some j -> exec_job ~slot j | None -> ());
       park gen
     end
   in
@@ -117,20 +132,43 @@ let ensure_workers target =
     let gen = !generation in
     Mutex.unlock mutex;
     while !num_workers < target do
-      worker_handles := Domain.spawn (worker_main gen) :: !worker_handles;
+      let slot = !num_workers + 1 in
+      worker_handles :=
+        Domain.spawn (worker_main ~slot gen) :: !worker_handles;
       incr num_workers
     done
   end
 
-(* [run] must not raise; see the invariant at the top of the file. *)
-let run_job ~total run =
+(* Chunk heuristic: aim for ~8 claims per participant so dynamic load
+   balancing survives skewed per-index costs, capped so one claim never
+   monopolizes a large job. *)
+let default_chunk ~total =
+  max 1 (min 128 (total / (size () * 8)))
+
+(* [make_run] is applied once the worker set for this job is final;
+   [slots] is an exclusive upper bound on the slot ids that can
+   participate, letting callers pre-size per-slot state. The returned
+   [run] must not raise; see the invariant at the top of the file. *)
+let run_job ?chunk ~total make_run =
   Mutex.lock call_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock call_lock)
     (fun () ->
       ensure_workers (min (size () - 1) (total - 1));
+      let slots = 1 + !num_workers in
+      let run = make_run ~slots in
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool: chunk must be >= 1"
+        | None -> default_chunk ~total
+      in
       let j =
-        { run; total; next = Atomic.make 0; completed = Atomic.make 0 }
+        { run;
+          total;
+          chunk;
+          next = Atomic.make 0;
+          completed = Atomic.make 0 }
       in
       Mutex.lock mutex;
       current_job := Some j;
@@ -140,7 +178,7 @@ let run_job ~total run =
       Domain.DLS.set inside true;
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set inside false)
-        (fun () -> exec_job j);
+        (fun () -> exec_job ~slot:0 j);
       Mutex.lock mutex;
       while Atomic.get j.completed < j.total do
         Condition.wait done_cond mutex
@@ -165,12 +203,15 @@ let parallel_map_array f a =
   else begin
     let results = Array.make total None in
     let failures = Array.make total None in
-    let run i =
-      match f (Array.unsafe_get a i) with
-      | v -> results.(i) <- Some v
-      | exception e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    let run ~slot:_ ~lo ~hi =
+      for i = lo to hi - 1 do
+        match f (Array.unsafe_get a i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+      done
     in
-    run_job ~total run;
+    run_job ~total (fun ~slots:_ -> run);
     reraise_first failures;
     Array.map (function Some v -> v | None -> assert false) results
   end
@@ -183,10 +224,55 @@ let parallel_for total f =
       done
     else begin
       let failures = Array.make total None in
-      let run i =
-        try f i
-        with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+      let run ~slot:_ ~lo ~hi =
+        for i = lo to hi - 1 do
+          try f i
+          with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+        done
       in
-      run_job ~total run;
+      run_job ~total (fun ~slots:_ -> run);
       reraise_first failures
     end
+
+let parallel_fold ?chunk ~create ~merge ~init total body =
+  if total <= 0 then init
+  else if use_sequential total then begin
+    let ws = create () in
+    for i = 0 to total - 1 do
+      body ws i
+    done;
+    merge init ws
+  end
+  else begin
+    let failures = Array.make total None in
+    let slots_ref = ref [||] in
+    run_job ?chunk ~total (fun ~slots ->
+        let wss = Array.make slots None in
+        slots_ref := wss;
+        fun ~slot ~lo ~hi ->
+          (* Each slot id is owned by exactly one domain, so the lazy
+             per-slot workspace write below is unshared. *)
+          match
+            match wss.(slot) with
+            | Some ws -> ws
+            | None ->
+              let ws = create () in
+              wss.(slot) <- Some ws;
+              ws
+          with
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            for i = lo to hi - 1 do
+              failures.(i) <- Some (e, bt)
+            done
+          | ws ->
+            for i = lo to hi - 1 do
+              try body ws i
+              with e ->
+                failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+            done);
+    reraise_first failures;
+    Array.fold_left
+      (fun acc ws -> match ws with None -> acc | Some ws -> merge acc ws)
+      init !slots_ref
+  end

@@ -51,3 +51,34 @@ val parallel_for : int -> (int -> unit) -> unit
     Same exception contract as {!parallel_map_array}. Effects of
     distinct iterations must be independent (e.g. writes to distinct
     indices of a pre-allocated array). *)
+
+val parallel_fold :
+  ?chunk:int ->
+  create:(unit -> 'ws) ->
+  merge:('acc -> 'ws -> 'acc) ->
+  init:'acc ->
+  int ->
+  ('ws -> int -> unit) ->
+  'acc
+(** [parallel_fold ~create ~merge ~init n body] runs [body ws i] for
+    [i = 0 .. n - 1] across the pool, handing each participating domain
+    one reusable workspace built by [create] — scratch state that would
+    otherwise be allocated per index is allocated once per domain and
+    reused across all the indices that domain claims. After the join the
+    caller folds [merge] over the workspaces (in stable slot order) to
+    produce the result.
+
+    Which indices land in which workspace depends on scheduling, so for
+    deterministic results [merge] must be insensitive to how the index
+    set was partitioned (e.g. each workspace accumulates tagged records
+    that the caller re-sorts, or the merge is commutative arithmetic).
+
+    [chunk] overrides the claim granularity: a participant grabs that
+    many consecutive indices per atomic claim (default: a heuristic
+    targeting ~8 claims per domain, capped at 128). Indices within a
+    chunk run in order.
+
+    Same exception contract as {!parallel_map_array}: the lowest failing
+    index's exception is re-raised after all items finish. On the
+    sequential path exactly one workspace is created and every index
+    runs in order. *)

@@ -12,12 +12,45 @@ let dest t = t.dest
 
 let unreachable_len = max_int
 
+(* Heap candidates (len, parent, node) are packed into one immediate int
+   — [len | parent | node], 21 bits each — so the phase-2/3 queues never
+   allocate and the packed comparison is exactly the old lexicographic
+   (len, parent, node) order (all three fields are non-negative). *)
+let pack_shift = 21
+let pack_mask = (1 lsl pack_shift) - 1
+let max_nodes = pack_mask
+
+let pack l p y = (((l lsl pack_shift) lor p) lsl pack_shift) lor y
+let unpack_l k = k lsr (2 * pack_shift)
+let unpack_p k = (k lsr pack_shift) land pack_mask
+let unpack_y k = k land pack_mask
+
+(* Reusable per-domain scratch: the solver arrays plus the phase heap,
+   reset (not reallocated) by every [to_dest_with] call. The [routes]
+   value returned by [to_dest_with] aliases these arrays. *)
+type workspace = {
+  mutable cap : int;
+  mutable w_len : int array;
+  mutable w_parent : int array;
+  mutable w_cls : route_class array;
+  mutable w_tentative : int array;
+  heap : int Heap.t;
+}
+
+let create_workspace () =
+  { cap = 0;
+    w_len = [||];
+    w_parent = [||];
+    w_cls = [||];
+    w_tentative = [||];
+    heap = Heap.create ~cmp:Int.compare }
+
 (* Phase 1: customer routes. Pure BFS from the destination across edges
    x→y where x is y's customer or sibling (i.e. routes climb to providers
    and cross sibling links). Layered processing with min-parent selection
    gives shortest length and lowest next-hop id within the layer. *)
-let phase_customer topo t =
-  let tentative = Array.make t.n (-1) in
+let phase_customer topo ws t =
+  let tentative = ws.w_tentative in
   let frontier = ref [ t.dest ] in
   let layer = ref 0 in
   t.len.(t.dest) <- 0;
@@ -57,17 +90,19 @@ let phase_customer topo t =
     frontier := next
   done
 
-(* Shared Dijkstra loop for phases 2 and 3. The heap holds candidate
-   assignments (len, parent, node); [relax] pushes the follow-up
-   candidates once a node is settled. *)
+(* Shared Dijkstra loop for phases 2 and 3. The heap holds packed
+   candidate assignments (len, parent, node); [relax] pushes the
+   follow-up candidates once a node is settled. *)
 let dijkstra_phase t heap cls_assigned relax =
   let rec drain () =
     match Heap.pop heap with
     | None -> ()
-    | Some (l, p, y) ->
+    | Some packed ->
+      let y = unpack_y packed in
       if t.len.(y) = unreachable_len then begin
+        let l = unpack_l packed in
         t.len.(y) <- l;
-        t.parent.(y) <- p;
+        t.parent.(y) <- unpack_p packed;
         t.cls.(y) <- cls_assigned;
         relax y l
       end;
@@ -75,17 +110,10 @@ let dijkstra_phase t heap cls_assigned relax =
   in
   drain ()
 
-let cmp_candidate (l1, p1, y1) (l2, p2, y2) =
-  let c = compare (l1 : int) l2 in
-  if c <> 0 then c
-  else
-    let c = compare (p1 : int) p2 in
-    if c <> 0 then c else compare (y1 : int) y2
-
 (* Phase 2: peer routes. One peering hop from a customer-routed node,
    then extension across sibling links only. *)
-let phase_peer topo t =
-  let heap = Heap.create ~cmp:cmp_candidate in
+let phase_peer topo ws t =
+  let heap = ws.heap in
   for y = 0 to t.n - 1 do
     if t.len.(y) = unreachable_len then
       Topology.iter_neighbors topo y (fun x role_of_x _ ->
@@ -93,50 +121,64 @@ let phase_peer topo t =
           | Relationship.Peer
             when t.len.(x) <> unreachable_len
                  && (t.cls.(x) = Origin || t.cls.(x) = Cust) ->
-            Heap.push heap (t.len.(x) + 1, x, y)
+            Heap.push heap (pack (t.len.(x) + 1) x y)
           | _ -> ())
   done;
   let relax y l =
     Topology.iter_neighbors topo y (fun z role_of_z _ ->
         if role_of_z = Relationship.Sibling && t.len.(z) = unreachable_len
-        then Heap.push heap (l + 1, y, z))
+        then Heap.push heap (pack (l + 1) y z))
   in
   dijkstra_phase t heap Peer_r relax
 
 (* Phase 3: provider routes. Multi-source Dijkstra cascading down
    provider→customer links from every routed node, plus sibling links. *)
-let phase_provider topo t =
-  let heap = Heap.create ~cmp:cmp_candidate in
+let phase_provider topo ws t =
+  let heap = ws.heap in
   for x = 0 to t.n - 1 do
     if t.len.(x) <> unreachable_len then
       Topology.iter_neighbors topo x (fun y role_of_y _ ->
           if role_of_y = Relationship.Customer && t.len.(y) = unreachable_len
-          then Heap.push heap (t.len.(x) + 1, x, y))
+          then Heap.push heap (pack (t.len.(x) + 1) x y))
   done;
   let relax y l =
     Topology.iter_neighbors topo y (fun z role_of_z _ ->
         if t.len.(z) = unreachable_len then
           match (role_of_z : Relationship.t) with
           | Relationship.Customer | Relationship.Sibling ->
-            Heap.push heap (l + 1, y, z)
+            Heap.push heap (pack (l + 1) y z)
           | Relationship.Peer | Relationship.Provider -> ())
   in
   dijkstra_phase t heap Prov relax
 
-let to_dest topo d =
+let to_dest_with ws topo d =
   let n = Topology.num_nodes topo in
   if d < 0 || d >= n then invalid_arg "Solver.to_dest: destination out of range";
+  if n > max_nodes then
+    invalid_arg "Solver.to_dest: topology too large for the packed heap";
+  if ws.cap < n then begin
+    ws.w_len <- Array.make n unreachable_len;
+    ws.w_parent <- Array.make n (-1);
+    ws.w_cls <- Array.make n Origin;
+    ws.w_tentative <- Array.make n (-1);
+    ws.cap <- n
+  end
+  else begin
+    Array.fill ws.w_len 0 n unreachable_len;
+    Array.fill ws.w_parent 0 n (-1);
+    Array.fill ws.w_cls 0 n Origin;
+    Array.fill ws.w_tentative 0 n (-1)
+  end;
+  Heap.clear ws.heap;
   let t =
-    { dest = d;
-      n;
-      len = Array.make n unreachable_len;
-      parent = Array.make n (-1);
-      cls = Array.make n Origin }
+    { dest = d; n; len = ws.w_len; parent = ws.w_parent; cls = ws.w_cls }
   in
-  phase_customer topo t;
-  phase_peer topo t;
-  phase_provider topo t;
+  phase_customer topo ws t;
+  phase_peer topo ws t;
+  phase_provider topo ws t;
   t
+
+let to_dest topo d = to_dest_with (create_workspace ()) topo d
 
 let reachable t v = t.len.(v) <> unreachable_len
 
@@ -150,12 +192,24 @@ let length t v = if reachable t v then Some t.len.(v) else None
 let path t src =
   if not (reachable t src) then None
   else begin
-    let rec go v steps acc =
+    let rec build v steps =
       if steps > t.n then invalid_arg "Solver.path: parent cycle"
-      else if v = t.dest then List.rev (v :: acc)
-      else go t.parent.(v) (steps + 1) (v :: acc)
+      else if v = t.dest then [ v ]
+      else v :: build t.parent.(v) (steps + 1)
     in
-    Some (go src 0 [])
+    Some (build src 0)
+  end
+
+let iter_path t src f =
+  if reachable t src then begin
+    let rec go v steps =
+      if steps > t.n then invalid_arg "Solver.iter_path: parent cycle"
+      else begin
+        f v;
+        if v <> t.dest then go t.parent.(v) (steps + 1)
+      end
+    in
+    go src 0
   end
 
 let iter_reachable t f =
@@ -164,11 +218,12 @@ let iter_reachable t f =
   done
 
 let path_set_from_dests topo ~src ~dests =
+  let ws = create_workspace () in
   List.filter_map
     (fun d ->
       if d = src then None
       else
-        let r = to_dest topo d in
+        let r = to_dest_with ws topo d in
         path r src)
     dests
 

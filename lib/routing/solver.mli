@@ -31,6 +31,29 @@ val to_dest : Topology.t -> int -> routes
 (** [to_dest topo d] solves for destination [d] over up links. Raises
     [Invalid_argument] if [d] is out of range. *)
 
+type workspace
+(** Reusable solver scratch: the per-node arrays and the phase heap.
+    Letting one domain solve thousands of destinations against a single
+    workspace turns the solver's per-call allocation into a one-time
+    cost (the evaluation pipeline's hot path). Not thread-safe — one
+    workspace per domain. *)
+
+val create_workspace : unit -> workspace
+(** An empty workspace; arrays are sized on first use and grown on
+    demand, so one workspace serves topologies of any size. *)
+
+val to_dest_with : workspace -> Topology.t -> int -> routes
+(** Like {!to_dest} but solving inside [ws]: the returned [routes]
+    {e aliases the workspace arrays} and is only valid until the next
+    [to_dest_with] call on the same workspace. Callers must extract
+    whatever they need (paths, next hops) before reusing [ws].
+    [to_dest] is [to_dest_with] on a fresh private workspace. *)
+
+val iter_path : routes -> int -> (int -> unit) -> unit
+(** [iter_path r src f] calls [f] on every node of the selected path
+    from [src] to the destination, in path order, without allocating.
+    Does nothing when [src] has no route. *)
+
 val reachable : routes -> int -> bool
 
 val next_hop : routes -> int -> int option

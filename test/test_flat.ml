@@ -1,0 +1,497 @@
+(* Equivalence suites for the flat-layout rewrites: the packed-key
+   P-graph against a reference port of the previous nested-Hashtbl
+   implementation, and the workspace-reusing solver against fresh
+   per-call solver state. The reference below is the pre-packed
+   [Pgraph] code, verbatim modulo the [Pgraph.link_data] type, so any
+   observable divergence of the packed layout fails here. *)
+
+open Centaur
+
+(* --- reference P-graph: the former (int, (int, link_data) Hashtbl.t)
+   Hashtbl.t implementation --- *)
+module Reference = struct
+  type data = Pgraph.link_data = {
+    counter : int;
+    plist : Permission_list.t option;
+  }
+
+  type t = {
+    root_node : int;
+    parents : (int, (int, data) Hashtbl.t) Hashtbl.t;
+    children : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+    dest_marks : (int, unit) Hashtbl.t;
+    mutable link_count : int;
+  }
+
+  let create ~root =
+    { root_node = root;
+      parents = Hashtbl.create 64;
+      children = Hashtbl.create 64;
+      dest_marks = Hashtbl.create 16;
+      link_count = 0 }
+
+  let dests t =
+    Hashtbl.fold (fun d () acc -> d :: acc) t.dest_marks []
+    |> List.sort compare
+
+  let is_dest t d = Hashtbl.mem t.dest_marks d
+
+  let mark_dest t d = Hashtbl.replace t.dest_marks d ()
+
+  let unmark_dest t d = Hashtbl.remove t.dest_marks d
+
+  let add_link t ~parent ~child ~data =
+    if parent = child then invalid_arg "Reference.add_link: self-loop";
+    let m =
+      match Hashtbl.find_opt t.parents child with
+      | Some m -> m
+      | None ->
+        let m = Hashtbl.create 4 in
+        Hashtbl.replace t.parents child m;
+        m
+    in
+    if not (Hashtbl.mem m parent) then t.link_count <- t.link_count + 1;
+    Hashtbl.replace m parent data;
+    let s =
+      match Hashtbl.find_opt t.children parent with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace t.children parent s;
+        s
+    in
+    Hashtbl.replace s child ()
+
+  let remove_link t ~parent ~child =
+    (match Hashtbl.find_opt t.parents child with
+    | None -> ()
+    | Some m ->
+      if Hashtbl.mem m parent then begin
+        Hashtbl.remove m parent;
+        t.link_count <- t.link_count - 1
+      end;
+      if Hashtbl.length m = 0 then Hashtbl.remove t.parents child);
+    match Hashtbl.find_opt t.children parent with
+    | None -> ()
+    | Some s ->
+      Hashtbl.remove s child;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.children parent
+
+  let parents_of t node =
+    match Hashtbl.find_opt t.parents node with
+    | None -> []
+    | Some m ->
+      Hashtbl.fold (fun parent data acc -> (parent, data) :: acc) m []
+      |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+
+  let children_of t node =
+    match Hashtbl.find_opt t.children node with
+    | None -> []
+    | Some s ->
+      Hashtbl.fold (fun c () acc -> c :: acc) s [] |> List.sort compare
+
+  let in_degree t node =
+    match Hashtbl.find_opt t.parents node with
+    | None -> 0
+    | Some m -> Hashtbl.length m
+
+  let links t =
+    Hashtbl.fold
+      (fun child m acc ->
+        Hashtbl.fold
+          (fun parent data acc -> (parent, child, data) :: acc)
+          m acc)
+      t.parents []
+    |> List.sort (fun (p1, c1, _) (p2, c2, _) -> compare (p1, c1) (p2, c2))
+
+  let num_links t = t.link_count
+
+  let nodes t =
+    let set = Hashtbl.create 64 in
+    Hashtbl.replace set t.root_node ();
+    Hashtbl.iter
+      (fun child m ->
+        Hashtbl.replace set child ();
+        Hashtbl.iter (fun parent _ -> Hashtbl.replace set parent ()) m)
+      t.parents;
+    Hashtbl.fold (fun n () acc -> n :: acc) set [] |> List.sort compare
+
+  let build_graph ~what ~allow_multi ~root paths =
+    let seen_dest = Hashtbl.create 16 in
+    let seen_path = Hashtbl.create 16 in
+    let paths =
+      List.filter
+        (fun p ->
+          (match p with
+          | [] | [ _ ] -> invalid_arg (what ^ ": path too short")
+          | first :: _ when first <> root ->
+            invalid_arg (what ^ ": path does not start at root")
+          | _ -> ());
+          if not (Path.is_loop_free p) then
+            invalid_arg (what ^ ": path has a loop");
+          let d = Path.destination p in
+          if Hashtbl.mem seen_path p then false
+          else begin
+            if (not allow_multi) && Hashtbl.mem seen_dest d then
+              invalid_arg (what ^ ": two paths for one destination");
+            Hashtbl.add seen_dest d ();
+            Hashtbl.add seen_path p ();
+            true
+          end)
+        paths
+    in
+    let counters : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let traversals : (int * int, (int * int option) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let graph = create ~root in
+    List.iter
+      (fun p ->
+        let d = Path.destination p in
+        mark_dest graph d;
+        List.iter
+          (fun (a, b) ->
+            let key = (a, b) in
+            Hashtbl.replace counters key
+              (1 + Option.value (Hashtbl.find_opt counters key) ~default:0);
+            let next = Path.next_hop_of p b in
+            let prev =
+              Option.value (Hashtbl.find_opt traversals key) ~default:[]
+            in
+            Hashtbl.replace traversals key ((d, next) :: prev))
+          (Path.links p))
+      paths;
+    let indeg = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (_a, b) _ ->
+        Hashtbl.replace indeg b
+          (1 + Option.value (Hashtbl.find_opt indeg b) ~default:0))
+      counters;
+    Hashtbl.iter
+      (fun (a, b) count ->
+        let plist =
+          if Option.value (Hashtbl.find_opt indeg b) ~default:0 > 1 then
+            Some
+              (List.fold_left
+                 (fun pl (dest, next) -> Permission_list.add pl ~dest ~next)
+                 Permission_list.empty
+                 (Hashtbl.find traversals (a, b)))
+          else None
+        in
+        add_link graph ~parent:a ~child:b ~data:{ counter = count; plist })
+      counters;
+    graph
+
+  let of_paths ~root paths =
+    build_graph ~what:"Reference.of_paths" ~allow_multi:false ~root paths
+
+  let derive_path t ~dest =
+    if dest = t.root_node then Some [ t.root_node ]
+    else begin
+      let fuel = num_links t + 1 in
+      let rec go current prev acc fuel =
+        if fuel = 0 then None
+        else if current = t.root_node then Some acc
+        else
+          match Hashtbl.find_opt t.parents current with
+          | None -> None
+          | Some m when Hashtbl.length m = 1 ->
+            let parent = Hashtbl.fold (fun p _ _ -> p) m (-1) in
+            go parent (Some current) (parent :: acc) (fuel - 1)
+          | Some m ->
+            let permitted =
+              Hashtbl.fold
+                (fun parent data best ->
+                  let ok =
+                    match data.plist with
+                    | None -> false
+                    | Some pl -> Permission_list.permit pl ~dest ~next:prev
+                  in
+                  if not ok then best
+                  else
+                    match best with
+                    | Some p when p <= parent -> best
+                    | Some _ | None -> Some parent)
+                m None
+            in
+            (match permitted with
+            | None -> None
+            | Some parent -> go parent (Some current) (parent :: acc) (fuel - 1))
+      in
+      go dest None [ dest ] fuel
+    end
+
+  let plist_opt_equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> Permission_list.equal x y
+    | None, Some _ | Some _, None -> false
+
+  let diff ~old_ ~new_ =
+    let old_links = links old_ and new_links = links new_ in
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (p, c, d) -> Hashtbl.replace tbl (p, c) d.plist) old_links;
+    let add_links =
+      List.filter_map
+        (fun (p, c, d) ->
+          match Hashtbl.find_opt tbl (p, c) with
+          | Some old_pl when plist_opt_equal old_pl d.plist -> None
+          | Some _ | None -> Some (p, c, d.plist))
+        new_links
+    in
+    let new_tbl = Hashtbl.create 64 in
+    List.iter (fun (p, c, _) -> Hashtbl.replace new_tbl (p, c) ()) new_links;
+    let remove_links =
+      List.filter_map
+        (fun (p, c, _) ->
+          if Hashtbl.mem new_tbl (p, c) then None else Some (p, c))
+        old_links
+    in
+    let add_dests =
+      List.filter (fun d -> not (is_dest old_ d)) (dests new_)
+    in
+    let remove_dests =
+      List.filter (fun d -> not (is_dest new_ d)) (dests old_)
+    in
+    (add_links, remove_links, add_dests, remove_dests)
+
+  let apply t (remove_links, add_links, add_dests, remove_dests) =
+    List.iter
+      (fun (parent, child) -> remove_link t ~parent ~child)
+      remove_links;
+    List.iter
+      (fun (parent, child, plist) ->
+        add_link t ~parent ~child ~data:{ counter = 0; plist })
+      add_links;
+    List.iter (mark_dest t) add_dests;
+    List.iter (unmark_dest t) remove_dests
+end
+
+let plist_opt_equal = Reference.plist_opt_equal
+
+let links_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p1, c1, (d1 : Pgraph.link_data)) (p2, c2, d2) ->
+         p1 = p2 && c1 = c2
+         && d1.Pgraph.counter = d2.Pgraph.counter
+         && plist_opt_equal d1.Pgraph.plist d2.Pgraph.plist)
+       a b
+
+let same_graph ~what (g : Pgraph.t) (r : Reference.t) =
+  if not (links_equal (Pgraph.links g) (Reference.links r)) then
+    Alcotest.failf "%s: links differ" what;
+  if Pgraph.num_links g <> Reference.num_links r then
+    Alcotest.failf "%s: num_links differ" what;
+  if Pgraph.dests g <> Reference.dests r then
+    Alcotest.failf "%s: dests differ" what;
+  if Pgraph.nodes g <> Reference.nodes r then
+    Alcotest.failf "%s: nodes differ" what;
+  List.iter
+    (fun node ->
+      if Pgraph.in_degree g node <> Reference.in_degree r node then
+        Alcotest.failf "%s: in_degree %d differs" what node;
+      if Pgraph.children_of g node <> Reference.children_of r node then
+        Alcotest.failf "%s: children_of %d differs" what node;
+      let pg = Pgraph.parents_of g node
+      and pr = Reference.parents_of r node in
+      if
+        not
+          (List.length pg = List.length pr
+          && List.for_all2
+               (fun (p1, (d1 : Pgraph.link_data)) (p2, d2) ->
+                 p1 = p2
+                 && d1.Pgraph.counter = d2.Pgraph.counter
+                 && plist_opt_equal d1.Pgraph.plist d2.Pgraph.plist)
+               pg pr)
+      then Alcotest.failf "%s: parents_of %d differs" what node)
+    (Reference.nodes r);
+  List.iter
+    (fun d ->
+      let a = Pgraph.derive_path g ~dest:d
+      and b = Reference.derive_path r ~dest:d in
+      if a <> b then Alcotest.failf "%s: derive_path %d differs" what d)
+    (Reference.nodes r)
+
+(* Path sets from the real pipeline: selected paths of a random AS
+   topology, plus the same topology with one link cut — the workload
+   whose diffs drive the steady phase. *)
+let path_sets_of_seed seed =
+  let n = 20 + (seed mod 30) in
+  let topo = Helpers.random_as_topology ~seed ~n in
+  let src = seed mod n in
+  let paths = Solver.path_set_from topo ~src in
+  let link = seed mod max 1 (Topology.num_links topo) in
+  let paths' =
+    Topology.with_link_down topo link (fun () ->
+        Solver.path_set_from topo ~src)
+  in
+  (src, paths, paths')
+
+let packed_matches_reference =
+  QCheck.Test.make ~name:"packed pgraph == reference (paths, ops, derive)"
+    ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src, paths, _ = path_sets_of_seed seed in
+      QCheck.assume (paths <> []);
+      let g = Pgraph.of_paths ~root:src paths
+      and r = Reference.of_paths ~root:src paths in
+      same_graph ~what:"of_paths" g r;
+      (* Random mutation burst applied to both. *)
+      let rng = Random.State.make [| seed; 77 |] in
+      let rand_plist () =
+        if Random.State.bool rng then None
+        else begin
+          let pl = ref Permission_list.empty in
+          for _ = 0 to Random.State.int rng 3 do
+            let dest = Random.State.int rng 40 in
+            let next =
+              if Random.State.bool rng then None
+              else Some (Random.State.int rng 40)
+            in
+            pl := Permission_list.add !pl ~dest ~next
+          done;
+          Some !pl
+        end
+      in
+      for _ = 1 to 40 do
+        let a = Random.State.int rng 40 and b = Random.State.int rng 40 in
+        if a <> b then
+          match Random.State.int rng 4 with
+          | 0 ->
+            let data =
+              { Pgraph.counter = Random.State.int rng 3; plist = rand_plist () }
+            in
+            Pgraph.add_link g ~parent:a ~child:b ~data;
+            Reference.add_link r ~parent:a ~child:b ~data
+          | 1 ->
+            Pgraph.remove_link g ~parent:a ~child:b;
+            Reference.remove_link r ~parent:a ~child:b
+          | 2 ->
+            Pgraph.mark_dest g a;
+            Reference.mark_dest r a
+          | _ ->
+            Pgraph.unmark_dest g a;
+            Reference.unmark_dest r a
+      done;
+      same_graph ~what:"after ops" g r;
+      true)
+
+let diff_apply_matches_reference =
+  QCheck.Test.make ~name:"packed diff/apply == reference" ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src, paths, paths' = path_sets_of_seed seed in
+      QCheck.assume (paths <> [] && paths' <> []);
+      let g1 = Pgraph.of_paths ~root:src paths
+      and g2 = Pgraph.of_paths ~root:src paths'
+      and r1 = Reference.of_paths ~root:src paths
+      and r2 = Reference.of_paths ~root:src paths' in
+      let delta = Pgraph.diff ~old_:g1 ~new_:g2 in
+      let ra, rr, rad, rrd = Reference.diff ~old_:r1 ~new_:r2 in
+      if
+        not
+          (List.length delta.Pgraph.add_links = List.length ra
+          && List.for_all2
+               (fun (p1, c1, pl1) (p2, c2, pl2) ->
+                 p1 = p2 && c1 = c2 && plist_opt_equal pl1 pl2)
+               delta.Pgraph.add_links ra)
+      then Alcotest.fail "diff add_links differ";
+      if delta.Pgraph.remove_links <> rr then
+        Alcotest.fail "diff remove_links differ";
+      if delta.Pgraph.add_dests <> rad then
+        Alcotest.fail "diff add_dests differ";
+      if delta.Pgraph.remove_dests <> rrd then
+        Alcotest.fail "diff remove_dests differ";
+      (* Applying the delta must land both implementations on the same
+         graph (counters reset on applied links, like a receiver). *)
+      let ga = Pgraph.copy g1 in
+      Pgraph.apply ga delta;
+      Reference.apply r1 (rr, ra, rad, rrd);
+      if not (Pgraph.equal ga g2) then
+        Alcotest.fail "apply(diff) does not reproduce the new packed graph";
+      let stripped l =
+        List.map
+          (fun (p, c, (d : Pgraph.link_data)) -> (p, c, d.Pgraph.plist))
+          l
+      in
+      let la = stripped (Pgraph.links ga)
+      and lr = stripped (Reference.links r1) in
+      if
+        not
+          (List.length la = List.length lr
+          && List.for_all2
+               (fun (p1, c1, pl1) (p2, c2, pl2) ->
+                 p1 = p2 && c1 = c2 && plist_opt_equal pl1 pl2)
+               la lr)
+      then Alcotest.fail "applied graphs differ";
+      true)
+
+(* --- workspace-reused solver == fresh solver --- *)
+
+let workspace_solver_matches_fresh =
+  QCheck.Test.make ~name:"workspace to_dest_with == fresh to_dest" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      (* Two topologies of different sizes against one workspace, so
+         capacity growth and array reuse across topologies are both
+         exercised. *)
+      let sizes = [ 20 + (seed mod 20); 45 + (seed mod 10) ] in
+      let ws = Solver.create_workspace () in
+      List.iter
+        (fun n ->
+          let topo = Helpers.random_as_topology ~seed:(seed + n) ~n in
+          for d = 0 to n - 1 do
+            let r_ws = Solver.to_dest_with ws topo d in
+            let fresh = Solver.to_dest topo d in
+            for v = 0 to n - 1 do
+              if Solver.reachable r_ws v <> Solver.reachable fresh v then
+                Alcotest.failf "reachable differs at d=%d v=%d" d v;
+              if Solver.next_hop r_ws v <> Solver.next_hop fresh v then
+                Alcotest.failf "next_hop differs at d=%d v=%d" d v;
+              if Solver.class_of r_ws v <> Solver.class_of fresh v then
+                Alcotest.failf "class differs at d=%d v=%d" d v;
+              if Solver.length r_ws v <> Solver.length fresh v then
+                Alcotest.failf "length differs at d=%d v=%d" d v;
+              let p_ws = Solver.path r_ws v and p_fresh = Solver.path fresh v in
+              if p_ws <> p_fresh then
+                Alcotest.failf "path differs at d=%d v=%d" d v;
+              (* iter_path must visit exactly the path nodes in order. *)
+              let visited = ref [] in
+              Solver.iter_path r_ws v (fun x -> visited := x :: !visited);
+              let visited = List.rev !visited in
+              (match p_ws with
+              | None ->
+                if visited <> [] then
+                  Alcotest.failf "iter_path visited unreachable v=%d" v
+              | Some p ->
+                if visited <> p then
+                  Alcotest.failf "iter_path mismatch at d=%d v=%d" d v)
+            done
+          done)
+        sizes;
+      true)
+
+(* The streaming analyze must be invariant in the domain count — same
+   stats record at 1 domain and on a pool. *)
+let analyze_domain_invariant =
+  QCheck.Test.make ~name:"Static.analyze: 1 domain == 4 domains" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let n = 25 + (seed mod 15) in
+      let topo = Helpers.random_as_topology ~seed ~n in
+      let sources = [ 0; 3 mod n; 7 mod n; n - 1 ] |> List.sort_uniq compare in
+      let seq =
+        Pool.with_size 1 (fun () -> Centaur.Static.analyze topo ~sources)
+      in
+      let par =
+        Pool.with_size 4 (fun () -> Centaur.Static.analyze topo ~sources)
+      in
+      seq = par)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest packed_matches_reference;
+    QCheck_alcotest.to_alcotest diff_apply_matches_reference;
+    QCheck_alcotest.to_alcotest workspace_solver_matches_fresh;
+    QCheck_alcotest.to_alcotest analyze_domain_invariant ]

@@ -20,6 +20,7 @@ let () =
       ("naive-link-state", Test_naive_ls.suite);
       ("bgp-rcn", Test_rcn.suite);
       ("multipath", Test_multipath.suite);
+      ("flat-layout", Test_flat.suite);
       ("privacy", Test_privacy.suite);
       ("faults", Test_faults.suite);
       ("incremental", Test_incremental.suite);

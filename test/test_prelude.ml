@@ -283,6 +283,67 @@ let test_pool_nested_calls () =
       let expected = Array.init 20 (fun x -> 45 + (10 * x)) in
       Alcotest.(check bool) "nested map correct" true (r = expected))
 
+let test_pool_parallel_fold () =
+  (* Every index lands in exactly one workspace; the merged multiset of
+     (index, value) records equals the sequential fold's regardless of
+     scheduling or chunk size. *)
+  let run ~size ~chunk ~total =
+    Pool.with_size size (fun () ->
+        let created = Atomic.make 0 in
+        let bags =
+          Pool.parallel_fold ?chunk
+            ~create:(fun () ->
+              Atomic.incr created;
+              ref [])
+            ~merge:(fun acc ws -> List.rev_append !ws acc)
+            ~init:[] total
+            (fun ws i -> ws := (i, i * i) :: !ws)
+        in
+        (List.sort compare bags, Atomic.get created))
+  in
+  let expected = List.init 300 (fun i -> (i, i * i)) in
+  List.iter
+    (fun (size, chunk) ->
+      let got, created = run ~size ~chunk ~total:300 in
+      Alcotest.(check bool)
+        (Printf.sprintf "fold size=%d" size)
+        true (got = expected);
+      Alcotest.(check bool) "at most one workspace per participant" true
+        (created >= 1 && created <= max size 1))
+    [ (1, None); (4, None); (4, Some 1); (4, Some 7); (3, Some 1000) ];
+  (* Empty range: no workspace, init returned. *)
+  Pool.with_size 4 (fun () ->
+      let r =
+        Pool.parallel_fold
+          ~create:(fun () -> Alcotest.fail "workspace for empty fold")
+          ~merge:(fun acc () -> acc)
+          ~init:"init" 0
+          (fun () _ -> ())
+      in
+      Alcotest.(check string) "empty fold" "init" r)
+
+let test_pool_parallel_fold_exceptions () =
+  Pool.with_size 4 (fun () ->
+      Alcotest.check_raises "lowest failing index wins" (Failure "idx-10")
+        (fun () ->
+          ignore
+            (Pool.parallel_fold
+               ~create:(fun () -> ())
+               ~merge:(fun acc () -> acc)
+               ~init:() 100
+               (fun () i ->
+                 if i mod 10 = 0 && i > 0 then
+                   failwith (Printf.sprintf "idx-%d" i))));
+      (* Still usable afterwards. *)
+      let total =
+        Pool.parallel_fold
+          ~create:(fun () -> ref 0)
+          ~merge:(fun acc ws -> acc + !ws)
+          ~init:0 100
+          (fun ws i -> ws := !ws + i)
+      in
+      Alcotest.(check int) "sum after failure" 4950 total)
+
 let test_union_find () =
   let uf = Union_find.create 5 in
   Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
@@ -371,6 +432,9 @@ let suite =
       test_pool_size_one_sequential;
     Alcotest.test_case "pool parallel for" `Quick test_pool_parallel_for;
     Alcotest.test_case "pool nested calls" `Quick test_pool_nested_calls;
+    Alcotest.test_case "pool parallel fold" `Quick test_pool_parallel_fold;
+    Alcotest.test_case "pool parallel fold exceptions" `Quick
+      test_pool_parallel_fold_exceptions;
     Alcotest.test_case "union find" `Quick test_union_find;
     Alcotest.test_case "dirty mark and take" `Quick test_dirty_mark_take;
     Alcotest.test_case "dirty drain cascades" `Quick
