@@ -110,6 +110,17 @@ let micro_tests () =
   in
   let flip_runner = Protocols.Centaur_net.network flip_topo in
   ignore (flip_runner.Sim.Runner.cold_start ());
+  (* Tracing-enabled twin of the fig6 flip kernel: same topology, same
+     flip, ring-buffered event capture on. Comparing it against
+     fig6/centaur-link-flip bounds the cost of `--trace`; the disabled
+     path's cost is already inside every other kernel (all engines carry
+     the guard) and is below bench noise — see EXPERIMENTS.md. *)
+  let traced_topo =
+    Brite.annotated (Rng.create 8) ~n:60 ~m:2 ~max_delay:5.0 ~num_tiers:4
+  in
+  let flip_trace = Obs.Trace.create ~capacity:(1 lsl 18) () in
+  let traced_runner = Protocols.Centaur_net.network ~trace:flip_trace traced_topo in
+  ignore (traced_runner.Sim.Runner.cold_start ());
   (* Incremental-vs-full twins: each gets its own topology instance (the
      engine mutates link state), cold-started once and flipped in place
      per run — the flip restores the link, so iterations see identical
@@ -174,6 +185,13 @@ let micro_tests () =
       fun () ->
         ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:false);
         ignore (flip_runner.Sim.Runner.flip ~link_id:3 ~up:true) );
+    (* Same flip with event tracing enabled (ring cleared per round so
+       iterations see identical buffer states). *)
+    ( "obs/centaur-link-flip-traced",
+      fun () ->
+        Obs.Trace.clear flip_trace;
+        ignore (traced_runner.Sim.Runner.flip ~link_id:3 ~up:false);
+        ignore (traced_runner.Sim.Runner.flip ~link_id:3 ~up:true) );
     (* Figure 8 kernel: Dijkstra (the OSPF baseline's route compute). *)
     ("fig7/ospf-dijkstra", fun () -> ignore (Dijkstra.from flip_topo ~src:0));
     (* Adjacency visit: the allocating list API vs the CSR fast path. *)
@@ -294,6 +312,20 @@ let scaling_sweep cfg =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
+(* Deterministic metrics block for BENCH_RESULTS.json: the engine
+   registry of one fresh converged flip workload. Counters are a pure
+   function of the workload, so this only changes when protocol/engine
+   semantics change — a reviewable fingerprint, not a timing. *)
+let metrics_specimen () =
+  let topo =
+    Brite.annotated (Rng.create 8) ~n:60 ~m:2 ~max_delay:5.0 ~num_tiers:4
+  in
+  let runner = Protocols.Centaur_net.network topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  ignore (runner.Sim.Runner.flip ~link_id:3 ~up:false);
+  ignore (runner.Sim.Runner.flip ~link_id:3 ~up:true);
+  Obs.Metrics.to_json runner.Sim.Runner.metrics
+
 let write_results_json ~cfg ~quick ~scaling results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -318,6 +350,8 @@ let write_results_json ~cfg ~quick ~scaling results =
            (if i = List.length scaling - 1 then "" else ",")))
     scaling;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": %s,\n" (metrics_specimen ()));
   Buffer.add_string buf "  \"results\": [\n";
   List.iteri
     (fun i (name, est, r2, mw) ->

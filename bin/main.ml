@@ -6,7 +6,8 @@
      gen             generate a topology file
      routes          print a node's selected routes on a topology file
      pgraph          print a node's local P-graph
-     simulate        flip a link and report convergence for one protocol *)
+     simulate        flip a link and report convergence for one protocol
+     trace           pretty-print / check / digest a JSONL trace file *)
 
 open Cmdliner
 
@@ -57,8 +58,29 @@ let exp_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id seed quick =
-    let cfg = config_of ~seed ~quick in
+  let metrics_t =
+    let doc =
+      "Append the merged metrics registry to instrumented experiment output."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let trace_digest_t =
+    let doc =
+      "Run instrumented experiments with tracing enabled and write \
+       per-run normalized trace digests to $(docv) (the CI determinism \
+       gate diffs two such files)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-digest" ] ~docv:"FILE" ~doc)
+  in
+  let run id seed quick metrics trace_digest =
+    let cfg =
+      { (config_of ~seed ~quick) with
+        Experiments.Config.emit_metrics = metrics;
+        trace_digest }
+    in
     let run_one (e : Experiments.Registry.entry) =
       Printf.printf "== %s: %s ==\n%!" e.Experiments.Registry.id
         e.Experiments.Registry.title;
@@ -92,7 +114,7 @@ let exp_cmd =
   let doc = "Regenerate a table or figure from the paper's evaluation." in
   Cmd.v
     (Cmd.info "exp" ~doc)
-    Term.(ret (const run $ id_t $ seed_t $ quick_t))
+    Term.(ret (const run $ id_t $ seed_t $ quick_t $ metrics_t $ trace_digest_t))
 
 (* --- gen --- *)
 
@@ -209,11 +231,12 @@ let pgraph_cmd =
 
 (* --- simulate --- *)
 
-let protocols : (string * (Topology.t -> Sim.Runner.t)) list =
+let protocols : (string * (?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t)) list
+    =
   [ ("centaur", Protocols.Centaur_net.network);
-    ("bgp", fun topo -> Protocols.Bgp_net.network topo);
-    ("bgp-rcn", fun topo -> Protocols.Bgp_net.network ~rcn:true topo);
-    ("ospf", fun topo -> Protocols.Ospf_net.network topo) ]
+    ("bgp", fun ?trace topo -> Protocols.Bgp_net.network ?trace topo);
+    ("bgp-rcn", fun ?trace topo -> Protocols.Bgp_net.network ~rcn:true ?trace topo);
+    ("ospf", fun ?trace topo -> Protocols.Ospf_net.network ?trace topo) ]
 
 let simulate_cmd =
   let proto_t =
@@ -226,7 +249,22 @@ let simulate_cmd =
     let doc = "Link id to flip (down then up). -1 picks the first link." in
     Arg.(value & opt int (-1) & info [ "link" ] ~docv:"LINK" ~doc)
   in
-  let run path proto link =
+  let trace_out_t =
+    let doc = "Write the run's event trace to $(docv) as JSON Lines." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let check_t =
+    let doc =
+      "Replay the run's trace through the invariant checker; any \
+       violation fails the command."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let metrics_t =
+    let doc = "Print the runner's metrics registry after the flips." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run path proto link trace_out check metrics =
     let topo = read_topology path in
     match List.assoc_opt proto protocols with
     | None ->
@@ -235,7 +273,12 @@ let simulate_cmd =
           Printf.sprintf "unknown protocol %S; available: %s" proto
             (String.concat ", " (List.map fst protocols)) )
     | Some network ->
-      let runner = network topo in
+      let trace =
+        if trace_out <> None || check then
+          Obs.Trace.create ~capacity:1_000_000 ()
+        else Obs.Trace.none
+      in
+      let runner = network ~trace topo in
       let link = if link < 0 then 0 else link in
       if link >= Topology.num_links topo then
         `Error (false, Printf.sprintf "link %d out of range" link)
@@ -250,18 +293,98 @@ let simulate_cmd =
             report "cold" (runner.Sim.Runner.cold_start ());
             report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);
             report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
-            `Ok ())
+            if metrics then
+              print_string (Obs.Metrics.render runner.Sim.Runner.metrics);
+            (match trace_out with
+            | None -> ()
+            | Some file ->
+              let oc = open_out file in
+              Obs.Trace.write_jsonl oc trace;
+              close_out oc;
+              Printf.printf "trace: %d events -> %s%s\n" (Obs.Trace.length trace)
+                file
+                (let d = Obs.Trace.dropped trace in
+                 if d = 0 then "" else Printf.sprintf " (%d dropped)" d));
+            if check then begin
+              let report = Obs.Check.run trace in
+              print_string (Obs.Check.render report);
+              if Obs.Check.ok report then `Ok ()
+              else `Error (false, "trace invariant check failed")
+            end
+            else `Ok ())
   in
   let doc = "Cold-start a protocol on a topology and flip one link." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(ret (const run $ topo_pos_t $ proto_t $ link_t))
+    Term.(
+      ret
+        (const run $ topo_pos_t $ proto_t $ link_t $ trace_out_t $ check_t
+        $ metrics_t))
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let file_t =
+    let doc = "JSONL trace file (produced by $(b,simulate --trace))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let check_t =
+    let doc = "Run the invariant checker instead of pretty-printing." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let digest_t =
+    let doc = "Print the normalized (timestamp-free) digest instead." in
+    Arg.(value & flag & info [ "digest" ] ~doc)
+  in
+  let load_events file =
+    let ic = open_in file in
+    let evs = ref [] in
+    let malformed = ref 0 in
+    (try
+       let lineno = ref 0 in
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then
+           match Obs.Trace.event_of_json line with
+           | Some ev -> evs := ev :: !evs
+           | None -> incr malformed
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (Array.of_list (List.rev !evs), !malformed)
+  in
+  let run file check digest =
+    let evs, malformed = load_events file in
+    if malformed > 0 then
+      `Error
+        (false, Printf.sprintf "%s: %d malformed trace lines" file malformed)
+    else if digest then begin
+      print_string (Obs.Trace.digest_events evs);
+      `Ok ()
+    end
+    else if check then begin
+      let report = Obs.Check.run_events evs in
+      print_string (Obs.Check.render report);
+      if Obs.Check.ok report then `Ok ()
+      else `Error (false, "trace invariant check failed")
+    end
+    else begin
+      Array.iter (Format.printf "%a@." Obs.Trace.pp_event) evs;
+      `Ok ()
+    end
+  in
+  let doc = "Pretty-print, check or digest a JSONL event trace." in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(ret (const run $ file_t $ check_t $ digest_t))
 
 let main_cmd =
   let doc = "Centaur: hybrid policy-based routing (ICDCS 2009) reproduction" in
   let info = Cmd.info "centaur" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ exp_cmd; gen_cmd; import_cmd; routes_cmd; pgraph_cmd; simulate_cmd ]
+    [ exp_cmd; gen_cmd; import_cmd; routes_cmd; pgraph_cmd; simulate_cmd;
+      trace_cmd ]
 
 let () =
   (* $(b,CENTAUR_LOG=debug) enables engine tracing. *)

@@ -345,6 +345,8 @@ let on_adjacency_change t =
 
 let start t = on_adjacency_change t
 
+let dirty_size t = Dirty.cardinal t.dirty
+
 let selected_path t ~dest = Hashtbl.find_opt t.selected dest
 
 let selected_paths t =

@@ -67,6 +67,11 @@ val absorb_adjacency : t -> t
     the live neighbor set and mark affected destinations dirty, deferring
     re-selection and emission to {!recompute}. *)
 
+val dirty_size : t -> int
+(** Destinations currently marked for re-selection — the dirty-set size
+    a {!recompute} would drain. Observability taps read it just before
+    recomputing to size the span. *)
+
 val selected_path : t -> dest:int -> Path.t option
 (** Currently selected path (starting at the node itself). *)
 

@@ -77,13 +77,27 @@ let aggregate ~sources pgraph_of =
        else float_of_int !total_bytes /. float_of_int plist_count) }
 
 (* Per-domain scratch for the per-destination sweep: a reusable solver
-   workspace plus one (dest, path) bag per requested source. *)
+   workspace plus one (dest, path) bag per requested source, and (when
+   metrics are requested) a domain-private registry merged after the
+   sweep. *)
 type analyze_ws = {
   sws : Solver.workspace;
   bags : (int * Path.t) list array;
+  ams : Obs.Metrics.t option;
 }
 
-let analyze ?(discipline = Gao_rexford.Standard) topo ~sources =
+let path_len_buckets = [| 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 |]
+
+let ws_record_path ws p =
+  match ws.ams with
+  | None -> ()
+  | Some m ->
+    Obs.Metrics.incr (Obs.Metrics.counter m "static.paths");
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram m ~buckets:path_len_buckets "static.path_len")
+      (float_of_int (Path.length p))
+
+let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
   if sources = [] then invalid_arg "Static.analyze: empty source list";
   let n = Topology.num_nodes topo in
   let src_arr = Array.of_list sources in
@@ -111,19 +125,34 @@ let analyze ?(discipline = Gao_rexford.Standard) topo ~sources =
         | r -> fun s -> Stable.path r s
         | exception Failure _ -> fun _ -> None)
     in
+    (match ws.ams with
+    | Some m -> Obs.Metrics.incr (Obs.Metrics.counter m "static.dests")
+    | None -> ());
     for i = 0 to k - 1 do
       let s = Array.unsafe_get src_arr i in
       if s <> d then
         match path_of s with
         | None -> ()
-        | Some p -> ws.bags.(i) <- (d, p) :: ws.bags.(i)
+        | Some p ->
+          ws_record_path ws p;
+          ws.bags.(i) <- (d, p) :: ws.bags.(i)
     done
   in
   let merged = Array.make k [] in
   Pool.parallel_fold
     ~create:(fun () ->
-      { sws = Solver.create_workspace (); bags = Array.make k [] })
+      { sws = Solver.create_workspace ();
+        bags = Array.make k [];
+        ams =
+          (match metrics with
+          | Some _ -> Some (Obs.Metrics.create ())
+          | None -> None) })
     ~merge:(fun () ws ->
+      (* Counter and histogram merges commute, so the merged registry is
+         independent of how the pool partitioned the destinations. *)
+      (match (metrics, ws.ams) with
+      | Some dst, Some m -> Obs.Metrics.merge_into ~dst m
+      | _ -> ());
       for i = 0 to k - 1 do
         merged.(i) <- List.rev_append ws.bags.(i) merged.(i)
       done)

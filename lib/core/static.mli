@@ -35,6 +35,7 @@ type pgraph_stats = {
 
 val analyze :
   ?discipline:Gao_rexford.discipline ->
+  ?metrics:Obs.Metrics.t ->
   Topology.t ->
   sources:int list ->
   pgraph_stats
@@ -42,7 +43,15 @@ val analyze :
     destinations) and aggregate. Raises [Invalid_argument] on an empty
     source list. [discipline] selects the within-class ranking
     (default {!Gao_rexford.Standard}); [Class_only] is the ablation
-    matching the paper's bushier P-graphs. *)
+    matching the paper's bushier P-graphs.
+
+    [metrics], when given, receives [static.dests] / [static.paths]
+    counters and a [static.path_len] histogram. Each pool domain
+    accumulates into a private registry and the merge is commutative,
+    so the aggregated registry is {e identical} for any
+    [CENTAUR_DOMAINS] — the domain-invariance law pinned down by
+    [test_obs.ml]. When absent, the sweep allocates and touches no
+    metrics state at all. *)
 
 val analyze_vf : Topology.t -> sources:int list -> pgraph_stats
 (** Same aggregation over the {e per-pair shortest valley-free} path

@@ -13,6 +13,8 @@ type t = {
   resilience_pairs : int;
   resilience_flaps : int;
   resilience_horizon : float;
+  emit_metrics : bool;
+  trace_digest : string option;
 }
 
 let default =
@@ -29,7 +31,9 @@ let default =
     resilience_scenarios = 8;
     resilience_pairs = 40;
     resilience_flaps = 6;
-    resilience_horizon = 400.0 }
+    resilience_horizon = 400.0;
+    emit_metrics = false;
+    trace_digest = None }
 
 let quick =
   { seed = 42;
@@ -45,7 +49,9 @@ let quick =
     resilience_scenarios = 3;
     resilience_pairs = 12;
     resilience_flaps = 4;
-    resilience_horizon = 250.0 }
+    resilience_horizon = 250.0;
+    emit_metrics = false;
+    trace_digest = None }
 
 let pp fmt t =
   Format.fprintf fmt

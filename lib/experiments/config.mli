@@ -20,6 +20,13 @@ type t = {
   resilience_pairs : int;      (** (src, dest) pairs probed per scenario *)
   resilience_flaps : int;      (** link flaps per churn scenario *)
   resilience_horizon : float;  (** observed window per scenario, ms *)
+  emit_metrics : bool;
+      (** append the merged metrics registry to experiment output
+          (default false — keeps default output byte-stable) *)
+  trace_digest : string option;
+      (** when set, instrumented experiments ([exp resilience]) run with
+          tracing enabled and write per-run normalized trace digests to
+          this file — the CI determinism gate diffs two such files *)
 }
 
 val default : t

@@ -26,12 +26,24 @@ type result = {
   pairs : int;
   horizon : float;
   rows : agg list;  (* centaur, bgp, ospf — fixed order *)
+  digests : (string * string array) list;
+      (* protocol -> per-scenario trace digest (MD5 of the normalized
+         digest text); [] unless the config asks for trace digests *)
+  registries : (string * Obs.Metrics.t) list;
+      (* protocol -> merged per-run metrics; [] unless emit_metrics *)
 }
 
 let protocol_makers cfg =
-  [ ("centaur", fun topo -> Protocols.Centaur_net.network topo);
-    ("bgp", fun topo -> Protocols.Bgp_net.network ~mrai:cfg.Config.mrai topo);
-    ("ospf", fun topo -> Protocols.Ospf_net.network topo) ]
+  [ ("centaur", fun ~trace topo -> Protocols.Centaur_net.network ~trace topo);
+    ("bgp",
+     fun ~trace topo ->
+       Protocols.Bgp_net.network ~mrai:cfg.Config.mrai ~trace topo);
+    ("ospf", fun ~trace topo -> Protocols.Ospf_net.network ~trace topo) ]
+
+(* Traced runs keep the last ~1M events; a truncated ring still digests
+   deterministically (the dropped count is part of the digest), so the
+   determinism gate holds at any scenario size. *)
+let trace_capacity = 1 lsl 20
 
 let scenario_for cfg i topo =
   Faults.Scenario.random_churn
@@ -44,12 +56,25 @@ let scenario_for cfg i topo =
    the domain pool; collection by index keeps the aggregate identical
    to a sequential sweep. *)
 let run_scenario cfg ~pairs i =
+  let traced = cfg.Config.trace_digest <> None in
   let scenario = scenario_for cfg i (Inputs.brite cfg) in
   List.map
     (fun (_, make) ->
       let topo = Inputs.brite cfg in
-      let runner = make topo in
-      Faults.Injector.run runner ~topo ~scenario ~pairs)
+      let trace =
+        if traced then Obs.Trace.create ~capacity:trace_capacity ()
+        else Obs.Trace.none
+      in
+      let metrics =
+        if cfg.Config.emit_metrics then Some (Obs.Metrics.create ()) else None
+      in
+      let runner = make ~trace topo in
+      let report = Faults.Injector.run ?metrics runner ~topo ~scenario ~pairs in
+      let digest =
+        if traced then Some (Digest.to_hex (Digest.string (Obs.Trace.digest trace)))
+        else None
+      in
+      (report, digest, metrics))
     (protocol_makers cfg)
 
 let aggregate name (reports : Faults.Observer.report list) =
@@ -89,18 +114,68 @@ let run cfg =
       (Array.init cfg.Config.resilience_scenarios Fun.id)
   in
   let names = List.map fst (protocol_makers cfg) in
+  let nth_run reports p = List.nth reports p in
   let rows =
     List.mapi
       (fun p name ->
         aggregate name
-          (Array.to_list (Array.map (fun reports -> List.nth reports p)
-                            per_scenario)))
+          (Array.to_list
+             (Array.map
+                (fun reports ->
+                  let r, _, _ = nth_run reports p in
+                  r)
+                per_scenario)))
       names
   in
+  let digests =
+    if cfg.Config.trace_digest = None then []
+    else
+      List.mapi
+        (fun p name ->
+          ( name,
+            Array.map
+              (fun reports ->
+                match nth_run reports p with
+                | _, Some d, _ -> d
+                | _, None, _ -> "-")
+              per_scenario ))
+        names
+  in
+  (* Scenario registries merge in index order; the merge is commutative
+     and associative, so the pooled scheduling can't change the result. *)
+  let registries =
+    if not cfg.Config.emit_metrics then []
+    else
+      List.mapi
+        (fun p name ->
+          let dst = Obs.Metrics.create () in
+          Array.iter
+            (fun reports ->
+              match nth_run reports p with
+              | _, _, Some m -> Obs.Metrics.merge_into ~dst m
+              | _, _, None -> ())
+            per_scenario;
+          (name, dst))
+        names
+  in
+  (match cfg.Config.trace_digest with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    List.iter
+      (fun (name, ds) ->
+        Array.iteri
+          (fun i d ->
+            Printf.fprintf oc "scenario=%d protocol=%s digest=%s\n" i name d)
+          ds)
+      digests;
+    close_out oc);
   { scenarios = cfg.Config.resilience_scenarios;
     pairs = List.length pairs;
     horizon = cfg.Config.resilience_horizon;
-    rows }
+    rows;
+    digests;
+    registries }
 
 let find_row r name = List.find (fun a -> a.protocol = name) r.rows
 
@@ -160,4 +235,20 @@ let render r =
        (if centaur.unavailable_ms > 0.0 then
           bgp.unavailable_ms /. centaur.unavailable_ms
         else infinity));
+  (* Opt-in blocks only: the default rendering stays byte-identical so
+     baseline comparisons of `exp resilience` output keep holding. *)
+  List.iter
+    (fun (name, m) ->
+      Buffer.add_string buf (Printf.sprintf "  metrics[%s]:\n" name);
+      List.iter
+        (fun line ->
+          if line <> "" then Buffer.add_string buf ("    " ^ line ^ "\n"))
+        (String.split_on_char '\n' (Obs.Metrics.render m)))
+    r.registries;
+  List.iter
+    (fun (name, ds) ->
+      Buffer.add_string buf (Printf.sprintf "  trace-digests[%s]:" name);
+      Array.iter (fun d -> Buffer.add_string buf (" " ^ d)) ds;
+      Buffer.add_string buf "\n")
+    r.digests;
   Buffer.contents buf

@@ -12,7 +12,9 @@ let run cfg =
     (run_on (Inputs.caida cfg), run_on (Inputs.hetop cfg))
   in
   let discipline_row name discipline =
-    let caida, hetop = both (Centaur.Static.analyze ~discipline) in
+    let caida, hetop =
+      both (fun topo -> Centaur.Static.analyze ~discipline topo)
+    in
     { discipline = name; caida; hetop }
   in
   let vf_row =

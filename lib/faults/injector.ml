@@ -6,7 +6,8 @@ let add_stats (a : Sim.Engine.run_stats) (b : Sim.Engine.run_stats) =
     losses = a.Sim.Engine.losses + b.Sim.Engine.losses;
     events = a.Sim.Engine.events + b.Sim.Engine.events }
 
-let run (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t) ~pairs =
+let run ?metrics (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t)
+    ~pairs =
   let events =
     (* Changes scheduled past the horizon are unobservable: drop them
        rather than mutate state the report never sees. *)
@@ -57,4 +58,9 @@ let run (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t) ~pairs =
   (* Drain whatever convergence is still in flight so the cost counters
      cover the complete scenario. *)
   total := add_stats !total (runner.Sim.Runner.run_to_quiescence ());
+  (match metrics with
+  | None -> ()
+  | Some dst ->
+    Obs.Metrics.merge_into ~dst runner.Sim.Runner.metrics;
+    Obs.Metrics.merge_into ~dst (Observer.metrics obs));
   Observer.report obs ~protocol:runner.Sim.Runner.name ~stats:!total

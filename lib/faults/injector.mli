@@ -13,6 +13,7 @@
     construction) triples produce byte-identical reports. *)
 
 val run :
+  ?metrics:Obs.Metrics.t ->
   Sim.Runner.t ->
   topo:Topology.t ->
   scenario:Scenario.t ->
@@ -21,4 +22,9 @@ val run :
 (** [topo] must be the same instance the runner's engine mutates — the
     observer reads its live link state for ground truth. The report's
     [stats] cover cold start, the whole observed window and the final
-    drain to quiescence. *)
+    drain to quiescence.
+
+    [metrics], when given, receives the run's full registry after the
+    drain: the runner engine's counters merged with the observer's.
+    The report itself is unchanged by the option, so result comparisons
+    across runs stay byte-identical. *)

@@ -24,11 +24,16 @@ type t = {
   last_verdict : verdict option array;
   mutable view_stale : bool;  (* truth or link state moved since the
                                  last sample; set by refresh_truth *)
-  mutable fresh_probes : int;
-  mutable cached_probes : int;
+  metrics : Obs.Metrics.t;
+  c_fresh : Obs.Metrics.counter;
+  c_cached : Obs.Metrics.counter;
+  c_samples : Obs.Metrics.counter;
 }
 
-let create topo ~pairs ~sample_every =
+let create ?metrics topo ~pairs ~sample_every =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   let pairs = Array.of_list pairs in
   Array.iter
     (fun (s, d) ->
@@ -59,8 +64,10 @@ let create topo ~pairs ~sample_every =
     recoveries = [];
     last_verdict = Array.make (Array.length pairs) None;
     view_stale = true;
-    fresh_probes = 0;
-    cached_probes = 0 }
+    metrics;
+    c_fresh = Obs.Metrics.counter metrics "observer.fresh_probes";
+    c_cached = Obs.Metrics.counter metrics "observer.cached_probes";
+    c_samples = Obs.Metrics.counter metrics "observer.samples" }
 
 (* Policy ground truth under the topology's current link state: which
    sources have any Gao-Rexford route to each probed destination. *)
@@ -135,10 +142,10 @@ let sample t runner ~now =
         match t.last_verdict.(i) with
         | Some v when (not t.view_stale) && not (Hashtbl.mem changed dest)
           ->
-          t.cached_probes <- t.cached_probes + 1;
+          Obs.Metrics.incr t.c_cached;
           v
         | _ ->
-          t.fresh_probes <- t.fresh_probes + 1;
+          Obs.Metrics.incr t.c_fresh;
           probe t runner ~src ~dest
       in
       t.last_verdict.(i) <- Some v;
@@ -161,6 +168,7 @@ let sample t runner ~now =
         t.unroutable.(i) <- t.unroutable.(i) +. t.sample_every))
     t.pairs;
   t.view_stale <- false;
+  Obs.Metrics.incr t.c_samples;
   t.samples <- t.samples + 1;
   t.delivered_samples <- t.delivered_samples + !ok;
   t.routable_samples <- t.routable_samples + !routable;
@@ -176,7 +184,10 @@ let sample t runner ~now =
     t.open_disruptions <- []
   end
 
-let cache_stats t = (t.fresh_probes, t.cached_probes)
+let cache_stats t =
+  (Obs.Metrics.value t.c_fresh, Obs.Metrics.value t.c_cached)
+
+let metrics t = t.metrics
 
 type report = {
   protocol : string;

@@ -23,10 +23,15 @@ type t
 (** Mutable accumulator for one scenario run on one runner. *)
 
 val create :
+  ?metrics:Obs.Metrics.t ->
   Topology.t -> pairs:(int * int) list -> sample_every:float -> t
 (** The observer watches the given (src, dest) pairs; each sample
     accounts for [sample_every] ms of scenario time. Raises
-    [Invalid_argument] on out-of-range or degenerate pairs. *)
+    [Invalid_argument] on out-of-range or degenerate pairs.
+
+    [metrics] (default: a private fresh registry) receives the
+    observer's counters — [observer.fresh_probes],
+    [observer.cached_probes], [observer.samples]. *)
 
 val refresh_truth : t -> unit
 (** Recompute the policy-reachability ground truth from the topology's
@@ -52,7 +57,11 @@ val sample : t -> Sim.Runner.t -> now:float -> unit
 val cache_stats : t -> int * int
 (** [(fresh, cached)] probe counts over all samples so far — how often
     the changed-destination feed let the observer skip a data-plane
-    walk. *)
+    walk. Reads the [observer.fresh_probes]/[observer.cached_probes]
+    counters. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The registry holding the observer's counters. *)
 
 type report = {
   protocol : string;

@@ -1,0 +1,253 @@
+type violation = {
+  index : int;
+  at : float;
+  invariant : string;
+  detail : string;
+}
+
+type report = {
+  events : int;
+  violations : violation list;
+  truncated : bool;
+}
+
+let max_violations = 100
+
+type state = {
+  truncated : bool;
+  mutable viols : violation list;  (* reversed *)
+  mutable n_viols : int;
+  mutable last_time : float;
+  link_up : (int, bool) Hashtbl.t;          (* absent = up *)
+  in_flight : (int * int, int) Hashtbl.t;   (* (src, dst) -> outstanding *)
+  mutable batch : (float * int) option;
+  marked : (int, unit) Hashtbl.t;           (* nodes with pending marks *)
+  timers : (int * int, float list) Hashtbl.t;
+  exports : (int * int * int, bool * int) Hashtbl.t;
+      (* (node, peer, dest) -> last (withdraw, sig) *)
+}
+
+let flag st ~index ~at ~invariant detail =
+  if st.n_viols < max_violations then begin
+    st.viols <- { index; at; invariant; detail } :: st.viols;
+    st.n_viols <- st.n_viols + 1
+  end
+
+let is_up st link_id =
+  Option.value (Hashtbl.find_opt st.link_up link_id) ~default:true
+
+(* A link flip tears the session between its endpoints down (or brings a
+   fresh one up): either way the export-diff history of both directions
+   restarts, so forget those channels. *)
+let reset_session_exports st a b =
+  let doomed =
+    Hashtbl.fold
+      (fun ((n, p, _) as key) _ acc ->
+        if (n = a && p = b) || (n = b && p = a) then key :: acc else acc)
+      st.exports []
+  in
+  List.iter (Hashtbl.remove st.exports) doomed
+
+let in_batch_check st ~index ~at ~what node =
+  match st.batch with
+  | Some (_, bn) when bn <> node ->
+    flag st ~index ~at ~invariant:"batch-nesting"
+      (Printf.sprintf "%s for node %d inside node %d's batch" what node bn)
+  | _ -> ()
+
+let step st index (at, ev) =
+  if at < st.last_time then
+    flag st ~index ~at ~invariant:"monotone-clock"
+      (Printf.sprintf "clock moved backwards (%.6f after %.6f)" at
+         st.last_time);
+  st.last_time <- st.last_time;
+  if at > st.last_time then st.last_time <- at;
+  (* Batch shape is checkable even mid-stream; everything else needs the
+     full prefix. *)
+  (match ev with
+  | Trace.Batch_begin { node } -> (
+    match st.batch with
+    | Some (_, bn) ->
+      flag st ~index ~at ~invariant:"batch-nesting"
+        (Printf.sprintf "batch for node %d opened inside node %d's batch"
+           node bn)
+    | None -> st.batch <- Some (at, node))
+  | Trace.Batch_end { node } -> (
+    match st.batch with
+    | Some (bt, bn) ->
+      if bn <> node then
+        flag st ~index ~at ~invariant:"batch-nesting"
+          (Printf.sprintf "batch of node %d closed as node %d" bn node);
+      if bt <> at then
+        flag st ~index ~at ~invariant:"batch-nesting"
+          (Printf.sprintf "batch opened at %.6f closed at %.6f" bt at);
+      st.batch <- None
+    | None ->
+      if not st.truncated then
+        flag st ~index ~at ~invariant:"batch-nesting"
+          (Printf.sprintf "batch end for node %d without a begin" node))
+  | Trace.Timer_fire { node; key } -> (
+    (match st.batch with
+    | Some (_, bn) ->
+      flag st ~index ~at ~invariant:"batch-nesting"
+        (Printf.sprintf "timer (%d, %d) fired inside node %d's open batch"
+           node key bn)
+    | None -> ());
+    if not st.truncated then
+      let k = (node, key) in
+      let pending = Option.value (Hashtbl.find_opt st.timers k) ~default:[] in
+      if List.exists (fun f -> f = at) pending then
+        Hashtbl.replace st.timers k
+          (let rec drop_one = function
+             | [] -> []
+             | f :: rest -> if f = at then rest else f :: drop_one rest
+           in
+           drop_one pending)
+      else
+        flag st ~index ~at ~invariant:"timer-fidelity"
+          (Printf.sprintf "timer (%d, %d) fired without a matching arm" node
+             key))
+  | Trace.Timer_set { node; key; fire_at } ->
+    in_batch_check st ~index ~at ~what:"timer arm" node;
+    if not st.truncated then
+      let k = (node, key) in
+      Hashtbl.replace st.timers k
+        (fire_at :: Option.value (Hashtbl.find_opt st.timers k) ~default:[])
+  | Trace.Msg_send { src; dst; link_id; units = _ } ->
+    in_batch_check st ~index ~at ~what:"send" src;
+    if not st.truncated then begin
+      if not (is_up st link_id) then
+        flag st ~index ~at ~invariant:"link-state"
+          (Printf.sprintf "send %d->%d scheduled on down link %d" src dst
+             link_id);
+      let k = (src, dst) in
+      Hashtbl.replace st.in_flight k
+        (1 + Option.value (Hashtbl.find_opt st.in_flight k) ~default:0)
+    end
+  | Trace.Msg_deliver { src; dst; link_id } ->
+    in_batch_check st ~index ~at ~what:"delivery" dst;
+    if not st.truncated then begin
+      if not (is_up st link_id) then
+        flag st ~index ~at ~invariant:"link-state"
+          (Printf.sprintf "delivery %d->%d on down link %d" src dst link_id);
+      let k = (src, dst) in
+      let n = Option.value (Hashtbl.find_opt st.in_flight k) ~default:0 in
+      if n <= 0 then
+        flag st ~index ~at ~invariant:"conservation"
+          (Printf.sprintf "delivery %d->%d without an outstanding send" src
+             dst)
+      else Hashtbl.replace st.in_flight k (n - 1)
+    end
+  | Trace.Msg_loss { src; dst; link_id; dead_link } ->
+    in_batch_check st ~index ~at ~what:"loss" dst;
+    if not st.truncated then begin
+      if dead_link && is_up st link_id then
+        flag st ~index ~at ~invariant:"link-state"
+          (Printf.sprintf "loss %d->%d blamed on dead link %d, which is up"
+             src dst link_id);
+      if (not dead_link) && not (is_up st link_id) then
+        flag st ~index ~at ~invariant:"link-state"
+          (Printf.sprintf
+             "loss %d->%d drawn from the loss model on down link %d" src dst
+             link_id);
+      let k = (src, dst) in
+      let n = Option.value (Hashtbl.find_opt st.in_flight k) ~default:0 in
+      if n <= 0 then
+        flag st ~index ~at ~invariant:"conservation"
+          (Printf.sprintf "loss %d->%d without an outstanding send" src dst)
+      else Hashtbl.replace st.in_flight k (n - 1)
+    end
+  | Trace.Link_state { link_id; up; _ } ->
+    if not st.truncated then Hashtbl.replace st.link_up link_id up
+  | Trace.Link_flip { link_id; a; b; up } ->
+    (match st.batch with
+    | Some (_, bn) ->
+      flag st ~index ~at ~invariant:"batch-nesting"
+        (Printf.sprintf "link %d flipped inside node %d's open batch"
+           link_id bn)
+    | None -> ());
+    if not st.truncated then begin
+      Hashtbl.replace st.link_up link_id up;
+      reset_session_exports st a b
+    end
+  | Trace.Mark_dirty { node; dest = _ } ->
+    in_batch_check st ~index ~at ~what:"dirty mark" node;
+    Hashtbl.replace st.marked node ()
+  | Trace.Recompute { node; dirty; changed = _ } ->
+    in_batch_check st ~index ~at ~what:"recompute" node;
+    if (not st.truncated) && dirty > 0 && not (Hashtbl.mem st.marked node)
+    then
+      flag st ~index ~at ~invariant:"recompute-implies-dirty"
+        (Printf.sprintf
+           "node %d recomputed %d dirty entries without a preceding mark"
+           node dirty);
+    Hashtbl.remove st.marked node
+  | Trace.Rib_change { node; _ } ->
+    in_batch_check st ~index ~at ~what:"rib change" node
+  | Trace.Rib_out { node; peer; dest; withdraw; path_sig } ->
+    in_batch_check st ~index ~at ~what:"rib-out delta" node;
+    if not st.truncated then begin
+      let key = (node, peer, dest) in
+      (match Hashtbl.find_opt st.exports key with
+      | Some (w, s) when w = withdraw && (withdraw || s = path_sig) ->
+        flag st ~index ~at ~invariant:"no-redundant-export"
+          (Printf.sprintf
+             "node %d re-exported an unchanged %s for dest %d to peer %d"
+             node
+             (if withdraw then "withdrawal" else "path")
+             dest peer)
+      | _ -> ());
+      Hashtbl.replace st.exports key (withdraw, path_sig)
+    end)
+
+let run_events ?(dropped = 0) evs =
+  let st =
+    { truncated = dropped > 0;
+      viols = [];
+      n_viols = 0;
+      last_time = neg_infinity;
+      link_up = Hashtbl.create 64;
+      in_flight = Hashtbl.create 256;
+      batch = None;
+      marked = Hashtbl.create 64;
+      timers = Hashtbl.create 32;
+      exports = Hashtbl.create 256 }
+  in
+  Array.iteri (fun i e -> step st i e) evs;
+  (* A trace captured mid-run may legitimately end inside a batch only
+     if it was cut short; a complete run always closes its batches. *)
+  (match st.batch with
+  | Some (bt, bn) when not st.truncated ->
+    flag st ~index:(Array.length evs) ~at:bt ~invariant:"batch-nesting"
+      (Printf.sprintf "batch for node %d never closed" bn)
+  | _ -> ());
+  { events = Array.length evs;
+    violations = List.rev st.viols;
+    truncated = st.truncated }
+
+let run tr = run_events ~dropped:(Trace.dropped tr) (Trace.events tr)
+
+let ok r = r.violations = []
+
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d events checked%s, %d violation%s\n"
+       (if ok r then "OK" else "FAIL")
+       r.events
+       (if r.truncated then " (truncated: stateful invariants skipped)"
+        else "")
+       (List.length r.violations)
+       (if List.length r.violations = 1 then "" else "s"));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%d @ %.3f] %s: %s\n" v.index v.at v.invariant
+           v.detail))
+    r.violations;
+  Buffer.contents buf
+
+let expect_ok ~what tr =
+  let r = run tr in
+  if not (ok r) then
+    failwith (Printf.sprintf "Obs.Check failed for %s:\n%s" what (render r))

@@ -1,0 +1,63 @@
+(** Trace-driven invariant checker.
+
+    Replays a {!Trace} event stream and asserts the protocol/engine
+    invariants the simulation is supposed to uphold — the trace is the
+    oracle, so regressions that preserve the converged end state but
+    corrupt the event order (a delivery slipping past a link cut, a
+    batch leaking, a redundant re-announcement) still fail.
+
+    Invariants checked:
+    - {b monotone clock} — timestamps never decrease;
+    - {b no delivery on a down link} — link state is tracked from
+      [Link_state]/[Link_flip] events; a [Msg_deliver] (or a
+      [Msg_loss] blamed on a dead link while the link is up) on a link
+      in the wrong state is a violation;
+    - {b message conservation} — per directed (src, dst) channel,
+      deliveries + losses never exceed sends;
+    - {b batch nesting well-formed} — [Batch_begin]/[Batch_end] pair
+      up, never nest, share one timestamp, and every delivery, loss,
+      absorb mark, recompute and send inside the batch belongs to the
+      batch's node;
+    - {b recompute implies dirty} — a [Recompute] span draining a
+      non-empty dirty set must be preceded by a [Mark_dirty] for that
+      node since its previous span;
+    - {b no redundant export} — per (node, peer, dest) channel,
+      consecutive [Rib_out] deltas must differ (the Adj-RIB-Out diff /
+      root-cause property: an update never re-announces the unchanged
+      path), with channel history reset when the session's link flips;
+    - {b timer fidelity} — every [Timer_fire] consumes a matching
+      earlier [Timer_set] with the same node, key and fire time.
+
+    On a truncated trace (dropped events) only the local checks run
+    (monotone clock, batch shape); the stateful ones need the full
+    prefix and are reported as skipped. *)
+
+type violation = {
+  index : int;       (** position in the replayed event array *)
+  at : float;        (** event timestamp *)
+  invariant : string;
+  detail : string;
+}
+
+type report = {
+  events : int;
+  violations : violation list;  (** in trace order *)
+  truncated : bool;  (** dropped > 0: stateful invariants skipped *)
+}
+
+val run : Trace.t -> report
+(** Check the trace's buffered events. *)
+
+val run_events :
+  ?dropped:int -> (float * Trace.event) array -> report
+(** Check an explicit event array (e.g. parsed back from a JSONL
+    export). [dropped] defaults to 0. *)
+
+val ok : report -> bool
+
+val render : report -> string
+(** Human summary: verdict line plus one line per violation. *)
+
+val expect_ok : what:string -> Trace.t -> unit
+(** Test oracle: raises [Failure] with the rendered report when the
+    trace violates any invariant. *)

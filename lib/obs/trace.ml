@@ -1,0 +1,340 @@
+type event =
+  | Link_state of { link_id : int; a : int; b : int; up : bool }
+  | Link_flip of { link_id : int; a : int; b : int; up : bool }
+  | Msg_send of { src : int; dst : int; link_id : int; units : int }
+  | Msg_deliver of { src : int; dst : int; link_id : int }
+  | Msg_loss of { src : int; dst : int; link_id : int; dead_link : bool }
+  | Timer_set of { node : int; key : int; fire_at : float }
+  | Timer_fire of { node : int; key : int }
+  | Batch_begin of { node : int }
+  | Batch_end of { node : int }
+  | Mark_dirty of { node : int; dest : int }
+  | Recompute of { node : int; dirty : int; changed : int }
+  | Rib_change of { node : int; dest : int; withdrawn : bool }
+  | Rib_out of
+      { node : int; peer : int; dest : int; withdraw : bool; path_sig : int }
+
+let dummy = (0.0, Batch_begin { node = -1 })
+
+type t = {
+  on : bool;
+  buf : (float * event) array;  (* ring; [start .. start+len) mod cap *)
+  mutable start : int;
+  mutable len : int;
+  mutable evicted : int;
+  mutable clock : float;
+}
+
+let none =
+  { on = false; buf = [||]; start = 0; len = 0; evicted = 0; clock = 0.0 }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { on = true;
+    buf = Array.make capacity dummy;
+    start = 0;
+    len = 0;
+    evicted = 0;
+    clock = 0.0 }
+
+let[@inline] enabled t = t.on
+
+let[@inline] set_now t now = if t.on then t.clock <- now
+
+let now t = t.clock
+
+let emit t ev =
+  if t.on then begin
+    let cap = Array.length t.buf in
+    if t.len < cap then begin
+      t.buf.((t.start + t.len) mod cap) <- (t.clock, ev);
+      t.len <- t.len + 1
+    end
+    else begin
+      t.buf.(t.start) <- (t.clock, ev);
+      t.start <- (t.start + 1) mod cap;
+      t.evicted <- t.evicted + 1
+    end
+  end
+
+let length t = t.len
+
+let dropped t = t.evicted
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.evicted <- 0
+
+let events t =
+  let cap = Array.length t.buf in
+  Array.init t.len (fun i -> t.buf.((t.start + i) mod cap))
+
+(* --- rendering --- *)
+
+let kind = function
+  | Link_state _ -> "link_state"
+  | Link_flip _ -> "link_flip"
+  | Msg_send _ -> "msg_send"
+  | Msg_deliver _ -> "msg_deliver"
+  | Msg_loss _ -> "msg_loss"
+  | Timer_set _ -> "timer_set"
+  | Timer_fire _ -> "timer_fire"
+  | Batch_begin _ -> "batch_begin"
+  | Batch_end _ -> "batch_end"
+  | Mark_dirty _ -> "mark_dirty"
+  | Recompute _ -> "recompute"
+  | Rib_change _ -> "rib_change"
+  | Rib_out _ -> "rib_out"
+
+let all_kinds =
+  [ "link_state"; "link_flip"; "msg_send"; "msg_deliver"; "msg_loss";
+    "timer_set"; "timer_fire"; "batch_begin"; "batch_end"; "mark_dirty";
+    "recompute"; "rib_change"; "rib_out" ]
+
+(* Timestamp-free field rendering — shared by the pretty-printer (which
+   prepends the timestamp) and the digest (which must be
+   timestamp-tolerant, so [Timer_set.fire_at] is also omitted). *)
+let fields = function
+  | Link_state { link_id; a; b; up } ->
+    Printf.sprintf "link=%d a=%d b=%d up=%b" link_id a b up
+  | Link_flip { link_id; a; b; up } ->
+    Printf.sprintf "link=%d a=%d b=%d up=%b" link_id a b up
+  | Msg_send { src; dst; link_id; units } ->
+    Printf.sprintf "src=%d dst=%d link=%d units=%d" src dst link_id units
+  | Msg_deliver { src; dst; link_id } ->
+    Printf.sprintf "src=%d dst=%d link=%d" src dst link_id
+  | Msg_loss { src; dst; link_id; dead_link } ->
+    Printf.sprintf "src=%d dst=%d link=%d dead_link=%b" src dst link_id
+      dead_link
+  | Timer_set { node; key; _ } -> Printf.sprintf "node=%d key=%d" node key
+  | Timer_fire { node; key } -> Printf.sprintf "node=%d key=%d" node key
+  | Batch_begin { node } -> Printf.sprintf "node=%d" node
+  | Batch_end { node } -> Printf.sprintf "node=%d" node
+  | Mark_dirty { node; dest } -> Printf.sprintf "node=%d dest=%d" node dest
+  | Recompute { node; dirty; changed } ->
+    Printf.sprintf "node=%d dirty=%d changed=%d" node dirty changed
+  | Rib_change { node; dest; withdrawn } ->
+    Printf.sprintf "node=%d dest=%d withdrawn=%b" node dest withdrawn
+  | Rib_out { node; peer; dest; withdraw; path_sig } ->
+    Printf.sprintf "node=%d peer=%d dest=%d withdraw=%b sig=%d" node peer
+      dest withdraw path_sig
+
+let pp_event fmt (at, ev) =
+  Format.fprintf fmt "[%10.3f] %-11s %s" at (kind ev) (fields ev)
+
+(* --- JSON Lines --- *)
+
+(* %.6f is exact enough for the engine's millisecond clocks (sums of
+   small decimal delays) to round-trip: both the stamped time and
+   [fire_at] are printed from the same float, so equality of the parsed
+   values mirrors equality of the originals. *)
+let json_num f = Printf.sprintf "%.6f" f
+
+let event_to_json (at, ev) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "{\"t\":%s,\"ev\":%S" (json_num at) (kind ev));
+  let int k v = Buffer.add_string b (Printf.sprintf ",%S:%d" k v) in
+  let bool k v = Buffer.add_string b (Printf.sprintf ",%S:%b" k v) in
+  let num k v = Buffer.add_string b (Printf.sprintf ",%S:%s" k (json_num v)) in
+  (match ev with
+  | Link_state { link_id; a; b = bb; up } | Link_flip { link_id; a; b = bb; up }
+    ->
+    int "link" link_id;
+    int "a" a;
+    int "b" bb;
+    bool "up" up
+  | Msg_send { src; dst; link_id; units } ->
+    int "src" src;
+    int "dst" dst;
+    int "link" link_id;
+    int "units" units
+  | Msg_deliver { src; dst; link_id } ->
+    int "src" src;
+    int "dst" dst;
+    int "link" link_id
+  | Msg_loss { src; dst; link_id; dead_link } ->
+    int "src" src;
+    int "dst" dst;
+    int "link" link_id;
+    bool "dead_link" dead_link
+  | Timer_set { node; key; fire_at } ->
+    int "node" node;
+    int "key" key;
+    num "fire_at" fire_at
+  | Timer_fire { node; key } ->
+    int "node" node;
+    int "key" key
+  | Batch_begin { node } | Batch_end { node } -> int "node" node
+  | Mark_dirty { node; dest } ->
+    int "node" node;
+    int "dest" dest
+  | Recompute { node; dirty; changed } ->
+    int "node" node;
+    int "dirty" dirty;
+    int "changed" changed
+  | Rib_change { node; dest; withdrawn } ->
+    int "node" node;
+    int "dest" dest;
+    bool "withdrawn" withdrawn
+  | Rib_out { node; peer; dest; withdraw; path_sig } ->
+    int "node" node;
+    int "peer" peer;
+    int "dest" dest;
+    bool "withdraw" withdraw;
+    int "sig" path_sig);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Minimal parser for the flat objects above: keys and the "ev" value
+   are the only strings, values contain no nested structure, strings no
+   escapes — so splitting on commas outside quotes is sound. *)
+let event_of_json line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then None
+  else begin
+    let body = String.sub line 1 (n - 2) in
+    let parts = String.split_on_char ',' body in
+    let kv = Hashtbl.create 8 in
+    let ok =
+      List.for_all
+        (fun part ->
+          match String.index_opt part ':' with
+          | None -> false
+          | Some i ->
+            let unquote s =
+              let s = String.trim s in
+              let l = String.length s in
+              if l >= 2 && s.[0] = '"' && s.[l - 1] = '"' then
+                String.sub s 1 (l - 2)
+              else s
+            in
+            let k = unquote (String.sub part 0 i) in
+            let v = unquote (String.sub part (i + 1) (String.length part - i - 1)) in
+            Hashtbl.replace kv k v;
+            true)
+        parts
+    in
+    if not ok then None
+    else
+      let int k = Option.bind (Hashtbl.find_opt kv k) int_of_string_opt in
+      let num k = Option.bind (Hashtbl.find_opt kv k) float_of_string_opt in
+      let bool k = Option.bind (Hashtbl.find_opt kv k) bool_of_string_opt in
+      let ( let* ) = Option.bind in
+      let* at = num "t" in
+      let* ev_kind = Hashtbl.find_opt kv "ev" in
+      let* ev =
+        match ev_kind with
+        | "link_state" | "link_flip" ->
+          let* link_id = int "link" in
+          let* a = int "a" in
+          let* b = int "b" in
+          let* up = bool "up" in
+          Some
+            (if ev_kind = "link_state" then Link_state { link_id; a; b; up }
+             else Link_flip { link_id; a; b; up })
+        | "msg_send" ->
+          let* src = int "src" in
+          let* dst = int "dst" in
+          let* link_id = int "link" in
+          let* units = int "units" in
+          Some (Msg_send { src; dst; link_id; units })
+        | "msg_deliver" ->
+          let* src = int "src" in
+          let* dst = int "dst" in
+          let* link_id = int "link" in
+          Some (Msg_deliver { src; dst; link_id })
+        | "msg_loss" ->
+          let* src = int "src" in
+          let* dst = int "dst" in
+          let* link_id = int "link" in
+          let* dead_link = bool "dead_link" in
+          Some (Msg_loss { src; dst; link_id; dead_link })
+        | "timer_set" ->
+          let* node = int "node" in
+          let* key = int "key" in
+          let* fire_at = num "fire_at" in
+          Some (Timer_set { node; key; fire_at })
+        | "timer_fire" ->
+          let* node = int "node" in
+          let* key = int "key" in
+          Some (Timer_fire { node; key })
+        | "batch_begin" | "batch_end" ->
+          let* node = int "node" in
+          Some
+            (if ev_kind = "batch_begin" then Batch_begin { node }
+             else Batch_end { node })
+        | "mark_dirty" ->
+          let* node = int "node" in
+          let* dest = int "dest" in
+          Some (Mark_dirty { node; dest })
+        | "recompute" ->
+          let* node = int "node" in
+          let* dirty = int "dirty" in
+          let* changed = int "changed" in
+          Some (Recompute { node; dirty; changed })
+        | "rib_change" ->
+          let* node = int "node" in
+          let* dest = int "dest" in
+          let* withdrawn = bool "withdrawn" in
+          Some (Rib_change { node; dest; withdrawn })
+        | "rib_out" ->
+          let* node = int "node" in
+          let* peer = int "peer" in
+          let* dest = int "dest" in
+          let* withdraw = bool "withdraw" in
+          let* path_sig = int "sig" in
+          Some (Rib_out { node; peer; dest; withdraw; path_sig })
+        | _ -> None
+      in
+      Some (at, ev)
+  end
+
+let write_jsonl oc t =
+  Array.iter
+    (fun e ->
+      output_string oc (event_to_json e);
+      output_char oc '\n')
+    (events t)
+
+(* --- digest --- *)
+
+let digest_events ?(dropped = 0) evs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "trace-digest v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "events=%d dropped=%d\n" (Array.length evs) dropped);
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, ev) ->
+      let k = kind ev in
+      Hashtbl.replace counts k
+        (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+    evs;
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt counts k with
+      | Some c -> Buffer.add_string buf (Printf.sprintf "count %s=%d\n" k c)
+      | None -> ())
+    all_kinds;
+  Buffer.add_string buf "sequence:\n";
+  let flush_run line n =
+    if n = 1 then Buffer.add_string buf (Printf.sprintf "  %s\n" line)
+    else Buffer.add_string buf (Printf.sprintf "  %dx %s\n" n line)
+  in
+  let pending = ref None in
+  Array.iter
+    (fun (_, ev) ->
+      let line = Printf.sprintf "%s %s" (kind ev) (fields ev) in
+      match !pending with
+      | Some (prev, n) when prev = line -> pending := Some (prev, n + 1)
+      | Some (prev, n) ->
+        flush_run prev n;
+        pending := Some (line, 1)
+      | None -> pending := Some (line, 1))
+    evs;
+  (match !pending with Some (line, n) -> flush_run line n | None -> ());
+  Buffer.contents buf
+
+let digest t = digest_events ~dropped:t.evicted (events t)

@@ -45,6 +45,13 @@ type node_state = {
   timer_armed : (int, unit) Hashtbl.t;
 }
 
+module Trace = Obs.Trace
+
+(* Stable fingerprint of an announced path for [Trace.Rib_out] — replay
+   only needs "same path or not", never the path back. *)
+let path_sig p =
+  List.fold_left (fun h x -> ((h * 1000003) + x + 1) land max_int) 17 p
+
 let make_state id =
   { id;
     rib_in = Hashtbl.create 64;
@@ -62,8 +69,10 @@ let neighbors topo st = Topology.neighbors topo st.id
 (* Mark a destination for the next decision run. The most recent cause
    wins (matching sequential processing order); a causeless mark clears a
    stale one. *)
-let mark ?cause st dest =
+let mark ?cause ~tr st dest =
   Dirty.mark st.dirty dest;
+  if Trace.enabled tr then
+    Trace.emit tr (Trace.Mark_dirty { node = st.id; dest });
   match cause with
   | Some c -> Hashtbl.replace st.causes dest c
   | None -> Hashtbl.remove st.causes dest
@@ -135,13 +144,13 @@ let on_timer topo states ~mrai ~now ~node ~key:peer =
    the root-cause information lets a node discard stale alternatives at
    once instead of exploring them (BGP-RCN, Pei et al.). Marks the
    destinations whose candidate set changed. *)
-let purge_cause st ((u, v) as link) =
+let purge_cause ~tr st ((u, v) as link) =
   let doomed =
     Hashtbl.fold
       (fun ((_nbr, dest) as key) p acc ->
         if List.mem (u, v) (Path.links p) || List.mem (v, u) (Path.links p)
         then begin
-          mark ~cause:link st dest;
+          mark ~cause:link ~tr st dest;
           key :: acc
         end
         else acc)
@@ -151,25 +160,28 @@ let purge_cause st ((u, v) as link) =
 
 (* In full-recompute mode every absorbed event invalidates every known
    destination — the from-scratch baseline the bench compares against. *)
-let mark_all_known st =
+let mark_all_known ~tr st =
   Hashtbl.iter (fun dest _ -> Dirty.mark st.dirty dest) st.best;
-  Hashtbl.iter (fun (_, dest) _ -> Dirty.mark st.dirty dest) st.rib_in
+  Hashtbl.iter (fun (_, dest) _ -> Dirty.mark st.dirty dest) st.rib_in;
+  (* One bulk mark stands in for the per-destination spam. *)
+  if Trace.enabled tr then
+    Trace.emit tr (Trace.Mark_dirty { node = st.id; dest = -1 })
 
-let rib_in_update st ~rcn ~incremental ~src (m : msg) =
+let rib_in_update st ~rcn ~incremental ~tr ~src (m : msg) =
   (match (rcn, m.cause) with
-  | true, Some link -> purge_cause st link
+  | true, Some link -> purge_cause ~tr st link
   | _ -> ());
   (match m.path with
   | Some p -> Hashtbl.replace st.rib_in (src, m.dest) p
   | None -> Hashtbl.remove st.rib_in (src, m.dest));
-  if m.dest <> st.id then mark ?cause:m.cause st m.dest;
-  if not incremental then mark_all_known st
+  if m.dest <> st.id then mark ?cause:m.cause ~tr st m.dest;
+  if not incremental then mark_all_known ~tr st
 
 (* Session maintenance, also part of the absorb stage: a link down
    flushes everything learned from, advertised to and queued for that
    neighbor; a link up only notes that the peer is owed a full table —
    the export happens after the next decision run. *)
-let session_change st ~rcn ~incremental ~other ~up =
+let session_change st ~rcn ~incremental ~tr ~other ~up =
   if not up then begin
     Hashtbl.remove st.pending other;
     st.fresh_sessions <- List.filter (fun n -> n <> other) st.fresh_sessions;
@@ -180,7 +192,7 @@ let session_change st ~rcn ~incremental ~other ~up =
       Hashtbl.fold
         (fun ((n, dest) as key) _ acc ->
           if n = other then begin
-            mark ?cause st dest;
+            mark ?cause ~tr st dest;
             key :: acc
           end
           else acc)
@@ -191,12 +203,12 @@ let session_change st ~rcn ~incremental ~other ~up =
     (* In RCN mode the endpoint also drops its own stale alternatives
        through the dead link learned from other neighbors. *)
     match cause with
-    | Some c -> purge_cause st c
+    | Some c -> purge_cause ~tr st c
     | None -> ()
   end
   else if not (List.mem other st.fresh_sessions) then
     st.fresh_sessions <- other :: st.fresh_sessions;
-  if not incremental then mark_all_known st
+  if not incremental then mark_all_known ~tr st
 
 (* --- Decision stage --- *)
 
@@ -233,7 +245,7 @@ let select topo st dest =
 (* Drain the dirty set and re-select each marked destination; only those
    whose best route changed flow on to the export stage. [track] feeds
    the runner's uniform changed-destination interface. *)
-let decision_run topo st ~track =
+let decision_run topo st ~tr ~track =
   let changed = ref [] in
   Dirty.drain st.dirty (fun dest ->
       let old_best = Hashtbl.find_opt st.best dest in
@@ -248,6 +260,10 @@ let decision_run topo st ~track =
         (match new_best with
         | None -> Hashtbl.remove st.best dest
         | Some p -> Hashtbl.replace st.best dest p);
+        if Trace.enabled tr then
+          Trace.emit tr
+            (Trace.Rib_change
+               { node = st.id; dest; withdrawn = new_best = None });
         track dest;
         changed := (dest, Hashtbl.find_opt st.causes dest) :: !changed
       end);
@@ -268,7 +284,7 @@ let desired_adv topo st ~dest (n, role, _) =
 
 (* Net update owed to one neighbor for one destination: the desired
    advertisement diffed against the Adj-RIB-Out entry. *)
-let adv_delta topo st ~dest ~cause ((n, _, _) as nbr) =
+let adv_delta topo st ~tr ~dest ~cause ((n, _, _) as nbr) =
   let desired = desired_adv topo st ~dest nbr in
   let current = Hashtbl.find_opt st.adv (n, dest) in
   match (desired, current) with
@@ -276,20 +292,34 @@ let adv_delta topo st ~dest ~cause ((n, _, _) as nbr) =
   | Some d, Some c when Path.equal d c -> None
   | Some d, _ ->
     Hashtbl.replace st.adv (n, dest) d;
+    if Trace.enabled tr then
+      Trace.emit tr
+        (Trace.Rib_out
+           { node = st.id;
+             peer = n;
+             dest;
+             withdraw = false;
+             path_sig = path_sig d });
     Some (n, { dest; path = Some d; cause })
   | None, Some _ ->
     Hashtbl.remove st.adv (n, dest);
+    if Trace.enabled tr then
+      Trace.emit tr
+        (Trace.Rib_out
+           { node = st.id; peer = n; dest; withdraw = true; path_sig = 0 });
     Some (n, { dest; path = None; cause })
 
-let rib_out_updates topo st changed =
+let rib_out_updates topo st ~tr changed =
   List.concat_map
     (fun (dest, cause) ->
-      List.filter_map (adv_delta topo st ~dest ~cause) (neighbors topo st))
+      List.filter_map
+        (adv_delta topo st ~tr ~dest ~cause)
+        (neighbors topo st))
     changed
 
 (* Full-table export to a freshly established session, deduplicated
    against anything the export stage already pushed this run. *)
-let fresh_session_exports topo st =
+let fresh_session_exports topo st ~tr =
   let fresh = st.fresh_sessions in
   st.fresh_sessions <- [];
   List.concat_map
@@ -302,30 +332,36 @@ let fresh_session_exports topo st =
         Hashtbl.fold (fun dest _ acc -> dest :: acc) st.best []
         |> List.sort compare
         |> List.filter_map (fun dest ->
-               adv_delta topo st ~dest ~cause:None nbr))
+               adv_delta topo st ~tr ~dest ~cause:None nbr))
     (List.sort compare fresh)
 
 (* One decision + export pass: the engine's batch end, shared by the
    cold-start path. *)
-let recompute topo states ~mrai ~now ~track ~node =
+let recompute topo states ~mrai ~now ~tr ~track ~node =
   let st = states.(node) in
   if Dirty.is_empty st.dirty && st.fresh_sessions = [] then []
   else begin
-    let changed = decision_run topo st ~track in
-    let msgs = rib_out_updates topo st changed in
-    let msgs = msgs @ fresh_session_exports topo st in
+    let dirty = Dirty.cardinal st.dirty in
+    let changed = decision_run topo st ~tr ~track in
+    if Trace.enabled tr then
+      Trace.emit tr
+        (Trace.Recompute { node; dirty; changed = List.length changed });
+    let msgs = rib_out_updates topo st ~tr changed in
+    let msgs = msgs @ fresh_session_exports topo st ~tr in
     emit st ~mrai ~now msgs
   end
 
-let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true) topo =
+let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
+    ?(trace = Trace.none) topo =
   let n = Topology.num_nodes topo in
   let changed = Dirty.create ~size:n () in
   let track = Dirty.mark changed in
+  let tr = trace in
   let states = Array.init n make_state in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src msg ->
-          rib_in_update states.(node) ~rcn ~incremental ~src msg;
+          rib_in_update states.(node) ~rcn ~incremental ~tr ~src msg;
           []);
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id ->
@@ -335,21 +371,24 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true) topo =
             if link.Topology.a = node then link.Topology.b
             else link.Topology.a
           in
-          session_change st ~rcn ~incremental ~other
+          session_change st ~rcn ~incremental ~tr ~other
             ~up:(Topology.is_up topo link_id);
           []);
       Sim.Engine.on_timer =
         (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key);
       Sim.Engine.on_batch_end =
-        (fun ~now ~node -> recompute topo states ~mrai ~now ~track ~node) }
+        (fun ~now ~node ->
+          recompute topo states ~mrai ~now ~tr ~track ~node) }
   in
-  let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  let engine =
+    Sim.Engine.create ~trace topo ~units:(fun _ -> 1) ~handlers
+  in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun i st ->
         (* Originating the own prefix is just the first decision: mark it
            dirty and run the same pipeline as any other recompute. *)
-        mark st st.id;
-        recompute topo states ~mrai ~now:(Sim.Engine.now engine) ~track
+        mark ~tr st st.id;
+        recompute topo states ~mrai ~now:(Sim.Engine.now engine) ~tr ~track
           ~node:i)
   in
   let next_hop ~src ~dest =

@@ -29,10 +29,17 @@ type msg = {
 }
 
 val network :
-  ?mrai:float -> ?rcn:bool -> ?incremental:bool -> Topology.t ->
-  Sim.Runner.t
+  ?mrai:float -> ?rcn:bool -> ?incremental:bool -> ?trace:Obs.Trace.t ->
+  Topology.t -> Sim.Runner.t
 (** Build a BGP network over the topology. [mrai] is the batching
     interval in milliseconds (default 30.0; 0 disables batching).
+
+    [trace] (default disabled) receives the engine events plus the
+    pipeline's own: a [Mark_dirty] per absorb-stage mark, a [Recompute]
+    span per decision run (dirty-set size and routes moved), a
+    [Rib_change] per Loc-RIB move and a [Rib_out] per Adj-RIB-Out delta
+    — emitted at diff time, where the no-redundant-update invariant
+    holds regardless of MRAI coalescing.
 
     The implementation runs the standard three-stage pipeline — Adj-RIB-In
     absorb, decision, Adj-RIB-Out export — over a per-node dirty set: each

@@ -3,31 +3,74 @@
    marked on the node's dirty set) and one recomputation per
    same-timestamp burst re-selects and flushes at the engine's batch
    end. *)
-let network topo =
+
+module Trace = Obs.Trace
+
+let network ?(trace = Trace.none) topo =
   let n = Topology.num_nodes topo in
   let changed = Dirty.create ~size:n () in
+  let tr = trace in
+  (* The on_change tap fires mid-recompute, after the node has installed
+     its new selection, so it can read the fresh state back through this
+     cell (the array itself is built around the callbacks). *)
+  let states_cell = ref [||] in
+  let rib_changes = Array.make n 0 in
   let states =
     Array.init n (fun id ->
-        Centaur.Node.create ~on_change:(Dirty.mark changed) topo ~id)
+        Centaur.Node.create
+          ~on_change:(fun dest ->
+            Dirty.mark changed dest;
+            rib_changes.(id) <- rib_changes.(id) + 1;
+            if Trace.enabled tr then
+              let withdrawn =
+                Centaur.Node.selected_path !states_cell.(id) ~dest = None
+              in
+              Trace.emit tr (Trace.Rib_change { node = id; dest; withdrawn }))
+          topo ~id)
+  in
+  states_cell := states;
+  (* The node marks its internal dirty set during absorb; mirror the
+     growth onto the trace as one bulk mark so the checker can pair every
+     recompute span with its absorb. *)
+  let absorb_traced node absorb =
+    if Trace.enabled tr then begin
+      let before = Centaur.Node.dirty_size states.(node) in
+      states.(node) <- absorb states.(node);
+      if Centaur.Node.dirty_size states.(node) > before then
+        Trace.emit tr (Trace.Mark_dirty { node; dest = -1 })
+    end
+    else states.(node) <- absorb states.(node)
   in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src:_ ann ->
-          states.(node) <- Centaur.Node.absorb states.(node) ann;
+          absorb_traced node (fun st -> Centaur.Node.absorb st ann);
           []);
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id:_ ->
-          states.(node) <- Centaur.Node.absorb_adjacency states.(node);
+          absorb_traced node Centaur.Node.absorb_adjacency;
           []);
       Sim.Engine.on_timer = Sim.Engine.no_timers;
       Sim.Engine.on_batch_end =
         (fun ~now:_ ~node ->
-          let st, sends = Centaur.Node.recompute states.(node) in
-          states.(node) <- st;
-          Sim.Runner.sends_to_actions sends) }
+          if Trace.enabled tr then begin
+            let dirty = Centaur.Node.dirty_size states.(node) in
+            let before = rib_changes.(node) in
+            let st, sends = Centaur.Node.recompute states.(node) in
+            states.(node) <- st;
+            Trace.emit tr
+              (Trace.Recompute
+                 { node; dirty; changed = rib_changes.(node) - before });
+            Sim.Runner.sends_to_actions sends
+          end
+          else begin
+            let st, sends = Centaur.Node.recompute states.(node) in
+            states.(node) <- st;
+            Sim.Runner.sends_to_actions sends
+          end) }
   in
   let engine =
-    Sim.Engine.create topo ~units:Centaur.Announce.units ~handlers
+    Sim.Engine.create ~trace topo ~units:Centaur.Announce.units ~handlers
   in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun i _ ->

@@ -6,6 +6,11 @@
     matching how the paper counts Centaur's overhead against BGP's
     per-prefix updates. *)
 
-val network : Topology.t -> Sim.Runner.t
+val network : ?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t
 (** The runner's [path] accessor reports each node's selected
-    policy-compliant path from its local P-graph state. *)
+    policy-compliant path from its local P-graph state.
+
+    [trace] (default disabled) receives the engine events plus a bulk
+    [Mark_dirty] whenever an absorb grows the node's dirty set, a
+    [Rib_change] per selected-path move, and a [Recompute] span per
+    batch-end re-selection (dirty-set size and paths moved). *)

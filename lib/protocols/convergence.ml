@@ -34,38 +34,54 @@ let zero_stats =
     losses = 0;
     events = 0 }
 
+(* Per-run accumulation into a caller-supplied registry: counters sum
+   the control-plane cost across runs, the histogram shapes the
+   convergence-time distribution. Deterministic: driven only by run
+   results, in run order. *)
+let record metrics (stats : Sim.Engine.run_stats) ~changed =
+  let open Obs.Metrics in
+  incr (counter metrics "convergence.runs");
+  add (counter metrics "convergence.messages") stats.Sim.Engine.messages;
+  add (counter metrics "convergence.units") stats.Sim.Engine.units;
+  add (counter metrics "convergence.changed_dests") changed;
+  observe
+    (histogram metrics "convergence.duration_ms")
+    stats.Sim.Engine.duration
+
 (* Run one convergence and read how many destinations actually
    re-routed, off the runner's uniform changed-destination feed. The
    feed drains on read, so each count covers exactly one run. *)
-let converge_counting (runner : Sim.Runner.t) run =
+let converge_counting ?metrics (runner : Sim.Runner.t) run =
   ignore (runner.Sim.Runner.changed_dests ());
   let stats = run () in
-  (stats, List.length (runner.Sim.Runner.changed_dests ()))
+  let changed = List.length (runner.Sim.Runner.changed_dests ()) in
+  (match metrics with Some m -> record m stats ~changed | None -> ());
+  (stats, changed)
 
-let do_flips (runner : Sim.Runner.t) ~links =
+let do_flips ?metrics (runner : Sim.Runner.t) ~links =
   List.map
     (fun link_id ->
       let down, down_changed =
-        converge_counting runner (fun () ->
+        converge_counting ?metrics runner (fun () ->
             runner.Sim.Runner.flip ~link_id ~up:false)
       in
       let up, up_changed =
-        converge_counting runner (fun () ->
+        converge_counting ?metrics runner (fun () ->
             runner.Sim.Runner.flip ~link_id ~up:true)
       in
       { link_id; down; up; down_changed; up_changed })
     links
 
-let flip_links (runner : Sim.Runner.t) ~links =
+let flip_links ?metrics (runner : Sim.Runner.t) ~links =
   let cold = runner.Sim.Runner.cold_start () in
-  let flips = do_flips runner ~links in
+  let flips = do_flips ?metrics runner ~links in
   { protocol = runner.Sim.Runner.name; cold; flips }
 
-let flip_links_preconverged (runner : Sim.Runner.t) ~links =
-  let flips = do_flips runner ~links in
+let flip_links_preconverged ?metrics (runner : Sim.Runner.t) ~links =
+  let flips = do_flips ?metrics runner ~links in
   { protocol = runner.Sim.Runner.name; cold = zero_stats; flips }
 
-let flip_groups (runner : Sim.Runner.t) ~groups =
+let flip_groups ?metrics (runner : Sim.Runner.t) ~groups =
   let g_cold = runner.Sim.Runner.cold_start () in
   let groups =
     List.map
@@ -73,11 +89,11 @@ let flip_groups (runner : Sim.Runner.t) ~groups =
         let cut = List.map (fun id -> (id, false)) links in
         let restore = List.map (fun id -> (id, true)) links in
         let g_down, g_down_changed =
-          converge_counting runner (fun () ->
+          converge_counting ?metrics runner (fun () ->
               runner.Sim.Runner.flip_many cut)
         in
         let g_up, g_up_changed =
-          converge_counting runner (fun () ->
+          converge_counting ?metrics runner (fun () ->
               runner.Sim.Runner.flip_many restore)
         in
         { links; g_down; g_up; g_down_changed; g_up_changed })

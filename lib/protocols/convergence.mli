@@ -44,15 +44,25 @@ type group_result = {
   groups : group_sample list;
 }
 
-val flip_links : Sim.Runner.t -> links:int list -> result
+val flip_links :
+  ?metrics:Obs.Metrics.t -> Sim.Runner.t -> links:int list -> result
 (** Cold-start the protocol, then flip each listed link down and back
-    up, recording the two convergence runs per link. *)
+    up, recording the two convergence runs per link.
 
-val flip_links_preconverged : Sim.Runner.t -> links:int list -> result
+    [metrics], when given, accumulates per-run instruments:
+    [convergence.runs], [convergence.messages], [convergence.units],
+    [convergence.changed_dests] counters and a
+    [convergence.duration_ms] histogram. The returned result is
+    unaffected. *)
+
+val flip_links_preconverged :
+  ?metrics:Obs.Metrics.t -> Sim.Runner.t -> links:int list -> result
 (** Like {!flip_links} for a runner whose [cold_start] already ran (the
     [cold] field is zeroed). *)
 
-val flip_groups : Sim.Runner.t -> groups:int list list -> group_result
+val flip_groups :
+  ?metrics:Obs.Metrics.t -> Sim.Runner.t -> groups:int list list ->
+  group_result
 (** Cold-start, then for each group cut all its links atomically (via
     the runner's [flip_many]), converge, restore them atomically, and
     converge again. *)

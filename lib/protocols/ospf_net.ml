@@ -90,12 +90,15 @@ let note_effective_change st topo link_id ~now_up =
    destination may re-route, so the whole range is reported on the
    uniform changed-destination feed (a deliberate over-approximation —
    see {!Sim.Runner.t.changed_dests}) and the SPF cache is re-examined. *)
-let install ~changed topo st m =
+let install ~changed ~tr topo st m =
   let before = effective_up st topo m.link_id in
   Hashtbl.replace st.db (m.origin, m.link_id) (m.seq, m.up);
   let after = effective_up st topo m.link_id in
   if before <> after then begin
     Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
+    (* Every destination may re-route: one bulk mark on the trace. *)
+    if Obs.Trace.enabled tr then
+      Obs.Trace.emit tr (Obs.Trace.Mark_dirty { node = st.id; dest = -1 });
     note_effective_change st topo m.link_id ~now_up:after
   end
 
@@ -104,30 +107,32 @@ let flood_except topo st ~except m =
     (fun (n, _, _) -> if Some n = except then None else Some (n, m))
     (Topology.neighbors topo st.id)
 
-let on_message ~changed topo states ~node ~src msg =
+let on_message ~changed ~tr topo states ~node ~src msg =
   let st = states.(node) in
   if fresher st msg then begin
-    install ~changed topo st msg;
+    install ~changed ~tr topo st msg;
     flood_except topo st ~except:(Some src) msg
   end
   else []
 
-let originate ~changed topo st link_id ~up =
+let originate ~changed ~tr topo st link_id ~up =
   let seq =
     1 + Option.value (Hashtbl.find_opt st.own_seq link_id) ~default:(-1)
   in
   Hashtbl.replace st.own_seq link_id seq;
   let m = { origin = st.id; link_id; seq; up } in
-  install ~changed topo st m;
+  install ~changed ~tr topo st m;
   flood_except topo st ~except:None m
 
-let on_link_change ~changed topo states ~node ~link_id =
+let on_link_change ~changed ~tr topo states ~node ~link_id =
   let st = states.(node) in
   let up = Topology.is_up topo link_id in
   (* The ground truth flipped: effective state changes at once for every
      node that believed the link up, before any LSA propagates. *)
   Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
-  let own = originate ~changed topo st link_id ~up in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.emit tr (Obs.Trace.Mark_dirty { node; dest = -1 });
+  let own = originate ~changed ~tr topo st link_id ~up in
   if not up then own
   else begin
     (* Database exchange over the restored adjacency: send the peer our
@@ -163,32 +168,36 @@ let tree_of ~incremental topo st =
     end;
     tree
 
-let network ?(incremental = true) topo =
+let network ?(incremental = true) ?(trace = Obs.Trace.none) topo =
   let n = Topology.num_nodes topo in
   let changed = Dirty.create ~size:n () in
+  let tr = trace in
   let states = Array.init n make_state in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src msg ->
           Sim.Runner.sends_to_actions
-            (on_message ~changed topo states ~node ~src msg));
+            (on_message ~changed ~tr topo states ~node ~src msg));
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id ->
           Sim.Runner.sends_to_actions
-            (on_link_change ~changed topo states ~node ~link_id));
+            (on_link_change ~changed ~tr topo states ~node ~link_id));
       Sim.Engine.on_timer = Sim.Engine.no_timers;
       (* Recomputation is pull-based: queries rebuild the SPF tree
          lazily, so a burst costs nothing until the next lookup and the
-         batch end has no work to do. *)
+         batch end has no work to do — which is also why OSPF emits no
+         [Recompute] spans on the trace. *)
       Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
-  let engine = Sim.Engine.create topo ~units:(fun _ -> 1) ~handlers in
+  let engine =
+    Sim.Engine.create ~trace topo ~units:(fun _ -> 1) ~handlers
+  in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun _ st ->
         Sim.Runner.sends_to_actions
           (List.concat_map
              (fun (_, _, link_id) ->
-               originate ~changed topo st link_id ~up:true)
+               originate ~changed ~tr topo st link_id ~up:true)
              (Topology.neighbors topo st.id)))
   in
   let path ~src ~dest =

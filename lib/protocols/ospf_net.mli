@@ -15,7 +15,8 @@ type msg = {
   up : bool;
 }
 
-val network : ?incremental:bool -> Topology.t -> Sim.Runner.t
+val network :
+  ?incremental:bool -> ?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t
 (** Cold start floods one LSA per (endpoint, adjacent link); a link flip
     floods a re-sequenced LSA from both endpoints, and a restored link
     additionally carries a database exchange to resynchronise the two
@@ -29,4 +30,9 @@ val network : ?incremental:bool -> Topology.t -> Sim.Runner.t
     use. [incremental:false] disables the cache and recomputes a
     from-scratch SPF per query, as a baseline for the
     [incremental-vs-full] bench kernel. Both modes compute identical
-    routes. *)
+    routes.
+
+    [trace] (default disabled) receives the engine events plus a bulk
+    [Mark_dirty] (dest [-1]) whenever a node's effective view of a link
+    flips; recomputation being pull-based, OSPF emits no [Recompute]
+    spans. *)

@@ -2,6 +2,9 @@ let src = Logs.Src.create "sim.engine" ~doc:"discrete-event engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
 type 'msg action =
   | Send of int * 'msg
   | Timer of float * int
@@ -32,11 +35,13 @@ type 'msg t = {
   loss : float array;  (* per-link delivery loss probability *)
   mutable loss_rng : Rng.t;
   mutable clock : float;
-  mutable sent_messages : int;
-  mutable sent_units : int;
-  mutable delivered : int;
-  mutable lost : int;
-  mutable processed : int;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  c_messages : Metrics.counter;
+  c_units : Metrics.counter;
+  c_deliveries : Metrics.counter;
+  c_losses : Metrics.counter;
+  c_events : Metrics.counter;
 }
 
 type run_stats = {
@@ -48,24 +53,49 @@ type run_stats = {
   events : int;
 }
 
-let create topo ~units ~handlers =
+let create ?(trace = Trace.none) ?metrics topo ~units ~handlers =
   let cmp (t1, _) (t2, _) = compare (t1 : float) t2 in
-  { topo;
-    units;
-    handlers;
-    queue = Heap.create ~cmp;
-    loss = Array.make (Topology.num_links topo) 0.0;
-    loss_rng = Rng.create 0;
-    clock = 0.0;
-    sent_messages = 0;
-    sent_units = 0;
-    delivered = 0;
-    lost = 0;
-    processed = 0 }
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let t =
+    { topo;
+      units;
+      handlers;
+      queue = Heap.create ~cmp;
+      loss = Array.make (Topology.num_links topo) 0.0;
+      loss_rng = Rng.create 0;
+      clock = 0.0;
+      trace;
+      metrics;
+      c_messages = Metrics.counter metrics "engine.messages";
+      c_units = Metrics.counter metrics "engine.units";
+      c_deliveries = Metrics.counter metrics "engine.deliveries";
+      c_losses = Metrics.counter metrics "engine.losses";
+      c_events = Metrics.counter metrics "engine.events" }
+  in
+  if Trace.enabled trace then begin
+    (* Replay needs the ground truth the checker starts from: links are
+       up by default, so only snapshot the exceptions. *)
+    Trace.set_now trace 0.0;
+    for link_id = 0 to Topology.num_links topo - 1 do
+      if not (Topology.is_up topo link_id) then begin
+        let link = Topology.link topo link_id in
+        Trace.emit trace
+          (Trace.Link_state
+             { link_id; a = link.Topology.a; b = link.Topology.b; up = false })
+      end
+    done
+  end;
+  t
 
 let topology t = t.topo
 
 let now t = t.clock
+
+let trace t = t.trace
+
+let metrics t = t.metrics
 
 let pending_events t = Heap.length t.queue
 
@@ -88,14 +118,21 @@ let perform t ~node actions =
         | Some link_id ->
           if Topology.is_up t.topo link_id then begin
             let delay = (Topology.link t.topo link_id).Topology.delay in
-            t.sent_messages <- t.sent_messages + 1;
-            t.sent_units <- t.sent_units + t.units msg;
+            let units = t.units msg in
+            Metrics.incr t.c_messages;
+            Metrics.add t.c_units units;
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Msg_send { src = node; dst; link_id; units });
             Heap.push t.queue
               (t.clock +. delay, Deliver { src = node; dst; link_id; msg })
           end)
       | Timer (delay, key) ->
         if delay < 0.0 then invalid_arg "Engine.perform: negative timer";
-        Heap.push t.queue (t.clock +. delay, Timer_fire { node; key }))
+        let fire_at = t.clock +. delay in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace (Trace.Timer_set { node; key; fire_at });
+        Heap.push t.queue (fire_at, Timer_fire { node; key }))
     actions
 
 let flip_link t ~link_id ~up =
@@ -103,6 +140,12 @@ let flip_link t ~link_id ~up =
       m "t=%.3f link %d -> %s" t.clock link_id (if up then "up" else "down"));
   Topology.set_up t.topo link_id up;
   let link = Topology.link t.topo link_id in
+  if Trace.enabled t.trace then begin
+    Trace.set_now t.trace t.clock;
+    Trace.emit t.trace
+      (Trace.Link_flip
+         { link_id; a = link.Topology.a; b = link.Topology.b; up })
+  end;
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.a; link_id });
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.b; link_id })
 
@@ -119,11 +162,11 @@ type mark = {
 
 let mark t =
   { m_time = t.clock;
-    m_messages = t.sent_messages;
-    m_units = t.sent_units;
-    m_delivered = t.delivered;
-    m_lost = t.lost;
-    m_processed = t.processed }
+    m_messages = Metrics.value t.c_messages;
+    m_units = Metrics.value t.c_units;
+    m_delivered = Metrics.value t.c_deliveries;
+    m_lost = Metrics.value t.c_losses;
+    m_processed = Metrics.value t.c_events }
 
 (* Shared event loop. [until = Some h] stops before the first event
    scheduled after [h] and advances the clock to [h]; [None] drains the
@@ -137,13 +180,20 @@ let mark t =
    one recompute amortizes a burst of simultaneous updates — a node
    crash's adjacent-link cut, an SRLG, or a fan-in of equal-delay
    floods. A batch closes before any other event is processed, so its
-   emissions enter the queue in correct time order. *)
+   emissions enter the queue in correct time order.
+
+   Trace framing mirrors that structure: [Batch_begin] is emitted before
+   the opening delivery/notification's absorb runs, and [Batch_end]
+   after the batch-end recompute and its emissions, so everything a
+   batch causes — deliveries, dirty marks, the recompute span, the sends
+   it triggers — sits between the two markers. *)
 let run_core ~max_events ~since ~until t =
   let start_time = since.m_time in
   let budget = ref max_events in
   let horizon_allows time =
     match until with None -> true | Some h -> time <= h
   in
+  let traced = Trace.enabled t.trace in
   (* Open batch: Some (time, node) after a handler ran for that node at
      that timestamp and its batch end is still pending. *)
   let open_batch = ref None in
@@ -152,7 +202,13 @@ let run_core ~max_events ~since ~until t =
     | None -> ()
     | Some (bt, bn) ->
       open_batch := None;
-      perform t ~node:bn (t.handlers.on_batch_end ~now:bt ~node:bn)
+      perform t ~node:bn (t.handlers.on_batch_end ~now:bt ~node:bn);
+      if traced then Trace.emit t.trace (Trace.Batch_end { node = bn })
+  in
+  let begin_batch time node =
+    if traced && !open_batch = None then
+      Trace.emit t.trace (Trace.Batch_begin { node });
+    Some (time, node)
   in
   let rec loop () =
     (* Close the open batch as soon as the next event cannot extend it
@@ -177,35 +233,52 @@ let run_core ~max_events ~since ~until t =
       if !budget = 0 then
         raise
           (Diverged
-             { processed = t.processed; pending = Heap.length t.queue + 1 });
+             { processed = Metrics.value t.c_events;
+               pending = Heap.length t.queue + 1 });
       decr budget;
       t.clock <- time;
-      t.processed <- t.processed + 1;
+      if traced then Trace.set_now t.trace time;
+      Metrics.incr t.c_events;
       (match event with
       | Deliver { src; dst; link_id; msg } ->
         (* Lost if the link died while the message was in flight, or to
            the link's probabilistic loss process. The loss draw happens
            only on links with a configured rate, so runs without a loss
            model never touch the RNG. *)
-        if not (Topology.is_up t.topo link_id) then t.lost <- t.lost + 1
+        if not (Topology.is_up t.topo link_id) then begin
+          Metrics.incr t.c_losses;
+          if traced then
+            Trace.emit t.trace
+              (Trace.Msg_loss { src; dst; link_id; dead_link = true })
+        end
         else if
           t.loss.(link_id) > 0.0 && Rng.chance t.loss_rng t.loss.(link_id)
-        then t.lost <- t.lost + 1
+        then begin
+          Metrics.incr t.c_losses;
+          if traced then
+            Trace.emit t.trace
+              (Trace.Msg_loss { src; dst; link_id; dead_link = false })
+        end
         else begin
-          t.delivered <- t.delivered + 1;
+          Metrics.incr t.c_deliveries;
+          let batch = begin_batch time dst in
+          if traced then
+            Trace.emit t.trace (Trace.Msg_deliver { src; dst; link_id });
           let actions =
             t.handlers.on_message ~now:t.clock ~node:dst ~src msg
           in
-          open_batch := Some (time, dst);
+          open_batch := batch;
           perform t ~node:dst actions
         end
       | Link_notify { node; link_id } ->
+        let batch = begin_batch time node in
         let actions =
           t.handlers.on_link_change ~now:t.clock ~node ~link_id
         in
-        open_batch := Some (time, node);
+        open_batch := batch;
         perform t ~node actions
       | Timer_fire { node; key } ->
+        if traced then Trace.emit t.trace (Trace.Timer_fire { node; key });
         let actions = t.handlers.on_timer ~now:t.clock ~node ~key in
         perform t ~node actions);
       loop ()
@@ -215,20 +288,25 @@ let run_core ~max_events ~since ~until t =
      batch is pending. *)
   loop ();
   (match until with
-  | Some h -> if h > t.clock then t.clock <- h
+  | Some h ->
+    if h > t.clock then begin
+      t.clock <- h;
+      if traced then Trace.set_now t.trace h
+    end
   | None -> ());
-  Log.debug (fun m ->
-      m "%s at t=%.3f: %d messages, %d events"
+  let m = mark t in
+  Log.debug (fun m' ->
+      m' "%s at t=%.3f: %d messages, %d events"
         (match until with None -> "quiescent" | Some _ -> "paused")
         t.clock
-        (t.sent_messages - since.m_messages)
-        (t.processed - since.m_processed));
+        (m.m_messages - since.m_messages)
+        (m.m_processed - since.m_processed));
   { duration = t.clock -. start_time;
-    messages = t.sent_messages - since.m_messages;
-    units = t.sent_units - since.m_units;
-    deliveries = t.delivered - since.m_delivered;
-    losses = t.lost - since.m_lost;
-    events = t.processed - since.m_processed }
+    messages = m.m_messages - since.m_messages;
+    units = m.m_units - since.m_units;
+    deliveries = m.m_delivered - since.m_delivered;
+    losses = m.m_lost - since.m_lost;
+    events = m.m_processed - since.m_processed }
 
 let run_to_quiescence ?(max_events = 20_000_000) ?since t =
   let since = match since with Some m -> m | None -> mark t in
@@ -238,6 +316,6 @@ let run_until ?(max_events = 20_000_000) ?since t horizon =
   let since = match since with Some m -> m | None -> mark t in
   run_core ~max_events ~since ~until:(Some horizon) t
 
-let total_messages t = t.sent_messages
+let total_messages t = Metrics.value t.c_messages
 
-let total_units t = t.sent_units
+let total_units t = Metrics.value t.c_units

@@ -62,12 +62,37 @@ type run_stats = {
 }
 
 val create :
-  Topology.t -> units:('msg -> int) -> handlers:'msg handlers -> 'msg t
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Topology.t ->
+  units:('msg -> int) ->
+  handlers:'msg handlers ->
+  'msg t
 (** [units] prices one message in protocol update units (per-prefix for
     path vector, per-link for Centaur, 1 for OSPF LSAs). All links start
-    loss-free; the loss RNG starts from seed 0 (see {!seed_loss}). *)
+    loss-free; the loss RNG starts from seed 0 (see {!seed_loss}).
+
+    [trace] (default {!Obs.Trace.none}, i.e. disabled) receives the
+    engine's structured events: an initial link-state snapshot, sends,
+    deliveries, losses, link flips, timer activity and batch boundaries;
+    the engine keeps the trace clock in sync so protocol handlers can
+    emit their own events (dirty marks, recompute spans, RIB deltas)
+    without threading [now].
+
+    [metrics] (default: a private fresh registry) receives the engine's
+    counters — [engine.messages], [engine.units], [engine.deliveries],
+    [engine.losses], [engine.events] — which {!run_stats} and {!mark}
+    are derived from. Pass a registry to aggregate across engines or to
+    export it; registries are single-domain, so give each engine of a
+    pool-parallel sweep its own and merge afterwards. *)
 
 val topology : 'msg t -> Topology.t
+
+val trace : 'msg t -> Obs.Trace.t
+(** The trace given at {!create} ({!Obs.Trace.none} when untraced). *)
+
+val metrics : 'msg t -> Obs.Metrics.t
+(** The registry holding this engine's counters. *)
 
 val now : 'msg t -> float
 

@@ -13,6 +13,8 @@ type t = {
   next_hop : src:int -> dest:int -> int option;
   path : src:int -> dest:int -> Path.t option;
   changed_dests : unit -> int list;
+  trace : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
 }
 
 let sends_to_actions sends =
@@ -60,7 +62,9 @@ let make ~name ~engine ~cold_start ~changed ~next_hop ~path =
     now = (fun () -> Engine.now engine);
     next_hop;
     path;
-    changed_dests = (fun () -> Dirty.take changed) }
+    changed_dests = (fun () -> Dirty.take changed);
+    trace = Engine.trace engine;
+    metrics = Engine.metrics engine }
 
 let forwarding_path t ~src ~dest ~max_hops =
   let rec go current acc hops =

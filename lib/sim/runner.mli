@@ -48,6 +48,12 @@ type t = {
           destination absent from the feed is guaranteed unchanged at
           every node — the contract the convergence harness and the fault
           observer rely on to skip untouched work. *)
+  trace : Obs.Trace.t;
+      (** The engine's trace sink ({!Obs.Trace.none} when untraced) —
+          harnesses read it back for checking, digesting or export. *)
+  metrics : Obs.Metrics.t;
+      (** The engine's metrics registry (engine counters, plus whatever
+          the protocol registered). *)
 }
 
 val sends_to_actions : (int * 'msg) list -> 'msg Engine.action list

@@ -1,0 +1,19 @@
+(* Regenerates the golden fig-2a trace digest checked by test_obs.ml:
+
+     dune exec test/gen_trace_baseline.exe > test/trace-baseline.txt
+
+   The digest is timestamp-free, so it only moves when the event
+   sequence of the scenario changes — regenerate deliberately and review
+   the diff like any other semantic change. Must stay in sync with
+   [Test_obs.fig2a_trace]. *)
+
+let link_bd = 2 (* figure2a link ids, in declaration order *)
+
+let () =
+  let trace = Obs.Trace.create () in
+  let topo = Fixtures.figure2a () in
+  let runner = Protocols.Centaur_net.network ~trace topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  ignore (runner.Sim.Runner.flip ~link_id:link_bd ~up:false);
+  ignore (runner.Sim.Runner.flip ~link_id:link_bd ~up:true);
+  print_string (Obs.Trace.digest trace)

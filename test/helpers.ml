@@ -1,5 +1,14 @@
 (* Shared helpers for the test suites. *)
 
+(* QCheck iteration budget: [qcheck_count d] is [d] unless the
+   CENTAUR_QCHECK_COUNT environment variable overrides it (e.g. a
+   nightly soak raising every property to thousands of cases). *)
+let qcheck_count default =
+  match Sys.getenv_opt "CENTAUR_QCHECK_COUNT" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let path_testable = Alcotest.testable Path.pp Path.equal
 
 let path_opt = Alcotest.option path_testable

@@ -16,7 +16,9 @@ let tiny =
     resilience_scenarios = 2;
     resilience_pairs = 6;
     resilience_flaps = 3;
-    resilience_horizon = 150.0 }
+    resilience_horizon = 150.0;
+    emit_metrics = false;
+    trace_digest = None }
 
 let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in

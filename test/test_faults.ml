@@ -157,18 +157,32 @@ let test_observer_detects_loop () =
    immediately. The observer must measure a strictly larger unavailable
    window for BGP. *)
 let test_figure2a_bgp_window () =
-  let run make =
+  let run ~what make =
     let topo = Fixtures.figure2a () in
-    let runner = make topo in
-    Injector.run runner ~topo
-      ~scenario:
-        (scenario ~seed:5 ~horizon:120.0 ~sample_every:1.0
-           [ Scenario.Link_flap { link_id = link_bd; at = 10.0;
-                                  duration = 60.0 } ])
-      ~pairs:[ (1, 3); (0, 3) ]
+    let trace = Obs.Trace.create () in
+    let runner = make ~trace topo in
+    let report =
+      Injector.run runner ~topo
+        ~scenario:
+          (scenario ~seed:5 ~horizon:120.0 ~sample_every:1.0
+             [ Scenario.Link_flap { link_id = link_bd; at = 10.0;
+                                    duration = 60.0 } ])
+        ~pairs:[ (1, 3); (0, 3) ]
+    in
+    (* The trace of the whole injected run doubles as an oracle: no
+       delivery may slip past the cut, no batch may leak, no export may
+       repeat. *)
+    Obs.Check.expect_ok ~what trace;
+    report
   in
-  let centaur = run Protocols.Centaur_net.network in
-  let bgp = run (Protocols.Bgp_net.network ~mrai:30.0) in
+  let centaur =
+    run ~what:"fig2a centaur" (fun ~trace topo ->
+        Protocols.Centaur_net.network ~trace topo)
+  in
+  let bgp =
+    run ~what:"fig2a bgp" (fun ~trace topo ->
+        Protocols.Bgp_net.network ~mrai:30.0 ~trace topo)
+  in
   Alcotest.(check bool) "bgp leaves a transient window" true
     (bgp.Observer.unavailable_ms > 0.0);
   Alcotest.(check bool) "centaur strictly smaller window" true
@@ -204,11 +218,20 @@ let scenario_report seed =
   let s =
     Scenario.random_churn ~seed ~horizon:150.0 ~sample_every:5.0 ~flaps:3 topo
   in
-  let runner = Protocols.Centaur_net.network topo in
-  Injector.run runner ~topo ~scenario:s ~pairs:[ (0, 7); (3, 9); (8, 1) ]
+  let trace = Obs.Trace.create ~capacity:(1 lsl 17) () in
+  let runner = Protocols.Centaur_net.network ~trace topo in
+  let report =
+    Injector.run runner ~topo ~scenario:s ~pairs:[ (0, 7); (3, 9); (8, 1) ]
+  in
+  (* Every randomized churn run must replay cleanly through the
+     invariant checker (the report equality below stays the primary
+     determinism oracle). *)
+  Obs.Check.expect_ok ~what:"random churn trace" trace;
+  report
 
 let determinism_qcheck =
-  QCheck.Test.make ~name:"same fault seed, identical report" ~count:5
+  QCheck.Test.make ~name:"same fault seed, identical report"
+    ~count:(Helpers.qcheck_count 5)
     QCheck.(int_bound 1000)
     (fun seed ->
       (* Fresh topology + runner each time: equality means the whole
@@ -218,7 +241,7 @@ let determinism_qcheck =
 
 let composition_qcheck =
   QCheck.Test.make ~name:"run_until splits compose to one full run"
-    ~count:25
+    ~count:(Helpers.qcheck_count 25)
     QCheck.(int_range 1 200)
     (fun tenths ->
       let full_run () =

@@ -54,21 +54,26 @@ let same_forwarding n (a : Sim.Runner.t) (b : Sim.Runner.t) =
 let nodes = 12
 
 (* Churn one instance, then cold-start a second instance directly on the
-   final link state: identical forwarding tables required. *)
+   final link state: identical forwarding tables required. The churned
+   instance runs traced, and the whole event stream must satisfy the
+   Obs.Check invariants — a second, orthogonal oracle on the same runs. *)
 let churn_vs_fresh ~name make_runner =
-  QCheck.Test.make ~name:(name ^ ": churned == fresh cold start") ~count:12
+  QCheck.Test.make ~name:(name ^ ": churned == fresh cold start")
+    ~count:(qcheck_count 12)
     QCheck.(int_bound 10_000)
     (fun seed ->
       let topo = random_brite ~seed ~n:nodes ~m:2 in
-      let runner = make_runner topo in
+      let trace = Obs.Trace.create () in
+      let runner = make_runner ~trace topo in
       ignore (runner.Sim.Runner.cold_start ());
       let state = Array.make (Topology.num_links topo) true in
       apply_churn (Rng.create (seed + 17)) runner state;
+      Obs.Check.expect_ok ~what:(name ^ " churn trace") trace;
       let fresh_topo = random_brite ~seed ~n:nodes ~m:2 in
       Array.iteri
         (fun l up -> if not up then Topology.set_up fresh_topo l false)
         state;
-      let fresh = make_runner fresh_topo in
+      let fresh = make_runner ~trace:Obs.Trace.none fresh_topo in
       ignore (fresh.Sim.Runner.cold_start ());
       same_forwarding nodes runner fresh)
 
@@ -76,13 +81,14 @@ let churn_vs_fresh ~name make_runner =
    identical churn: they must agree after every single step. *)
 let incremental_vs_full ~name make_runner =
   QCheck.Test.make ~name:(name ^ ": incremental == full recompute")
-    ~count:12
+    ~count:(qcheck_count 12)
     QCheck.(int_bound 10_000)
     (fun seed ->
       let topo_i = random_brite ~seed ~n:nodes ~m:2 in
       let topo_f = random_brite ~seed ~n:nodes ~m:2 in
-      let incr = make_runner ~incremental:true topo_i in
-      let full = make_runner ~incremental:false topo_f in
+      let trace = Obs.Trace.create () in
+      let incr = make_runner ~incremental:true ~trace topo_i in
+      let full = make_runner ~incremental:false ~trace:Obs.Trace.none topo_f in
       ignore (incr.Sim.Runner.cold_start ());
       ignore (full.Sim.Runner.cold_start ());
       let state_i = Array.make (Topology.num_links topo_i) true in
@@ -94,16 +100,19 @@ let incremental_vs_full ~name make_runner =
         apply_churn (Rng.create seed') full state_f;
         if not (same_forwarding nodes incr full) then ok := false
       done;
+      Obs.Check.expect_ok ~what:(name ^ " incremental trace") trace;
       !ok)
 
 (* The changed-destination feed may over-approximate but must never miss
    a destination whose forwarding changed somewhere. *)
 let changed_dests_sound ~name make_runner =
-  QCheck.Test.make ~name:(name ^ ": changed_dests feed is sound") ~count:12
+  QCheck.Test.make ~name:(name ^ ": changed_dests feed is sound")
+    ~count:(qcheck_count 12)
     QCheck.(int_bound 10_000)
     (fun seed ->
       let topo = random_brite ~seed ~n:nodes ~m:2 in
-      let runner = make_runner topo in
+      let trace = Obs.Trace.create () in
+      let runner = make_runner ~trace topo in
       ignore (runner.Sim.Runner.cold_start ());
       let snapshot () =
         Array.init nodes (fun src ->
@@ -131,22 +140,25 @@ let changed_dests_sound ~name make_runner =
           done
         done
       done;
+      Obs.Check.expect_ok ~what:(name ^ " changed_dests trace") trace;
       !ok)
 
-let centaur topo = Protocols.Centaur_net.network topo
+let centaur ~trace topo = Protocols.Centaur_net.network ~trace topo
 
-let bgp ~incremental topo = Protocols.Bgp_net.network ~incremental topo
+let bgp ~incremental ~trace topo =
+  Protocols.Bgp_net.network ~incremental ~trace topo
 
-let bgp_rcn topo = Protocols.Bgp_net.network ~rcn:true topo
+let bgp_rcn ~trace topo = Protocols.Bgp_net.network ~rcn:true ~trace topo
 
-let ospf ~incremental topo = Protocols.Ospf_net.network ~incremental topo
+let ospf ~incremental ~trace topo =
+  Protocols.Ospf_net.network ~incremental ~trace topo
 
 (* Deterministic spot check of the observer's verdict cache riding the
    same feed: a second sample with no traffic in between replays every
    verdict from cache; a flip forces fresh probes again. *)
 let test_observer_cache () =
   let topo = random_brite ~seed:5 ~n:10 ~m:2 in
-  let runner = centaur topo in
+  let runner = centaur ~trace:Obs.Trace.none topo in
   ignore (runner.Sim.Runner.cold_start ());
   let pairs = [ (0, 7); (2, 9); (4, 1) ] in
   let obs = Faults.Observer.create topo ~pairs ~sample_every:5.0 in

@@ -24,4 +24,5 @@ let () =
       ("privacy", Test_privacy.suite);
       ("faults", Test_faults.suite);
       ("incremental", Test_incremental.suite);
+      ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite) ]
