@@ -233,7 +233,7 @@ let pgraph_cmd =
 
 let protocols : (string * (?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t)) list
     =
-  [ ("centaur", Protocols.Centaur_net.network);
+  [ ("centaur", fun ?trace topo -> Protocols.Centaur_net.network ?trace topo);
     ("bgp", fun ?trace topo -> Protocols.Bgp_net.network ?trace topo);
     ("bgp-rcn", fun ?trace topo -> Protocols.Bgp_net.network ~rcn:true ?trace topo);
     ("ospf", fun ?trace topo -> Protocols.Ospf_net.network ?trace topo) ]
@@ -286,9 +286,11 @@ let simulate_cmd =
         or_diverged (fun () ->
             let report label (s : Sim.Engine.run_stats) =
               Printf.printf
-                "%-10s time=%8.2fms messages=%7d units=%8d lost=%5d events=%d\n"
+                "%-10s time=%8.2fms messages=%7d units=%8d bytes=%9d \
+                 lost=%5d events=%d\n"
                 label s.Sim.Engine.duration s.Sim.Engine.messages
-                s.Sim.Engine.units s.Sim.Engine.losses s.Sim.Engine.events
+                s.Sim.Engine.units s.Sim.Engine.bytes s.Sim.Engine.losses
+                s.Sim.Engine.events
             in
             report "cold" (runner.Sim.Runner.cold_start ());
             report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);

@@ -79,6 +79,35 @@ let changed_dests a b =
 
 let equal a b = Nmap.equal Iset.equal a b
 
+type compressed = {
+  c_entries : (int option * Bloom.t) list;
+  c_bytes : int;
+}
+
+let compress t ~fp_rate =
+  let entries, bytes =
+    Nmap.fold
+      (fun next set (es, bytes) ->
+        (* Well-formed lists never hold an empty entry ([remove_dest]
+           drops them), but size defensively. *)
+        let filter =
+          Bloom.create ~expected:(max 1 (Iset.cardinal set)) ~fp_rate
+        in
+        Iset.iter (Bloom.add filter) set;
+        ((next, filter) :: es, bytes + 4 + Bloom.size_bytes filter))
+      t ([], 0)
+  in
+  { c_entries = entries; c_bytes = bytes }
+
+let compressed_bytes c = c.c_bytes
+
+let compressed_permit c ~dest ~next =
+  List.exists
+    (fun (n, filter) -> n = next && Bloom.mem filter dest)
+    c.c_entries
+
+let wire_size_bytes t ~fp_rate = (compress t ~fp_rate).c_bytes
+
 let compressed_size_bytes t ~fp_rate =
   Nmap.fold
     (fun _next set acc ->

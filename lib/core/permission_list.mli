@@ -64,7 +64,32 @@ val equal : t -> t -> bool
 val compressed_size_bytes : t -> fp_rate:float -> int
 (** Size estimate when each entry's destination list is Bloom-compressed
     at the given false-positive rate (paper §4.1 suggests Bloom filters),
-    plus 4 bytes per entry for the next hop. *)
+    plus 4 bytes per entry for the next hop. Agrees exactly with
+    {!wire_size_bytes} (the formula the filters are sized by) without
+    building the filters. *)
+
+type compressed
+(** A Permission List as it travels: one Bloom filter per
+    ⟨DestList, NextHop⟩ entry, each sized by the standard formulae for
+    its destination count at the configured false-positive rate. *)
+
+val compress : t -> fp_rate:float -> compressed
+(** Build the real wire encoding: construct each entry's filter and
+    insert its destinations. *)
+
+val compressed_bytes : compressed -> int
+(** Serialized size: per entry, 4 bytes of next hop plus the filter's
+    bit array. *)
+
+val compressed_permit : compressed -> dest:int -> next:int option -> bool
+(** The [Permit] predicate evaluated against the compressed encoding. No
+    false negatives — anything {!permit}ted by the source list is
+    permitted here; false positives occur at the filters' configured
+    rate (the receiver may derive a path the sender did not export,
+    which Centaur tolerates by design, §4.1). *)
+
+val wire_size_bytes : t -> fp_rate:float -> int
+(** [compressed_bytes (compress t ~fp_rate)]. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -3,14 +3,21 @@ type link_data = {
   plist : Permission_list.t option;
 }
 
-(* Flat layout: a link (parent, child) is a single immediate int key —
-   [parent lsl 31 lor child] — into one int-keyed table, instead of the
-   former nested (int, (int, link_data) Hashtbl.t) Hashtbl.t. Packed
-   keys hash in one word, compare with [Int.equal] (no polymorphic
-   compare), and packed-key order is exactly (parent, child)
-   lexicographic order, so every sorted view sorts immediate ints. The
-   per-node adjacency needed by DerivePath is kept as int lists in two
-   side tables. *)
+(* Arena / struct-of-arrays layout: a link (parent, child) is a single
+   immediate int key — [parent lsl 31 lor child] — resolved through a
+   flat open-addressing table to a {e slot} in a set of parallel arrays
+   (key, counter, Permission List, two chain links). No per-entry heap
+   records: the only per-link allocation is the slot itself, and the
+   arrays grow geometrically, so a P-graph's resident size is a handful
+   of flat arrays regardless of link count. Packed-key order is exactly
+   (parent, child) lexicographic order, so every sorted view sorts
+   immediate ints.
+
+   The per-node adjacency needed by DerivePath is woven through the same
+   arena: [l_next_in] chains the slots sharing a child (the in-edge list
+   walked at multi-homed nodes), [l_next_out] chains the slots sharing a
+   parent, with chain heads in flat tables. Chains are unordered;
+   sorted views sort on extraction (adjacency lists are short). *)
 
 let pack_shift = 31
 let pack_mask = (1 lsl pack_shift) - 1
@@ -24,145 +31,237 @@ let check_node what v =
   if v < 0 || v > max_node then
     invalid_arg (what ^ ": node id out of packed range")
 
-module ITbl = Hashtbl.Make (struct
-  type t = int
-
-  let equal = Int.equal
-  let hash = Hashtbl.hash
-end)
+let nil = -1
 
 type t = {
   root_node : int;
-  (* packed (parent, child) -> data; the in-edge index DerivePath walks. *)
-  link_tbl : link_data ITbl.t;
-  (* child -> parent ids (unsorted), kept in sync with [link_tbl]. *)
-  parent_idx : int list ITbl.t;
-  (* parent -> child ids (unsorted), for iteration and export. *)
-  child_idx : int list ITbl.t;
-  dest_marks : unit ITbl.t;
+  (* Link arena, one slot per live link; [l_key.(s) = nil] on free slots
+     (packed keys are non-negative). Freed slots are chained through
+     [l_next_in] and reused before the arena grows. *)
+  mutable l_key : int array;
+  mutable l_counter : int array;
+  mutable l_plist : Permission_list.t option array;
+  mutable l_next_in : int array;
+  mutable l_next_out : int array;
+  mutable slot_hwm : int; (* arena high-water mark *)
+  mutable free_head : int;
+  slot_of : Flat_tbl.t; (* packed key -> slot *)
+  in_head : Flat_tbl.t; (* child -> first slot of its in-edge chain *)
+  out_head : Flat_tbl.t; (* parent -> first slot of its out-edge chain *)
+  dest_marks : Flat_tbl.t;
   mutable link_count : int;
 }
+
+let initial_cap = 8
 
 let create ~root =
   check_node "Pgraph.create" root;
   { root_node = root;
-    link_tbl = ITbl.create 64;
-    parent_idx = ITbl.create 64;
-    child_idx = ITbl.create 64;
-    dest_marks = ITbl.create 16;
+    l_key = Array.make initial_cap nil;
+    l_counter = Array.make initial_cap 0;
+    l_plist = Array.make initial_cap None;
+    l_next_in = Array.make initial_cap nil;
+    l_next_out = Array.make initial_cap nil;
+    slot_hwm = 0;
+    free_head = nil;
+    slot_of = Flat_tbl.create ();
+    in_head = Flat_tbl.create ();
+    out_head = Flat_tbl.create ();
+    dest_marks = Flat_tbl.create ();
     link_count = 0 }
 
 let root t = t.root_node
 
-let dests t =
-  ITbl.fold (fun d () acc -> d :: acc) t.dest_marks []
-  |> List.sort Int.compare
+let dests t = Array.to_list (Flat_tbl.sorted_keys t.dest_marks)
 
-let is_dest t d = ITbl.mem t.dest_marks d
+let is_dest t d = Flat_tbl.mem t.dest_marks d
 
 let mark_dest t d =
   check_node "Pgraph.mark_dest" d;
-  ITbl.replace t.dest_marks d ()
+  Flat_tbl.set t.dest_marks d 1
 
-let unmark_dest t d = ITbl.remove t.dest_marks d
+let unmark_dest t d = Flat_tbl.remove t.dest_marks d
 
-let idx_add idx ~at v =
-  let prev = Option.value (ITbl.find_opt idx at) ~default:[] in
-  ITbl.replace idx at (v :: prev)
+let grow_arena t =
+  let cap = Array.length t.l_key in
+  let cap' = 2 * cap in
+  let grow_int a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.l_key <- grow_int t.l_key nil;
+  t.l_counter <- grow_int t.l_counter 0;
+  t.l_next_in <- grow_int t.l_next_in nil;
+  t.l_next_out <- grow_int t.l_next_out nil;
+  let pl = Array.make cap' None in
+  Array.blit t.l_plist 0 pl 0 cap;
+  t.l_plist <- pl
 
-let idx_remove idx ~at v =
-  match ITbl.find_opt idx at with
-  | None -> ()
-  | Some l -> (
-    match List.filter (fun x -> x <> v) l with
-    | [] -> ITbl.remove idx at
-    | l' -> ITbl.replace idx at l')
+let alloc_slot t =
+  if t.free_head <> nil then begin
+    let s = t.free_head in
+    t.free_head <- t.l_next_in.(s);
+    s
+  end
+  else begin
+    if t.slot_hwm = Array.length t.l_key then grow_arena t;
+    let s = t.slot_hwm in
+    t.slot_hwm <- s + 1;
+    s
+  end
 
 let add_link t ~parent ~child ~data =
   if parent = child then invalid_arg "Pgraph.add_link: self-loop";
   check_node "Pgraph.add_link" parent;
   check_node "Pgraph.add_link" child;
   let key = pack ~parent ~child in
-  if not (ITbl.mem t.link_tbl key) then begin
-    t.link_count <- t.link_count + 1;
-    idx_add t.parent_idx ~at:child parent;
-    idx_add t.child_idx ~at:parent child
-  end;
-  ITbl.replace t.link_tbl key data
+  match Flat_tbl.find_opt t.slot_of key with
+  | Some s ->
+    t.l_counter.(s) <- data.counter;
+    t.l_plist.(s) <- data.plist
+  | None ->
+    let s = alloc_slot t in
+    t.l_key.(s) <- key;
+    t.l_counter.(s) <- data.counter;
+    t.l_plist.(s) <- data.plist;
+    t.l_next_in.(s) <- Flat_tbl.find_default t.in_head child ~default:nil;
+    Flat_tbl.set t.in_head child s;
+    t.l_next_out.(s) <- Flat_tbl.find_default t.out_head parent ~default:nil;
+    Flat_tbl.set t.out_head parent s;
+    Flat_tbl.set t.slot_of key s;
+    t.link_count <- t.link_count + 1
+
+(* Unlink slot [s] from the chain rooted at [head.(at)] and threaded
+   through [next]. Chains are as short as the node's degree. *)
+let unchain head next ~at s =
+  let first = Flat_tbl.find_default head at ~default:nil in
+  if first = s then begin
+    if next.(s) = nil then Flat_tbl.remove head at
+    else Flat_tbl.set head at next.(s)
+  end
+  else begin
+    let p = ref first in
+    while next.(!p) <> s do
+      p := next.(!p)
+    done;
+    next.(!p) <- next.(s)
+  end
 
 let remove_link t ~parent ~child =
   if parent >= 0 && parent <= max_node && child >= 0 && child <= max_node
   then begin
     let key = pack ~parent ~child in
-    if ITbl.mem t.link_tbl key then begin
-      ITbl.remove t.link_tbl key;
-      t.link_count <- t.link_count - 1;
-      idx_remove t.parent_idx ~at:child parent;
-      idx_remove t.child_idx ~at:parent child
-    end
+    match Flat_tbl.find_opt t.slot_of key with
+    | None -> ()
+    | Some s ->
+      Flat_tbl.remove t.slot_of key;
+      unchain t.in_head t.l_next_in ~at:child s;
+      unchain t.out_head t.l_next_out ~at:parent s;
+      t.l_key.(s) <- nil;
+      t.l_plist.(s) <- None;
+      t.l_next_in.(s) <- t.free_head;
+      t.free_head <- s;
+      t.link_count <- t.link_count - 1
   end
 
-let link_data t ~parent ~child =
+let slot t ~parent ~child =
   if parent < 0 || parent > max_node || child < 0 || child > max_node then
-    None
-  else ITbl.find_opt t.link_tbl (pack ~parent ~child)
+    nil
+  else
+    match Flat_tbl.find_opt t.slot_of (pack ~parent ~child) with
+    | Some s -> s
+    | None -> nil
 
-let mem_link t ~parent ~child = link_data t ~parent ~child <> None
+let link_data t ~parent ~child =
+  let s = slot t ~parent ~child in
+  if s = nil then None
+  else Some { counter = t.l_counter.(s); plist = t.l_plist.(s) }
+
+let mem_link t ~parent ~child = slot t ~parent ~child <> nil
 
 let in_degree t node =
-  match ITbl.find_opt t.parent_idx node with
-  | None -> 0
-  | Some l -> List.length l
+  let s = ref (Flat_tbl.find_default t.in_head node ~default:nil) in
+  let deg = ref 0 in
+  while !s <> nil do
+    incr deg;
+    s := t.l_next_in.(!s)
+  done;
+  !deg
 
 let parents_of t node =
-  match ITbl.find_opt t.parent_idx node with
-  | None -> []
-  | Some l ->
-    List.sort Int.compare l
-    |> List.map (fun parent ->
-           (parent, ITbl.find t.link_tbl (pack ~parent ~child:node)))
+  let acc = ref [] in
+  let s = ref (Flat_tbl.find_default t.in_head node ~default:nil) in
+  while !s <> nil do
+    acc :=
+      ( key_parent t.l_key.(!s),
+        { counter = t.l_counter.(!s); plist = t.l_plist.(!s) } )
+      :: !acc;
+    s := t.l_next_in.(!s)
+  done;
+  List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) !acc
 
 let children_of t node =
-  match ITbl.find_opt t.child_idx node with
-  | None -> []
-  | Some l -> List.sort Int.compare l
+  let acc = ref [] in
+  let s = ref (Flat_tbl.find_default t.out_head node ~default:nil) in
+  while !s <> nil do
+    acc := key_child t.l_key.(!s) :: !acc;
+    s := t.l_next_out.(!s)
+  done;
+  List.sort Int.compare !acc
+
+(* Visit every live slot in arena order (not key order). *)
+let iter_slots t f =
+  for s = 0 to t.slot_hwm - 1 do
+    if t.l_key.(s) <> nil then f s
+  done
 
 let links t =
-  ITbl.fold (fun key data acc -> (key, data) :: acc) t.link_tbl []
-  |> List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2)
-  |> List.map (fun (k, data) -> (key_parent k, key_child k, data))
+  let acc = ref [] in
+  iter_slots t (fun s -> acc := s :: !acc);
+  List.sort (fun s1 s2 -> Int.compare t.l_key.(s1) t.l_key.(s2)) !acc
+  |> List.map (fun s ->
+         ( key_parent t.l_key.(s),
+           key_child t.l_key.(s),
+           { counter = t.l_counter.(s); plist = t.l_plist.(s) } ))
 
 let num_links t = t.link_count
 
 let num_permission_lists t =
-  ITbl.fold
-    (fun _key data acc -> if data.plist <> None then acc + 1 else acc)
-    t.link_tbl 0
+  let n = ref 0 in
+  iter_slots t (fun s -> if t.l_plist.(s) <> None then incr n);
+  !n
 
 let permission_lists t =
-  ITbl.fold
-    (fun _key data acc ->
-      match data.plist with None -> acc | Some pl -> pl :: acc)
-    t.link_tbl []
+  let acc = ref [] in
+  iter_slots t (fun s ->
+      match t.l_plist.(s) with None -> () | Some pl -> acc := pl :: !acc);
+  !acc
 
 let nodes t =
-  let set = ITbl.create 64 in
-  ITbl.replace set t.root_node ();
-  ITbl.iter
-    (fun key _ ->
-      ITbl.replace set (key_parent key) ();
-      ITbl.replace set (key_child key) ())
-    t.link_tbl;
-  ITbl.fold (fun n () acc -> n :: acc) set [] |> List.sort Int.compare
+  let set = Flat_tbl.create () in
+  Flat_tbl.set set t.root_node 1;
+  iter_slots t (fun s ->
+      let key = t.l_key.(s) in
+      Flat_tbl.set set (key_parent key) 1;
+      Flat_tbl.set set (key_child key) 1);
+  Array.to_list (Flat_tbl.sorted_keys set)
 
 let copy t =
   let fresh = create ~root:t.root_node in
-  ITbl.iter
-    (fun key data ->
-      add_link fresh ~parent:(key_parent key) ~child:(key_child key) ~data)
-    t.link_tbl;
-  ITbl.iter (fun d () -> mark_dest fresh d) t.dest_marks;
+  iter_slots t (fun s ->
+      let key = t.l_key.(s) in
+      add_link fresh ~parent:(key_parent key) ~child:(key_child key)
+        ~data:{ counter = t.l_counter.(s); plist = t.l_plist.(s) });
+  Flat_tbl.iter t.dest_marks (fun d _ -> mark_dest fresh d);
   fresh
+
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
 
 (* BuildGraph (paper Table 2), with retroactive Permission Lists: the
    paper's inline formulation attaches an entry only when the node is
@@ -250,46 +349,44 @@ let of_multipaths ~root paths =
    the single parent at single-homed nodes and the Permission-List-
    permitted parent at multi-homed nodes. [prev] is the node we arrived
    from — the current node's next hop in the final path — which is what
-   Permit matches against (None while standing on the destination). *)
+   Permit matches against (None while standing on the destination). The
+   in-edge chain is walked in place; among several permitting parents
+   the lowest parent id wins, deterministically. *)
 let derive_path t ~dest =
   if dest = t.root_node then Some [ t.root_node ]
   else begin
     let fuel = num_links t + 1 in
     let rec go current prev acc fuel =
       if fuel = 0 then None
-      else if current = t.root_node then Some acc
       else
-        match ITbl.find_opt t.parent_idx current with
-        | None -> None
-        | Some [ parent ] ->
-          go parent (Some current) (parent :: acc) (fuel - 1)
-        | Some parents ->
-          let permitted =
-            List.fold_left
-              (fun best parent ->
-                let data =
-                  ITbl.find t.link_tbl (pack ~parent ~child:current)
-                in
-                let ok =
-                  match data.plist with
-                  | None -> false
-                  | Some pl -> Permission_list.permit pl ~dest ~next:prev
-                in
-                if not ok then best
-                else
-                  match best with
-                  | Some p when p <= parent -> best
-                  | Some _ | None -> Some parent)
-              None parents
-          in
-          (match permitted with
-          | None -> None
-          | Some parent ->
-            (* Well-formed graphs permit exactly one; if several do we
-               took the lowest parent id deterministically. *)
-            go parent (Some current) (parent :: acc) (fuel - 1))
+        let first = Flat_tbl.find_default t.in_head current ~default:nil in
+        if first = nil then None
+        else if t.l_next_in.(first) = nil then
+          (* Single-homed: follow the lone parent. *)
+          let parent = key_parent t.l_key.(first) in
+          if parent = t.root_node then Some (parent :: acc)
+          else go parent (Some current) (parent :: acc) (fuel - 1)
+        else begin
+          let permitted = ref nil in
+          let s = ref first in
+          while !s <> nil do
+            (match t.l_plist.(!s) with
+            | None -> ()
+            | Some pl ->
+              if Permission_list.permit pl ~dest ~next:prev then begin
+                let parent = key_parent t.l_key.(!s) in
+                if !permitted = nil || parent < !permitted then
+                  permitted := parent
+              end);
+            s := t.l_next_in.(!s)
+          done;
+          if !permitted = nil then None
+          else if !permitted = t.root_node then Some (!permitted :: acc)
+          else go !permitted (Some current) (!permitted :: acc) (fuel - 1)
+        end
     in
-    go dest None [ dest ] fuel
+    if dest = t.root_node then Some [ t.root_node ]
+    else go dest None [ dest ] fuel
   end
 
 let derive_all t =
@@ -320,29 +417,30 @@ let derive_paths ?(limit = 64) t ~dest =
           incr count;
           results := acc :: !results
         end
-        else
-          match ITbl.find_opt t.parent_idx current with
-          | None -> ()
-          | Some parents ->
-            let follow parent =
-              if not (List.mem parent acc) then
-                go parent (Some current) (parent :: acc)
-            in
-            (match parents with
-            | [ parent ] -> follow parent
-            | parents ->
-              List.iter
-                (fun parent ->
-                  let data =
-                    ITbl.find t.link_tbl (pack ~parent ~child:current)
-                  in
-                  match data.plist with
-                  | None -> ()
-                  | Some pl ->
-                    if Permission_list.permit pl ~dest ~next:prev then
-                      follow parent)
-                (* Sorted for deterministic result order. *)
-                (List.sort Int.compare parents))
+        else begin
+          let follow parent =
+            if not (List.mem parent acc) then
+              go parent (Some current) (parent :: acc)
+          in
+          let first = Flat_tbl.find_default t.in_head current ~default:nil in
+          if first <> nil then
+            if t.l_next_in.(first) = nil then
+              follow (key_parent t.l_key.(first))
+            else begin
+              (* Sorted for deterministic result order. *)
+              let parents = ref [] in
+              let s = ref first in
+              while !s <> nil do
+                (match t.l_plist.(!s) with
+                | None -> ()
+                | Some pl ->
+                  if Permission_list.permit pl ~dest ~next:prev then
+                    parents := key_parent t.l_key.(!s) :: !parents);
+                s := t.l_next_in.(!s)
+              done;
+              List.iter follow (List.sort Int.compare !parents)
+            end
+        end
     in
     go dest None [ dest ];
     List.sort_uniq Path.compare !results
@@ -357,16 +455,21 @@ let plist_opt_equal a b =
 let equal a b =
   a.root_node = b.root_node
   && a.link_count = b.link_count
-  && ITbl.length a.dest_marks = ITbl.length b.dest_marks
-  && ITbl.fold (fun d () ok -> ok && ITbl.mem b.dest_marks d) a.dest_marks true
-  && ITbl.fold
-       (fun key data ok ->
-         ok
-         &&
-         match ITbl.find_opt b.link_tbl key with
-         | None -> false
-         | Some data' -> plist_opt_equal data.plist data'.plist)
-       a.link_tbl true
+  && Flat_tbl.length a.dest_marks = Flat_tbl.length b.dest_marks
+  && Flat_tbl.fold a.dest_marks ~init:true ~f:(fun ok d _ ->
+         ok && Flat_tbl.mem b.dest_marks d)
+  &&
+  let ok = ref true in
+  iter_slots a (fun s ->
+      if !ok then begin
+        let key = a.l_key.(s) in
+        match Flat_tbl.find_opt b.slot_of key with
+        | None -> ok := false
+        | Some s' ->
+          if not (plist_opt_equal a.l_plist.(s) b.l_plist.(s')) then
+            ok := false
+      end);
+  !ok
 
 type delta = {
   add_links : (int * int * Permission_list.t option) list;
@@ -381,41 +484,38 @@ let delta_is_empty d =
 
 let delta_units d = List.length d.add_links + List.length d.remove_links
 
-(* Both sides are iterated in place over their packed-key tables — no
-   intermediate sorted link lists. Results are sorted on the (small)
-   delta, by immediate-int key, so the output order is the same
-   (parent, child) order as before. *)
+(* Both sides are iterated in place over their arenas — no intermediate
+   sorted link lists. Results are sorted on the (small) delta, by
+   immediate-int key, so the output order is the same (parent, child)
+   order as before. *)
 let diff ~old_ ~new_ =
   let added = ref [] in
-  ITbl.iter
-    (fun key data ->
-      match ITbl.find_opt old_.link_tbl key with
-      | Some od when plist_opt_equal od.plist data.plist -> ()
-      | Some _ | None -> added := (key, data.plist) :: !added)
-    new_.link_tbl;
+  iter_slots new_ (fun s ->
+      let key = new_.l_key.(s) in
+      let pl = new_.l_plist.(s) in
+      match Flat_tbl.find_opt old_.slot_of key with
+      | Some os when plist_opt_equal old_.l_plist.(os) pl -> ()
+      | Some _ | None -> added := (key, pl) :: !added);
   let add_links =
     List.sort (fun (k1, _) (k2, _) -> Int.compare k1 k2) !added
     |> List.map (fun (k, pl) -> (key_parent k, key_child k, pl))
   in
   let removed = ref [] in
-  ITbl.iter
-    (fun key _ ->
-      if not (ITbl.mem new_.link_tbl key) then removed := key :: !removed)
-    old_.link_tbl;
+  iter_slots old_ (fun s ->
+      let key = old_.l_key.(s) in
+      if not (Flat_tbl.mem new_.slot_of key) then removed := key :: !removed);
   let remove_links =
     List.sort Int.compare !removed
     |> List.map (fun k -> (key_parent k, key_child k))
   in
   let add_dests =
-    ITbl.fold
-      (fun d () acc -> if is_dest old_ d then acc else d :: acc)
-      new_.dest_marks []
+    Flat_tbl.fold new_.dest_marks ~init:[] ~f:(fun acc d _ ->
+        if is_dest old_ d then acc else d :: acc)
     |> List.sort Int.compare
   in
   let remove_dests =
-    ITbl.fold
-      (fun d () acc -> if is_dest new_ d then acc else d :: acc)
-      old_.dest_marks []
+    Flat_tbl.fold old_.dest_marks ~init:[] ~f:(fun acc d _ ->
+        if is_dest new_ d then acc else d :: acc)
     |> List.sort Int.compare
   in
   { add_links; remove_links; add_dests; remove_dests }

@@ -19,83 +19,198 @@ type pgraph_stats = {
   avg_plist_compressed_bytes : float;
 }
 
-(* Shared Table 4/5 aggregation over one P-graph per source. The
-   per-source summaries are computed across the domain pool; the final
-   totals are folded in source order, and since every total is a sum of
-   per-source integers the result is identical to the sequential
-   accumulation. *)
-let aggregate ~sources pgraph_of =
-  let per_source =
-    Pool.parallel_map_array
-      (fun s ->
-        let g = pgraph_of s in
-        let pls = Pgraph.permission_lists g in
-        let bytes =
-          List.fold_left
-            (fun acc pl ->
-              acc + Permission_list.compressed_size_bytes pl ~fp_rate:0.01)
-            0 pls
-        in
-        let dist =
-          List.fold_left
-            (fun d pl ->
-              match Permission_list.num_entries pl with
-              | 1 -> { d with one = d.one + 1 }
-              | 2 -> { d with two = d.two + 1 }
-              | 3 -> { d with three = d.three + 1 }
-              | _ -> { d with more = d.more + 1 })
-            { one = 0; two = 0; three = 0; more = 0 }
-            pls
-        in
-        (Pgraph.num_links g, List.length pls, dist, bytes))
-      (Array.of_list sources)
-  in
-  let total_links = ref 0 in
-  let total_plists = ref 0 in
-  let dist = ref { one = 0; two = 0; three = 0; more = 0 } in
-  let total_bytes = ref 0 in
-  Array.iter
-    (fun (links, plists, d, bytes) ->
-      total_links := !total_links + links;
-      total_plists := !total_plists + plists;
-      let acc = !dist in
-      dist :=
-        { one = acc.one + d.one;
-          two = acc.two + d.two;
-          three = acc.three + d.three;
-          more = acc.more + d.more };
-      total_bytes := !total_bytes + bytes)
-    per_source;
-  let k = float_of_int (List.length sources) in
-  let plist_count = !total_plists in
-  { num_sources = List.length sources;
-    avg_links = float_of_int !total_links /. k;
-    avg_plists = float_of_int plist_count /. k;
-    entry_dist = !dist;
+let plist_fp_rate = 0.01
+
+(* Mutable Table 4/5 totals. Every field is a sum of per-source
+   integers, so accumulation order never shows in the result. *)
+type stats_acc = {
+  mutable a_links : int;
+  mutable a_plists : int;
+  mutable a_one : int;
+  mutable a_two : int;
+  mutable a_three : int;
+  mutable a_more : int;
+  mutable a_bytes : int;
+}
+
+let stats_zero () =
+  { a_links = 0;
+    a_plists = 0;
+    a_one = 0;
+    a_two = 0;
+    a_three = 0;
+    a_more = 0;
+    a_bytes = 0 }
+
+let stats_add_into ~into ws =
+  into.a_links <- into.a_links + ws.a_links;
+  into.a_plists <- into.a_plists + ws.a_plists;
+  into.a_one <- into.a_one + ws.a_one;
+  into.a_two <- into.a_two + ws.a_two;
+  into.a_three <- into.a_three + ws.a_three;
+  into.a_more <- into.a_more + ws.a_more;
+  into.a_bytes <- into.a_bytes + ws.a_bytes
+
+let stats_add_plist acc pl =
+  acc.a_plists <- acc.a_plists + 1;
+  (match Permission_list.num_entries pl with
+  | 1 -> acc.a_one <- acc.a_one + 1
+  | 2 -> acc.a_two <- acc.a_two + 1
+  | 3 -> acc.a_three <- acc.a_three + 1
+  | _ -> acc.a_more <- acc.a_more + 1);
+  acc.a_bytes <-
+    acc.a_bytes + Permission_list.compressed_size_bytes pl ~fp_rate:plist_fp_rate
+
+let stats_finalize ~num_sources acc =
+  let k = float_of_int num_sources in
+  { num_sources;
+    avg_links = float_of_int acc.a_links /. k;
+    avg_plists = float_of_int acc.a_plists /. k;
+    entry_dist =
+      { one = acc.a_one; two = acc.a_two; three = acc.a_three;
+        more = acc.a_more };
     avg_plist_compressed_bytes =
-      (if plist_count = 0 then 0.0
-       else float_of_int !total_bytes /. float_of_int plist_count) }
+      (if acc.a_plists = 0 then 0.0
+       else float_of_int acc.a_bytes /. float_of_int acc.a_plists) }
+
+(* Shared Table 4/5 aggregation over one P-graph per source, sharded by
+   source across the pool: each domain reduces its sources straight into
+   a private totals record (the P-graph itself is dropped as soon as its
+   statistics are read off), and the records are summed — commutatively —
+   on the way down. No per-source result list is ever materialized. *)
+let aggregate ~sources pgraph_of =
+  let src_arr = Array.of_list sources in
+  let total = stats_zero () in
+  Pool.parallel_fold
+    ~create:stats_zero
+    ~merge:(fun () ws -> stats_add_into ~into:total ws)
+    ~init:() (Array.length src_arr)
+    (fun ws i ->
+      let g = pgraph_of src_arr.(i) in
+      ws.a_links <- ws.a_links + Pgraph.num_links g;
+      List.iter (stats_add_plist ws) (Pgraph.permission_lists g));
+  stats_finalize ~num_sources:(Array.length src_arr) total
+
+(* {2 Streamed per-source P-graph statistics}
+
+   [analyze] never builds a P-graph per source. A source's statistics
+   need only (a) its set of distinct P-graph links and (b), for links
+   into multi-homed nodes, the (dest, next) traversals that make up the
+   Permission List — so each (source, dest, path) is streamed link by
+   link into a {!src_stream}: a flat link-key → chain-head table plus a
+   packed-int traversal arena (value and chain-link arrays, grown
+   geometrically). Nothing is kept per path; resident cost is two ints
+   per traversal and one table slot per distinct link. *)
+
+let pack_link ~parent ~child = (parent lsl 31) lor child
+let link_child key = key land ((1 lsl 31) - 1)
+
+(* A traversal is (dest, next-hop option) packed into one immediate int:
+   dest in the high bits, next + 1 in the low 32 (0 = None). *)
+let pack_trav ~dest ~next =
+  (dest lsl 32) lor (match next with None -> 0 | Some x -> x + 1)
+
+let trav_dest v = v lsr 32
+
+let trav_next v =
+  let x = v land 0xFFFFFFFF in
+  if x = 0 then None else Some (x - 1)
+
+type src_stream = {
+  heads : Flat_tbl.t; (* packed link -> head of its traversal chain *)
+  mutable tv : int array; (* packed traversal values *)
+  mutable tn : int array; (* next index in the link's chain; -1 ends *)
+  mutable tlen : int;
+}
+
+let stream_create () =
+  { heads = Flat_tbl.create ();
+    tv = Array.make 64 0;
+    tn = Array.make 64 0;
+    tlen = 0 }
+
+let stream_push st key v =
+  if st.tlen = Array.length st.tv then begin
+    let cap = 2 * st.tlen in
+    let tv = Array.make cap 0 and tn = Array.make cap 0 in
+    Array.blit st.tv 0 tv 0 st.tlen;
+    Array.blit st.tn 0 tn 0 st.tlen;
+    st.tv <- tv;
+    st.tn <- tn
+  end;
+  st.tv.(st.tlen) <- v;
+  st.tn.(st.tlen) <- Flat_tbl.find_default st.heads key ~default:(-1);
+  Flat_tbl.set st.heads key st.tlen;
+  st.tlen <- st.tlen + 1
+
+let stream_add st ~parent ~child ~dest ~next =
+  stream_push st (pack_link ~parent ~child) (pack_trav ~dest ~next)
+
+(* Chains are re-threaded into [into]'s arena; traversal order within a
+   link is scheduling-dependent, which is fine — a Permission List is a
+   set structure, insertion order never reaches the result. *)
+let stream_merge ~into src =
+  Flat_tbl.iter src.heads (fun key head ->
+      let i = ref head in
+      while !i >= 0 do
+        stream_push into key src.tv.(!i);
+        i := src.tn.(!i)
+      done)
+
+(* Fold one source's merged stream into the Table 4/5 totals: distinct
+   links from the table size, in-degrees from a one-pass child count,
+   Permission Lists rebuilt — only for links into multi-homed children —
+   from the traversal chains. This is exactly [Pgraph.build_graph]'s
+   pass 2 without constructing the graph. *)
+let stream_stats acc st =
+  let num_links = Flat_tbl.length st.heads in
+  acc.a_links <- acc.a_links + num_links;
+  let indeg = Flat_tbl.create ~initial:(2 * num_links) () in
+  Flat_tbl.iter st.heads (fun key _ ->
+      ignore (Flat_tbl.add_to indeg (link_child key) 1));
+  Flat_tbl.iter st.heads (fun key head ->
+      if Flat_tbl.find_default indeg (link_child key) ~default:0 > 1 then begin
+        let pl = ref Permission_list.empty in
+        let i = ref head in
+        while !i >= 0 do
+          let v = st.tv.(!i) in
+          pl := Permission_list.add !pl ~dest:(trav_dest v) ~next:(trav_next v);
+          i := st.tn.(!i)
+        done;
+        stats_add_plist acc !pl
+      end)
 
 (* Per-domain scratch for the per-destination sweep: a reusable solver
-   workspace plus one (dest, path) bag per requested source, and (when
-   metrics are requested) a domain-private registry merged after the
-   sweep. *)
+   workspace plus one stream per requested source, and (when metrics are
+   requested) a domain-private registry merged after the sweep. *)
 type analyze_ws = {
   sws : Solver.workspace;
-  bags : (int * Path.t) list array;
+  accs : src_stream array;
   ams : Obs.Metrics.t option;
 }
 
 let path_len_buckets = [| 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 |]
 
-let ws_record_path ws p =
+let ws_record_path ws hops =
   match ws.ams with
   | None -> ()
   | Some m ->
     Obs.Metrics.incr (Obs.Metrics.counter m "static.paths");
     Obs.Metrics.observe
       (Obs.Metrics.histogram m ~buckets:path_len_buckets "static.path_len")
-      (float_of_int (Path.length p))
+      (float_of_int hops)
+
+(* Stream a materialized path (the non-Standard disciplines): links in
+   order, each with the downstream next hop. *)
+let stream_path acc ~dest p =
+  let rec go = function
+    | a :: (b :: rest as tl) ->
+      let next = match rest with [] -> None | c :: _ -> Some c in
+      stream_add acc ~parent:a ~child:b ~dest ~next;
+      go tl
+    | [ _ ] | [] -> ()
+  in
+  go p
 
 let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
   if sources = [] then invalid_arg "Static.analyze: empty source list";
@@ -103,46 +218,64 @@ let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
   let src_arr = Array.of_list sources in
   let k = Array.length src_arr in
   (* One solver run per destination, fanned out across the pool; each
-     domain streams the extracted paths straight into its own per-source
-     bags (tagged with the destination) instead of materializing the
-     full n × sources option-path matrix. The dedicated three-phase
-     solver implements the Standard discipline against the domain's
-     reusable workspace; other disciplines go through the generic
-     fixpoint solver. *)
+     domain streams the routes straight into its own per-source
+     accumulators instead of materializing paths. The dedicated
+     three-phase solver implements the Standard discipline against the
+     domain's reusable workspace — and since every selected route
+     extends its next hop's route, the path can be walked hop by hop off
+     the routes structure with no allocation at all. Other disciplines
+     go through the generic fixpoint solver and stream its (transient)
+     extracted paths. *)
   let body ws d =
-    let path_of =
-      match discipline with
-      | Gao_rexford.Standard ->
-        let r = Solver.to_dest_with ws.sws topo d in
-        fun s -> Solver.path r s
-      | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary
-        -> (
-        (* Sibling structures can sit outside the Gao-Rexford safety
-           theorem; a destination with no stable solution is skipped (its
-           routes are simply absent from every sampled P-graph) rather
-           than aborting the whole sweep. *)
-        match Stable.to_dest ~discipline ~max_rounds:512 topo d with
-        | r -> fun s -> Stable.path r s
-        | exception Failure _ -> fun _ -> None)
-    in
     (match ws.ams with
     | Some m -> Obs.Metrics.incr (Obs.Metrics.counter m "static.dests")
     | None -> ());
-    for i = 0 to k - 1 do
-      let s = Array.unsafe_get src_arr i in
-      if s <> d then
-        match path_of s with
-        | None -> ()
-        | Some p ->
-          ws_record_path ws p;
-          ws.bags.(i) <- (d, p) :: ws.bags.(i)
-    done
+    match discipline with
+    | Gao_rexford.Standard ->
+      let r = Solver.to_dest_with ws.sws topo d in
+      for i = 0 to k - 1 do
+        let s = Array.unsafe_get src_arr i in
+        if s <> d && Solver.reachable r s then begin
+          let acc = ws.accs.(i) in
+          let hops = ref 0 in
+          let x = ref s in
+          let continue = ref true in
+          while !continue do
+            match Solver.next_hop r !x with
+            | None -> continue := false
+            | Some y ->
+              incr hops;
+              stream_add acc ~parent:!x ~child:y ~dest:d
+                ~next:(Solver.next_hop r y);
+              x := y
+          done;
+          ws_record_path ws !hops
+        end
+      done
+    | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary
+      -> (
+      (* Sibling structures can sit outside the Gao-Rexford safety
+         theorem; a destination with no stable solution is skipped (its
+         routes are simply absent from every sampled P-graph) rather
+         than aborting the whole sweep. *)
+      match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+      | r ->
+        for i = 0 to k - 1 do
+          let s = Array.unsafe_get src_arr i in
+          if s <> d then
+            match Stable.path r s with
+            | None -> ()
+            | Some p ->
+              ws_record_path ws (Path.length p);
+              stream_path ws.accs.(i) ~dest:d p
+        done
+      | exception Failure _ -> ())
   in
-  let merged = Array.make k [] in
+  let merged = Array.init k (fun _ -> stream_create ()) in
   Pool.parallel_fold
     ~create:(fun () ->
       { sws = Solver.create_workspace ();
-        bags = Array.make k [];
+        accs = Array.init k (fun _ -> stream_create ());
         ams =
           (match metrics with
           | Some _ -> Some (Obs.Metrics.create ())
@@ -154,12 +287,50 @@ let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
       | Some dst, Some m -> Obs.Metrics.merge_into ~dst m
       | _ -> ());
       for i = 0 to k - 1 do
-        merged.(i) <- List.rev_append ws.bags.(i) merged.(i)
+        stream_merge ~into:merged.(i) ws.accs.(i)
       done)
     ~init:() n body;
-  (* Which domain bagged which destination depends on scheduling; the
-     destination tags restore the sequential order (each bag was built
-     by prepending for d ascending, i.e. destination descending). *)
+  let total = stats_zero () in
+  Array.iter (stream_stats total) merged;
+  stats_finalize ~num_sources:k total
+
+(* Reference implementation: bag every (dest, path) per source, build a
+   full P-graph per source, aggregate. Semantically identical to
+   [analyze] (the QCheck suite pins this down) but materializes the
+   n × sources path matrix — kept for cross-checking, not for scale. *)
+let analyze_materialized ?(discipline = Gao_rexford.Standard) topo ~sources =
+  if sources = [] then
+    invalid_arg "Static.analyze_materialized: empty source list";
+  let n = Topology.num_nodes topo in
+  let src_arr = Array.of_list sources in
+  let k = Array.length src_arr in
+  let merged = Array.make k [] in
+  Pool.parallel_fold
+    ~create:(fun () -> (Solver.create_workspace (), Array.make k []))
+    ~merge:(fun () (_, bags) ->
+      for i = 0 to k - 1 do
+        merged.(i) <- List.rev_append bags.(i) merged.(i)
+      done)
+    ~init:() n
+    (fun (sws, bags) d ->
+      let path_of =
+        match discipline with
+        | Gao_rexford.Standard ->
+          let r = Solver.to_dest_with sws topo d in
+          fun s -> Solver.path r s
+        | Gao_rexford.Class_only | Gao_rexford.Diverse
+        | Gao_rexford.Arbitrary -> (
+          match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+          | r -> fun s -> Stable.path r s
+          | exception Failure _ -> fun _ -> None)
+      in
+      for i = 0 to k - 1 do
+        let s = Array.unsafe_get src_arr i in
+        if s <> d then
+          match path_of s with
+          | None -> ()
+          | Some p -> bags.(i) <- (d, p) :: bags.(i)
+      done);
   let bag_of = Array.make k [] in
   for i = 0 to k - 1 do
     bag_of.(i) <-

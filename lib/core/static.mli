@@ -53,6 +53,17 @@ val analyze :
     [test_obs.ml]. When absent, the sweep allocates and touches no
     metrics state at all. *)
 
+val analyze_materialized :
+  ?discipline:Gao_rexford.discipline ->
+  Topology.t ->
+  sources:int list ->
+  pgraph_stats
+(** Reference implementation of {!analyze}: materialize the full
+    per-source path bags, build one complete P-graph per source, and
+    aggregate — the memory-hungry path the streamed [analyze] replaced.
+    Kept (and exported) so the test suite can assert the streamed
+    statistics are identical; do not use at scale. *)
+
 val analyze_vf : Topology.t -> sources:int list -> pgraph_stats
 (** Same aggregation over the {e per-pair shortest valley-free} path
     sets ({!Vf_paths}) instead of the BGP-stable selection. These path

@@ -13,6 +13,9 @@ type t = {
   resilience_pairs : int;
   resilience_flaps : int;
   resilience_horizon : float;
+  scale_sizes : int list;
+  scale_sources : int;
+  scale_dests : int;
   emit_metrics : bool;
   trace_digest : string option;
 }
@@ -32,6 +35,9 @@ let default =
     resilience_pairs = 40;
     resilience_flaps = 6;
     resilience_horizon = 400.0;
+    scale_sizes = [ 300; 1000; 5000; 26000 ];
+    scale_sources = 40;
+    scale_dests = 300;
     emit_metrics = false;
     trace_digest = None }
 
@@ -50,6 +56,9 @@ let quick =
     resilience_pairs = 12;
     resilience_flaps = 4;
     resilience_horizon = 250.0;
+    scale_sizes = [ 300; 1000 ];
+    scale_sources = 20;
+    scale_dests = 100;
     emit_metrics = false;
     trace_digest = None }
 

@@ -20,6 +20,11 @@ type t = {
   resilience_pairs : int;      (** (src, dest) pairs probed per scenario *)
   resilience_flaps : int;      (** link flaps per churn scenario *)
   resilience_horizon : float;  (** observed window per scenario, ms *)
+  scale_sizes : int list;
+      (** topology sizes swept by [exp scale] (default runs to the
+          paper's 26k-node CAIDA scale) *)
+  scale_sources : int;  (** sampled P-graph roots per size point *)
+  scale_dests : int;    (** sampled destinations for the failure sweep *)
   emit_metrics : bool;
       (** append the merged metrics registry to experiment output
           (default false — keeps default output byte-stable) *)

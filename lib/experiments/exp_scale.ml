@@ -1,0 +1,104 @@
+type point = {
+  nodes : int;
+  links : int;
+  sources : int;
+  sweep_dests : int;
+  stats : Centaur.Static.pgraph_stats;
+  bgp_units : int;
+  centaur_units : int;
+  gen_ns : int;
+  analyze_ns : int;
+  sweep_ns : int;
+  minor_words : float;
+  peak_rss_kb : int;
+}
+
+type result = point list
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let run_point cfg ~n =
+  let cfg_n =
+    { cfg with Config.as_nodes = n; as_sources = min cfg.Config.scale_sources n }
+  in
+  let t0 = now_ns () in
+  let topo = Inputs.caida cfg_n in
+  let gen_ns = now_ns () - t0 in
+  let sources = Inputs.sample_sources cfg_n topo in
+  let mw0 = Gc.minor_words () in
+  let t1 = now_ns () in
+  let stats = Centaur.Static.analyze topo ~sources in
+  let analyze_ns = now_ns () - t1 in
+  let minor_words = Gc.minor_words () -. mw0 in
+  let dests = Inputs.sample_dests cfg_n topo ~count:cfg.Config.scale_dests in
+  let t2 = now_ns () in
+  let overhead = Centaur.Static.immediate_overhead ~dests topo in
+  let sweep_ns = now_ns () - t2 in
+  let bgp_units =
+    Array.fold_left (fun acc o -> acc + o.Centaur.Static.bgp_units) 0 overhead
+  in
+  let centaur_units =
+    Array.fold_left
+      (fun acc o -> acc + o.Centaur.Static.centaur_units)
+      0 overhead
+  in
+  { nodes = n;
+    links = Topology.num_links topo;
+    sources = List.length sources;
+    sweep_dests = List.length dests;
+    stats;
+    bgp_units;
+    centaur_units;
+    gen_ns;
+    analyze_ns;
+    sweep_ns;
+    minor_words;
+    peak_rss_kb = Option.value (Sys_stats.peak_rss_kb ()) ~default:0 }
+
+let run cfg = List.map (fun n -> run_point cfg ~n) cfg.Config.scale_sizes
+
+(* Deterministic rendering only — identical for any CENTAUR_DOMAINS and
+   across runs with the same seed, so CI can diff it. Timings and memory
+   live in [render_timing]. *)
+let render points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Size scaling: streamed P-graph analysis + failure sweep per topology \
+     size.\n\n";
+  Buffer.add_string buf
+    "   nodes    links  srcs  avg-links  avg-PLs  PL-bytes  dests \
+     bgp-units  centaur-units    ratio\n";
+  List.iter
+    (fun p ->
+      let s = p.stats in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%8d %8d %5d  %9.1f  %7.1f  %8.1f  %5d %9d  %13d  %7.1f\n"
+           p.nodes p.links p.sources s.Centaur.Static.avg_links
+           s.Centaur.Static.avg_plists
+           s.Centaur.Static.avg_plist_compressed_bytes p.sweep_dests
+           p.bgp_units p.centaur_units
+           (float_of_int p.bgp_units
+           /. float_of_int (max 1 p.centaur_units))))
+    points;
+  Buffer.add_string buf
+    "\n(timings and peak RSS are environment-dependent; `exp scale` \
+     prints them\n to stderr and `bench scale` records them in \
+     BENCH_RESULTS.json)\n";
+  Buffer.contents buf
+
+let render_timing points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "   nodes    gen-ms  analyze-ms   sweep-ms  minor-Mwords  peak-rss-MB\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8d  %8.1f  %10.1f  %9.1f  %12.1f  %11.1f\n" p.nodes
+           (float_of_int p.gen_ns /. 1e6)
+           (float_of_int p.analyze_ns /. 1e6)
+           (float_of_int p.sweep_ns /. 1e6)
+           (p.minor_words /. 1e6)
+           (float_of_int p.peak_rss_kb /. 1024.)))
+    points;
+  Buffer.contents buf

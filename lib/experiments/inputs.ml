@@ -24,6 +24,11 @@ let sample_links cfg topo ~count =
   let links = Array.init (Topology.num_links topo) (fun i -> i) in
   Array.to_list (Rng.sample rng count links)
 
+let sample_dests cfg topo ~count =
+  let rng = stream cfg 7 in
+  let nodes = Array.init (Topology.num_nodes topo) (fun i -> i) in
+  Array.to_list (Rng.sample rng (min count (Array.length nodes)) nodes)
+
 let sample_pairs cfg topo ~count =
   let n = Topology.num_nodes topo in
   if n < 2 then invalid_arg "Inputs.sample_pairs: need at least two nodes";

@@ -21,6 +21,10 @@ val sample_sources : Config.t -> Topology.t -> int list
 val sample_links : Config.t -> Topology.t -> count:int -> int list
 (** Distinct link ids for flip workloads. *)
 
+val sample_dests : Config.t -> Topology.t -> count:int -> int list
+(** Distinct destination nodes for failure sweeps ([count] is clamped to
+    the node count). *)
+
 val sample_pairs : Config.t -> Topology.t -> count:int -> (int * int) list
 (** Distinct (src, dest) probe pairs with [src <> dest], for the
     resilience observer ([count] is clamped to the number of ordered

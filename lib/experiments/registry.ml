@@ -26,6 +26,15 @@ let all =
     { id = "fig8";
       title = "Scalability of update overhead";
       run = (fun cfg -> Exp_fig8.render (Exp_fig8.run cfg)) };
+    { id = "scale";
+      title = "Size scaling of the analysis pipeline (300 -> 26k nodes)";
+      run =
+        (fun cfg ->
+          let r = Exp_scale.run cfg in
+          (* Timings/RSS are environment noise — keep them off stdout so
+             the deterministic table stays diffable. *)
+          prerr_string (Exp_scale.render_timing r);
+          Exp_scale.render r) };
     { id = "resilience";
       title = "Routability over time under churn (Centaur vs BGP vs OSPF)";
       run = (fun cfg -> Exp_resilience.render (Exp_resilience.run cfg)) };

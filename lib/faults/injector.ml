@@ -2,6 +2,7 @@ let add_stats (a : Sim.Engine.run_stats) (b : Sim.Engine.run_stats) =
   { Sim.Engine.duration = a.Sim.Engine.duration +. b.Sim.Engine.duration;
     messages = a.Sim.Engine.messages + b.Sim.Engine.messages;
     units = a.Sim.Engine.units + b.Sim.Engine.units;
+    bytes = a.Sim.Engine.bytes + b.Sim.Engine.bytes;
     deliveries = a.Sim.Engine.deliveries + b.Sim.Engine.deliveries;
     losses = a.Sim.Engine.losses + b.Sim.Engine.losses;
     events = a.Sim.Engine.events + b.Sim.Engine.events }

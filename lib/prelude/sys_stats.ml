@@ -1,0 +1,29 @@
+(* Peak resident set size, read from the kernel's per-process high-water
+   mark. [VmHWM] only ever grows, so a sweep over increasing problem
+   sizes reads the running maximum after each point — exactly the
+   quantity a memory-budget gate wants. *)
+
+let vmhwm_prefix = "VmHWM:"
+
+let parse_kb line =
+  let digits = Buffer.create 8 in
+  String.iter
+    (fun c -> if c >= '0' && c <= '9' then Buffer.add_char digits c)
+    line;
+  int_of_string_opt (Buffer.contents digits)
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if
+          String.length line >= String.length vmhwm_prefix
+          && String.sub line 0 (String.length vmhwm_prefix) = vmhwm_prefix
+        then parse_kb line
+        else scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) scan

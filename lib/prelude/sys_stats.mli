@@ -1,0 +1,7 @@
+(** Process resource statistics from the kernel. *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kB, from
+    [/proc/self/status]'s [VmHWM] line — the kernel's high-water mark,
+    monotone over the process lifetime. [None] where procfs is
+    unavailable (non-Linux hosts). *)

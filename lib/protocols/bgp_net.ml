@@ -12,7 +12,13 @@
    The absorb stage runs per delivered event; the decision and export
    stages run once per same-timestamp burst (the engine's batch end), so
    a correlated cut or a fan-in of simultaneous updates costs one
-   decision pass instead of one per message. *)
+   decision pass instead of one per message.
+
+   RIB storage is flat: every (neighbor, destination) pair is one packed
+   immediate int — [nbr lsl 31 lor dest] — so the RIB tables hash and
+   compare ints, never tuples, and per-entry key allocation is gone.
+   Side tables whose values are also ints (root causes, armed-timer
+   flags) live in {!Flat_tbl}, with no per-entry heap records at all. *)
 
 type msg = {
   dest : int;
@@ -23,26 +29,40 @@ type msg = {
          and on updates not caused by a failure *)
 }
 
+module ITbl = Hashtbl.Make (Int)
+
+let pk_shift = 31
+let pk_mask = (1 lsl pk_shift) - 1
+let pk ~nbr ~dest = (nbr lsl pk_shift) lor dest
+let pk_nbr k = k lsr pk_shift
+let pk_dest k = k land pk_mask
+
+(* A normalized failed link (u < v) packed the same way. *)
+let pack_cause (u, v) = (u lsl pk_shift) lor v
+let unpack_cause c = (c lsr pk_shift, c land pk_mask)
+
 (* Per-node state, one field group per stage. [rib_in] is the Adj-RIB-In:
    the last path each neighbor announced per destination (stored as
-   announced, i.e. starting at the neighbor). [best] is the Loc-RIB:
-   selected paths starting at the node itself. [adv] is the Adj-RIB-Out:
-   what we last sent each neighbor. [dirty]/[causes]/[fresh_sessions]
-   carry the absorb stage's marks to the next decision run.
-   [pending]/[deadline]/[timer_armed] implement the per-peer MRAI batch:
-   latest pending update per (peer, prefix), the earliest time the next
-   batch may leave, and whether a flush timer is already scheduled. *)
+   announced, i.e. starting at the neighbor), keyed by the packed
+   (neighbor, destination) int. [best] is the Loc-RIB: selected paths
+   starting at the node itself. [adv] is the Adj-RIB-Out: what we last
+   sent each neighbor, packed like [rib_in]. [dirty]/[causes]/
+   [fresh_sessions] carry the absorb stage's marks to the next decision
+   run. [pending]/[deadline]/[timer_armed] implement the per-peer MRAI
+   batch: latest pending update per (peer, prefix), the earliest time
+   the next batch may leave, and whether a flush timer is already
+   scheduled. *)
 type node_state = {
   id : int;
-  rib_in : (int * int, Path.t) Hashtbl.t;
-  best : (int, Path.t) Hashtbl.t;
-  adv : (int * int, Path.t) Hashtbl.t;
+  rib_in : Path.t ITbl.t;
+  best : Path.t ITbl.t;
+  adv : Path.t ITbl.t;
   dirty : Dirty.t;
-  causes : (int, int * int) Hashtbl.t;  (* dest -> pending root cause *)
-  mutable fresh_sessions : int list;    (* peers owed a full-table export *)
-  pending : (int, (int, msg) Hashtbl.t) Hashtbl.t;
-  deadline : (int, float) Hashtbl.t;
-  timer_armed : (int, unit) Hashtbl.t;
+  causes : Flat_tbl.t; (* dest -> packed pending root cause *)
+  mutable fresh_sessions : int list; (* peers owed a full-table export *)
+  pending : msg ITbl.t ITbl.t;
+  deadline : float ITbl.t;
+  timer_armed : Flat_tbl.t;
 }
 
 module Trace = Obs.Trace
@@ -54,15 +74,15 @@ let path_sig p =
 
 let make_state id =
   { id;
-    rib_in = Hashtbl.create 64;
-    best = Hashtbl.create 64;
-    adv = Hashtbl.create 64;
+    rib_in = ITbl.create 64;
+    best = ITbl.create 64;
+    adv = ITbl.create 64;
     dirty = Dirty.create ();
-    causes = Hashtbl.create 8;
+    causes = Flat_tbl.create ();
     fresh_sessions = [];
-    pending = Hashtbl.create 8;
-    deadline = Hashtbl.create 8;
-    timer_armed = Hashtbl.create 8 }
+    pending = ITbl.create 8;
+    deadline = ITbl.create 8;
+    timer_armed = Flat_tbl.create () }
 
 let neighbors topo st = Topology.neighbors topo st.id
 
@@ -74,8 +94,8 @@ let mark ?cause ~tr st dest =
   if Trace.enabled tr then
     Trace.emit tr (Trace.Mark_dirty { node = st.id; dest });
   match cause with
-  | Some c -> Hashtbl.replace st.causes dest c
-  | None -> Hashtbl.remove st.causes dest
+  | Some c -> Flat_tbl.set st.causes dest (pack_cause c)
+  | None -> Flat_tbl.remove st.causes dest
 
 (* --- MRAI gate (unchanged semantics) --- *)
 
@@ -93,25 +113,25 @@ let emit st ~mrai ~now msgs =
   List.concat_map
     (fun (peer, m) ->
       let dl =
-        Option.value (Hashtbl.find_opt st.deadline peer) ~default:neg_infinity
+        Option.value (ITbl.find_opt st.deadline peer) ~default:neg_infinity
       in
       if mrai <= 0.0 || now >= dl then begin
-        Hashtbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
+        ITbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
         [ Sim.Engine.Send (peer, m) ]
       end
       else begin
         let q =
-          match Hashtbl.find_opt st.pending peer with
+          match ITbl.find_opt st.pending peer with
           | Some q -> q
           | None ->
-            let q = Hashtbl.create 16 in
-            Hashtbl.replace st.pending peer q;
+            let q = ITbl.create 16 in
+            ITbl.replace st.pending peer q;
             q
         in
-        Hashtbl.replace q m.dest m;
-        if Hashtbl.mem st.timer_armed peer then []
+        ITbl.replace q m.dest m;
+        if Flat_tbl.mem st.timer_armed peer then []
         else begin
-          Hashtbl.replace st.timer_armed peer ();
+          Flat_tbl.set st.timer_armed peer 1;
           [ Sim.Engine.Timer (dl -. now, peer) ]
         end
       end)
@@ -119,22 +139,22 @@ let emit st ~mrai ~now msgs =
 
 let on_timer topo states ~mrai ~now ~node ~key:peer =
   let st = states.(node) in
-  Hashtbl.remove st.timer_armed peer;
-  match Hashtbl.find_opt st.pending peer with
+  Flat_tbl.remove st.timer_armed peer;
+  match ITbl.find_opt st.pending peer with
   | None -> []
   | Some q ->
-    Hashtbl.remove st.pending peer;
-    if Hashtbl.length q = 0 then []
+    ITbl.remove st.pending peer;
+    if ITbl.length q = 0 then []
     else if
       (* Session may have died while the batch was waiting. *)
       not (List.exists (fun (n, _, _) -> n = peer) (neighbors topo st))
     then []
     else begin
-      let batch = Hashtbl.fold (fun _dest m acc -> m :: acc) q [] in
+      let batch = ITbl.fold (fun _dest m acc -> m :: acc) q [] in
       let batch =
         List.sort (fun m1 m2 -> compare m1.dest m2.dest) batch
       in
-      Hashtbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
+      ITbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
       List.map (fun m -> Sim.Engine.Send (peer, m)) batch
     end
 
@@ -146,23 +166,23 @@ let on_timer topo states ~mrai ~now ~node ~key:peer =
    destinations whose candidate set changed. *)
 let purge_cause ~tr st ((u, v) as link) =
   let doomed =
-    Hashtbl.fold
-      (fun ((_nbr, dest) as key) p acc ->
+    ITbl.fold
+      (fun key p acc ->
         if List.mem (u, v) (Path.links p) || List.mem (v, u) (Path.links p)
         then begin
-          mark ~cause:link ~tr st dest;
+          mark ~cause:link ~tr st (pk_dest key);
           key :: acc
         end
         else acc)
       st.rib_in []
   in
-  List.iter (Hashtbl.remove st.rib_in) doomed
+  List.iter (ITbl.remove st.rib_in) doomed
 
 (* In full-recompute mode every absorbed event invalidates every known
    destination — the from-scratch baseline the bench compares against. *)
 let mark_all_known ~tr st =
-  Hashtbl.iter (fun dest _ -> Dirty.mark st.dirty dest) st.best;
-  Hashtbl.iter (fun (_, dest) _ -> Dirty.mark st.dirty dest) st.rib_in;
+  ITbl.iter (fun dest _ -> Dirty.mark st.dirty dest) st.best;
+  ITbl.iter (fun key _ -> Dirty.mark st.dirty (pk_dest key)) st.rib_in;
   (* One bulk mark stands in for the per-destination spam. *)
   if Trace.enabled tr then
     Trace.emit tr (Trace.Mark_dirty { node = st.id; dest = -1 })
@@ -172,8 +192,8 @@ let rib_in_update st ~rcn ~incremental ~tr ~src (m : msg) =
   | true, Some link -> purge_cause ~tr st link
   | _ -> ());
   (match m.path with
-  | Some p -> Hashtbl.replace st.rib_in (src, m.dest) p
-  | None -> Hashtbl.remove st.rib_in (src, m.dest));
+  | Some p -> ITbl.replace st.rib_in (pk ~nbr:src ~dest:m.dest) p
+  | None -> ITbl.remove st.rib_in (pk ~nbr:src ~dest:m.dest));
   if m.dest <> st.id then mark ?cause:m.cause ~tr st m.dest;
   if not incremental then mark_all_known ~tr st
 
@@ -183,23 +203,23 @@ let rib_in_update st ~rcn ~incremental ~tr ~src (m : msg) =
    the export happens after the next decision run. *)
 let session_change st ~rcn ~incremental ~tr ~other ~up =
   if not up then begin
-    Hashtbl.remove st.pending other;
+    ITbl.remove st.pending other;
     st.fresh_sessions <- List.filter (fun n -> n <> other) st.fresh_sessions;
     let cause =
       if rcn then Some (min st.id other, max st.id other) else None
     in
     let dead_keys tbl =
-      Hashtbl.fold
-        (fun ((n, dest) as key) _ acc ->
-          if n = other then begin
-            mark ?cause ~tr st dest;
+      ITbl.fold
+        (fun key _ acc ->
+          if pk_nbr key = other then begin
+            mark ?cause ~tr st (pk_dest key);
             key :: acc
           end
           else acc)
         tbl []
     in
-    List.iter (Hashtbl.remove st.rib_in) (dead_keys st.rib_in);
-    List.iter (Hashtbl.remove st.adv) (dead_keys st.adv);
+    List.iter (ITbl.remove st.rib_in) (dead_keys st.rib_in);
+    List.iter (ITbl.remove st.adv) (dead_keys st.adv);
     (* In RCN mode the endpoint also drops its own stale alternatives
        through the dead link learned from other neighbors. *)
     match cause with
@@ -221,7 +241,7 @@ let select topo st dest =
     let best = ref None in
     List.iter
       (fun (n, _role, _) ->
-        match Hashtbl.find_opt st.rib_in (n, dest) with
+        match ITbl.find_opt st.rib_in (pk ~nbr:n ~dest) with
         | None -> ()
         | Some p ->
           if not (Path.contains p st.id) then begin
@@ -248,7 +268,7 @@ let select topo st dest =
 let decision_run topo st ~tr ~track =
   let changed = ref [] in
   Dirty.drain st.dirty (fun dest ->
-      let old_best = Hashtbl.find_opt st.best dest in
+      let old_best = ITbl.find_opt st.best dest in
       let new_best = select topo st dest in
       let same =
         match (old_best, new_best) with
@@ -258,16 +278,18 @@ let decision_run topo st ~tr ~track =
       in
       if not same then begin
         (match new_best with
-        | None -> Hashtbl.remove st.best dest
-        | Some p -> Hashtbl.replace st.best dest p);
+        | None -> ITbl.remove st.best dest
+        | Some p -> ITbl.replace st.best dest p);
         if Trace.enabled tr then
           Trace.emit tr
             (Trace.Rib_change
                { node = st.id; dest; withdrawn = new_best = None });
         track dest;
-        changed := (dest, Hashtbl.find_opt st.causes dest) :: !changed
+        changed :=
+          (dest, Option.map unpack_cause (Flat_tbl.find_opt st.causes dest))
+          :: !changed
       end);
-  Hashtbl.reset st.causes;
+  Flat_tbl.clear st.causes;
   List.rev !changed
 
 (* --- Adj-RIB-Out stage --- *)
@@ -275,7 +297,7 @@ let decision_run topo st ~tr ~track =
 (* Advertisement due to neighbor [n] for [dest] under export policy and
    split horizon (never offer a path back to a node already on it). *)
 let desired_adv topo st ~dest (n, role, _) =
-  match Hashtbl.find_opt st.best dest with
+  match ITbl.find_opt st.best dest with
   | None -> None
   | Some p ->
     if Path.contains p n then None
@@ -286,12 +308,12 @@ let desired_adv topo st ~dest (n, role, _) =
    advertisement diffed against the Adj-RIB-Out entry. *)
 let adv_delta topo st ~tr ~dest ~cause ((n, _, _) as nbr) =
   let desired = desired_adv topo st ~dest nbr in
-  let current = Hashtbl.find_opt st.adv (n, dest) in
+  let current = ITbl.find_opt st.adv (pk ~nbr:n ~dest) in
   match (desired, current) with
   | None, None -> None
   | Some d, Some c when Path.equal d c -> None
   | Some d, _ ->
-    Hashtbl.replace st.adv (n, dest) d;
+    ITbl.replace st.adv (pk ~nbr:n ~dest) d;
     if Trace.enabled tr then
       Trace.emit tr
         (Trace.Rib_out
@@ -302,7 +324,7 @@ let adv_delta topo st ~tr ~dest ~cause ((n, _, _) as nbr) =
              path_sig = path_sig d });
     Some (n, { dest; path = Some d; cause })
   | None, Some _ ->
-    Hashtbl.remove st.adv (n, dest);
+    ITbl.remove st.adv (pk ~nbr:n ~dest);
     if Trace.enabled tr then
       Trace.emit tr
         (Trace.Rib_out
@@ -329,7 +351,7 @@ let fresh_session_exports topo st ~tr =
       with
       | None -> [] (* session died again before the batch closed *)
       | Some nbr ->
-        Hashtbl.fold (fun dest _ acc -> dest :: acc) st.best []
+        ITbl.fold (fun dest _ acc -> dest :: acc) st.best []
         |> List.sort compare
         |> List.filter_map (fun dest ->
                adv_delta topo st ~tr ~dest ~cause:None nbr))
@@ -381,7 +403,14 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
           recompute topo states ~mrai ~now ~tr ~track ~node) }
   in
   let engine =
-    Sim.Engine.create ~trace topo ~units:(fun _ -> 1) ~handlers
+    (* 19-byte UPDATE header + 4-byte NLRI, 4 bytes per AS hop of path
+       attribute, 8 bytes for an RCN root-cause community. *)
+    Sim.Engine.create ~trace topo ~units:(fun _ -> 1)
+      ~bytes:(fun m ->
+        19 + 4
+        + (match m.path with None -> 0 | Some p -> 4 * List.length p)
+        + (match m.cause with None -> 0 | Some _ -> 8))
+      ~handlers
   in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun i st ->
@@ -392,11 +421,11 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
           ~node:i)
   in
   let next_hop ~src ~dest =
-    match Hashtbl.find_opt states.(src).best dest with
+    match ITbl.find_opt states.(src).best dest with
     | Some (_ :: hop :: _) -> Some hop
     | Some _ | None -> None
   in
-  let path ~src ~dest = Hashtbl.find_opt states.(src).best dest in
+  let path ~src ~dest = ITbl.find_opt states.(src).best dest in
   Sim.Runner.make
     ~name:(if rcn then "bgp-rcn" else "bgp")
     ~engine ~cold_start ~changed ~next_hop ~path

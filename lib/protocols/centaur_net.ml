@@ -6,7 +6,7 @@
 
 module Trace = Obs.Trace
 
-let network ?(trace = Trace.none) topo =
+let network ?(trace = Trace.none) ?(plist_fp_rate = 0.01) topo =
   let n = Topology.num_nodes topo in
   let changed = Dirty.create ~size:n () in
   let tr = trace in
@@ -70,7 +70,9 @@ let network ?(trace = Trace.none) topo =
           end) }
   in
   let engine =
-    Sim.Engine.create ~trace topo ~units:Centaur.Announce.units ~handlers
+    Sim.Engine.create ~trace topo ~units:Centaur.Announce.units
+      ~bytes:(Centaur.Announce.wire_bytes ~plist_fp_rate)
+      ~handlers
   in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun i _ ->

@@ -4,11 +4,18 @@
     discrete-event engine. Messages are {!Centaur.Announce} deltas and
     are priced in link-level update units ({!Centaur.Announce.units}),
     matching how the paper counts Centaur's overhead against BGP's
-    per-prefix updates. *)
+    per-prefix updates — and in wire bytes
+    ({!Centaur.Announce.wire_bytes}), with every Permission List carried
+    as its real Bloom-compressed encoding. *)
 
-val network : ?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t
+val network :
+  ?trace:Obs.Trace.t -> ?plist_fp_rate:float -> Topology.t -> Sim.Runner.t
 (** The runner's [path] accessor reports each node's selected
     policy-compliant path from its local P-graph state.
+
+    [plist_fp_rate] (default 0.01) sets the false-positive rate the
+    on-wire Permission List Bloom filters are sized for; it scales the
+    byte accounting (engine [bytes] counter), not the routing outcome.
 
     [trace] (default disabled) receives the engine events plus a bulk
     [Mark_dirty] whenever an absorb grows the node's dirty set, a

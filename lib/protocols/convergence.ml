@@ -30,6 +30,7 @@ let zero_stats =
   { Sim.Engine.duration = 0.0;
     messages = 0;
     units = 0;
+    bytes = 0;
     deliveries = 0;
     losses = 0;
     events = 0 }

@@ -10,26 +10,35 @@ type msg = {
    [tree_version] stamps the ground-truth {!Topology.state_version} it
    was computed under, so a ground-truth flip the node has not absorbed
    yet invalidates the cache at the next query. Believed-state changes
-   invalidate (or deliberately keep) the cache at LSA-install time. *)
+   invalidate (or deliberately keep) the cache at LSA-install time.
+
+   The LSDB is fully flat: an LSA's key (origin, link) and value
+   (sequence, up-flag) are each one packed immediate int, so the whole
+   database is two int arrays ({!Flat_tbl}) — no per-entry records. *)
 type node_state = {
   id : int;
-  db : (int * int, int * bool) Hashtbl.t;
-  own_seq : (int, int) Hashtbl.t;  (* link -> last sequence we issued *)
+  db : Flat_tbl.t; (* packed (origin, link) -> packed (seq, up) *)
+  own_seq : Flat_tbl.t; (* link -> last sequence we issued *)
   mutable tree : Dijkstra.tree option;
   mutable tree_version : int;
 }
 
+let db_key ~origin ~link_id = (origin lsl 31) lor link_id
+let db_val ~seq ~up = (seq lsl 1) lor (if up then 1 else 0)
+let val_seq v = v lsr 1
+let val_up v = v land 1 = 1
+
 let make_state id =
   { id;
-    db = Hashtbl.create 64;
-    own_seq = Hashtbl.create 8;
+    db = Flat_tbl.create ();
+    own_seq = Flat_tbl.create ();
     tree = None;
     tree_version = -1 }
 
 let fresher st m =
-  match Hashtbl.find_opt st.db (m.origin, m.link_id) with
+  match Flat_tbl.find_opt st.db (db_key ~origin:m.origin ~link_id:m.link_id) with
   | None -> true
-  | Some (seq, _) -> m.seq > seq
+  | Some v -> m.seq > val_seq v
 
 (* A node's view of one link: believed up when every LSA it holds for it
    says up — both endpoints flood, so after convergence this matches the
@@ -38,12 +47,12 @@ let link_believed_up st topo link_id =
   let link = Topology.link topo link_id in
   let views =
     List.filter_map
-      (fun origin -> Hashtbl.find_opt st.db (origin, link_id))
+      (fun origin -> Flat_tbl.find_opt st.db (db_key ~origin ~link_id))
       [ link.Topology.a; link.Topology.b ]
   in
   match views with
   | [] -> false
-  | vs -> List.for_all (fun (_seq, up) -> up) vs
+  | vs -> List.for_all val_up vs
 
 (* The link state the route computation sees: actually up (messages over
    a dead link are lost regardless of belief) and believed up. *)
@@ -92,7 +101,9 @@ let note_effective_change st topo link_id ~now_up =
    see {!Sim.Runner.t.changed_dests}) and the SPF cache is re-examined. *)
 let install ~changed ~tr topo st m =
   let before = effective_up st topo m.link_id in
-  Hashtbl.replace st.db (m.origin, m.link_id) (m.seq, m.up);
+  Flat_tbl.set st.db
+    (db_key ~origin:m.origin ~link_id:m.link_id)
+    (db_val ~seq:m.seq ~up:m.up);
   let after = effective_up st topo m.link_id in
   if before <> after then begin
     Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
@@ -116,10 +127,8 @@ let on_message ~changed ~tr topo states ~node ~src msg =
   else []
 
 let originate ~changed ~tr topo st link_id ~up =
-  let seq =
-    1 + Option.value (Hashtbl.find_opt st.own_seq link_id) ~default:(-1)
-  in
-  Hashtbl.replace st.own_seq link_id seq;
+  let seq = 1 + Flat_tbl.find_default st.own_seq link_id ~default:(-1) in
+  Flat_tbl.set st.own_seq link_id seq;
   let m = { origin = st.id; link_id; seq; up } in
   install ~changed ~tr topo st m;
   flood_except topo st ~except:None m
@@ -142,10 +151,13 @@ let on_link_change ~changed ~tr topo states ~node ~link_id =
       if link.Topology.a = node then link.Topology.b else link.Topology.a
     in
     let db_sync =
-      Hashtbl.fold
-        (fun (origin, lid) (seq, lsa_up) acc ->
-          (other, { origin; link_id = lid; seq; up = lsa_up }) :: acc)
-        st.db []
+      Flat_tbl.fold st.db ~init:[] ~f:(fun acc key v ->
+          ( other,
+            { origin = key lsr 31;
+              link_id = key land ((1 lsl 31) - 1);
+              seq = val_seq v;
+              up = val_up v } )
+          :: acc)
     in
     own @ db_sync
   end
@@ -190,7 +202,9 @@ let network ?(incremental = true) ?(trace = Obs.Trace.none) topo =
       Sim.Engine.on_batch_end = Sim.Engine.no_batching }
   in
   let engine =
-    Sim.Engine.create ~trace topo ~units:(fun _ -> 1) ~handlers
+    Sim.Engine.create ~trace topo ~units:(fun _ -> 1)
+      ~bytes:(fun _ -> 33)
+      ~handlers
   in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun _ st ->

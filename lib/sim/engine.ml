@@ -30,6 +30,7 @@ type 'msg event =
 type 'msg t = {
   topo : Topology.t;
   units : 'msg -> int;
+  bytes : 'msg -> int;
   handlers : 'msg handlers;
   queue : (float * 'msg event) Heap.t;
   loss : float array;  (* per-link delivery loss probability *)
@@ -39,6 +40,7 @@ type 'msg t = {
   metrics : Metrics.t;
   c_messages : Metrics.counter;
   c_units : Metrics.counter;
+  c_bytes : Metrics.counter;
   c_deliveries : Metrics.counter;
   c_losses : Metrics.counter;
   c_events : Metrics.counter;
@@ -48,12 +50,14 @@ type run_stats = {
   duration : float;
   messages : int;
   units : int;
+  bytes : int;
   deliveries : int;
   losses : int;
   events : int;
 }
 
-let create ?(trace = Trace.none) ?metrics topo ~units ~handlers =
+let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
+    ~handlers =
   let cmp (t1, _) (t2, _) = compare (t1 : float) t2 in
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
@@ -61,6 +65,7 @@ let create ?(trace = Trace.none) ?metrics topo ~units ~handlers =
   let t =
     { topo;
       units;
+      bytes;
       handlers;
       queue = Heap.create ~cmp;
       loss = Array.make (Topology.num_links topo) 0.0;
@@ -70,6 +75,7 @@ let create ?(trace = Trace.none) ?metrics topo ~units ~handlers =
       metrics;
       c_messages = Metrics.counter metrics "engine.messages";
       c_units = Metrics.counter metrics "engine.units";
+      c_bytes = Metrics.counter metrics "engine.bytes";
       c_deliveries = Metrics.counter metrics "engine.deliveries";
       c_losses = Metrics.counter metrics "engine.losses";
       c_events = Metrics.counter metrics "engine.events" }
@@ -121,6 +127,7 @@ let perform t ~node actions =
             let units = t.units msg in
             Metrics.incr t.c_messages;
             Metrics.add t.c_units units;
+            Metrics.add t.c_bytes (t.bytes msg);
             if Trace.enabled t.trace then
               Trace.emit t.trace
                 (Trace.Msg_send { src = node; dst; link_id; units });
@@ -155,6 +162,7 @@ type mark = {
   m_time : float;
   m_messages : int;
   m_units : int;
+  m_bytes : int;
   m_delivered : int;
   m_lost : int;
   m_processed : int;
@@ -164,6 +172,7 @@ let mark t =
   { m_time = t.clock;
     m_messages = Metrics.value t.c_messages;
     m_units = Metrics.value t.c_units;
+    m_bytes = Metrics.value t.c_bytes;
     m_delivered = Metrics.value t.c_deliveries;
     m_lost = Metrics.value t.c_losses;
     m_processed = Metrics.value t.c_events }
@@ -304,6 +313,7 @@ let run_core ~max_events ~since ~until t =
   { duration = t.clock -. start_time;
     messages = m.m_messages - since.m_messages;
     units = m.m_units - since.m_units;
+    bytes = m.m_bytes - since.m_bytes;
     deliveries = m.m_delivered - since.m_delivered;
     losses = m.m_lost - since.m_lost;
     events = m.m_processed - since.m_processed }
@@ -319,3 +329,5 @@ let run_until ?(max_events = 20_000_000) ?since t horizon =
 let total_messages t = Metrics.value t.c_messages
 
 let total_units t = Metrics.value t.c_units
+
+let total_bytes t = Metrics.value t.c_bytes

@@ -55,6 +55,8 @@ type run_stats = {
                           {!run_until} run extends to its horizon *)
   messages : int;     (** messages sent during the run *)
   units : int;        (** protocol-specific update units sent *)
+  bytes : int;        (** wire bytes sent (0 unless the engine was given
+                          a [bytes] pricer) *)
   deliveries : int;   (** messages delivered *)
   losses : int;       (** messages lost — dead link at delivery time, or
                           the probabilistic loss model *)
@@ -64,13 +66,18 @@ type run_stats = {
 val create :
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?bytes:('msg -> int) ->
   Topology.t ->
   units:('msg -> int) ->
   handlers:'msg handlers ->
   'msg t
 (** [units] prices one message in protocol update units (per-prefix for
-    path vector, per-link for Centaur, 1 for OSPF LSAs). All links start
-    loss-free; the loss RNG starts from seed 0 (see {!seed_loss}).
+    path vector, per-link for Centaur, 1 for OSPF LSAs). [bytes] prices
+    one message in serialized wire bytes — Centaur passes
+    {!Centaur.Announce.wire_bytes}, whose Permission Lists are real
+    Bloom-compressed encodings — and feeds the [engine.bytes] counter
+    (default: every message is 0 bytes). All links start loss-free; the
+    loss RNG starts from seed 0 (see {!seed_loss}).
 
     [trace] (default {!Obs.Trace.none}, i.e. disabled) receives the
     engine's structured events: an initial link-state snapshot, sends,
@@ -80,7 +87,8 @@ val create :
     without threading [now].
 
     [metrics] (default: a private fresh registry) receives the engine's
-    counters — [engine.messages], [engine.units], [engine.deliveries],
+    counters — [engine.messages], [engine.units], [engine.bytes],
+    [engine.deliveries],
     [engine.losses], [engine.events] — which {!run_stats} and {!mark}
     are derived from. Pass a registry to aggregate across engines or to
     export it; registries are single-domain, so give each engine of a
@@ -147,3 +155,6 @@ val total_messages : 'msg t -> int
 (** Messages sent since creation (across all runs). *)
 
 val total_units : 'msg t -> int
+
+val total_bytes : 'msg t -> int
+(** Wire bytes sent since creation (across all runs). *)

@@ -6,13 +6,21 @@ let barabasi_albert rng ~n ~m ~max_delay =
   let edges = ref [] in
   let degree = Array.make n 0 in
   (* Attachment targets, each node appearing once per unit of degree, so
-     a uniform draw is degree-proportional. *)
-  let stubs = ref [] in
+     a uniform draw is degree-proportional. The final stub count is
+     known up front — 2 stubs per edge, (m+1)m/2 clique edges plus m per
+     attached node — so the draw array is allocated once and appended
+     in place, instead of being rebuilt from a list per node (which made
+     generation quadratic in n and dominated at 26k nodes). *)
+  let total_stubs = (m * (m + 1)) + (2 * m * (n - m - 1)) in
+  let stubs = Array.make total_stubs 0 in
+  let num_stubs = ref 0 in
   let add_edge a b =
     edges := (a, b, Rng.float rng max_delay) :: !edges;
     degree.(a) <- degree.(a) + 1;
     degree.(b) <- degree.(b) + 1;
-    stubs := a :: b :: !stubs
+    stubs.(!num_stubs) <- a;
+    stubs.(!num_stubs + 1) <- b;
+    num_stubs := !num_stubs + 2
   in
   (* Seed clique on nodes 0..m. *)
   for a = 0 to m do
@@ -20,15 +28,18 @@ let barabasi_albert rng ~n ~m ~max_delay =
       add_edge a b
     done
   done;
-  let stub_array = ref (Array.of_list !stubs) in
   for v = m + 1 to n - 1 do
-    (* Refresh the draw array once per node; m distinct targets. *)
-    stub_array := Array.of_list !stubs;
+    (* m distinct degree-proportional targets: uniform draws over the
+       stubs filled so far. *)
+    let limit = !num_stubs in
     let chosen = Hashtbl.create m in
     let attempts = ref 0 in
     while Hashtbl.length chosen < m && !attempts < 1000 do
       incr attempts;
-      let target = Rng.pick rng !stub_array in
+      (* Index mirrored so the draw sequence matches the historical
+         implementation (which drew from a newest-first array) — same
+         seed, same topology. *)
+      let target = stubs.(limit - 1 - Rng.int rng limit) in
       if target <> v && not (Hashtbl.mem chosen target) then
         Hashtbl.replace chosen target ()
     done;
@@ -50,11 +61,11 @@ let waxman rng ~n ~alpha ~beta ~max_delay =
   let dist a b = sqrt (((xs.(a) -. xs.(b)) ** 2.0) +. ((ys.(a) -. ys.(b)) ** 2.0)) in
   let max_dist = sqrt 2.0 in
   let edges = ref [] in
-  let present = Hashtbl.create (4 * n) in
+  let present = Flat_tbl.create ~initial:(4 * n) () in
   let add a b =
-    let key = (min a b, max a b) in
-    if not (Hashtbl.mem present key) then begin
-      Hashtbl.replace present key ();
+    let key = (min a b lsl 31) lor max a b in
+    if not (Flat_tbl.mem present key) then begin
+      Flat_tbl.set present key 1;
       let delay = max_delay *. dist a b /. max_dist in
       edges := (a, b, delay) :: !edges
     end
@@ -67,7 +78,8 @@ let waxman rng ~n ~alpha ~beta ~max_delay =
   done;
   (* Connect leftover components through their closest cross pairs. *)
   let uf = Union_find.create n in
-  Hashtbl.iter (fun (a, b) () -> ignore (Union_find.union uf a b)) present;
+  Flat_tbl.iter present (fun key _ ->
+      ignore (Union_find.union uf (key lsr 31) (key land ((1 lsl 31) - 1))));
   while Union_find.count uf > 1 do
     let root0 = Union_find.find uf 0 in
     (* Find the closest pair joining component-of-0 with the rest. *)

@@ -32,6 +32,28 @@ let test_false_positive_rate () =
   (* Target 1%; accept anything under 3%. *)
   if rate > 0.03 then Alcotest.failf "fp rate too high: %.3f" rate
 
+(* At wire scale (10^5 entries, the ballpark of a 26k-node P-graph's
+   densest Permission Lists aggregated) the observed false-positive rate
+   must stay within 2x the configured rate, for every rate the engine
+   accounting can be configured with. *)
+let test_false_positive_rate_100k () =
+  List.iter
+    (fun fp_rate ->
+      let n = 100_000 in
+      let b = Bloom.create ~expected:n ~fp_rate in
+      for i = 0 to n - 1 do
+        Bloom.add b i
+      done;
+      let probes = 100_000 in
+      let fps = ref 0 in
+      for i = 1 to probes do
+        if Bloom.mem b (n + (i * 7)) then incr fps
+      done;
+      let rate = float_of_int !fps /. float_of_int probes in
+      if rate > 2.0 *. fp_rate then
+        Alcotest.failf "fp rate %.5f > 2x configured %.4f" rate fp_rate)
+    [ 0.02; 0.01; 0.001 ]
+
 let test_sizing_formulae () =
   (* m = -n ln p / (ln 2)^2: for n=1000, p=0.01 -> ~9585 bits, k ~ 7. *)
   let bits = Bloom.optimal_bits ~expected:1000 ~fp_rate:0.01 in
@@ -75,6 +97,8 @@ let suite =
   [ Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
     QCheck_alcotest.to_alcotest bloom_no_false_negatives_qcheck;
     Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+    Alcotest.test_case "false positive rate at 100k" `Quick
+      test_false_positive_rate_100k;
     Alcotest.test_case "sizing formulae" `Quick test_sizing_formulae;
     Alcotest.test_case "create validation" `Quick test_create_validation;
     Alcotest.test_case "cardinality estimate" `Quick

@@ -17,6 +17,9 @@ let tiny =
     resilience_pairs = 6;
     resilience_flaps = 3;
     resilience_horizon = 150.0;
+    scale_sizes = [ 60; 80 ];
+    scale_sources = 5;
+    scale_dests = 20;
     emit_metrics = false;
     trace_digest = None }
 
@@ -28,7 +31,7 @@ let contains haystack needle =
 let test_registry_complete () =
   Alcotest.(check (list string))
     "all artifacts present"
-    [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8";
+    [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8"; "scale";
       "resilience"; "ablation-mrai"; "ablation-multipath" ]
     Experiments.Registry.ids;
   Alcotest.(check bool) "find hit" true

@@ -95,6 +95,42 @@ let test_compressed_size () =
      far below the ~200 bytes of a naive int list. *)
   Alcotest.(check bool) "within expected band" true (bytes > 20 && bytes < 100)
 
+(* The real wire encoding: per-entry Bloom filters. Membership may gain
+   false positives but never loses a permitted pair, and the serialized
+   size must agree exactly with the closed-form estimate the static
+   analysis reports. *)
+let compressed_roundtrip =
+  QCheck.Test.make ~name:"compressed wire encoding: no false negatives"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_bound 200) (int_bound 6)))
+    (fun specs ->
+      let pl =
+        pl_of
+          (List.map
+             (fun (dest, nxt) ->
+               (dest, if nxt = 0 then None else Some (300 + nxt)))
+             specs)
+      in
+      let fp_rate = 0.01 in
+      let c = Permission_list.compress pl ~fp_rate in
+      Permission_list.compressed_bytes c
+      = Permission_list.wire_size_bytes pl ~fp_rate
+      && Permission_list.compressed_bytes c
+         = Permission_list.compressed_size_bytes pl ~fp_rate
+      && List.for_all
+           (fun (dest, nxt) ->
+             let next = if nxt = 0 then None else Some (300 + nxt) in
+             Permission_list.compressed_permit c ~dest ~next)
+           specs)
+
+let test_compressed_rejects_unknown_next () =
+  (* False positives only confuse destinations within an entry's filter;
+     a next hop no entry carries can never be permitted. *)
+  let pl = pl_of (List.init 50 (fun i -> (i, Some 99))) in
+  let c = Permission_list.compress pl ~fp_rate:0.01 in
+  Alcotest.(check bool) "unknown next hop rejected" false
+    (Permission_list.compressed_permit c ~dest:5 ~next:(Some 7))
+
 (* Claim 1: per-dest-next encoding has the same descriptiveness as
    exhaustive per-path encoding, over the paths through one link. *)
 let exhaustive_equivalence =
@@ -165,5 +201,8 @@ let suite =
     Alcotest.test_case "equal" `Quick test_equal;
     Alcotest.test_case "changed dests" `Quick test_changed_dests;
     Alcotest.test_case "compressed size" `Quick test_compressed_size;
+    QCheck_alcotest.to_alcotest compressed_roundtrip;
+    Alcotest.test_case "compressed rejects unknown next" `Quick
+      test_compressed_rejects_unknown_next;
     QCheck_alcotest.to_alcotest exhaustive_equivalence;
     Alcotest.test_case "exhaustive paths" `Quick test_exhaustive_paths ]

@@ -170,6 +170,23 @@ let parallel_matches_sequential_qcheck =
       seq_std = par_std && seq_arb = par_arb && seq_vf = par_vf
       && seq_ov = par_ov)
 
+(* The streamed per-source-sharded analyze must be indistinguishable —
+   floats included — from the reference implementation that materializes
+   every per-source path bag and builds complete P-graphs. All four
+   disciplines, since only Standard takes the allocation-free
+   next-hop-chain walk. *)
+let streamed_matches_materialized_qcheck =
+  QCheck.Test.make ~name:"static analysis: streamed = materialized" ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 20 70))
+    (fun (seed, n) ->
+      let topo = random_as_topology ~seed ~n in
+      let sources = List.sort_uniq compare [ 0; n / 4; n / 2; n - 1 ] in
+      List.for_all
+        (fun d ->
+          Centaur.Static.analyze ~discipline:d topo ~sources
+          = Centaur.Static.analyze_materialized ~discipline:d topo ~sources)
+        Gao_rexford.[ Standard; Class_only; Diverse; Arbitrary ])
+
 let suite =
   [ Alcotest.test_case "pgraph of source" `Quick test_pgraph_of_source;
     Alcotest.test_case "analyze counts" `Quick test_analyze_counts;
@@ -187,4 +204,5 @@ let suite =
       test_immediate_overhead_matches_simulation_first_wave;
     Alcotest.test_case "fig5 ratio grows with size" `Quick
       test_fig5_ratio_grows_with_size;
-    QCheck_alcotest.to_alcotest parallel_matches_sequential_qcheck ]
+    QCheck_alcotest.to_alcotest parallel_matches_sequential_qcheck;
+    QCheck_alcotest.to_alcotest streamed_matches_materialized_qcheck ]
