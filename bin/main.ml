@@ -7,6 +7,7 @@
      routes          print a node's selected routes on a topology file
      pgraph          print a node's local P-graph
      simulate        flip a link and report convergence for one protocol
+     policy          parse / validate / compile a policy configuration
      trace           pretty-print / check / digest a JSONL trace file *)
 
 open Cmdliner
@@ -231,17 +232,39 @@ let pgraph_cmd =
 
 (* --- simulate --- *)
 
-let protocols : (string * (?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t)) list
-    =
-  [ ("centaur", fun ?trace topo -> Protocols.Centaur_net.network ?trace topo);
-    ("bgp", fun ?trace topo -> Protocols.Bgp_net.network ?trace topo);
-    ("bgp-rcn", fun ?trace topo -> Protocols.Bgp_net.network ~rcn:true ?trace topo);
-    ("ospf", fun ?trace topo -> Protocols.Ospf_net.network ?trace topo) ]
+(* Protocol constructors come from the shared {!Protocols.Proto_table};
+   the policy/fp-rate knobs below plumb through it once for every
+   protocol. *)
+
+let plist_fp_rate_t =
+  let doc =
+    "Bloom false-positive rate the on-wire Permission Lists are sized \
+     for (Centaur byte accounting)."
+  in
+  Arg.(
+    value & opt float 0.01 & info [ "plist-fp-rate" ] ~docv:"RATE" ~doc)
+
+let policy_file_t =
+  let doc =
+    "Policy configuration file (the DSL of the README's Policies \
+     section); every node shares the compiled policy. Omitted: plain \
+     Gao-Rexford."
+  in
+  Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
+
+(* Parse + validate + compile a policy file, or die with the parser's
+   stable one-line error. *)
+let load_policy ~num_nodes = function
+  | None -> Ok (Policy.default ())
+  | Some path -> (
+    match Policy.parse_file path with
+    | Error msg -> Error msg
+    | Ok config -> Policy.compile ~num_nodes config)
 
 let simulate_cmd =
   let proto_t =
     let doc =
-      "Protocol: " ^ String.concat ", " (List.map fst protocols) ^ "."
+      "Protocol: " ^ String.concat ", " Protocols.Proto_table.names ^ "."
     in
     Arg.(value & opt string "centaur" & info [ "protocol" ] ~docv:"PROTO" ~doc)
   in
@@ -264,21 +287,24 @@ let simulate_cmd =
     let doc = "Print the runner's metrics registry after the flips." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run path proto link trace_out check metrics =
+  let run path proto link trace_out check metrics plist_fp_rate policy_file =
     let topo = read_topology path in
-    match List.assoc_opt proto protocols with
+    match Protocols.Proto_table.find proto with
     | None ->
       `Error
         ( false,
           Printf.sprintf "unknown protocol %S; available: %s" proto
-            (String.concat ", " (List.map fst protocols)) )
-    | Some network ->
+            (String.concat ", " Protocols.Proto_table.names) )
+    | Some network -> (
+      match load_policy ~num_nodes:(Topology.num_nodes topo) policy_file with
+      | Error msg -> `Error (false, msg)
+      | Ok policy ->
       let trace =
         if trace_out <> None || check then
           Obs.Trace.create ~capacity:1_000_000 ()
         else Obs.Trace.none
       in
-      let runner = network ~trace topo in
+      let runner = network ~trace ~policy ~plist_fp_rate topo in
       let link = if link < 0 then 0 else link in
       if link >= Topology.num_links topo then
         `Error (false, Printf.sprintf "link %d out of range" link)
@@ -313,7 +339,7 @@ let simulate_cmd =
               if Obs.Check.ok report then `Ok ()
               else `Error (false, "trace invariant check failed")
             end
-            else `Ok ())
+            else `Ok ()))
   in
   let doc = "Cold-start a protocol on a topology and flip one link." in
   Cmd.v
@@ -321,7 +347,51 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ topo_pos_t $ proto_t $ link_t $ trace_out_t $ check_t
-        $ metrics_t))
+        $ metrics_t $ plist_fp_rate_t $ policy_file_t))
+
+(* --- policy --- *)
+
+let policy_cmd =
+  let file_t =
+    let doc = "Policy configuration file to check." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let action_t =
+    let doc = "Action: only $(b,check) is defined." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION" ~doc)
+  in
+  let nodes_t =
+    let doc =
+      "Validate node/destination ids against this topology size \
+       (0 disables the range check)."
+    in
+    Arg.(value & opt int 0 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let run action file nodes =
+    if action <> "check" then
+      `Error (false, Printf.sprintf "unknown action %S (try: check)" action)
+    else begin
+      (* Errors go to stdout with exit 1 so the CI corpus check can diff
+         them against committed .expect files. *)
+      let num_nodes = if nodes > 0 then Some nodes else None in
+      let compiled =
+        match Policy.parse_file file with
+        | Error msg -> Error msg
+        | Ok config -> Policy.compile ?num_nodes config
+      in
+      match compiled with
+      | Error msg ->
+        print_endline msg;
+        exit 1
+      | Ok compiled ->
+        Printf.printf "ok: %s\n" (Policy.summary compiled);
+        `Ok ()
+    end
+  in
+  let doc = "Parse, validate and compile a policy configuration." in
+  Cmd.v
+    (Cmd.info "policy" ~doc)
+    Term.(ret (const run $ action_t $ file_t $ nodes_t))
 
 (* --- trace --- *)
 
@@ -386,7 +456,7 @@ let main_cmd =
   let info = Cmd.info "centaur" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ exp_cmd; gen_cmd; import_cmd; routes_cmd; pgraph_cmd; simulate_cmd;
-      trace_cmd ]
+      policy_cmd; trace_cmd ]
 
 let () =
   (* $(b,CENTAUR_LOG=debug) enables engine tracing. *)

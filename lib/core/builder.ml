@@ -18,6 +18,10 @@ type t = {
   (* Links and children touched since the last flush. *)
   dirty_links : (int * int, unit) Hashtbl.t;
   dirty_marks : (int, unit) Hashtbl.t;
+  (* When set, the next flush re-announces current links and marks even
+     where they equal the wire state — receivers may hold damaged copies
+     (see invalidate_wire). Cleared by the flush. *)
+  mutable resend_all : bool;
 }
 
 let create ~root =
@@ -29,7 +33,8 @@ let create ~root =
     last_links = Hashtbl.create 256;
     last_marks = Hashtbl.create 64;
     dirty_links = Hashtbl.create 64;
-    dirty_marks = Hashtbl.create 64 }
+    dirty_marks = Hashtbl.create 64;
+    resend_all = false }
 
 let root t = t.root_node
 
@@ -158,6 +163,14 @@ let current_plist t ((_parent, child) as key) =
 
 let marked t d = Hashtbl.mem t.paths d || Hashtbl.mem t.forced d
 
+let invalidate_wire t =
+  t.resend_all <- true;
+  Hashtbl.iter (fun key _ -> Hashtbl.replace t.dirty_links key ()) t.occ;
+  Hashtbl.iter (fun key _ -> Hashtbl.replace t.dirty_links key ()) t.last_links;
+  Hashtbl.iter (fun d _ -> Hashtbl.replace t.dirty_marks d ()) t.paths;
+  Hashtbl.iter (fun d _ -> Hashtbl.replace t.dirty_marks d ()) t.forced;
+  Hashtbl.iter (fun d _ -> Hashtbl.replace t.dirty_marks d ()) t.last_marks
+
 let flush_delta t =
   let add_links = ref [] in
   let remove_links = ref [] in
@@ -180,7 +193,7 @@ let flush_delta t =
           | Some a, Some b -> Permission_list.equal a b
           | None, Some _ | Some _, None -> false
         in
-        if not equal then begin
+        if (not equal) || t.resend_all then begin
           Hashtbl.replace t.last_links key pl;
           add_links := (parent, child, pl) :: !add_links
         end)
@@ -192,7 +205,7 @@ let flush_delta t =
     (fun d () ->
       let now = marked t d in
       let before = Hashtbl.mem t.last_marks d in
-      if now && not before then begin
+      if now && ((not before) || t.resend_all) then begin
         Hashtbl.replace t.last_marks d ();
         add_dests := d :: !add_dests
       end
@@ -202,6 +215,7 @@ let flush_delta t =
       end)
     t.dirty_marks;
   Hashtbl.reset t.dirty_marks;
+  t.resend_all <- false;
   { Pgraph.add_links = List.sort compare !add_links;
     remove_links = List.sort compare !remove_links;
     add_dests = List.sort compare !add_dests;

@@ -36,6 +36,15 @@ val force_dest : t -> int -> unit
 val counter : t -> parent:int -> child:int -> int
 (** Current use counter of a link; 0 if absent. *)
 
+val invalidate_wire : t -> unit
+(** Distrust the receiver's copy of the announced state: the next
+    {!flush_delta} re-announces every current link (with its Permission
+    List) and destination mark even where they equal what was last put
+    on the wire, while withdrawals keep diffing as usual. Used to
+    recover peers from damaged announcements (e.g. the misconfigured
+    Permission-List fault): re-adding a link is idempotent at the
+    receiver, so the resend is safe. *)
+
 val flush_delta : t -> Pgraph.delta
 (** Net changes since the last flush: link insertions (with their
     current Permission Lists), link withdrawals, destination marks.

@@ -26,11 +26,12 @@ type t = {
      the dirty-set scheduler with the other protocols. *)
   dirty : Dirty.t;
   on_change : (int -> unit) option; (* selection-change tap *)
+  policy : Policy.compiled;
 }
 
 type output = (int * Announce.t) list
 
-let create ?on_change topo ~id =
+let create ?on_change ?policy topo ~id =
   { node_id = id;
     topo;
     sessions = Imap.empty;
@@ -38,7 +39,8 @@ let create ?on_change topo ~id =
     local = Builder.create ~root:id;
     exports = Imap.empty;
     dirty = Dirty.create ();
-    on_change }
+    on_change;
+    policy = (match policy with Some p -> p | None -> Policy.default ()) }
 
 let id t = t.node_id
 
@@ -166,36 +168,66 @@ let candidate_of_path t ~neighbor ~role down_path =
   if Path.contains down_path t.node_id then None
   else
     (* One walk computes the route's class at the neighbor; both the
-       import legality check (was the neighbor allowed to offer this?)
-       and our own class derive from it. *)
+       verification check (was the neighbor allowed to offer this under
+       the baseline contract?) and our own class derive from it. The
+       contract check is always Gao–Rexford, never the offering node's
+       configured policy — a leaker's permissive export chain doesn't
+       make its announcements acceptable here, which is exactly how
+       Centaur contains leaked and hijacked routes. *)
     match Path_class.class_of t.topo down_path with
-    | None -> None
+    | None ->
+      Policy.note_reject t.policy;
+      None
     | Some neighbor_class ->
       if
         not
           (Gao_rexford.exportable ~cls:neighbor_class
              ~to_role:(Relationship.invert role))
-      then None
+      then begin
+        Policy.note_reject t.policy;
+        None
+      end
       else
         let cls =
           Gao_rexford.class_of_learned ~neighbor_role:role ~neighbor_class
         in
         let path = t.node_id :: down_path in
-        Some
-          (path, { Gao_rexford.cls; len = Path.length path; next_hop = neighbor })
+        let len = Path.length path in
+        let pref =
+          Policy.import_eval t.policy ~node:t.node_id ~peer:neighbor ~role
+            ~dest:(Path.destination down_path) ~cls ~len ~path
+        in
+        if pref < 0 then None
+        else Some (path, pref, { Gao_rexford.cls; len; next_hop = neighbor })
 
 let best_candidate t ~dest =
+  (* A claimed origination (static [originate] or an active hijack
+     override) beats everything: class Origin, length 1. *)
+  let claim =
+    if dest <> t.node_id && Policy.claims_origin t.policy ~node:t.node_id ~dest
+    then
+      Some
+        ( [ t.node_id; dest ],
+          0,
+          { Gao_rexford.cls = Gao_rexford.Origin; len = 1; next_hop = dest } )
+    else None
+  in
   List.fold_left
     (fun best (n, role, _) ->
       let cands = ref [] in
-      if dest = n then
-        cands :=
-          [ ( [ t.node_id; n ],
-              { Gao_rexford.cls =
-                  Gao_rexford.class_of_learned ~neighbor_role:role
-                    ~neighbor_class:Gao_rexford.Origin;
-                len = 1;
-                next_hop = n } ) ];
+      if dest = n then begin
+        let cls =
+          Gao_rexford.class_of_learned ~neighbor_role:role
+            ~neighbor_class:Gao_rexford.Origin
+        in
+        let path = [ t.node_id; n ] in
+        let pref =
+          Policy.import_eval t.policy ~node:t.node_id ~peer:n ~role ~dest ~cls
+            ~len:1 ~path
+        in
+        if pref >= 0 then
+          cands := [ (path, pref, { Gao_rexford.cls; len = 1; next_hop = n }) ]
+      end;
       (match Imap.find_opt n t.sessions with
       | None -> ()
       | Some s -> (
@@ -206,22 +238,51 @@ let best_candidate t ~dest =
           | None -> ()
           | Some c -> cands := c :: !cands)));
       List.fold_left
-        (fun best ((_, cand) as entry) ->
+        (fun best ((_, pref, cand) as entry) ->
           match best with
           | None -> Some entry
-          | Some (_, bc) ->
-            if Gao_rexford.compare_candidates cand bc < 0 then Some entry
+          | Some (_, bpref, bc) ->
+            if Policy.compare_ranked (pref, cand) (bpref, bc) < 0 then
+              Some entry
             else best)
         best !cands)
-    None (neighbors t)
+    claim (neighbors t)
+
+(* Export decision for one selected path toward one neighbor: split
+   horizon, then the compiled export policy (which defaults to the
+   Gao–Rexford export rule). Claimed originations have no topological
+   class — they export as Origin, which is what a real hijacker's
+   announcement looks like. *)
+let export_decision t ~neighbor ~role p =
+  if Path.contains p neighbor then None
+  else
+    let dest = Path.destination p in
+    let cls =
+      match Path_class.class_of t.topo p with
+      | Some cls -> Some cls
+      | None ->
+        if Policy.claims_origin t.policy ~node:t.node_id ~dest then
+          Some Gao_rexford.Origin
+        else None
+    in
+    match cls with
+    | None -> None
+    | Some cls ->
+      if
+        Policy.export_ok t.policy ~node:t.node_id ~peer:neighbor ~role ~dest
+          ~cls ~len:(Path.length p) ~path:p
+      then Some p
+      else None
 
 (* Re-select one destination; on change, update the local builder and
-   every export builder (split horizon + Gao–Rexford export rule). *)
+   every export builder (split horizon + compiled export policy). *)
 let reselect t ~dest =
   if dest = t.node_id then ()
   else begin
     let old_path = Hashtbl.find_opt t.selected dest in
-    let new_path = Option.map fst (best_candidate t ~dest) in
+    let new_path =
+      Option.map (fun (p, _, _) -> p) (best_candidate t ~dest)
+    in
     let same =
       match (old_path, new_path) with
       | None, None -> true
@@ -241,12 +302,8 @@ let reselect t ~dest =
           | Some builder ->
             let exported =
               match new_path with
-              | Some p
-                when (not (Path.contains p n))
-                     && Path_class.exportable_to t.topo p ~neighbor_role:role
-                ->
-                Some p
-              | Some _ | None -> None
+              | Some p -> export_decision t ~neighbor:n ~role p
+              | None -> None
             in
             Builder.set_path builder ~dest exported)
         (neighbors t)
@@ -295,10 +352,9 @@ let populate_export t builder ~neighbor ~role =
   Builder.force_dest builder t.node_id;
   Hashtbl.iter
     (fun dest p ->
-      if
-        (not (Path.contains p neighbor))
-        && Path_class.exportable_to t.topo p ~neighbor_role:role
-      then Builder.set_path builder ~dest (Some p))
+      match export_decision t ~neighbor ~role p with
+      | Some p -> Builder.set_path builder ~dest (Some p)
+      | None -> ())
     t.selected
 
 (* Absorb a local adjacency change: reconcile sessions with the live
@@ -337,6 +393,10 @@ let absorb_adjacency t =
         Dirty.mark t.dirty n
       end)
     live;
+  (* Claimed originations need an initial selection pass. *)
+  List.iter
+    (fun d -> Dirty.mark t.dirty d)
+    (Policy.origins t.policy ~node:t.node_id);
   t
 
 let on_adjacency_change t =
@@ -344,6 +404,37 @@ let on_adjacency_change t =
   recompute t
 
 let start t = on_adjacency_change t
+
+(* The policy-override poke: re-run selection and export decisions for
+   everything this node knows about, because the compiled policy's
+   answers may have changed out from under the cached state. With
+   [resend] the export builders also re-announce their full wire state —
+   receivers may hold announcements damaged by a (just-ended or
+   just-started) Permission-List corruption override. *)
+let refresh_policy ?(resend = false) t =
+  Imap.iter
+    (fun _ s ->
+      Hashtbl.iter (fun d _ -> Dirty.mark t.dirty d) s.cache;
+      Hashtbl.iter (fun d () -> Dirty.mark t.dirty d) s.pending)
+    t.sessions;
+  Hashtbl.iter (fun d _ -> Dirty.mark t.dirty d) t.selected;
+  List.iter
+    (fun d -> Dirty.mark t.dirty d)
+    (Policy.origins t.policy ~node:t.node_id);
+  (* Selections that stay put still need their export decisions redone:
+     an export chain may have flipped while the best route didn't. *)
+  List.iter
+    (fun (n, role, _) ->
+      match Imap.find_opt n t.exports with
+      | None -> ()
+      | Some builder ->
+        Hashtbl.iter
+          (fun dest p ->
+            Builder.set_path builder ~dest (export_decision t ~neighbor:n ~role p))
+          t.selected;
+        if resend then Builder.invalidate_wire builder)
+    (neighbors t);
+  recompute t
 
 let dirty_size t = Dirty.cardinal t.dirty
 

@@ -23,11 +23,16 @@ type t
 type output = (int * Announce.t) list
 (** [(neighbor, announcement)] pairs to deliver. *)
 
-val create : ?on_change:(int -> unit) -> Topology.t -> id:int -> t
+val create :
+  ?on_change:(int -> unit) -> ?policy:Policy.compiled -> Topology.t -> id:int -> t
 (** A node with empty routing state. [on_change] is called with the
     destination id every time the node's selected path for that
     destination changes — the tap the simulator uses to feed the uniform
-    changed-destination interface. *)
+    changed-destination interface. [policy] (default: the compiled
+    Gao–Rexford default) drives import preference, export filtering and
+    claimed originations; received announcements are additionally always
+    verified against the baseline Gao–Rexford contract, with failures
+    counted on {!Policy.rejects}. *)
 
 val id : t -> int
 
@@ -66,6 +71,15 @@ val absorb_adjacency : t -> t
 (** The absorb stage of {!on_adjacency_change}: reconcile sessions with
     the live neighbor set and mark affected destinations dirty, deferring
     re-selection and emission to {!recompute}. *)
+
+val refresh_policy : ?resend:bool -> t -> t * output
+(** React to the node's compiled policy having been mutated in place
+    (scenario overrides: leak / hijack / Permission-List corruption):
+    re-select every known destination, re-run every export decision, and
+    emit the resulting deltas. With [resend:true] the export builders
+    also re-announce their current wire state verbatim
+    ({!Builder.invalidate_wire}) — required when recovering receivers
+    from corrupted announcements. *)
 
 val dirty_size : t -> int
 (** Destinations currently marked for re-selection — the dirty-set size

@@ -19,7 +19,7 @@ type pgraph_stats = {
   avg_plist_compressed_bytes : float;
 }
 
-let plist_fp_rate = 0.01
+let default_plist_fp_rate = 0.01
 
 (* Mutable Table 4/5 totals. Every field is a sum of per-source
    integers, so accumulation order never shows in the result. *)
@@ -51,15 +51,14 @@ let stats_add_into ~into ws =
   into.a_more <- into.a_more + ws.a_more;
   into.a_bytes <- into.a_bytes + ws.a_bytes
 
-let stats_add_plist acc pl =
+let stats_add_plist ~fp_rate acc pl =
   acc.a_plists <- acc.a_plists + 1;
   (match Permission_list.num_entries pl with
   | 1 -> acc.a_one <- acc.a_one + 1
   | 2 -> acc.a_two <- acc.a_two + 1
   | 3 -> acc.a_three <- acc.a_three + 1
   | _ -> acc.a_more <- acc.a_more + 1);
-  acc.a_bytes <-
-    acc.a_bytes + Permission_list.compressed_size_bytes pl ~fp_rate:plist_fp_rate
+  acc.a_bytes <- acc.a_bytes + Permission_list.compressed_size_bytes pl ~fp_rate
 
 let stats_finalize ~num_sources acc =
   let k = float_of_int num_sources in
@@ -78,7 +77,7 @@ let stats_finalize ~num_sources acc =
    a private totals record (the P-graph itself is dropped as soon as its
    statistics are read off), and the records are summed — commutatively —
    on the way down. No per-source result list is ever materialized. *)
-let aggregate ~sources pgraph_of =
+let aggregate ?(plist_fp_rate = default_plist_fp_rate) ~sources pgraph_of =
   let src_arr = Array.of_list sources in
   let total = stats_zero () in
   Pool.parallel_fold
@@ -88,7 +87,9 @@ let aggregate ~sources pgraph_of =
     (fun ws i ->
       let g = pgraph_of src_arr.(i) in
       ws.a_links <- ws.a_links + Pgraph.num_links g;
-      List.iter (stats_add_plist ws) (Pgraph.permission_lists g));
+      List.iter
+        (stats_add_plist ~fp_rate:plist_fp_rate ws)
+        (Pgraph.permission_lists g));
   stats_finalize ~num_sources:(Array.length src_arr) total
 
 (* {2 Streamed per-source P-graph statistics}
@@ -162,7 +163,7 @@ let stream_merge ~into src =
    Permission Lists rebuilt — only for links into multi-homed children —
    from the traversal chains. This is exactly [Pgraph.build_graph]'s
    pass 2 without constructing the graph. *)
-let stream_stats acc st =
+let stream_stats ~fp_rate acc st =
   let num_links = Flat_tbl.length st.heads in
   acc.a_links <- acc.a_links + num_links;
   let indeg = Flat_tbl.create ~initial:(2 * num_links) () in
@@ -177,7 +178,7 @@ let stream_stats acc st =
           pl := Permission_list.add !pl ~dest:(trav_dest v) ~next:(trav_next v);
           i := st.tn.(!i)
         done;
-        stats_add_plist acc !pl
+        stats_add_plist ~fp_rate acc !pl
       end)
 
 (* Per-domain scratch for the per-destination sweep: a reusable solver
@@ -212,8 +213,18 @@ let stream_path acc ~dest p =
   in
   go p
 
-let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
+let analyze ?(discipline = Gao_rexford.Standard) ?policy
+    ?(plist_fp_rate = default_plist_fp_rate) ?metrics topo ~sources =
   if sources = [] then invalid_arg "Static.analyze: empty source list";
+  (* The default compiled policy is Gao–Rexford exactly — keep the
+     three-phase fast path. A non-default policy routes every discipline
+     through the generic fixpoint solver, which evaluates the compiled
+     chains. *)
+  let policy =
+    match policy with
+    | Some p when not (Policy.is_default p) -> Some p
+    | Some _ | None -> None
+  in
   let n = Topology.num_nodes topo in
   let src_arr = Array.of_list sources in
   let k = Array.length src_arr in
@@ -230,8 +241,8 @@ let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
     (match ws.ams with
     | Some m -> Obs.Metrics.incr (Obs.Metrics.counter m "static.dests")
     | None -> ());
-    match discipline with
-    | Gao_rexford.Standard ->
+    match (discipline, policy) with
+    | Gao_rexford.Standard, None ->
       let r = Solver.to_dest_with ws.sws topo d in
       for i = 0 to k - 1 do
         let s = Array.unsafe_get src_arr i in
@@ -252,13 +263,15 @@ let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
           ws_record_path ws !hops
         end
       done
-    | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary
+    | ( ( Gao_rexford.Standard | Gao_rexford.Class_only | Gao_rexford.Diverse
+        | Gao_rexford.Arbitrary ),
+        _ )
       -> (
       (* Sibling structures can sit outside the Gao-Rexford safety
          theorem; a destination with no stable solution is skipped (its
          routes are simply absent from every sampled P-graph) rather
          than aborting the whole sweep. *)
-      match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+      match Stable.to_dest ~discipline ?policy ~max_rounds:512 topo d with
       | r ->
         for i = 0 to k - 1 do
           let s = Array.unsafe_get src_arr i in
@@ -291,16 +304,22 @@ let analyze ?(discipline = Gao_rexford.Standard) ?metrics topo ~sources =
       done)
     ~init:() n body;
   let total = stats_zero () in
-  Array.iter (stream_stats total) merged;
+  Array.iter (stream_stats ~fp_rate:plist_fp_rate total) merged;
   stats_finalize ~num_sources:k total
 
 (* Reference implementation: bag every (dest, path) per source, build a
    full P-graph per source, aggregate. Semantically identical to
    [analyze] (the QCheck suite pins this down) but materializes the
    n × sources path matrix — kept for cross-checking, not for scale. *)
-let analyze_materialized ?(discipline = Gao_rexford.Standard) topo ~sources =
+let analyze_materialized ?(discipline = Gao_rexford.Standard) ?policy
+    ?(plist_fp_rate = default_plist_fp_rate) topo ~sources =
   if sources = [] then
     invalid_arg "Static.analyze_materialized: empty source list";
+  let policy =
+    match policy with
+    | Some p when not (Policy.is_default p) -> Some p
+    | Some _ | None -> None
+  in
   let n = Topology.num_nodes topo in
   let src_arr = Array.of_list sources in
   let k = Array.length src_arr in
@@ -314,13 +333,12 @@ let analyze_materialized ?(discipline = Gao_rexford.Standard) topo ~sources =
     ~init:() n
     (fun (sws, bags) d ->
       let path_of =
-        match discipline with
-        | Gao_rexford.Standard ->
+        match (discipline, policy) with
+        | Gao_rexford.Standard, None ->
           let r = Solver.to_dest_with sws topo d in
           fun s -> Solver.path r s
-        | Gao_rexford.Class_only | Gao_rexford.Diverse
-        | Gao_rexford.Arbitrary -> (
-          match Stable.to_dest ~discipline ~max_rounds:512 topo d with
+        | _ -> (
+          match Stable.to_dest ~discipline ?policy ~max_rounds:512 topo d with
           | r -> fun s -> Stable.path r s
           | exception Failure _ -> fun _ -> None)
       in
@@ -339,7 +357,7 @@ let analyze_materialized ?(discipline = Gao_rexford.Standard) topo ~sources =
   done;
   let idx = Hashtbl.create k in
   Array.iteri (fun i s -> Hashtbl.replace idx s i) src_arr;
-  aggregate ~sources (fun s ->
+  aggregate ~plist_fp_rate ~sources (fun s ->
       Pgraph.of_paths ~root:s bag_of.(Hashtbl.find idx s))
 
 type link_overhead = {
@@ -451,8 +469,8 @@ let immediate_overhead ?dests ?prefixes topo =
   Array.init num_links (fun link_id ->
       { link_id; bgp_units = bgp.(link_id); centaur_units = centaur.(link_id) })
 
-let analyze_vf topo ~sources =
+let analyze_vf ?plist_fp_rate topo ~sources =
   if sources = [] then invalid_arg "Static.analyze_vf: empty source list";
-  aggregate ~sources (fun s ->
+  aggregate ?plist_fp_rate ~sources (fun s ->
       let r = Vf_paths.from_source topo ~src:s in
       Pgraph.of_paths ~root:s (Vf_paths.path_set r))

@@ -35,6 +35,8 @@ type pgraph_stats = {
 
 val analyze :
   ?discipline:Gao_rexford.discipline ->
+  ?policy:Policy.compiled ->
+  ?plist_fp_rate:float ->
   ?metrics:Obs.Metrics.t ->
   Topology.t ->
   sources:int list ->
@@ -44,6 +46,13 @@ val analyze :
     source list. [discipline] selects the within-class ranking
     (default {!Gao_rexford.Standard}); [Class_only] is the ablation
     matching the paper's bushier P-graphs.
+
+    [policy] routes selection through the compiled policy chains
+    ({!Stable.to_dest}'s policy mode); the default compiled policy is
+    recognized and keeps the three-phase fast path, so passing
+    [Policy.default ()] is byte-identical to passing nothing.
+    [plist_fp_rate] sets the Bloom false-positive rate used for the
+    compressed Permission-List size column (default 0.01).
 
     [metrics], when given, receives [static.dests] / [static.paths]
     counters and a [static.path_len] histogram. Each pool domain
@@ -55,6 +64,8 @@ val analyze :
 
 val analyze_materialized :
   ?discipline:Gao_rexford.discipline ->
+  ?policy:Policy.compiled ->
+  ?plist_fp_rate:float ->
   Topology.t ->
   sources:int list ->
   pgraph_stats
@@ -64,7 +75,8 @@ val analyze_materialized :
     Kept (and exported) so the test suite can assert the streamed
     statistics are identical; do not use at scale. *)
 
-val analyze_vf : Topology.t -> sources:int list -> pgraph_stats
+val analyze_vf :
+  ?plist_fp_rate:float -> Topology.t -> sources:int list -> pgraph_stats
 (** Same aggregation over the {e per-pair shortest valley-free} path
     sets ({!Vf_paths}) instead of the BGP-stable selection. These path
     sets are not suffix-consistent, so their P-graphs are genuinely

@@ -16,10 +16,20 @@ type t = {
   fig8_sizes : int list;  (** topology sizes swept in F8 *)
   fig8_events : int;    (** link events measured per size in F8 *)
   mrai : float;         (** BGP MRAI in ms *)
+  plist_fp_rate : float;
+      (** Bloom false-positive rate the on-wire Permission Lists are
+          sized for (paper §4.1; default 0.01) — scales byte accounting
+          in the static analysis and the Centaur net *)
   resilience_scenarios : int;  (** churn scenarios swept by [exp resilience] *)
   resilience_pairs : int;      (** (src, dest) pairs probed per scenario *)
   resilience_flaps : int;      (** link flaps per churn scenario *)
   resilience_horizon : float;  (** observed window per scenario, ms *)
+  containment_scenarios : int;
+      (** adversarial scenarios run by [exp containment] (route leak,
+          prefix hijack, Permission-List misconfiguration — in that
+          order, capped at 3) *)
+  containment_pairs : int;     (** (src, dest) pairs probed per scenario *)
+  containment_horizon : float; (** observed window per scenario, ms *)
   scale_sizes : int list;
       (** topology sizes swept by [exp scale] (default runs to the
           paper's 26k-node CAIDA scale) *)

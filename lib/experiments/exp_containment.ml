@@ -1,0 +1,370 @@
+(* Adversarial containment: seed a customer-route leak, a prefix hijack
+   and a Permission-List misconfiguration into a converged caida-like
+   inter-domain topology, and measure how far each lie travels under
+   Centaur versus BGP. The protocols share one compiled default policy
+   (byte-identical Gao–Rexford); the difference is structural — Centaur
+   verifies every announced path against the Permission Lists built from
+   the honest baseline, BGP trusts whatever its sessions report. The
+   observer keeps judging forwarding against the honest ground truth
+   (adversarial overrides do not change what routes *should* be). *)
+
+let sample_every = 5.0
+
+(* Centaur's cold start on the caida_like model is dominated by
+   Permission-List construction and flooding, which grow superlinearly
+   with node count (~17 s at 300 nodes, >5 min at 600 on one core). The
+   containment story is about propagation *radius*, not absolute scale,
+   so the experiment caps the topology; the quick preset already sits at
+   the cap. *)
+let max_nodes = 300
+
+type kind = Route_leak | Prefix_hijack | Plist_misconfig
+
+let kind_name = function
+  | Route_leak -> "route-leak"
+  | Prefix_hijack -> "prefix-hijack"
+  | Plist_misconfig -> "plist-misconfig"
+
+let all_kinds = [ Route_leak; Prefix_hijack; Plist_misconfig ]
+
+type row = {
+  kind : kind;
+  protocol : string;
+  radius : int;
+      (* max hop distance from the adversary over nodes whose RIB the
+         fault poisoned; 0 = fully contained *)
+  poisoned : int;    (* (node, dest) selections poisoned mid-fault *)
+  dark_pairs : int;  (* probed pairs blackholed/looped mid-fault *)
+  detect_ms : float option;
+      (* first sample at which the policy verifier had rejected at least
+         one announcement; None = the protocol never noticed *)
+  residual : int;    (* poisoned selections after heal + quiescence *)
+  availability : float;
+  unavailable_ms : float;
+  messages : int;
+}
+
+type result = {
+  nodes : int;
+  pairs : int;
+  horizon : float;
+  rows : row list;  (* kind-major, centaur before bgp *)
+}
+
+let protocols = [ "centaur"; "bgp" ]
+
+(* --- deterministic actor selection ----------------------------------- *)
+
+let bfs_dist topo src =
+  let dist = Array.make (Topology.num_nodes topo) (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Topology.iter_neighbors topo v (fun nb _ _ ->
+        if dist.(nb) < 0 then begin
+          dist.(nb) <- dist.(v) + 1;
+          Queue.add nb q
+        end)
+  done;
+  dist
+
+(* The classic leaker: a multi-homed edge AS — lowest id with at least
+   two providers, so the leak re-announces one provider's routes to the
+   other (and to any peers). *)
+let pick_leaker topo =
+  let n = Topology.num_nodes topo in
+  let providers v =
+    Topology.fold_neighbors topo v ~init:0 ~f:(fun acc _ role _ ->
+        if Relationship.equal role Relationship.Provider then acc + 1 else acc)
+  in
+  let rec go i = if i >= n || providers i >= 2 then min i (n - 1) else go (i + 1) in
+  go 0
+
+let max_degree_node topo =
+  let best = ref 0 in
+  for v = 1 to Topology.num_nodes topo - 1 do
+    if Topology.full_degree topo v > Topology.full_degree topo !best then
+      best := v
+  done;
+  !best
+
+let farthest_from topo v =
+  let dist = bfs_dist topo v in
+  let best = ref v in
+  Array.iteri (fun i d -> if d > dist.(!best) then best := i) dist;
+  !best
+
+(* Returns the scenario, the misbehaving node and (for hijacks) the
+   victim whose prefix is claimed. *)
+let scenario_of cfg topo kind =
+  let horizon = cfg.Config.containment_horizon in
+  (* Fault on at 12 ms (off the 5 ms sample grid, after a converged
+     baseline sample), healed at 60% of the window so the tail observes
+     recovery. *)
+  let at = 12.0 in
+  let duration = (0.6 *. horizon) -. at in
+  let fault, bad, victim =
+    match kind with
+    | Route_leak ->
+      let leaker = pick_leaker topo in
+      (Faults.Scenario.Route_leak { node = leaker; at; duration }, leaker, None)
+    | Prefix_hijack ->
+      let victim = max_degree_node topo in
+      let hijacker = farthest_from topo victim in
+      ( Faults.Scenario.Prefix_hijack { node = hijacker; victim; at; duration },
+        hijacker,
+        Some victim )
+    | Plist_misconfig ->
+      let node = max_degree_node topo in
+      (Faults.Scenario.Plist_misconfig { node; at; duration }, node, None)
+  in
+  ( { Faults.Scenario.name = kind_name kind;
+      seed = cfg.Config.seed;
+      horizon;
+      sample_every;
+      faults = [ fault ] },
+    bad,
+    victim )
+
+(* --- one (scenario, protocol) run ------------------------------------ *)
+
+let run_one cfg ~pairs (kind, proto) =
+  let topo = Inputs.caida cfg in
+  let policy = Policy.default () in
+  let scenario, bad, victim = scenario_of cfg topo kind in
+  let horizon = scenario.Faults.Scenario.horizon in
+  let make = Option.get (Protocols.Proto_table.find proto) in
+  let runner =
+    make ~policy ~plist_fp_rate:cfg.Config.plist_fp_rate ~mrai:cfg.Config.mrai
+      topo
+  in
+  (* Hijack damage is entirely about the victim's prefix: probe the
+     sampled sources toward the victim instead of the generic pairs. *)
+  let probe_pairs =
+    match victim with
+    | None -> pairs
+    | Some v ->
+      List.filter_map
+        (fun s -> if s = v || s = bad then None else Some (s, v))
+        (List.sort_uniq compare (List.map fst pairs))
+  in
+  let obs = Faults.Observer.create topo ~pairs:probe_pairs ~sample_every in
+  let on_e, off_e =
+    match Faults.Scenario.compile topo scenario with
+    | [ on_e; off_e ] -> (on_e, off_e)
+    | _ -> assert false (* one fault compiles to one on + one off edge *)
+  in
+  runner.Sim.Runner.seed_loss scenario.Faults.Scenario.seed;
+  let total = ref (runner.Sim.Runner.cold_start ()) in
+  Faults.Observer.refresh_truth obs;
+  Policy.reset_rejects policy;
+  let base = runner.Sim.Runner.now () in
+  let step t =
+    total :=
+      Faults.Injector.add_stats !total
+        (runner.Sim.Runner.run_until (base +. t))
+  in
+  let apply (e : Faults.Scenario.event) =
+    match e.Faults.Scenario.change with
+    | Faults.Scenario.Set_policy changes ->
+      let nodes =
+        List.sort_uniq compare
+          (List.map (Faults.Injector.apply_policy_change policy) changes)
+      in
+      runner.Sim.Runner.on_policy_change nodes;
+      if List.exists Faults.Scenario.policy_change_on changes then
+        Faults.Observer.note_disruption obs runner
+          ~now:e.Faults.Scenario.at
+    | Faults.Scenario.Set_links _ | Faults.Scenario.Set_loss _ ->
+      assert false (* the containment family is pure policy faults *)
+  in
+  (* RIB snapshots over the scan destinations: what each node would
+     forward along (control-plane path), per destination. *)
+  let scan_dests =
+    Array.of_list
+      (match victim with
+      | Some v -> [ v ]
+      | None -> List.sort_uniq compare (List.map snd probe_pairs))
+  in
+  let num_nodes = Topology.num_nodes topo in
+  let snap () =
+    Array.init num_nodes (fun src ->
+        Array.map
+          (fun dest ->
+            if src = dest then None else runner.Sim.Runner.path ~src ~dest)
+          scan_dests)
+  in
+  let pre = snap () in
+  (* A selection is poisoned when it now traverses the adversary and its
+     honest pre-fault selection did not (leak, hijack), or when a route
+     the node had simply vanished (misconfig blackholes, no lie to
+     trace). *)
+  let is_poisoned now before =
+    match (kind, now, before) with
+    | Plist_misconfig, None, Some _ -> true
+    | Plist_misconfig, _, _ -> false
+    | _, Some p, before ->
+      List.mem bad p
+      && not (match before with Some q -> List.mem bad q | None -> false)
+    | _, None, _ -> false
+  in
+  (* (poisoned selection count, nodes holding at least one) in one pass *)
+  let scan_poisoned cur =
+    let count = ref 0 and nodes = ref [] in
+    Array.iteri
+      (fun src row ->
+        let here = ref false in
+        Array.iteri
+          (fun j now ->
+            if is_poisoned now pre.(src).(j) then begin
+              incr count;
+              here := true
+            end)
+          row;
+        if !here then nodes := src :: !nodes)
+      cur;
+    (!count, !nodes)
+  in
+  let detect = ref None in
+  let next = ref 0.0 in
+  let sample_to limit =
+    while !next < limit && !next <= horizon do
+      step !next;
+      Faults.Observer.sample obs runner ~now:!next;
+      if !detect = None && Policy.rejects policy > 0 then detect := Some !next;
+      next := !next +. sample_every
+    done
+  in
+  sample_to on_e.Faults.Scenario.at;
+  step on_e.Faults.Scenario.at;
+  apply on_e;
+  sample_to off_e.Faults.Scenario.at;
+  (* Mid-fault scan, the instant before the heal: how far did it get? *)
+  step off_e.Faults.Scenario.at;
+  let poisoned, radius =
+    match scan_poisoned (snap ()) with
+    | 0, _ -> (0, 0)
+    | count, nodes ->
+      let dist = bfs_dist topo bad in
+      ( count,
+        List.fold_left
+          (fun acc v -> if dist.(v) > acc then dist.(v) else acc)
+          0 nodes )
+  in
+  let dark_pairs =
+    List.length
+      (List.filter
+         (fun (src, dest) ->
+           match Faults.Observer.probe obs runner ~src ~dest with
+           | Faults.Observer.Blackholed | Faults.Observer.Looped -> true
+           | Faults.Observer.Delivered | Faults.Observer.Unroutable -> false)
+         probe_pairs)
+  in
+  apply off_e;
+  sample_to (horizon +. 1.0);
+  total :=
+    Faults.Injector.add_stats !total (runner.Sim.Runner.run_to_quiescence ());
+  let residual = fst (scan_poisoned (snap ())) in
+  let report =
+    Faults.Observer.report obs ~protocol:proto ~stats:!total
+  in
+  { kind;
+    protocol = proto;
+    radius;
+    poisoned;
+    dark_pairs;
+    detect_ms = !detect;
+    residual;
+    availability = report.Faults.Observer.availability;
+    unavailable_ms = report.Faults.Observer.unavailable_ms;
+    messages = report.Faults.Observer.stats.Sim.Engine.messages }
+
+let kinds cfg =
+  List.filteri (fun i _ -> i < cfg.Config.containment_scenarios) all_kinds
+
+let run cfg =
+  let cfg = { cfg with Config.as_nodes = min cfg.Config.as_nodes max_nodes } in
+  let topo = Inputs.caida cfg in
+  let pairs =
+    Inputs.sample_pairs cfg topo ~count:cfg.Config.containment_pairs
+  in
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun k -> List.map (fun p -> (k, p)) protocols)
+         (kinds cfg))
+  in
+  (* Each work item owns private topology + policy instances, so the
+     domain-pool fan-out is race-free and index-ordered collection keeps
+     the result identical to a sequential sweep. *)
+  let rows = Pool.parallel_map_array (run_one cfg ~pairs) work in
+  { nodes = Topology.num_nodes topo;
+    pairs = List.length pairs;
+    horizon = cfg.Config.containment_horizon;
+    rows = Array.to_list rows }
+
+let find_row r kind proto =
+  List.find_opt (fun x -> x.kind = kind && x.protocol = proto) r.rows
+
+(* --- rendering ------------------------------------------------------- *)
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Containment of adversarial routing faults: caida_like n=%d, %d \
+        probed pairs, %.0f ms window.\n\
+        One compiled Gao-Rexford policy shared by both protocols; the \
+        adversary overrides it mid-run.\n"
+       r.nodes r.pairs r.horizon);
+  Buffer.add_string buf
+    "  scenario         protocol  radius  poisoned  dark  detect(ms)  \
+     residual  avail%     msgs\n";
+  List.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-15s  %-8s  %6d  %8d  %4d  %10s  %8d  %6.2f  %7d\n"
+           (kind_name x.kind) x.protocol x.radius x.poisoned x.dark_pairs
+           (match x.detect_ms with
+           | Some t -> Printf.sprintf "%.0f" t
+           | None -> "-")
+           x.residual
+           (100.0 *. x.availability)
+           x.messages))
+    r.rows;
+  (match (find_row r Route_leak "centaur", find_row r Route_leak "bgp") with
+  | Some c, Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  Route leak: BGP trusts the leaked customer-class routes and \
+          carries them to radius %d\n  (%d poisoned selections); Centaur's \
+          Permission-List check rejects them at the first\n  honest hop \
+          (radius %d, verifier alarm at %s ms vs never for BGP).\n"
+         b.radius b.poisoned c.radius
+         (match c.detect_ms with
+         | Some t -> Printf.sprintf "%.0f" t
+         | None -> "-"))
+  | _ -> ());
+  (match (find_row r Prefix_hijack "centaur", find_row r Prefix_hijack "bgp") with
+  | Some c, Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  Prefix hijack: the forged origin blackholes %d/%d probed pairs \
+          under BGP (radius %d);\n  Centaur contains it to radius %d with \
+          %d dark pairs.\n"
+         b.dark_pairs r.pairs b.radius c.radius c.dark_pairs)
+  | _ -> ());
+  (match find_row r Plist_misconfig "centaur" with
+  | Some c ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  Permission-List misconfig is Centaur's own failure mode: %d \
+          selections blackholed\n  at radius %d (BGP has no Permission \
+          Lists to corrupt). The verifier stays silent —\n  a \
+          misconfiguration is indistinguishable from a withdrawal — and \
+          repair leaves %d residual.\n"
+         c.poisoned c.radius c.residual)
+  | None -> ());
+  Buffer.contents buf

@@ -33,12 +33,18 @@ type result = {
       (* protocol -> merged per-run metrics; [] unless emit_metrics *)
 }
 
+(* Constructors come from the shared table; the per-protocol defaults
+   (Permission-List sizing, policy) match what direct construction used,
+   so the committed resilience baseline is unchanged. *)
 let protocol_makers cfg =
-  [ ("centaur", fun ~trace topo -> Protocols.Centaur_net.network ~trace topo);
-    ("bgp",
-     fun ~trace topo ->
-       Protocols.Bgp_net.network ~mrai:cfg.Config.mrai ~trace topo);
-    ("ospf", fun ~trace topo -> Protocols.Ospf_net.network ~trace topo) ]
+  List.map
+    (fun name ->
+      let make = Option.get (Protocols.Proto_table.find name) in
+      ( name,
+        fun ~trace topo ->
+          make ~trace ~plist_fp_rate:cfg.Config.plist_fp_rate
+            ~mrai:cfg.Config.mrai topo ))
+    [ "centaur"; "bgp"; "ospf" ]
 
 (* Traced runs keep the last ~1M events; a truncated ring still digests
    deterministically (the dropped count is part of the digest), so the

@@ -38,6 +38,9 @@ let all =
     { id = "resilience";
       title = "Routability over time under churn (Centaur vs BGP vs OSPF)";
       run = (fun cfg -> Exp_resilience.render (Exp_resilience.run cfg)) };
+    { id = "containment";
+      title = "Containment of route leaks and prefix hijacks (Centaur vs BGP)";
+      run = (fun cfg -> Exp_containment.render (Exp_containment.run cfg)) };
     { id = "ablation-mrai";
       title = "MRAI sweep (what drives the Figure 6 gap)";
       run = (fun cfg -> Exp_ablations.render_mrai (Exp_ablations.run_mrai cfg)) };

@@ -7,8 +7,21 @@ let add_stats (a : Sim.Engine.run_stats) (b : Sim.Engine.run_stats) =
     losses = a.Sim.Engine.losses + b.Sim.Engine.losses;
     events = a.Sim.Engine.events + b.Sim.Engine.events }
 
-let run ?metrics (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t)
-    ~pairs =
+(* Map one policy-override flip onto the compiled policy's setters and
+   return the node owed a poke. *)
+let apply_policy_change pol = function
+  | Scenario.Leak { node; on } ->
+    Policy.set_leak pol ~node on;
+    node
+  | Scenario.Claim { node; dest; on } ->
+    Policy.set_claim pol ~node ~dest on;
+    node
+  | Scenario.Corrupt { node; on } ->
+    Policy.set_corrupt pol ~node on;
+    node
+
+let run ?metrics ?policy (runner : Sim.Runner.t) ~topo
+    ~(scenario : Scenario.t) ~pairs =
   let events =
     (* Changes scheduled past the horizon are unobservable: drop them
        rather than mutate state the report never sees. *)
@@ -16,6 +29,18 @@ let run ?metrics (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t)
       (fun (e : Scenario.event) -> e.Scenario.at <= scenario.Scenario.horizon)
       (Scenario.compile topo scenario)
   in
+  let has_policy_events =
+    List.exists
+      (fun (e : Scenario.event) ->
+        match e.Scenario.change with
+        | Scenario.Set_policy _ -> true
+        | Scenario.Set_links _ | Scenario.Set_loss _ -> false)
+      events
+  in
+  if has_policy_events && policy = None then
+    invalid_arg
+      "Injector.run: scenario has policy faults but no ~policy was given \
+       (pass the same compiled policy the runner was built with)";
   let obs =
     Observer.create topo ~pairs
       ~sample_every:scenario.Scenario.sample_every
@@ -38,6 +63,18 @@ let run ?metrics (runner : Sim.Runner.t) ~topo ~(scenario : Scenario.t)
       List.iter
         (fun (link_id, rate) -> runner.Sim.Runner.set_loss ~link_id ~rate)
         rates
+    | Scenario.Set_policy changes ->
+      let pol = Option.get policy in
+      let nodes =
+        List.sort_uniq compare (List.map (apply_policy_change pol) changes)
+      in
+      runner.Sim.Runner.on_policy_change nodes;
+      (* Ground truth is deliberately NOT refreshed: the Gao–Rexford
+         truth of every pair is unchanged by an adversarial override, so
+         hijacked and leaked forwarding keeps being judged against the
+         honest baseline. *)
+      if List.exists Scenario.policy_change_on changes then
+        Observer.note_disruption obs runner ~now:e.Scenario.at
   in
   (* Interleave injections and samples in time order; at equal times the
      injection applies first, so the sample observes the instant after

@@ -12,8 +12,20 @@
     are dropped. Fully deterministic: equal (scenario, topology, runner
     construction) triples produce byte-identical reports. *)
 
+val add_stats :
+  Sim.Engine.run_stats -> Sim.Engine.run_stats -> Sim.Engine.run_stats
+(** Componentwise sum — for harnesses that accumulate cost across
+    [cold_start] / [run_until] / [run_to_quiescence] segments. *)
+
+val apply_policy_change : Policy.compiled -> Scenario.policy_change -> int
+(** Map one override flip onto the compiled policy's setters and return
+    the node owed an [on_policy_change] poke. Exposed for harnesses that
+    drive a scenario's timeline themselves (the containment experiment
+    scans mid-fault state, which {!run} has no hook for). *)
+
 val run :
   ?metrics:Obs.Metrics.t ->
+  ?policy:Policy.compiled ->
   Sim.Runner.t ->
   topo:Topology.t ->
   scenario:Scenario.t ->
@@ -23,6 +35,15 @@ val run :
     observer reads its live link state for ground truth. The report's
     [stats] cover cold start, the whole observed window and the final
     drain to quiescence.
+
+    [policy] must be the same compiled policy the runner was built with;
+    it is required (checked up front, [Invalid_argument]) whenever the
+    scenario contains policy faults. Each [Set_policy] group flips the
+    overrides through the {!Policy} setters and pokes the runner's
+    [on_policy_change] once with the sorted, deduplicated node list.
+    Ground truth is {e not} refreshed on policy events — adversarial
+    overrides do not change what routes {e should} be, so the observer
+    keeps judging forwarding against the honest Gao–Rexford baseline.
 
     [metrics], when given, receives the run's full registry after the
     drain: the runner engine's counters merged with the observer's.

@@ -6,6 +6,10 @@ type fault =
                      hold : float }
   | Lossy_link of { link_id : int; rate : float; from_t : float;
                     until_t : float }
+  | Route_leak of { node : int; at : float; duration : float }
+  | Prefix_hijack of { node : int; victim : int; at : float;
+                       duration : float }
+  | Plist_misconfig of { node : int; at : float; duration : float }
 
 type t = {
   name : string;
@@ -15,9 +19,18 @@ type t = {
   faults : fault list;
 }
 
+(* Policy overrides are expressed over plain ints so the scenario layer
+   stays policy-type-free; the injector maps them onto the compiled
+   policy's setters. *)
+type policy_change =
+  | Leak of { node : int; on : bool }
+  | Claim of { node : int; dest : int; on : bool }
+  | Corrupt of { node : int; on : bool }
+
 type change =
   | Set_links of (int * bool) list
   | Set_loss of (int * float) list
+  | Set_policy of policy_change list
 
 type event = { at : float; change : change }
 
@@ -29,6 +42,10 @@ let validate topo s =
   let check_link id =
     if id < 0 || id >= Topology.num_links topo then
       invalid_arg (Printf.sprintf "Scenario: link %d out of range" id)
+  in
+  let check_node node =
+    if node < 0 || node >= Topology.num_nodes topo then
+      invalid_arg (Printf.sprintf "Scenario: node %d out of range" node)
   in
   let check_time at =
     if at < 0.0 || not (Float.is_finite at) then
@@ -51,7 +68,17 @@ let validate topo s =
       | Lossy_link { link_id; rate; from_t; until_t } ->
         check_link link_id; check_time from_t; check_time until_t;
         if rate < 0.0 || rate > 1.0 then
-          invalid_arg (Printf.sprintf "Scenario: bad loss rate %g" rate))
+          invalid_arg (Printf.sprintf "Scenario: bad loss rate %g" rate)
+      | Route_leak { node; at; duration } ->
+        check_node node; check_time at; check_time duration
+      | Prefix_hijack { node; victim; at; duration } ->
+        check_node node; check_node victim;
+        if node = victim then
+          invalid_arg
+            (Printf.sprintf "Scenario: node %d cannot hijack itself" node);
+        check_time at; check_time duration
+      | Plist_misconfig { node; at; duration } ->
+        check_node node; check_time at; check_time duration)
     s.faults
 
 (* All links adjacent to a node, up or down — a crash severs them
@@ -89,6 +116,15 @@ let expand topo fault =
   | Lossy_link { link_id; rate; from_t; until_t } ->
     [ (from_t, Set_loss [ (link_id, rate) ]);
       (until_t, Set_loss [ (link_id, 0.0) ]) ]
+  | Route_leak { node; at; duration } ->
+    [ (at, Set_policy [ Leak { node; on = true } ]);
+      (at +. duration, Set_policy [ Leak { node; on = false } ]) ]
+  | Prefix_hijack { node; victim; at; duration } ->
+    [ (at, Set_policy [ Claim { node; dest = victim; on = true } ]);
+      (at +. duration, Set_policy [ Claim { node; dest = victim; on = false } ]) ]
+  | Plist_misconfig { node; at; duration } ->
+    [ (at, Set_policy [ Corrupt { node; on = true } ]);
+      (at +. duration, Set_policy [ Corrupt { node; on = false } ]) ]
 
 let compile topo s =
   validate topo s;
@@ -109,13 +145,17 @@ let compile topo s =
   in
   List.map (fun (at, _, change) -> { at; change }) sorted
 
+let policy_change_on = function
+  | Leak { on; _ } | Claim { on; _ } | Corrupt { on; _ } -> on
+
 let num_disruptions events =
   List.length
     (List.filter
        (fun e ->
          match e.change with
          | Set_links changes -> List.exists (fun (_, up) -> not up) changes
-         | Set_loss _ -> false)
+         | Set_loss _ -> false
+         | Set_policy changes -> List.exists policy_change_on changes)
        events)
 
 (* Seeded churn generator: [flaps] link flaps at uniform times with

@@ -26,6 +26,18 @@ type fault =
       (** The link delivers each message with probability [1 - rate]
           during the window (drawn from the engine's seeded loss
           stream). *)
+  | Route_leak of { node : int; at : float; duration : float }
+      (** Adversarial: the node's export filter opens completely for the
+          window — peer and provider routes are re-announced to every
+          session, the classic customer-route leak. *)
+  | Prefix_hijack of { node : int; victim : int; at : float;
+                       duration : float }
+      (** Adversarial: the node claims to originate [victim]'s prefix
+          for the window. [node] and [victim] must differ. *)
+  | Plist_misconfig of { node : int; at : float; duration : float }
+      (** Adversarial (Centaur-specific): the node's outgoing Permission
+          Lists are damaged for the window; protocols without Permission
+          Lists ignore it. *)
 
 type t = {
   name : string;
@@ -35,9 +47,18 @@ type t = {
   faults : fault list;
 }
 
+(** A policy-override flip, expressed over plain ints so this layer
+    carries no policy types; the {!Injector} maps each onto the
+    corresponding {!Policy} setter and pokes the runner. *)
+type policy_change =
+  | Leak of { node : int; on : bool }
+  | Claim of { node : int; dest : int; on : bool }
+  | Corrupt of { node : int; on : bool }
+
 type change =
   | Set_links of (int * bool) list  (** atomic group of link flips *)
   | Set_loss of (int * float) list  (** per-link loss-rate updates *)
+  | Set_policy of policy_change list  (** atomic group of override flips *)
 
 type event = { at : float; change : change }
 
@@ -48,9 +69,13 @@ val compile : Topology.t -> t -> event list
     negative times or durations, loss rates outside \[0, 1\], or
     non-positive [horizon]/[sample_every]. *)
 
+val policy_change_on : policy_change -> bool
+(** Does the flip switch its override {e on} (the disruptive edge)? *)
+
 val num_disruptions : event list -> int
-(** Timeline events that take at least one link down — the
-    denominator for per-disruption recovery statistics. *)
+(** Timeline events that take at least one link down or switch a policy
+    override {e on} — the denominator for per-disruption recovery
+    statistics. *)
 
 val adjacent_links : Topology.t -> int -> int list
 (** All links touching a node regardless of up/down state, ascending. *)

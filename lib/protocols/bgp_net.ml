@@ -232,44 +232,77 @@ let session_change st ~rcn ~incremental ~tr ~other ~up =
 
 (* --- Decision stage --- *)
 
+(* Class of a route at [st.id]. When the path's tail cannot be verified
+   against the topology (a prefix hijack fabricates its last hop), plain
+   BGP has no Permission Lists to check the announcement against: it
+   trusts the sender and classifies by the first hop's session role
+   alone, as if the neighbor originated the prefix. Unreachable under
+   honest announcements — every genuinely propagated path walks real
+   links — so default runs never take the fallback; it is exactly the
+   credulity the containment experiments measure Centaur against. *)
+let trusted_class topo st p =
+  match Path_class.class_of topo p with
+  | Some cls -> cls
+  | None -> (
+    match p with
+    | _ :: nbr :: _ -> (
+      match
+        List.find_opt (fun (n, _, _) -> n = nbr) (neighbors topo st)
+      with
+      | Some (_, role, _) ->
+        Gao_rexford.class_of_learned ~neighbor_role:role
+          ~neighbor_class:Gao_rexford.Origin
+      | None -> Gao_rexford.Prov)
+    | _ -> Gao_rexford.Origin)
+
 (* Decision process for one destination: candidates are the RIB-in
-   entries of live sessions that pass loop detection, ranked by the
-   Gao–Rexford preference. *)
-let select topo st dest =
+   entries of live sessions that pass loop detection, ranked by import
+   preference then the Gao–Rexford order. A claimed origination (static
+   [originate] or an active hijack override) competes as class Origin,
+   length 1 — it beats every learned route. *)
+let select topo st ~policy dest =
   if dest = st.id then Some [ st.id ]
   else begin
     let best = ref None in
+    let consider pref cand path =
+      match !best with
+      | None -> best := Some (pref, cand, path)
+      | Some (bpref, bc, _) ->
+        if Policy.compare_ranked (pref, cand) (bpref, bc) < 0 then
+          best := Some (pref, cand, path)
+    in
+    if Policy.claims_origin policy ~node:st.id ~dest then
+      consider 0
+        { Gao_rexford.cls = Gao_rexford.Origin; len = 1; next_hop = dest }
+        [ st.id; dest ];
     List.iter
-      (fun (n, _role, _) ->
+      (fun (n, role, _) ->
         match ITbl.find_opt st.rib_in (pk ~nbr:n ~dest) with
         | None -> ()
         | Some p ->
           if not (Path.contains p st.id) then begin
             let path = st.id :: p in
-            match Path_class.class_of topo path with
-            | None -> ()
-            | Some cls ->
-              let cand =
-                { Gao_rexford.cls; len = Path.length path; next_hop = n }
-              in
-              (match !best with
-              | None -> best := Some (path, cand)
-              | Some (_, bc) ->
-                if Gao_rexford.compare_candidates cand bc < 0 then
-                  best := Some (path, cand))
+            let cls = trusted_class topo st path in
+            let len = Path.length path in
+            let pref =
+              Policy.import_eval policy ~node:st.id ~peer:n ~role ~dest ~cls
+                ~len ~path
+            in
+            if pref >= 0 then
+              consider pref { Gao_rexford.cls; len; next_hop = n } path
           end)
       (neighbors topo st);
-    Option.map fst !best
+    Option.map (fun (_, _, p) -> p) !best
   end
 
 (* Drain the dirty set and re-select each marked destination; only those
    whose best route changed flow on to the export stage. [track] feeds
    the runner's uniform changed-destination interface. *)
-let decision_run topo st ~tr ~track =
+let decision_run topo st ~policy ~tr ~track =
   let changed = ref [] in
   Dirty.drain st.dirty (fun dest ->
       let old_best = ITbl.find_opt st.best dest in
-      let new_best = select topo st dest in
+      let new_best = select topo st ~policy dest in
       let same =
         match (old_best, new_best) with
         | None, None -> true
@@ -294,20 +327,32 @@ let decision_run topo st ~tr ~track =
 
 (* --- Adj-RIB-Out stage --- *)
 
-(* Advertisement due to neighbor [n] for [dest] under export policy and
-   split horizon (never offer a path back to a node already on it). *)
-let desired_adv topo st ~dest (n, role, _) =
+(* Advertisement due to neighbor [n] for [dest] under the export policy
+   chain (default: the Gao–Rexford export rule) and split horizon (never
+   offer a path back to a node already on it). A claimed origination
+   exports as class Origin — that is what a real hijacker's announcement
+   looks like on the wire. *)
+let desired_adv topo st ~policy ~dest (n, role, _) =
   match ITbl.find_opt st.best dest with
   | None -> None
   | Some p ->
     if Path.contains p n then None
-    else if Path_class.exportable_to topo p ~neighbor_role:role then Some p
-    else None
+    else
+      let cls =
+        if Policy.claims_origin policy ~node:st.id ~dest then
+          Gao_rexford.Origin
+        else trusted_class topo st p
+      in
+      if
+        Policy.export_ok policy ~node:st.id ~peer:n ~role ~dest ~cls
+          ~len:(Path.length p) ~path:p
+      then Some p
+      else None
 
 (* Net update owed to one neighbor for one destination: the desired
    advertisement diffed against the Adj-RIB-Out entry. *)
-let adv_delta topo st ~tr ~dest ~cause ((n, _, _) as nbr) =
-  let desired = desired_adv topo st ~dest nbr in
+let adv_delta topo st ~policy ~tr ~dest ~cause ((n, _, _) as nbr) =
+  let desired = desired_adv topo st ~policy ~dest nbr in
   let current = ITbl.find_opt st.adv (pk ~nbr:n ~dest) in
   match (desired, current) with
   | None, None -> None
@@ -331,17 +376,17 @@ let adv_delta topo st ~tr ~dest ~cause ((n, _, _) as nbr) =
            { node = st.id; peer = n; dest; withdraw = true; path_sig = 0 });
     Some (n, { dest; path = None; cause })
 
-let rib_out_updates topo st ~tr changed =
+let rib_out_updates topo st ~policy ~tr changed =
   List.concat_map
     (fun (dest, cause) ->
       List.filter_map
-        (adv_delta topo st ~tr ~dest ~cause)
+        (adv_delta topo st ~policy ~tr ~dest ~cause)
         (neighbors topo st))
     changed
 
 (* Full-table export to a freshly established session, deduplicated
    against anything the export stage already pushed this run. *)
-let fresh_session_exports topo st ~tr =
+let fresh_session_exports topo st ~policy ~tr =
   let fresh = st.fresh_sessions in
   st.fresh_sessions <- [];
   List.concat_map
@@ -354,28 +399,29 @@ let fresh_session_exports topo st ~tr =
         ITbl.fold (fun dest _ acc -> dest :: acc) st.best []
         |> List.sort compare
         |> List.filter_map (fun dest ->
-               adv_delta topo st ~tr ~dest ~cause:None nbr))
+               adv_delta topo st ~policy ~tr ~dest ~cause:None nbr))
     (List.sort compare fresh)
 
 (* One decision + export pass: the engine's batch end, shared by the
    cold-start path. *)
-let recompute topo states ~mrai ~now ~tr ~track ~node =
+let recompute topo states ~policy ~mrai ~now ~tr ~track ~node =
   let st = states.(node) in
   if Dirty.is_empty st.dirty && st.fresh_sessions = [] then []
   else begin
     let dirty = Dirty.cardinal st.dirty in
-    let changed = decision_run topo st ~tr ~track in
+    let changed = decision_run topo st ~policy ~tr ~track in
     if Trace.enabled tr then
       Trace.emit tr
         (Trace.Recompute { node; dirty; changed = List.length changed });
-    let msgs = rib_out_updates topo st ~tr changed in
-    let msgs = msgs @ fresh_session_exports topo st ~tr in
+    let msgs = rib_out_updates topo st ~policy ~tr changed in
+    let msgs = msgs @ fresh_session_exports topo st ~policy ~tr in
     emit st ~mrai ~now msgs
   end
 
 let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
-    ?(trace = Trace.none) topo =
+    ?(trace = Trace.none) ?policy topo =
   let n = Topology.num_nodes topo in
+  let policy = match policy with Some p -> p | None -> Policy.default () in
   let changed = Dirty.create ~size:n () in
   let track = Dirty.mark changed in
   let tr = trace in
@@ -400,7 +446,7 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
         (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key);
       Sim.Engine.on_batch_end =
         (fun ~now ~node ->
-          recompute topo states ~mrai ~now ~tr ~track ~node) }
+          recompute topo states ~policy ~mrai ~now ~tr ~track ~node) }
   in
   let engine =
     (* 19-byte UPDATE header + 4-byte NLRI, 4 bytes per AS hop of path
@@ -415,10 +461,36 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun i st ->
         (* Originating the own prefix is just the first decision: mark it
-           dirty and run the same pipeline as any other recompute. *)
+           dirty and run the same pipeline as any other recompute.
+           Claimed originations announce the same way. *)
         mark ~tr st st.id;
-        recompute topo states ~mrai ~now:(Sim.Engine.now engine) ~tr ~track
-          ~node:i)
+        List.iter
+          (fun d -> mark ~tr st d)
+          (Policy.origins policy ~node:i);
+        recompute topo states ~policy ~mrai ~now:(Sim.Engine.now engine) ~tr
+          ~track ~node:i)
+  in
+  (* Policy poke: the mutated overrides can change any import ranking or
+     export decision, so every known destination goes back through the
+     decision process, and — because an export chain can flip while the
+     best route stands — every live session is owed a full-table
+     re-export diff (the fresh-session path already diffs against the
+     Adj-RIB-Out, so unchanged advertisements stay silent). *)
+  let on_policy_change nodes =
+    List.iter
+      (fun node ->
+        let st = states.(node) in
+        mark_all_known ~tr st;
+        List.iter
+          (fun d -> Dirty.mark st.dirty d)
+          (Policy.origins policy ~node);
+        let live = List.map (fun (nb, _, _) -> nb) (neighbors topo st) in
+        st.fresh_sessions <-
+          List.sort_uniq compare (live @ st.fresh_sessions);
+        Sim.Engine.perform engine ~node
+          (recompute topo states ~policy ~mrai ~now:(Sim.Engine.now engine)
+             ~tr ~track ~node))
+      nodes
   in
   let next_hop ~src ~dest =
     match ITbl.find_opt states.(src).best dest with
@@ -428,4 +500,4 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
   let path ~src ~dest = ITbl.find_opt states.(src).best dest in
   Sim.Runner.make
     ~name:(if rcn then "bgp-rcn" else "bgp")
-    ~engine ~cold_start ~changed ~next_hop ~path
+    ~engine ~cold_start ~changed ~on_policy_change ~next_hop ~path ()

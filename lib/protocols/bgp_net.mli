@@ -30,9 +30,19 @@ type msg = {
 
 val network :
   ?mrai:float -> ?rcn:bool -> ?incremental:bool -> ?trace:Obs.Trace.t ->
-  Topology.t -> Sim.Runner.t
+  ?policy:Policy.compiled -> Topology.t -> Sim.Runner.t
 (** Build a BGP network over the topology. [mrai] is the batching
     interval in milliseconds (default 30.0; 0 disables batching).
+
+    [policy] routes every import ranking and export decision through the
+    compiled policy chains; the default compiled policy evaluates to
+    plain Gao–Rexford, byte-identically. Unlike Centaur, BGP never
+    verifies a received path against the relationship contracts: an
+    unverifiable path (a hijacked origination's fabricated tail) is
+    classified by the session role alone and accepted — the credulity
+    the containment experiments measure. The runner's [on_policy_change]
+    re-runs each poked node's decision process over every known
+    destination and re-diffs its full Adj-RIB-Out.
 
     [trace] (default disabled) receives the engine events plus the
     pipeline's own: a [Mark_dirty] per absorb-stage mark, a [Recompute]

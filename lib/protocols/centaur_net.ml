@@ -6,8 +6,49 @@
 
 module Trace = Obs.Trace
 
-let network ?(trace = Trace.none) ?(plist_fp_rate = 0.01) topo =
+(* The misconfigured-Permission-List fault: a node under a corruption
+   override damages its *outgoing* announcements — every odd destination
+   is dropped from every announced Permission List and from the
+   destination marks. (In equilibrium a node's selected routes form a
+   tree, so its announced links mostly carry the implicit
+   everything-permitted list; a misconfiguration that denies a
+   destination therefore shows up as the destination mark going
+   missing.) Downstream nodes can no longer derive the filtered
+   destinations through this node and either reroute or blackhole. The
+   node's own state stays intact — recovery is a full re-announce once
+   the override clears. *)
+let corrupt_keeps dest = dest land 1 = 0
+
+let corrupt_plist pl =
+  List.fold_left
+    (fun acc (next, dests) ->
+      List.fold_left
+        (fun acc dest ->
+          if corrupt_keeps dest then Centaur.Permission_list.add acc ~dest ~next
+          else acc)
+        acc dests)
+    Centaur.Permission_list.empty
+    (Centaur.Permission_list.entries pl)
+
+let corrupt_announce ann =
+  let delta = ann.Centaur.Announce.delta in
+  Centaur.Announce.make ~sender:ann.Centaur.Announce.sender
+    { delta with
+      Centaur.Pgraph.add_links =
+        List.map
+          (fun (p, c, pl) -> (p, c, Option.map corrupt_plist pl))
+          delta.Centaur.Pgraph.add_links;
+      add_dests = List.filter corrupt_keeps delta.Centaur.Pgraph.add_dests;
+      remove_dests =
+        List.sort_uniq compare
+          (delta.Centaur.Pgraph.remove_dests
+          @ List.filter
+              (fun d -> not (corrupt_keeps d))
+              delta.Centaur.Pgraph.add_dests) }
+
+let network ?(trace = Trace.none) ?policy ?(plist_fp_rate = 0.01) topo =
   let n = Topology.num_nodes topo in
+  let policy = match policy with Some p -> p | None -> Policy.default () in
   let changed = Dirty.create ~size:n () in
   let tr = trace in
   (* The on_change tap fires mid-recompute, after the node has installed
@@ -26,9 +67,14 @@ let network ?(trace = Trace.none) ?(plist_fp_rate = 0.01) topo =
                 Centaur.Node.selected_path !states_cell.(id) ~dest = None
               in
               Trace.emit tr (Trace.Rib_change { node = id; dest; withdrawn }))
-          topo ~id)
+          ~policy topo ~id)
   in
   states_cell := states;
+  let post_sends node sends =
+    if Policy.corrupted policy ~node then
+      List.map (fun (dst, ann) -> (dst, corrupt_announce ann)) sends
+    else sends
+  in
   (* The node marks its internal dirty set during absorb; mirror the
      growth onto the trace as one bulk mark so the checker can pair every
      recompute span with its absorb. *)
@@ -61,12 +107,12 @@ let network ?(trace = Trace.none) ?(plist_fp_rate = 0.01) topo =
             Trace.emit tr
               (Trace.Recompute
                  { node; dirty; changed = rib_changes.(node) - before });
-            Sim.Runner.sends_to_actions sends
+            Sim.Runner.sends_to_actions (post_sends node sends)
           end
           else begin
             let st, sends = Centaur.Node.recompute states.(node) in
             states.(node) <- st;
-            Sim.Runner.sends_to_actions sends
+            Sim.Runner.sends_to_actions (post_sends node sends)
           end) }
   in
   let engine =
@@ -78,9 +124,27 @@ let network ?(trace = Trace.none) ?(plist_fp_rate = 0.01) topo =
     Sim.Runner.cold_start_states engine states (fun i _ ->
         let st, sends = Centaur.Node.start states.(i) in
         states.(i) <- st;
-        Sim.Runner.sends_to_actions sends)
+        Sim.Runner.sends_to_actions (post_sends i sends))
+  in
+  (* Policy poke: each listed node re-runs selection and export decisions
+     against the mutated policy. A node whose corruption override just
+     flipped (either way) must re-announce its full wire state — on start
+     so the damage reaches receivers that already hold correct copies, on
+     end so they recover. *)
+  let was_corrupt = Array.make n false in
+  let on_policy_change nodes =
+    List.iter
+      (fun node ->
+        let now_corrupt = Policy.corrupted policy ~node in
+        let resend = was_corrupt.(node) <> now_corrupt in
+        was_corrupt.(node) <- now_corrupt;
+        let st, sends = Centaur.Node.refresh_policy ~resend states.(node) in
+        states.(node) <- st;
+        Sim.Engine.perform engine ~node
+          (Sim.Runner.sends_to_actions (post_sends node sends)))
+      nodes
   in
   let next_hop ~src ~dest = Centaur.Node.next_hop states.(src) ~dest in
   let path ~src ~dest = Centaur.Node.selected_path states.(src) ~dest in
-  Sim.Runner.make ~name:"centaur" ~engine ~cold_start ~changed ~next_hop
-    ~path
+  Sim.Runner.make ~name:"centaur" ~engine ~cold_start ~changed
+    ~on_policy_change ~next_hop ~path ()

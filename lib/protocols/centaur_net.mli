@@ -9,9 +9,22 @@
     as its real Bloom-compressed encoding. *)
 
 val network :
-  ?trace:Obs.Trace.t -> ?plist_fp_rate:float -> Topology.t -> Sim.Runner.t
+  ?trace:Obs.Trace.t -> ?policy:Policy.compiled -> ?plist_fp_rate:float ->
+  Topology.t -> Sim.Runner.t
 (** The runner's [path] accessor reports each node's selected
     policy-compliant path from its local P-graph state.
+
+    [policy] is shared by every node ({!Centaur.Node.create}); the
+    default compiled policy is plain Gao–Rexford, byte-identically.
+    Every node keeps verifying {e received} announcements against the
+    baseline Gao–Rexford contract regardless of the sender's configured
+    chains — leaked and hijacked routes are rejected at the first honest
+    hop ({!Policy.note_reject} counts them). The runner's
+    [on_policy_change] re-runs each poked node's selection and export
+    decisions; a node whose {!Policy.set_corrupt} override flipped
+    additionally re-announces its full wire state, so Permission-List
+    damage reaches — and, once the override clears, is repaired at —
+    every receiver.
 
     [plist_fp_rate] (default 0.01) sets the false-positive rate the
     on-wire Permission List Bloom filters are sized for; it scales the

@@ -180,7 +180,12 @@ let tree_of ~incremental topo st =
     end;
     tree
 
-let network ?(incremental = true) ?(trace = Obs.Trace.none) topo =
+(* [policy] is accepted for uniformity with the other nets but unused:
+   OSPF has no policy knobs — "OSPF does not implement policies" — so
+   leak/claim overrides cannot be expressed and the runner's
+   [on_policy_change] stays the default no-op. *)
+let network ?(incremental = true) ?(trace = Obs.Trace.none)
+    ?policy:(_ : Policy.compiled option) topo =
   let n = Topology.num_nodes topo in
   let changed = Dirty.create ~size:n () in
   let tr = trace in
@@ -223,3 +228,4 @@ let network ?(incremental = true) ?(trace = Obs.Trace.none) topo =
     | Some _ | None -> None
   in
   Sim.Runner.make ~name:"ospf" ~engine ~cold_start ~changed ~next_hop ~path
+    ()

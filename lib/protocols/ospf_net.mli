@@ -16,8 +16,13 @@ type msg = {
 }
 
 val network :
-  ?incremental:bool -> ?trace:Obs.Trace.t -> Topology.t -> Sim.Runner.t
-(** Cold start floods one LSA per (endpoint, adjacent link); a link flip
+  ?incremental:bool -> ?trace:Obs.Trace.t -> ?policy:Policy.compiled ->
+  Topology.t -> Sim.Runner.t
+(** [policy] is accepted so every protocol net shares one constructor
+    shape, but ignored: OSPF expresses no policies, and the runner's
+    [on_policy_change] is a no-op.
+
+    Cold start floods one LSA per (endpoint, adjacent link); a link flip
     floods a re-sequenced LSA from both endpoints, and a restored link
     additionally carries a database exchange to resynchronise the two
     ends. The runner's [next_hop]/[path] report delay-shortest routes

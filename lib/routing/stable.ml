@@ -21,20 +21,25 @@ let dest t = t.dest
    sibling transparency (the class still propagates). The Standard
    discipline is left untouched: its length tie-break already matches
    the three-phase solver and cannot sustain the gadget. *)
-let best_response ~discipline topo state classes y d =
+let best_response ~discipline ~policy topo state classes y d =
   if y = d then state.(y)
   else begin
     let best = ref None in
-    let prefer (c1, s1) (c2, s2) =
-      match discipline with
-      | Standard -> Gao_rexford.compare_candidates c1 c2 < 0
-      | Class_only | Diverse | Arbitrary ->
-        let k = compare (class_rank c1.cls) (class_rank c2.cls) in
-        if k <> 0 then k < 0
-        else if s1 <> s2 then not s1
-        else
-          Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1 c2
-          < 0
+    (* Import preference (compiled policy) ranks above everything; with
+       no policy every preference is 0 and the comparison vanishes. *)
+    let prefer (pr1, c1, s1) (pr2, c2, s2) =
+      if pr1 <> pr2 then pr1 > pr2
+      else
+        match discipline with
+        | Standard -> Gao_rexford.compare_candidates c1 c2 < 0
+        | Class_only | Diverse | Arbitrary ->
+          let k = compare (class_rank c1.cls) (class_rank c2.cls) in
+          if k <> 0 then k < 0
+          else if s1 <> s2 then not s1
+          else
+            Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1
+              c2
+            < 0
     in
     Topology.iter_neighbors topo y (fun x role_of_x _ ->
         match state.(x) with
@@ -43,27 +48,50 @@ let best_response ~discipline topo state classes y d =
           if not (Path.contains p y) then begin
             let x_class = classes.(x) in
             (* x only offers the route if its export policy allows. *)
-            if
-              Gao_rexford.exportable ~cls:x_class
-                ~to_role:(Relationship.invert role_of_x)
-            then begin
+            let offered =
+              match policy with
+              | None ->
+                Gao_rexford.exportable ~cls:x_class
+                  ~to_role:(Relationship.invert role_of_x)
+              | Some pol ->
+                Policy.export_ok pol ~node:x ~peer:y
+                  ~role:(Relationship.invert role_of_x) ~dest:d ~cls:x_class
+                  ~len:(Path.length p) ~path:p
+            in
+            if offered then begin
               let cls =
                 Gao_rexford.class_of_learned ~neighbor_role:role_of_x
                   ~neighbor_class:x_class
               in
               let cand = { cls; len = Path.length p + 1; next_hop = x } in
-              let via_sibling = role_of_x = Relationship.Sibling in
-              match !best with
-              | None -> best := Some (cand, via_sibling, y :: p)
-              | Some (bc, bs, _) ->
-                if prefer (cand, via_sibling) (bc, bs) then
-                  best := Some (cand, via_sibling, y :: p)
+              let pref =
+                match policy with
+                | None -> 0
+                | Some pol ->
+                  Policy.import_eval pol ~node:y ~peer:x ~role:role_of_x
+                    ~dest:d ~cls ~len:cand.len ~path:(y :: p)
+              in
+              if pref >= 0 then begin
+                let via_sibling = role_of_x = Relationship.Sibling in
+                match !best with
+                | None -> best := Some (pref, cand, via_sibling, y :: p)
+                | Some (bpr, bc, bs, _) ->
+                  if prefer (pref, cand, via_sibling) (bpr, bc, bs) then
+                    best := Some (pref, cand, via_sibling, y :: p)
+              end
             end
           end);
-    Option.map (fun (_, _, p) -> p) !best
+    Option.map (fun (_, _, _, p) -> p) !best
   end
 
-let to_dest ?(discipline = Standard) ?max_rounds topo d =
+let to_dest ?(discipline = Standard) ?policy ?max_rounds topo d =
+  (* A compiled policy with nothing configured is exactly Gao–Rexford:
+     drop down to the policy-free fast path. *)
+  let policy =
+    match policy with
+    | Some p when not (Policy.is_default p) -> Some p
+    | Some _ | None -> None
+  in
   let n = Topology.num_nodes topo in
   if d < 0 || d >= n then invalid_arg "Stable.to_dest: destination out of range";
   let state = Array.make n None in
@@ -90,7 +118,7 @@ let to_dest ?(discipline = Standard) ?max_rounds topo d =
       failwith "Stable.to_dest: no fixpoint (outside Gao-Rexford conditions?)";
     let changed = ref false in
     for y = 0 to n - 1 do
-      let next = best_response ~discipline topo state classes y d in
+      let next = best_response ~discipline ~policy topo state classes y d in
       let same =
         match (state.(y), next) with
         | None, None -> true

@@ -15,11 +15,22 @@ type routes
 
 val to_dest :
   ?discipline:Gao_rexford.discipline ->
+  ?policy:Policy.compiled ->
   ?max_rounds:int ->
   Topology.t ->
   int ->
   routes
-(** Solve for one destination (default discipline {!Standard}). Raises
+(** Solve for one destination (default discipline {!Standard}).
+
+    [policy] replaces the hard-coded Gao–Rexford export check with the
+    compiled per-node export chains and ranks candidates by compiled
+    import preference above the discipline order; the default compiled
+    policy is recognized and falls back to the policy-free fast path.
+    Claimed originations are not modelled here — static analysis
+    answers "who reaches whom under the configured filters", the
+    dynamic containment scenarios cover origination attacks.
+
+    Raises
     [Invalid_argument] on an out-of-range destination or [Failure] if
     the iteration has not stabilized after [max_rounds] (default
     [8 · n + 16]) rounds — only possible outside the Gao–Rexford

@@ -13,6 +13,7 @@ type t = {
   next_hop : src:int -> dest:int -> int option;
   path : src:int -> dest:int -> Path.t option;
   changed_dests : unit -> int list;
+  on_policy_change : int list -> unit;
   trace : Obs.Trace.t;
   metrics : Obs.Metrics.t;
 }
@@ -27,7 +28,8 @@ let cold_start_states engine states init =
     states;
   Engine.run_to_quiescence ~since engine
 
-let make ~name ~engine ~cold_start ~changed ~next_hop ~path =
+let make ~name ~engine ~cold_start ~changed
+    ?(on_policy_change = fun _ -> ()) ~next_hop ~path () =
   let inject changes =
     List.iter
       (fun (link_id, up) -> Engine.flip_link engine ~link_id ~up)
@@ -63,6 +65,7 @@ let make ~name ~engine ~cold_start ~changed ~next_hop ~path =
     next_hop;
     path;
     changed_dests = (fun () -> Dirty.take changed);
+    on_policy_change;
     trace = Engine.trace engine;
     metrics = Engine.metrics engine }
 

@@ -48,6 +48,14 @@ type t = {
           destination absent from the feed is guaranteed unchanged at
           every node — the contract the convergence harness and the fault
           observer rely on to skip untouched work. *)
+  on_policy_change : int list -> unit;
+      (** Notify the protocol that the compiled policy shared with the
+          listed nodes was mutated in place (scenario overrides): each
+          node re-evaluates selections and export decisions and the
+          resulting messages are scheduled at the current simulation
+          time, {e without} running — like {!inject}, the events drain
+          at the next run call. Protocols without policy hooks (OSPF)
+          ignore it. *)
   trace : Obs.Trace.t;
       (** The engine's trace sink ({!Obs.Trace.none} when untraced) —
           harnesses read it back for checking, digesting or export. *)
@@ -72,15 +80,18 @@ val make :
   engine:'msg Engine.t ->
   cold_start:(unit -> Engine.run_stats) ->
   changed:Dirty.t ->
+  ?on_policy_change:(int list -> unit) ->
   next_hop:(src:int -> dest:int -> int option) ->
   path:(src:int -> dest:int -> Path.t option) ->
+  unit ->
   t
 (** Build the record from an engine plus the protocol-specific pieces:
     every field except [cold_start]/[changed]/[next_hop]/[path] is
     derived uniformly from the engine. [changed] is the protocol's
     route-change tracker (a {!Dirty.t} the protocol marks whenever a
     node's selection for a destination changes); [make] wires it to
-    {!t.changed_dests} and clears it after [cold_start]. *)
+    {!t.changed_dests} and clears it after [cold_start].
+    [on_policy_change] defaults to a no-op. *)
 
 val forwarding_path :
   t -> src:int -> dest:int -> max_hops:int -> Path.t option

@@ -13,10 +13,14 @@ let tiny =
     fig8_sizes = [ 20; 40 ];
     fig8_events = 4;
     mrai = 10.0;
+    plist_fp_rate = 0.01;
     resilience_scenarios = 2;
     resilience_pairs = 6;
     resilience_flaps = 3;
     resilience_horizon = 150.0;
+    containment_scenarios = 3;
+    containment_pairs = 6;
+    containment_horizon = 150.0;
     scale_sizes = [ 60; 80 ];
     scale_sources = 5;
     scale_dests = 20;
@@ -32,7 +36,7 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "all artifacts present"
     [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8"; "scale";
-      "resilience"; "ablation-mrai"; "ablation-multipath" ]
+      "resilience"; "containment"; "ablation-mrai"; "ablation-multipath" ]
     Experiments.Registry.ids;
   Alcotest.(check bool) "find hit" true
     (Experiments.Registry.find "fig6" <> None);

@@ -5,6 +5,7 @@ let () =
       ("net", Test_net.suite);
       ("as-rel", Test_as_rel.suite);
       ("policy", Test_policy.suite);
+      ("policy-dsl", Test_policy_dsl.suite);
       ("permission-list", Test_permission_list.suite);
       ("solver", Test_solver.suite);
       ("pgraph", Test_pgraph.suite);
@@ -23,6 +24,7 @@ let () =
       ("flat-layout", Test_flat.suite);
       ("privacy", Test_privacy.suite);
       ("faults", Test_faults.suite);
+      ("containment", Test_containment.suite);
       ("incremental", Test_incremental.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite) ]

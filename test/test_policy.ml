@@ -162,6 +162,72 @@ let class_implies_valley_free =
       done;
       !ok)
 
+(* Independent oracle for [Valley_free.check]: walk the path once,
+   splitting it into the hops before the first broken link (if any).
+   After dropping sibling hops, a valley-free prefix is exactly the
+   regular language [Provider* Peer? Customer*]; the first hop violating
+   it is the valley edge. A valley strictly before the break wins over
+   the break itself, matching traversal order. *)
+let oracle_check topo path =
+  let rec split acc = function
+    | [] | [ _ ] -> (List.rev acc, None)
+    | a :: (b :: _ as rest) -> (
+      match Topology.rel topo a b with
+      | None -> (List.rev acc, Some (a, b))
+      | Some r -> split ((a, b, r) :: acc) rest)
+  in
+  let hops, broken = split [] path in
+  let hops =
+    List.filter (fun (_, _, r) -> r <> Relationship.Sibling) hops
+  in
+  let rec strip_up = function
+    | (_, _, Relationship.Provider) :: rest -> strip_up rest
+    | rest -> rest
+  in
+  let descent =
+    match strip_up hops with
+    | (_, _, Relationship.Peer) :: rest -> rest
+    | rest -> rest
+  in
+  match
+    List.find_opt (fun (_, _, r) -> r <> Relationship.Customer) descent
+  with
+  | Some (a, b, _) -> Valley_free.Valley (a, b)
+  | None -> (
+    match broken with
+    | Some (a, b) -> Valley_free.Broken_link (a, b)
+    | None -> Valley_free.Valley_free)
+
+let neighbors_of topo v =
+  Topology.fold_neighbors topo v ~init:[] ~f:(fun acc u _ _ -> u :: acc)
+
+(* An adjacency-respecting path: start somewhere and follow the steps,
+   each taken modulo the current degree. Never produces a broken link,
+   so it concentrates the generator on the Valley_free/Valley frontier
+   that arbitrary node lists rarely reach. *)
+let walk_of topo start steps =
+  let rec go v acc = function
+    | [] -> List.rev (v :: acc)
+    | s :: rest -> (
+      match neighbors_of topo v with
+      | [] -> List.rev (v :: acc)
+      | ns -> go (List.nth ns (s mod List.length ns)) (v :: acc) rest)
+  in
+  go start [] steps
+
+let valley_checker_matches_oracle =
+  QCheck.Test.make ~name:"valley checker agrees with strip oracle"
+    ~count:400
+    QCheck.(
+      triple (int_bound 1000)
+        (list_of_size Gen.(0 -- 8) (int_bound 19))
+        (list_of_size Gen.(0 -- 10) (int_bound 1000)))
+    (fun (seed, raw, steps) ->
+      let topo = Helpers.random_as_topology ~seed ~n:20 in
+      let agree p = Valley_free.check topo p = oracle_check topo p in
+      let walk = walk_of topo (seed mod 20) steps in
+      agree raw && agree walk)
+
 let suite =
   [ Alcotest.test_case "class rank order" `Quick test_class_rank_order;
     Alcotest.test_case "export matrix" `Quick test_export_matrix;
@@ -176,4 +242,5 @@ let suite =
     Alcotest.test_case "valley-free descent" `Quick test_valley_free_descent;
     Alcotest.test_case "sibling transparency" `Quick
       test_sibling_transparent_in_valley_check;
-    QCheck_alcotest.to_alcotest class_implies_valley_free ]
+    QCheck_alcotest.to_alcotest class_implies_valley_free;
+    QCheck_alcotest.to_alcotest valley_checker_matches_oracle ]
