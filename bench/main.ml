@@ -19,7 +19,13 @@
       - one Test.make per kernel (skipped with BENCH_NO_MICRO=1).
       Results print sorted by kernel name and are also written to
       BENCH_RESULTS.json so the perf trajectory is trackable across
-      changes. *)
+      changes.
+
+   Special modes: `bench scaling` (domain-scaling CI gate), `bench
+   scale` / `bench scale-gate` (size-scaling sweep and its RSS gate),
+   `bench churn` (sequential wave-vs-event churn throughput sweep,
+   recorded in BENCH_RESULTS.json's "churn" block) and `bench
+   churn-gate` (CI gate: wave batching >= 1.5x event-at-a-time). *)
 
 open Bechamel
 
@@ -427,37 +433,43 @@ let read_lines path =
   in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go [])
 
-let size_scaling_open = "  \"size_scaling\": ["
-let size_scaling_close = "  ],"
+(* Expensive sweeps (`bench scale`, `bench churn`) splice their own
+   top-level array block into BENCH_RESULTS.json; a regular full bench
+   run rewrites the file but carries existing blocks over, so each sweep
+   is only paid when explicitly requested. *)
+
+let block_open key = Printf.sprintf "  %S: [" key
+let block_close = "  ],"
 
 (* The block's inner lines in an existing BENCH_RESULTS.json, if any. *)
-let existing_size_scaling () =
+let existing_block key =
   if not (Sys.file_exists "BENCH_RESULTS.json") then None
   else
+    let opening = block_open key in
     let rec after_open = function
       | [] -> None
       | l :: rest ->
-        if l = size_scaling_open then Some (inner [] rest) else after_open rest
+        if l = opening then Some (inner [] rest) else after_open rest
     and inner acc = function
       | [] -> List.rev acc
-      | l :: rest -> if l = size_scaling_close then List.rev acc else inner (l :: acc) rest
+      | l :: rest -> if l = block_close then List.rev acc else inner (l :: acc) rest
     in
     after_open (read_lines "BENCH_RESULTS.json")
 
-let emit_size_scaling buf = function
+let emit_block buf key = function
   | None -> ()
   | Some lines ->
-    Buffer.add_string buf (size_scaling_open ^ "\n");
+    Buffer.add_string buf (block_open key ^ "\n");
     List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines;
-    Buffer.add_string buf (size_scaling_close ^ "\n")
+    Buffer.add_string buf (block_close ^ "\n")
 
-(* Replace (or insert, before "results") the size_scaling block of an
-   existing BENCH_RESULTS.json without touching anything else. *)
-let splice_size_scaling lines =
+(* Replace (or insert, before "results") one named block of an existing
+   BENCH_RESULTS.json without touching anything else. *)
+let splice_block key lines =
   if not (Sys.file_exists "BENCH_RESULTS.json") then begin
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
-    emit_size_scaling buf (Some lines);
+    emit_block buf key (Some lines);
     Buffer.add_string buf "  \"results\": [\n  ]\n}\n";
     let oc = open_out "BENCH_RESULTS.json" in
     output_string oc (Buffer.contents buf);
@@ -465,21 +477,22 @@ let splice_size_scaling lines =
   end
   else begin
     let old = read_lines "BENCH_RESULTS.json" in
+    let opening = block_open key in
     let buf = Buffer.create 4096 in
     let in_old_block = ref false in
     let inserted = ref false in
     let insert () =
       if not !inserted then begin
         inserted := true;
-        emit_size_scaling buf (Some lines)
+        emit_block buf key (Some lines)
       end
     in
     List.iter
       (fun l ->
         if !in_old_block then begin
-          if l = size_scaling_close then in_old_block := false
+          if l = block_close then in_old_block := false
         end
-        else if l = size_scaling_open then begin
+        else if l = opening then begin
           in_old_block := true;
           insert ()
         end
@@ -507,7 +520,94 @@ let metrics_specimen () =
   ignore (runner.Sim.Runner.flip ~link_id:3 ~up:true);
   Obs.Metrics.to_json runner.Sim.Runner.metrics
 
-let write_results_json ~cfg ~quick ~scaling ~size_scaling results =
+(* --- churn block of BENCH_RESULTS.json ---
+
+   `bench churn` runs the Exp_churnrate sweep sequentially (one cell at
+   a time, so the wave-vs-event wall-clock ratio is uncontended) and
+   splices a "churn" block recording throughput and speedup per
+   (rate, protocol). *)
+
+let churn_lines (r : Experiments.Exp_churnrate.result) =
+  let waves =
+    List.filter
+      (fun (c : Experiments.Exp_churnrate.cell) -> c.batched)
+      r.Experiments.Exp_churnrate.cells
+  in
+  let last = List.length waves - 1 in
+  List.mapi
+    (fun i (w : Experiments.Exp_churnrate.cell) ->
+      let e =
+        Experiments.Exp_churnrate.find_cell r ~rate:w.rate
+          ~protocol:w.protocol ~batched:false
+      in
+      Printf.sprintf
+        "    {\"rate_per_ms\": %s, \"protocol\": %S, \"window_ms\": %s, \
+         \"events\": %d, \"waves\": %d, \"cancelled\": %d, \
+         \"wave_ns\": %d, \"event_ns\": %d, \"wave_upd_per_s\": %s, \
+         \"event_upd_per_s\": %s, \"speedup\": %s, \"wave_p99_ms\": %s, \
+         \"event_p99_ms\": %s}%s"
+        (json_float w.rate) w.protocol
+        (json_float r.Experiments.Exp_churnrate.window)
+        w.events w.waves w.cancelled w.wall_ns e.wall_ns
+        (json_float (Experiments.Exp_churnrate.throughput w))
+        (json_float (Experiments.Exp_churnrate.throughput e))
+        (json_float (float_of_int e.wall_ns /. float_of_int (max 1 w.wall_ns)))
+        (json_float w.p99) (json_float e.p99)
+        (if i = last then "" else ","))
+    waves
+
+let run_churn_sequential cfg =
+  (* One cell at a time: the recorded wall clocks must not include pool
+     contention from the sibling cells. *)
+  Pool.with_size 1 (fun () -> Experiments.Exp_churnrate.run cfg)
+
+let churn_mode ~cfg =
+  Printf.printf "== churn throughput sweep (sequential; rates %s /ms) ==\n%!"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.2f") cfg.Experiments.Config.churn_rates));
+  let r = run_churn_sequential cfg in
+  print_string (Experiments.Exp_churnrate.render r);
+  print_newline ();
+  print_string (Experiments.Exp_churnrate.render_timing r);
+  splice_block "churn" (churn_lines r);
+  Printf.printf "(updated churn block of BENCH_RESULTS.json)\n%!"
+
+(* `bench churn-gate`: the CI throughput smoke. Replays the sweep's top
+   offered load on Centaur in both modes and fails when wave batching is
+   less than 1.5x the event-at-a-time throughput — the recorded quick
+   numbers sit above 2x, so the margin absorbs shared-runner noise
+   without letting a real regression through. *)
+let churn_gate ~cfg =
+  let r = run_churn_sequential cfg in
+  print_string (Experiments.Exp_churnrate.render_timing r);
+  let top = List.fold_left Float.max 0.0 cfg.Experiments.Config.churn_rates in
+  let w =
+    Experiments.Exp_churnrate.find_cell r ~rate:top ~protocol:"centaur"
+      ~batched:true
+  and e =
+    Experiments.Exp_churnrate.find_cell r ~rate:top ~protocol:"centaur"
+      ~batched:false
+  in
+  let speedup =
+    float_of_int e.Experiments.Exp_churnrate.wall_ns
+    /. float_of_int (max 1 w.Experiments.Exp_churnrate.wall_ns)
+  in
+  Printf.printf
+    "churn gate: centaur @%.2f/ms waves %.2f ms vs event %.2f ms \
+     (speedup %.2fx)\n%!"
+    top
+    (float_of_int w.Experiments.Exp_churnrate.wall_ns /. 1e6)
+    (float_of_int e.Experiments.Exp_churnrate.wall_ns /. 1e6)
+    speedup;
+  if speedup < 1.5 then begin
+    Printf.eprintf
+      "FAIL: wave-batched ingestion is only %.2fx event-at-a-time \
+       (limit 1.5x)\n"
+      speedup;
+    exit 1
+  end
+
+let write_results_json ~cfg ~quick ~scaling ~size_scaling ~churn results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -531,7 +631,8 @@ let write_results_json ~cfg ~quick ~scaling ~size_scaling results =
            (if i = List.length scaling - 1 then "" else ",")))
     scaling;
   Buffer.add_string buf "  ],\n";
-  emit_size_scaling buf size_scaling;
+  emit_block buf "size_scaling" size_scaling;
+  emit_block buf "churn" churn;
   Buffer.add_string buf
     (Printf.sprintf "  \"metrics\": %s,\n" (metrics_specimen ()));
   Buffer.add_string buf "  \"results\": [\n";
@@ -594,7 +695,8 @@ let run_micro ~cfg ~quick =
     sorted;
   let scaling = scaling_sweep cfg in
   write_results_json ~cfg ~quick ~scaling
-    ~size_scaling:(existing_size_scaling ()) sorted;
+    ~size_scaling:(existing_block "size_scaling")
+    ~churn:(existing_block "churn") sorted;
   Printf.printf "(wrote BENCH_RESULTS.json)\n%!"
 
 (* `bench scaling`: the CI smoke gate. Times the analyze pipeline at one
@@ -639,7 +741,7 @@ let scale_mode ~cfg =
   print_string (Experiments.Exp_scale.render points);
   print_newline ();
   print_string (Experiments.Exp_scale.render_timing points);
-  splice_size_scaling (size_scaling_lines points);
+  splice_block "size_scaling" (size_scaling_lines points);
   Printf.printf "(updated size_scaling block of BENCH_RESULTS.json)\n%!"
 
 (* `bench scale-gate`: the CI memory-scaling smoke. Runs the sweep's
@@ -691,6 +793,9 @@ let () =
   else if Array.exists (fun a -> a = "scale-gate") Sys.argv then
     scale_gate ~cfg
   else if Array.exists (fun a -> a = "scale") Sys.argv then scale_mode ~cfg
+  else if Array.exists (fun a -> a = "churn-gate") Sys.argv then
+    churn_gate ~cfg
+  else if Array.exists (fun a -> a = "churn") Sys.argv then churn_mode ~cfg
   else begin
     Printf.printf "configuration: %s (%s), domains=%d\n\n%!"
       (Format.asprintf "%a" Experiments.Config.pp cfg)

@@ -35,19 +35,22 @@ let config_of ~seed ~quick =
   in
   { base with Experiments.Config.seed }
 
-(* A diverging protocol surfaces as a Cmdliner error carrying both the
-   processed-event total and how much work was still queued when the
-   budget ran out. *)
+(* A diverging protocol surfaces as a Cmdliner error carrying the raw
+   processed-event total, the number of delta waves those events were
+   coalesced into, and how much work was still queued when the budget
+   ran out — under batching the event and wave counts diverge, and both
+   matter for diagnosis. *)
 let or_diverged f =
   match f () with
   | ok -> ok
-  | exception Sim.Engine.Diverged { processed; pending } ->
+  | exception Sim.Engine.Diverged { processed; pending; waves } ->
     `Error
       ( false,
         Printf.sprintf
           "simulation diverged: event budget exhausted after %d events \
-           with %d still pending — the protocol is not converging"
-          processed pending )
+           seen (%d waves drained) with %d still pending — the protocol \
+           is not converging"
+          processed waves pending )
 
 (* --- exp --- *)
 
@@ -284,10 +287,31 @@ let simulate_cmd =
     Arg.(value & flag & info [ "check" ] ~doc)
   in
   let metrics_t =
-    let doc = "Print the runner's metrics registry after the flips." in
+    let doc = "Print the runner's metrics registry after the run." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run path proto link trace_out check metrics plist_fp_rate policy_file =
+  let stream_t =
+    let doc =
+      "Replay a seeded synthetic update stream at $(docv) arrivals/ms \
+       (link flaps, policy flips, loss windows) instead of flipping one \
+       link."
+    in
+    Arg.(value & opt (some float) None & info [ "stream" ] ~docv:"RATE" ~doc)
+  in
+  let stream_duration_t =
+    let doc = "Stream arrival window, in simulated ms." in
+    Arg.(
+      value & opt float 300.0 & info [ "stream-duration" ] ~docv:"MS" ~doc)
+  in
+  let window_t =
+    let doc =
+      "Delta-wave batching window, ms: each window of stream events \
+       coalesces into one wave. 0 replays event-at-a-time."
+    in
+    Arg.(value & opt float 8.0 & info [ "window" ] ~docv:"MS" ~doc)
+  in
+  let run path proto link trace_out check metrics plist_fp_rate policy_file
+      stream_rate stream_duration window seed =
     let topo = read_topology path in
     match Protocols.Proto_table.find proto with
     | None ->
@@ -305,49 +329,97 @@ let simulate_cmd =
         else Obs.Trace.none
       in
       let runner = network ~trace ~policy ~plist_fp_rate topo in
-      let link = if link < 0 then 0 else link in
-      if link >= Topology.num_links topo then
-        `Error (false, Printf.sprintf "link %d out of range" link)
-      else
-        or_diverged (fun () ->
-            let report label (s : Sim.Engine.run_stats) =
+      let report label (s : Sim.Engine.run_stats) =
+        Printf.printf
+          "%-10s time=%8.2fms messages=%7d units=%8d bytes=%9d \
+           lost=%5d events=%d waves=%d\n"
+          label s.Sim.Engine.duration s.Sim.Engine.messages
+          s.Sim.Engine.units s.Sim.Engine.bytes s.Sim.Engine.losses
+          s.Sim.Engine.events s.Sim.Engine.waves
+      in
+      let finish () =
+        (match trace_out with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          Obs.Trace.write_jsonl oc trace;
+          close_out oc;
+          Printf.printf "trace: %d events -> %s%s\n" (Obs.Trace.length trace)
+            file
+            (let d = Obs.Trace.dropped trace in
+             if d = 0 then "" else Printf.sprintf " (%d dropped)" d));
+        if check then begin
+          let report = Obs.Check.run trace in
+          print_string (Obs.Check.render report);
+          if Obs.Check.ok report then `Ok ()
+          else `Error (false, "trace invariant check failed")
+        end
+        else `Ok ()
+      in
+      match stream_rate with
+      | Some rate ->
+        if rate <= 0.0 || stream_duration <= 0.0 then
+          `Error (false, "stream rate and duration must be > 0")
+        else
+          or_diverged (fun () ->
+              let stream =
+                Stream.Update_stream.generate ~seed ~rate
+                  ~duration:stream_duration ~policy_share:0.15
+                  ~loss_share:0.1 topo
+              in
+              let mode =
+                if window <= 0.0 then Stream.Replay.Event_at_a_time
+                else Stream.Replay.Waves window
+              in
+              let reg = Obs.Metrics.create () in
+              let o =
+                Stream.Replay.replay ~metrics:reg ~policy ~topo ~stream
+                  ~mode runner
+              in
+              Printf.printf "stream     seed=%d rate=%.2f/ms duration=%.0fms %s\n"
+                seed rate stream_duration
+                (match mode with
+                | Stream.Replay.Event_at_a_time -> "event-at-a-time"
+                | Stream.Replay.Waves w -> Printf.sprintf "window=%.1fms" w);
               Printf.printf
-                "%-10s time=%8.2fms messages=%7d units=%8d bytes=%9d \
-                 lost=%5d events=%d\n"
-                label s.Sim.Engine.duration s.Sim.Engine.messages
-                s.Sim.Engine.units s.Sim.Engine.bytes s.Sim.Engine.losses
-                s.Sim.Engine.events
-            in
-            report "cold" (runner.Sim.Runner.cold_start ());
-            report "link down" (runner.Sim.Runner.flip ~link_id:link ~up:false);
-            report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
-            if metrics then
-              print_string (Obs.Metrics.render runner.Sim.Runner.metrics);
-            (match trace_out with
-            | None -> ()
-            | Some file ->
-              let oc = open_out file in
-              Obs.Trace.write_jsonl oc trace;
-              close_out oc;
-              Printf.printf "trace: %d events -> %s%s\n" (Obs.Trace.length trace)
-                file
-                (let d = Obs.Trace.dropped trace in
-                 if d = 0 then "" else Printf.sprintf " (%d dropped)" d));
-            if check then begin
-              let report = Obs.Check.run trace in
-              print_string (Obs.Check.render report);
-              if Obs.Check.ok report then `Ok ()
-              else `Error (false, "trace invariant check failed")
-            end
-            else `Ok ()))
+                "stream     events seen=%d waves drained=%d coalesced=%d\n"
+                o.Stream.Replay.events o.Stream.Replay.waves
+                o.Stream.Replay.cancelled;
+              let pct p =
+                if Array.length o.Stream.Replay.latencies = 0 then 0.0
+                else Stats.percentile o.Stream.Replay.latencies p
+              in
+              Printf.printf
+                "latency    p50=%.1fms p99=%.1fms p999=%.1fms makespan=%.1fms\n"
+                (pct 50.0) (pct 99.0) (pct 99.9) o.Stream.Replay.makespan;
+              report "converge" o.Stream.Replay.stats;
+              if metrics then print_string (Obs.Metrics.render reg);
+              finish ())
+      | None ->
+        let link = if link < 0 then 0 else link in
+        if link >= Topology.num_links topo then
+          `Error (false, Printf.sprintf "link %d out of range" link)
+        else
+          or_diverged (fun () ->
+              report "cold" (runner.Sim.Runner.cold_start ());
+              report "link down"
+                (runner.Sim.Runner.flip ~link_id:link ~up:false);
+              report "link up" (runner.Sim.Runner.flip ~link_id:link ~up:true);
+              if metrics then
+                print_string (Obs.Metrics.render runner.Sim.Runner.metrics);
+              finish ()))
   in
-  let doc = "Cold-start a protocol on a topology and flip one link." in
+  let doc =
+    "Cold-start a protocol on a topology, then flip one link or replay \
+     an update stream."
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       ret
         (const run $ topo_pos_t $ proto_t $ link_t $ trace_out_t $ check_t
-        $ metrics_t $ plist_fp_rate_t $ policy_file_t))
+        $ metrics_t $ plist_fp_rate_t $ policy_file_t $ stream_t
+        $ stream_duration_t $ window_t $ seed_t))
 
 (* --- policy --- *)
 

@@ -20,6 +20,9 @@ type t = {
   scale_sizes : int list;
   scale_sources : int;
   scale_dests : int;
+  churn_rates : float list;
+  churn_duration : float;
+  churn_window : float;
   emit_metrics : bool;
   trace_digest : string option;
 }
@@ -46,6 +49,9 @@ let default =
     scale_sizes = [ 300; 1000; 5000; 26000 ];
     scale_sources = 40;
     scale_dests = 300;
+    churn_rates = [ 0.2; 0.5; 1.0 ];
+    churn_duration = 300.0;
+    churn_window = 8.0;
     emit_metrics = false;
     trace_digest = None }
 
@@ -71,6 +77,9 @@ let quick =
     scale_sizes = [ 300; 1000 ];
     scale_sources = 20;
     scale_dests = 100;
+    churn_rates = [ 1.0; 4.0 ];
+    churn_duration = 150.0;
+    churn_window = 20.0;
     emit_metrics = false;
     trace_digest = None }
 

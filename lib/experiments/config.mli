@@ -35,6 +35,10 @@ type t = {
           paper's 26k-node CAIDA scale) *)
   scale_sources : int;  (** sampled P-graph roots per size point *)
   scale_dests : int;    (** sampled destinations for the failure sweep *)
+  churn_rates : float list;
+      (** offered loads swept by [exp churnrate], stream arrivals/ms *)
+  churn_duration : float;  (** stream arrival window per replay, ms *)
+  churn_window : float;    (** delta-wave batching window, ms *)
   emit_metrics : bool;
       (** append the merged metrics registry to experiment output
           (default false — keeps default output byte-stable) *)

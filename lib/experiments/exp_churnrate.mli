@@ -1,0 +1,50 @@
+(** Sustained-churn throughput: batched delta waves vs event-at-a-time
+    ingestion of the same seeded update streams, per protocol, across
+    offered loads.
+
+    For each [Config.churn_rates] entry and each protocol, the same
+    stream replays twice — once per {!Stream.Replay.mode} — so the
+    comparison isolates the ingestion strategy. The statistics (events,
+    waves, coalesced link events, sim-time enqueue→stable latency
+    percentiles, makespan, message counts) are deterministic in the
+    seed; wall-clock throughput is not, and renders separately (the
+    [exp scale] convention) so CI can diff the deterministic table. *)
+
+type cell = {
+  protocol : string;
+  rate : float;      (** offered load, stream arrivals/ms *)
+  batched : bool;    (** delta waves vs event-at-a-time *)
+  events : int;
+  waves : int;       (** applications drained *)
+  cancelled : int;   (** link events coalesced away inside waves *)
+  messages : int;
+  units : int;
+  p50 : float;       (** enqueue→stable latency percentiles, sim ms *)
+  p99 : float;
+  p999 : float;
+  makespan : float;  (** sim ms from replay start to last stable point *)
+  wall_ns : int;     (** replay wall time, environment-dependent *)
+}
+
+type result = {
+  window : float;
+  duration : float;
+  cells : cell list;  (** rate-major; per rate: protocol order, waves
+                          before event-at-a-time *)
+}
+
+val run : Config.t -> result
+
+val find_cell : result -> rate:float -> protocol:string -> batched:bool -> cell
+(** Raises [Not_found] on a cell outside the sweep. *)
+
+val throughput : cell -> float
+(** Wall-clock updates ingested per second. *)
+
+val render : result -> string
+(** Deterministic statistics table — byte-stable across runs and domain
+    counts for a fixed seed. *)
+
+val render_timing : result -> string
+(** Environment-dependent columns: updates/sec per mode and the
+    waves-over-event wall-clock speedup. *)

@@ -35,6 +35,17 @@ let all =
              the deterministic table stays diffable. *)
           prerr_string (Exp_scale.render_timing r);
           Exp_scale.render r) };
+    { id = "churnrate";
+      title =
+        "Sustained churn: wave-batched vs event-at-a-time ingestion \
+         (Centaur vs BGP vs OSPF)";
+      run =
+        (fun cfg ->
+          let r = Exp_churnrate.run cfg in
+          (* Wall-clock throughput is environment noise — stderr only,
+             so the deterministic table stays diffable. *)
+          prerr_string (Exp_churnrate.render_timing r);
+          Exp_churnrate.render r) };
     { id = "resilience";
       title = "Routability over time under churn (Centaur vs BGP vs OSPF)";
       run = (fun cfg -> Exp_resilience.render (Exp_resilience.run cfg)) };

@@ -5,7 +5,8 @@ let add_stats (a : Sim.Engine.run_stats) (b : Sim.Engine.run_stats) =
     bytes = a.Sim.Engine.bytes + b.Sim.Engine.bytes;
     deliveries = a.Sim.Engine.deliveries + b.Sim.Engine.deliveries;
     losses = a.Sim.Engine.losses + b.Sim.Engine.losses;
-    events = a.Sim.Engine.events + b.Sim.Engine.events }
+    events = a.Sim.Engine.events + b.Sim.Engine.events;
+    waves = a.Sim.Engine.waves + b.Sim.Engine.waves }
 
 (* Map one policy-override flip onto the compiled policy's setters and
    return the node owed a poke. *)
@@ -52,38 +53,73 @@ let run ?metrics ?policy (runner : Sim.Runner.t) ~topo
      start: offset them by the engine clock so t=0 means "converged". *)
   let base = runner.Sim.Runner.now () in
   let step t = total := add_stats !total (runner.Sim.Runner.run_until (base +. t)) in
-  let apply (e : Scenario.event) =
-    match e.Scenario.change with
-    | Scenario.Set_links changes ->
-      runner.Sim.Runner.inject changes;
-      Observer.refresh_truth obs;
-      if List.exists (fun (_, up) -> not up) changes then
-        Observer.note_disruption obs runner ~now:e.Scenario.at
-    | Scenario.Set_loss rates ->
-      List.iter
-        (fun (link_id, rate) -> runner.Sim.Runner.set_loss ~link_id ~rate)
-        rates
-    | Scenario.Set_policy changes ->
-      let pol = Option.get policy in
-      let nodes =
-        List.sort_uniq compare (List.map (apply_policy_change pol) changes)
-      in
-      runner.Sim.Runner.on_policy_change nodes;
-      (* Ground truth is deliberately NOT refreshed: the Gao–Rexford
-         truth of every pair is unchanged by an adversarial override, so
-         hijacked and leaked forwarding keeps being judged against the
-         honest baseline. *)
-      if List.exists Scenario.policy_change_on changes then
-        Observer.note_disruption obs runner ~now:e.Scenario.at
+  (* Concurrent scenario events — everything sharing one timestamp —
+     drain as a single delta wave: flaps coalesce, per-destination dirty
+     work dedups across the members, and the observer's ground truth and
+     disruption bookkeeping update once per wave instead of once per
+     event. *)
+  let wave = Sim.Delta_wave.create ?metrics () in
+  let policy_change_node = function
+    | Scenario.Leak { node; _ }
+    | Scenario.Claim { node; _ }
+    | Scenario.Corrupt { node; _ } -> node
+  in
+  let apply_wave ~at (wave_events : Scenario.event list) =
+    let has_link = ref false and disrupts = ref false in
+    List.iter
+      (fun (e : Scenario.event) ->
+        match e.Scenario.change with
+        | Scenario.Set_links changes ->
+          has_link := true;
+          if List.exists (fun (_, up) -> not up) changes then
+            disrupts := true;
+          List.iter
+            (fun (link_id, up) ->
+              Sim.Delta_wave.add wave
+                (Sim.Delta_wave.Set_link { link_id; up }))
+            changes
+        | Scenario.Set_loss rates ->
+          List.iter
+            (fun (link_id, rate) ->
+              Sim.Delta_wave.add wave
+                (Sim.Delta_wave.Set_loss { link_id; rate }))
+            rates
+        | Scenario.Set_policy changes ->
+          let pol = Option.get policy in
+          if List.exists Scenario.policy_change_on changes then
+            disrupts := true;
+          List.iter
+            (fun pc ->
+              Sim.Delta_wave.add wave
+                (Sim.Delta_wave.Policy_edit
+                   { node = policy_change_node pc;
+                     edit = (fun () -> ignore (apply_policy_change pol pc))
+                   }))
+            changes)
+      wave_events;
+    ignore (Sim.Delta_wave.apply wave topo runner);
+    (* Truth refresh only for link-state members: the Gao–Rexford truth
+       of every pair is unchanged by an adversarial override, so
+       hijacked and leaked forwarding keeps being judged against the
+       honest baseline. *)
+    if !has_link then Observer.refresh_truth obs;
+    if !disrupts then Observer.note_disruption obs runner ~now:at
   in
   (* Interleave injections and samples in time order; at equal times the
      injection applies first, so the sample observes the instant after
      the fault (notifications still queued — the window starts here). *)
   let rec go events next_sample =
     match events with
-    | (e : Scenario.event) :: rest when e.Scenario.at <= next_sample ->
-      step e.Scenario.at;
-      apply e;
+    | (e : Scenario.event) :: _ when e.Scenario.at <= next_sample ->
+      let at = e.Scenario.at in
+      let rec split acc = function
+        | (e' : Scenario.event) :: rest when e'.Scenario.at = at ->
+          split (e' :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let wave_events, rest = split [] events in
+      step at;
+      apply_wave ~at wave_events;
       go rest next_sample
     | _ ->
       if next_sample <= scenario.Scenario.horizon then begin

@@ -3,14 +3,18 @@
 
     The schedule's times are relative to the steady state reached by
     [cold_start] (t = 0 is "converged, nothing pending"). At each
-    timeline point the runner is stepped with [run_until], the change is
-    injected (link groups atomically; loss-rate updates on the engine's
-    seeded loss stream, re-seeded from the scenario seed), and at each
-    sample point the observer probes every watched pair — so blackhole
-    and transient-loop windows that close before quiescence are
-    measured, not inferred. Changes scheduled past the scenario horizon
-    are dropped. Fully deterministic: equal (scenario, topology, runner
-    construction) triples produce byte-identical reports. *)
+    timeline point the runner is stepped with [run_until]; then {e all}
+    events sharing that timestamp drain as one {!Sim.Delta_wave} —
+    concurrent flaps coalesce, per-destination dirty work dedups across
+    the members, loss-rate updates land on the engine's seeded loss
+    stream (re-seeded from the scenario seed), and the observer's ground
+    truth and disruption clocks update once per wave rather than once
+    per event. At each sample point the observer probes every watched
+    pair — so blackhole and transient-loop windows that close before
+    quiescence are measured, not inferred. Changes scheduled past the
+    scenario horizon are dropped. Fully deterministic: equal (scenario,
+    topology, runner construction) triples produce byte-identical
+    reports. *)
 
 val add_stats :
   Sim.Engine.run_stats -> Sim.Engine.run_stats -> Sim.Engine.run_stats
@@ -38,14 +42,16 @@ val run :
 
     [policy] must be the same compiled policy the runner was built with;
     it is required (checked up front, [Invalid_argument]) whenever the
-    scenario contains policy faults. Each [Set_policy] group flips the
-    overrides through the {!Policy} setters and pokes the runner's
-    [on_policy_change] once with the sorted, deduplicated node list.
+    scenario contains policy faults. [Set_policy] members flip the
+    overrides through the {!Policy} setters in timeline order and the
+    wave pokes the runner's [on_policy_change] once with the sorted,
+    deduplicated node list.
     Ground truth is {e not} refreshed on policy events — adversarial
     overrides do not change what routes {e should} be, so the observer
     keeps judging forwarding against the honest Gao–Rexford baseline.
 
-    [metrics], when given, receives the run's full registry after the
-    drain: the runner engine's counters merged with the observer's.
+    [metrics], when given, receives the run's full registry: the wave
+    instruments (registered up front) plus, after the drain, the runner
+    engine's counters merged with the observer's.
     The report itself is unchanged by the option, so result comparisons
     across runs stay byte-identical. *)

@@ -184,9 +184,6 @@ let sample t runner ~now =
     t.open_disruptions <- []
   end
 
-let cache_stats t =
-  (Obs.Metrics.value t.c_fresh, Obs.Metrics.value t.c_cached)
-
 let metrics t = t.metrics
 
 type report = {

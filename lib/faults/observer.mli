@@ -54,14 +54,11 @@ val sample : t -> Sim.Runner.t -> now:float -> unit
     free. {!refresh_truth} invalidates the whole cache (any link-state
     change can reroute a walk mid-path). *)
 
-val cache_stats : t -> int * int
-(** [(fresh, cached)] probe counts over all samples so far — how often
-    the changed-destination feed let the observer skip a data-plane
-    walk. Reads the [observer.fresh_probes]/[observer.cached_probes]
-    counters. *)
-
 val metrics : t -> Obs.Metrics.t
-(** The registry holding the observer's counters. *)
+(** The registry holding the observer's counters —
+    [observer.fresh_probes] / [observer.cached_probes] say how often the
+    changed-destination feed let the observer skip a data-plane walk;
+    read them with {!Obs.Metrics.counter} + {!Obs.Metrics.value}. *)
 
 type report = {
   protocol : string;

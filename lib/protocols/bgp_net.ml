@@ -106,36 +106,51 @@ let session_mrai mrai node peer =
     let h = ((node * 7919) + (peer * 104729)) mod 1000 in
     mrai *. (0.75 +. (0.5 *. float_of_int h /. 1000.0))
 
-(* Route updates [msgs] leave through the MRAI gate: immediate when the
-   peer's interval has elapsed, queued (coalescing per prefix) with a
-   flush timer otherwise. *)
+(* Route updates [msgs] leave through the MRAI gate. The gate is
+   evaluated once per peer per recompute, not once per message: all the
+   updates one decision pass owes a peer are a single wave-sized delta,
+   so an open gate releases the whole group now (one deadline reset) and
+   a closed gate queues the whole group (coalescing per prefix) behind
+   one flush timer. Per-message gating would split a burst into one
+   immediate update plus a timed remainder — pure MRAI overhead with no
+   pacing benefit, since the burst left one recompute. *)
 let emit st ~mrai ~now msgs =
-  List.concat_map
+  (* Group per peer, preserving first-appearance order of peers and the
+     per-peer message order. *)
+  let groups = ref [] in
+  List.iter
     (fun (peer, m) ->
+      match List.assoc_opt peer !groups with
+      | Some q -> q := m :: !q
+      | None -> groups := (peer, ref [ m ]) :: !groups)
+    msgs;
+  List.concat_map
+    (fun (peer, q) ->
+      let batch = List.rev !q in
       let dl =
         Option.value (ITbl.find_opt st.deadline peer) ~default:neg_infinity
       in
       if mrai <= 0.0 || now >= dl then begin
         ITbl.replace st.deadline peer (now +. session_mrai mrai st.id peer);
-        [ Sim.Engine.Send (peer, m) ]
+        List.map (fun m -> Sim.Engine.Send (peer, m)) batch
       end
       else begin
-        let q =
+        let pending =
           match ITbl.find_opt st.pending peer with
-          | Some q -> q
+          | Some pending -> pending
           | None ->
-            let q = ITbl.create 16 in
-            ITbl.replace st.pending peer q;
-            q
+            let pending = ITbl.create 16 in
+            ITbl.replace st.pending peer pending;
+            pending
         in
-        ITbl.replace q m.dest m;
+        List.iter (fun m -> ITbl.replace pending m.dest m) batch;
         if Flat_tbl.mem st.timer_armed peer then []
         else begin
           Flat_tbl.set st.timer_armed peer 1;
           [ Sim.Engine.Timer (dl -. now, peer) ]
         end
       end)
-    msgs
+    (List.rev !groups)
 
 let on_timer topo states ~mrai ~now ~node ~key:peer =
   let st = states.(node) in
@@ -403,12 +418,14 @@ let fresh_session_exports topo st ~policy ~tr =
     (List.sort compare fresh)
 
 (* One decision + export pass: the engine's batch end, shared by the
-   cold-start path. *)
-let recompute topo states ~policy ~mrai ~now ~tr ~track ~node =
+   cold-start path. [hist] shapes the per-recompute dirty-set size
+   distribution — under wave batching its mean is the coalescing win. *)
+let recompute topo states ~policy ~mrai ~now ~tr ~hist ~track ~node =
   let st = states.(node) in
   if Dirty.is_empty st.dirty && st.fresh_sessions = [] then []
   else begin
     let dirty = Dirty.cardinal st.dirty in
+    Obs.Metrics.observe hist (float_of_int dirty);
     let changed = decision_run topo st ~policy ~tr ~track in
     if Trace.enabled tr then
       Trace.emit tr
@@ -426,6 +443,12 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
   let track = Dirty.mark changed in
   let tr = trace in
   let states = Array.init n make_state in
+  let metrics = Obs.Metrics.create () in
+  let hist =
+    Obs.Metrics.histogram metrics
+      ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+      "bgp.recompute_dirty"
+  in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src msg ->
@@ -446,12 +469,12 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
         (fun ~now ~node ~key -> on_timer topo states ~mrai ~now ~node ~key);
       Sim.Engine.on_batch_end =
         (fun ~now ~node ->
-          recompute topo states ~policy ~mrai ~now ~tr ~track ~node) }
+          recompute topo states ~policy ~mrai ~now ~tr ~hist ~track ~node) }
   in
   let engine =
     (* 19-byte UPDATE header + 4-byte NLRI, 4 bytes per AS hop of path
        attribute, 8 bytes for an RCN root-cause community. *)
-    Sim.Engine.create ~trace topo ~units:(fun _ -> 1)
+    Sim.Engine.create ~trace ~metrics topo ~units:(fun _ -> 1)
       ~bytes:(fun m ->
         19 + 4
         + (match m.path with None -> 0 | Some p -> 4 * List.length p)
@@ -468,7 +491,7 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
           (fun d -> mark ~tr st d)
           (Policy.origins policy ~node:i);
         recompute topo states ~policy ~mrai ~now:(Sim.Engine.now engine) ~tr
-          ~track ~node:i)
+          ~hist ~track ~node:i)
   in
   (* Policy poke: the mutated overrides can change any import ranking or
      export decision, so every known destination goes back through the
@@ -489,7 +512,7 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
           List.sort_uniq compare (live @ st.fresh_sessions);
         Sim.Engine.perform engine ~node
           (recompute topo states ~policy ~mrai ~now:(Sim.Engine.now engine)
-             ~tr ~track ~node))
+             ~tr ~hist ~track ~node))
       nodes
   in
   let next_hop ~src ~dest =

@@ -87,6 +87,12 @@ let network ?(trace = Trace.none) ?policy ?(plist_fp_rate = 0.01) topo =
     end
     else states.(node) <- absorb states.(node)
   in
+  let metrics = Obs.Metrics.create () in
+  let hist =
+    Obs.Metrics.histogram metrics
+      ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+      "centaur.recompute_dirty"
+  in
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src:_ ann ->
@@ -99,8 +105,10 @@ let network ?(trace = Trace.none) ?policy ?(plist_fp_rate = 0.01) topo =
       Sim.Engine.on_timer = Sim.Engine.no_timers;
       Sim.Engine.on_batch_end =
         (fun ~now:_ ~node ->
+          let dirty = Centaur.Node.dirty_size states.(node) in
+          if dirty > 0 then
+            Obs.Metrics.observe hist (float_of_int dirty);
           if Trace.enabled tr then begin
-            let dirty = Centaur.Node.dirty_size states.(node) in
             let before = rib_changes.(node) in
             let st, sends = Centaur.Node.recompute states.(node) in
             states.(node) <- st;
@@ -116,7 +124,7 @@ let network ?(trace = Trace.none) ?policy ?(plist_fp_rate = 0.01) topo =
           end) }
   in
   let engine =
-    Sim.Engine.create ~trace topo ~units:Centaur.Announce.units
+    Sim.Engine.create ~trace ~metrics topo ~units:Centaur.Announce.units
       ~bytes:(Centaur.Announce.wire_bytes ~plist_fp_rate)
       ~handlers
   in

@@ -33,7 +33,8 @@ let zero_stats =
     bytes = 0;
     deliveries = 0;
     losses = 0;
-    events = 0 }
+    events = 0;
+    waves = 0 }
 
 (* Per-run accumulation into a caller-supplied registry: counters sum
    the control-plane cost across runs, the histogram shapes the

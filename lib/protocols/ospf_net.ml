@@ -15,10 +15,16 @@ type msg = {
    The LSDB is fully flat: an LSA's key (origin, link) and value
    (sequence, up-flag) are each one packed immediate int, so the whole
    database is two int arrays ({!Flat_tbl}) — no per-entry records. *)
+module ITbl = Hashtbl.Make (Int)
+
 type node_state = {
   id : int;
   db : Flat_tbl.t; (* packed (origin, link) -> packed (seq, up) *)
   own_seq : Flat_tbl.t; (* link -> last sequence we issued *)
+  outbox : (msg * int option) ITbl.t;
+      (* floods deferred to the batch end, keyed like the LSDB; the value
+         is the freshest installed LSA for that key this batch plus the
+         neighbor to exclude from the flood (the one it arrived from) *)
   mutable tree : Dijkstra.tree option;
   mutable tree_version : int;
 }
@@ -32,6 +38,7 @@ let make_state id =
   { id;
     db = Flat_tbl.create ();
     own_seq = Flat_tbl.create ();
+    outbox = ITbl.create 8;
     tree = None;
     tree_version = -1 }
 
@@ -118,20 +125,41 @@ let flood_except topo st ~except m =
     (fun (n, _, _) -> if Some n = except then None else Some (n, m))
     (Topology.neighbors topo st.id)
 
+(* Defer a flood to the batch end, one slot per LSDB key: when a burst
+   installs several sequence numbers of the same LSA (a stale db-sync
+   copy racing a fresh origination), only the freshest — the last
+   installed, since [install] is guarded by [fresher] — leaves the node.
+   Receivers converge to the same LSDB either way; the superseded
+   intermediates were pure flood traffic. *)
+let buffer_flood st ~except m =
+  ITbl.replace st.outbox
+    (db_key ~origin:m.origin ~link_id:m.link_id)
+    (m, except)
+
+(* Flush the deferred floods in ascending key order (determinism). *)
+let flush_floods topo st =
+  if ITbl.length st.outbox = 0 then []
+  else begin
+    let entries = ITbl.fold (fun key e acc -> (key, e) :: acc) st.outbox [] in
+    ITbl.reset st.outbox;
+    List.concat_map
+      (fun (_, (m, except)) -> flood_except topo st ~except m)
+      (List.sort (fun (k1, _) (k2, _) -> compare (k1 : int) k2) entries)
+  end
+
 let on_message ~changed ~tr topo states ~node ~src msg =
   let st = states.(node) in
   if fresher st msg then begin
     install ~changed ~tr topo st msg;
-    flood_except topo st ~except:(Some src) msg
+    buffer_flood st ~except:(Some src) msg
   end
-  else []
 
 let originate ~changed ~tr topo st link_id ~up =
   let seq = 1 + Flat_tbl.find_default st.own_seq link_id ~default:(-1) in
   Flat_tbl.set st.own_seq link_id seq;
   let m = { origin = st.id; link_id; seq; up } in
   install ~changed ~tr topo st m;
-  flood_except topo st ~except:None m
+  m
 
 let on_link_change ~changed ~tr topo states ~node ~link_id =
   let st = states.(node) in
@@ -141,25 +169,23 @@ let on_link_change ~changed ~tr topo states ~node ~link_id =
   Dirty.mark_range changed 0 (Topology.num_nodes topo - 1);
   if Obs.Trace.enabled tr then
     Obs.Trace.emit tr (Obs.Trace.Mark_dirty { node; dest = -1 });
-  let own = originate ~changed ~tr topo st link_id ~up in
-  if not up then own
+  buffer_flood st ~except:None (originate ~changed ~tr topo st link_id ~up);
+  if not up then []
   else begin
     (* Database exchange over the restored adjacency: send the peer our
-       whole LSDB, as OSPF does when an adjacency forms. *)
+       whole LSDB, as OSPF does when an adjacency forms. Targeted at one
+       neighbor, not a flood, so it leaves immediately. *)
     let link = Topology.link topo link_id in
     let other =
       if link.Topology.a = node then link.Topology.b else link.Topology.a
     in
-    let db_sync =
-      Flat_tbl.fold st.db ~init:[] ~f:(fun acc key v ->
-          ( other,
-            { origin = key lsr 31;
-              link_id = key land ((1 lsl 31) - 1);
-              seq = val_seq v;
-              up = val_up v } )
-          :: acc)
-    in
-    own @ db_sync
+    Flat_tbl.fold st.db ~init:[] ~f:(fun acc key v ->
+        ( other,
+          { origin = key lsr 31;
+            link_id = key land ((1 lsl 31) - 1);
+            seq = val_seq v;
+            up = val_up v } )
+        :: acc)
   end
 
 (* Dijkstra over the node's believed topology, cached until an install or
@@ -193,18 +219,21 @@ let network ?(incremental = true) ?(trace = Obs.Trace.none)
   let handlers =
     { Sim.Engine.on_message =
         (fun ~now:_ ~node ~src msg ->
-          Sim.Runner.sends_to_actions
-            (on_message ~changed ~tr topo states ~node ~src msg));
+          on_message ~changed ~tr topo states ~node ~src msg;
+          []);
       Sim.Engine.on_link_change =
         (fun ~now:_ ~node ~link_id ->
           Sim.Runner.sends_to_actions
             (on_link_change ~changed ~tr topo states ~node ~link_id));
       Sim.Engine.on_timer = Sim.Engine.no_timers;
-      (* Recomputation is pull-based: queries rebuild the SPF tree
-         lazily, so a burst costs nothing until the next lookup and the
-         batch end has no work to do — which is also why OSPF emits no
-         [Recompute] spans on the trace. *)
-      Sim.Engine.on_batch_end = Sim.Engine.no_batching }
+      (* Route computation stays pull-based (queries rebuild the SPF
+         tree lazily, so a burst costs nothing until the next lookup and
+         OSPF emits no [Recompute] spans on the trace) — but flooding is
+         push-based and drains here: one deduplicated flood per LSDB key
+         per same-timestamp burst, instead of one per absorbed LSA. *)
+      Sim.Engine.on_batch_end =
+        (fun ~now:_ ~node ->
+          Sim.Runner.sends_to_actions (flush_floods topo states.(node))) }
   in
   let engine =
     Sim.Engine.create ~trace topo ~units:(fun _ -> 1)
@@ -213,10 +242,14 @@ let network ?(incremental = true) ?(trace = Obs.Trace.none)
   in
   let cold_start () =
     Sim.Runner.cold_start_states engine states (fun _ st ->
+        (* Init runs outside any delivery batch, so the cold-start
+           originations flood immediately rather than through the
+           outbox. *)
         Sim.Runner.sends_to_actions
           (List.concat_map
              (fun (_, _, link_id) ->
-               originate ~changed ~tr topo st link_id ~up:true)
+               flood_except topo st ~except:None
+                 (originate ~changed ~tr topo st link_id ~up:true))
              (Topology.neighbors topo st.id)))
   in
   let path ~src ~dest =

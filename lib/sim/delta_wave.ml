@@ -1,0 +1,134 @@
+module Metrics = Obs.Metrics
+
+type event =
+  | Set_link of { link_id : int; up : bool }
+  | Set_loss of { link_id : int; rate : float }
+  | Policy_edit of { node : int; edit : unit -> unit }
+
+type wave = {
+  events_seen : int;
+  link_sets : int;
+  cancelled : int;
+  loss_sets : int;
+  policy_nodes : int;
+}
+
+type instruments = {
+  i_waves : Metrics.counter;
+  i_events : Metrics.counter;
+  i_cancelled : Metrics.counter;
+  i_size : Metrics.histogram;
+}
+
+type t = {
+  (* Pending window, newest first; reversed at drain so coalescing sees
+     arrival order. *)
+  mutable pending : event list;
+  mutable count : int;
+  instruments : instruments option;
+}
+
+let wave_size_buckets =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
+
+let create ?metrics () =
+  let instruments =
+    match metrics with
+    | None -> None
+    | Some m ->
+      Some
+        { i_waves = Metrics.counter m "wave.waves";
+          i_events = Metrics.counter m "wave.events";
+          i_cancelled = Metrics.counter m "wave.cancelled_links";
+          i_size = Metrics.histogram m ~buckets:wave_size_buckets "wave.size" }
+  in
+  { pending = []; count = 0; instruments }
+
+let add t ev =
+  t.pending <- ev :: t.pending;
+  t.count <- t.count + 1
+
+let add_list t evs = List.iter (add t) evs
+
+let length t = t.count
+
+let is_empty t = t.count = 0
+
+(* Net effect of the window against the live topology:
+   - links: the last target per link wins; a target equal to the link's
+     current state is dropped entirely (an up→down→up flap inside one
+     window cancels, and a redundant re-assertion of the current state
+     never wakes the endpoints);
+   - loss rates: last write per link wins;
+   - policy edits: side effects must run in arrival order (overrides can
+     overwrite each other), but each touched node is owed exactly one
+     recompute poke, so nodes are deduplicated. *)
+let coalesce t topo =
+  let window = List.rev t.pending in
+  t.pending <- [];
+  let seen = t.count in
+  t.count <- 0;
+  let link_events = ref 0 in
+  let link_target : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let link_order = ref [] in
+  let loss_target : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let loss_order = ref [] in
+  let edits = ref [] in
+  let nodes : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Set_link { link_id; up } ->
+        incr link_events;
+        if not (Hashtbl.mem link_target link_id) then
+          link_order := link_id :: !link_order;
+        Hashtbl.replace link_target link_id up
+      | Set_loss { link_id; rate } ->
+        if not (Hashtbl.mem loss_target link_id) then
+          loss_order := link_id :: !loss_order;
+        Hashtbl.replace loss_target link_id rate
+      | Policy_edit { node; edit } ->
+        Hashtbl.replace nodes node ();
+        edits := edit :: !edits)
+    window;
+  let flips =
+    List.filter_map
+      (fun link_id ->
+        let target = Hashtbl.find link_target link_id in
+        if Topology.is_up topo link_id = target then None
+        else Some (link_id, target))
+      (List.sort compare !link_order)
+  in
+  let losses =
+    List.map
+      (fun link_id -> (link_id, Hashtbl.find loss_target link_id))
+      (List.sort compare !loss_order)
+  in
+  let poke =
+    List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
+  in
+  (seen, !link_events, flips, losses, List.rev !edits, poke)
+
+let apply t topo (runner : Runner.t) =
+  let seen, link_events, flips, losses, edits, poke = coalesce t topo in
+  if flips <> [] then runner.Runner.inject flips;
+  List.iter
+    (fun (link_id, rate) -> runner.Runner.set_loss ~link_id ~rate)
+    losses;
+  List.iter (fun edit -> edit ()) edits;
+  if poke <> [] then runner.Runner.on_policy_change poke;
+  let wave =
+    { events_seen = seen;
+      link_sets = List.length flips;
+      cancelled = link_events - List.length flips;
+      loss_sets = List.length losses;
+      policy_nodes = List.length poke }
+  in
+  (match t.instruments with
+  | None -> ()
+  | Some i ->
+    Metrics.incr i.i_waves;
+    Metrics.add i.i_events wave.events_seen;
+    Metrics.add i.i_cancelled wave.cancelled;
+    Metrics.observe i.i_size (float_of_int wave.events_seen));
+  wave

@@ -1,0 +1,76 @@
+(** Batched delta waves: coalesce a window of concurrent control-plane
+    events into one net change set and drain it through a runner in a
+    single step.
+
+    The event-at-a-time path applies every link flip, loss edge and
+    policy override as its own injection, paying a full absorb/recompute
+    round per event. Under sustained churn most of that work is
+    redundant: a link that flaps down and back up inside one window
+    needs no recomputation at all, repeated writes to the same link
+    collapse to the last one, and several policy overrides on one node
+    owe that node exactly one recompute poke. A [Delta_wave.t]
+    accumulates the window and {!apply} injects only the net effect —
+    the engine's same-timestamp delivery batching (PR 3) then drains the
+    merged wave with one [on_batch_end] recompute per touched node, and
+    the dirty-set scheduler deduplicates per-destination work across the
+    wave's events.
+
+    Used by the stream-replay driver ({!Stream.Replay}) for windowed
+    batching and by {!Faults.Injector} to apply same-timestamp timeline
+    groups as one wave. *)
+
+type event =
+  | Set_link of { link_id : int; up : bool }
+      (** Target state for a link (absolute, not a toggle). *)
+  | Set_loss of { link_id : int; rate : float }
+      (** Delivery-loss window edge. *)
+  | Policy_edit of { node : int; edit : unit -> unit }
+      (** In-place mutation of the compiled policy shared with the
+          runner, owing [node] a recompute poke. A closure so [sim]
+          stays free of a [policy] dependency — build them with
+          {!Faults.Injector.apply_policy_change} or the policy setters
+          directly. *)
+
+type wave = {
+  events_seen : int;   (** events ingested into the window *)
+  link_sets : int;     (** link flips that survived coalescing *)
+  cancelled : int;     (** link events whose net effect vanished —
+                           flap cancellation and redundant re-assertions *)
+  loss_sets : int;     (** distinct links given a (last-wins) loss rate *)
+  policy_nodes : int;  (** distinct nodes poked for policy recompute *)
+}
+
+type t
+
+val create : ?metrics:Obs.Metrics.t -> unit -> t
+(** A fresh, empty window. [metrics], when given, receives the wave
+    instruments: counters [wave.waves], [wave.events],
+    [wave.cancelled_links] and the [wave.size] histogram (events per
+    drained wave). *)
+
+val add : t -> event -> unit
+(** Append one event to the pending window (arrival order is
+    significant for policy edits and last-wins targets). *)
+
+val add_list : t -> event list -> unit
+
+val length : t -> int
+(** Events pending in the window. *)
+
+val is_empty : t -> bool
+
+val apply : t -> Topology.t -> Runner.t -> wave
+(** Drain the window: coalesce against [topo]'s live link state (the
+    same instance the runner's engine mutates), inject the surviving
+    flips atomically, set loss rates (last write per link wins), run the
+    policy edits in arrival order and poke each touched node once. The
+    window is empty afterwards. Injected notifications stay queued — the
+    caller steps the runner ([run_until] / [run_to_quiescence]) to drain
+    the wave.
+
+    Coalescing drops a link event when its last target equals the link's
+    current state: up→down→up inside one window cancels, and re-asserting
+    the current state never wakes the endpoints. Surviving flips are
+    injected in ascending link order; equal windows against equal
+    topology states produce identical injections, keeping replay
+    deterministic. *)

@@ -36,6 +36,7 @@ type 'msg t = {
   loss : float array;  (* per-link delivery loss probability *)
   mutable loss_rng : Rng.t;
   mutable clock : float;
+  mutable last_event : float;
   trace : Trace.t;
   metrics : Metrics.t;
   c_messages : Metrics.counter;
@@ -44,6 +45,7 @@ type 'msg t = {
   c_deliveries : Metrics.counter;
   c_losses : Metrics.counter;
   c_events : Metrics.counter;
+  c_waves : Metrics.counter;
 }
 
 type run_stats = {
@@ -54,6 +56,7 @@ type run_stats = {
   deliveries : int;
   losses : int;
   events : int;
+  waves : int;
 }
 
 let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
@@ -71,6 +74,7 @@ let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
       loss = Array.make (Topology.num_links topo) 0.0;
       loss_rng = Rng.create 0;
       clock = 0.0;
+      last_event = 0.0;
       trace;
       metrics;
       c_messages = Metrics.counter metrics "engine.messages";
@@ -78,7 +82,8 @@ let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
       c_bytes = Metrics.counter metrics "engine.bytes";
       c_deliveries = Metrics.counter metrics "engine.deliveries";
       c_losses = Metrics.counter metrics "engine.losses";
-      c_events = Metrics.counter metrics "engine.events" }
+      c_events = Metrics.counter metrics "engine.events";
+      c_waves = Metrics.counter metrics "engine.waves" }
   in
   if Trace.enabled trace then begin
     (* Replay needs the ground truth the checker starts from: links are
@@ -98,6 +103,8 @@ let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
 let topology t = t.topo
 
 let now t = t.clock
+
+let last_event_time t = t.last_event
 
 let trace t = t.trace
 
@@ -156,7 +163,7 @@ let flip_link t ~link_id ~up =
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.a; link_id });
   Heap.push t.queue (t.clock, Link_notify { node = link.Topology.b; link_id })
 
-exception Diverged of { processed : int; pending : int }
+exception Diverged of { processed : int; pending : int; waves : int }
 
 type mark = {
   m_time : float;
@@ -166,6 +173,7 @@ type mark = {
   m_delivered : int;
   m_lost : int;
   m_processed : int;
+  m_waves : int;
 }
 
 let mark t =
@@ -175,7 +183,8 @@ let mark t =
     m_bytes = Metrics.value t.c_bytes;
     m_delivered = Metrics.value t.c_deliveries;
     m_lost = Metrics.value t.c_losses;
-    m_processed = Metrics.value t.c_events }
+    m_processed = Metrics.value t.c_events;
+    m_waves = Metrics.value t.c_waves }
 
 (* Shared event loop. [until = Some h] stops before the first event
    scheduled after [h] and advances the clock to [h]; [None] drains the
@@ -211,6 +220,7 @@ let run_core ~max_events ~since ~until t =
     | None -> ()
     | Some (bt, bn) ->
       open_batch := None;
+      Metrics.incr t.c_waves;
       perform t ~node:bn (t.handlers.on_batch_end ~now:bt ~node:bn);
       if traced then Trace.emit t.trace (Trace.Batch_end { node = bn })
   in
@@ -243,9 +253,11 @@ let run_core ~max_events ~since ~until t =
         raise
           (Diverged
              { processed = Metrics.value t.c_events;
-               pending = Heap.length t.queue + 1 });
+               pending = Heap.length t.queue + 1;
+               waves = Metrics.value t.c_waves });
       decr budget;
       t.clock <- time;
+      t.last_event <- time;
       if traced then Trace.set_now t.trace time;
       Metrics.incr t.c_events;
       (match event with
@@ -316,7 +328,8 @@ let run_core ~max_events ~since ~until t =
     bytes = m.m_bytes - since.m_bytes;
     deliveries = m.m_delivered - since.m_delivered;
     losses = m.m_lost - since.m_lost;
-    events = m.m_processed - since.m_processed }
+    events = m.m_processed - since.m_processed;
+    waves = m.m_waves - since.m_waves }
 
 let run_to_quiescence ?(max_events = 20_000_000) ?since t =
   let since = match since with Some m -> m | None -> mark t in

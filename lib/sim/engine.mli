@@ -61,6 +61,10 @@ type run_stats = {
   losses : int;       (** messages lost — dead link at delivery time, or
                           the probabilistic loss model *)
   events : int;       (** total events processed *)
+  waves : int;        (** delivery batches drained — one per
+                          [on_batch_end] recompute, i.e. the number of
+                          per-node delta waves the run coalesced its
+                          events into *)
 }
 
 val create :
@@ -88,8 +92,8 @@ val create :
 
     [metrics] (default: a private fresh registry) receives the engine's
     counters — [engine.messages], [engine.units], [engine.bytes],
-    [engine.deliveries],
-    [engine.losses], [engine.events] — which {!run_stats} and {!mark}
+    [engine.deliveries], [engine.losses], [engine.events],
+    [engine.waves] — which {!run_stats} and {!mark}
     are derived from. Pass a registry to aggregate across engines or to
     export it; registries are single-domain, so give each engine of a
     pool-parallel sweep its own and merge afterwards. *)
@@ -103,6 +107,12 @@ val metrics : 'msg t -> Obs.Metrics.t
 (** The registry holding this engine's counters. *)
 
 val now : 'msg t -> float
+
+val last_event_time : 'msg t -> float
+(** Timestamp of the last event actually processed (0 before any). After
+    a {!run_until} whose horizon overshoots quiescence, this is the real
+    settling time — {!now} reports the horizon the clock advanced to.
+    Stream replay uses it to stamp per-update enqueue→stable latency. *)
 
 val pending_events : 'msg t -> int
 (** Events still queued (zero exactly when the network is quiescent). *)
@@ -125,10 +135,12 @@ val flip_link : 'msg t -> link_id:int -> up:bool -> unit
 (** Change a link's state now and schedule the two endpoints'
     [on_link_change] notifications. *)
 
-exception Diverged of { processed : int; pending : int }
+exception Diverged of { processed : int; pending : int; waves : int }
 (** Raised by the run functions when the event budget is exhausted — the
-    protocol is not converging. Carries the number of events processed
-    and the number still pending in the queue. *)
+    protocol is not converging. Carries the number of raw events
+    processed, the number still pending in the queue, and the number of
+    delta waves (delivery batches) those events were drained in — under
+    batching the two counts diverge, and both matter for diagnosis. *)
 
 type mark
 (** Snapshot of the engine's counters, delimiting a measurement run. *)

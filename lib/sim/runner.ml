@@ -10,6 +10,7 @@ type t = {
   seed_loss : int -> unit;
   pending_events : unit -> int;
   now : unit -> float;
+  last_event_time : unit -> float;
   next_hop : src:int -> dest:int -> int option;
   path : src:int -> dest:int -> Path.t option;
   changed_dests : unit -> int list;
@@ -62,6 +63,7 @@ let make ~name ~engine ~cold_start ~changed
     seed_loss = (fun seed -> Engine.seed_loss engine seed);
     pending_events = (fun () -> Engine.pending_events engine);
     now = (fun () -> Engine.now engine);
+    last_event_time = (fun () -> Engine.last_event_time engine);
     next_hop;
     path;
     changed_dests = (fun () -> Dirty.take changed);

@@ -34,6 +34,10 @@ type t = {
       (** Queued events; zero exactly when converged. *)
   now : unit -> float;
       (** Current simulation clock, ms. *)
+  last_event_time : unit -> float;
+      (** Timestamp of the last event the engine processed — the real
+          settling time after a {!run_until} whose horizon overshoots
+          quiescence (see {!Engine.last_event_time}). *)
   next_hop : src:int -> dest:int -> int option;
       (** Current forwarding decision of [src] toward [dest] — converged
           or mid-convergence, depending on how the runner was stepped. *)

@@ -24,6 +24,9 @@ let tiny =
     scale_sizes = [ 60; 80 ];
     scale_sources = 5;
     scale_dests = 20;
+    churn_rates = [ 0.4 ];
+    churn_duration = 60.0;
+    churn_window = 8.0;
     emit_metrics = false;
     trace_digest = None }
 
@@ -36,7 +39,8 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "all artifacts present"
     [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8"; "scale";
-      "resilience"; "containment"; "ablation-mrai"; "ablation-multipath" ]
+      "churnrate"; "resilience"; "containment"; "ablation-mrai";
+      "ablation-multipath" ]
     Experiments.Registry.ids;
   Alcotest.(check bool) "find hit" true
     (Experiments.Registry.find "fig6" <> None);
@@ -141,6 +145,31 @@ let test_registry_renders () =
         Alcotest.(check bool) (id ^ " renders") true (String.length s > 40))
     [ "table3"; "fig5" ]
 
+let test_churnrate_shapes () =
+  let open Experiments.Exp_churnrate in
+  let r = Experiments.Exp_churnrate.run tiny in
+  Alcotest.(check int) "one rate x 3 protocols x 2 modes" 6
+    (List.length r.cells);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c.protocol ^ " drains bounded") true
+        (c.waves <= c.events);
+      Alcotest.(check bool) (c.protocol ^ " latency order") true
+        (c.p50 <= c.p99 && c.p99 <= c.p999);
+      if not c.batched then
+        Alcotest.(check int) (c.protocol ^ " no event-mode coalescing") 0
+          c.cancelled)
+    r.cells;
+  (* Both modes of one (rate, protocol) replay the identical stream. *)
+  List.iter
+    (fun p ->
+      let w = find_cell r ~rate:0.4 ~protocol:p ~batched:true in
+      let e = find_cell r ~rate:0.4 ~protocol:p ~batched:false in
+      Alcotest.(check int) (p ^ " same stream") e.events w.events;
+      Alcotest.(check bool) (p ^ " batching drains less") true
+        (w.waves <= e.waves))
+    [ "centaur"; "bgp"; "ospf" ]
+
 let test_resilience_shapes () =
   let open Experiments.Exp_resilience in
   let r = Experiments.Exp_resilience.run tiny in
@@ -196,6 +225,7 @@ let suite =
     Alcotest.test_case "ablation mrai monotone" `Quick
       test_ablation_mrai_monotone;
     Alcotest.test_case "registry renders" `Quick test_registry_renders;
+    Alcotest.test_case "churnrate shapes" `Quick test_churnrate_shapes;
     Alcotest.test_case "resilience shapes" `Quick test_resilience_shapes;
     Alcotest.test_case "sample pairs" `Quick test_sample_pairs;
     Alcotest.test_case "inputs deterministic" `Quick

@@ -154,27 +154,37 @@ let ospf ~incremental ~trace topo =
   Protocols.Ospf_net.network ~incremental ~trace topo
 
 (* Deterministic spot check of the observer's verdict cache riding the
-   same feed: a second sample with no traffic in between replays every
-   verdict from cache; a flip forces fresh probes again. *)
+   same feed, read through its Obs.Metrics counters: a second sample
+   with no traffic in between replays every verdict from cache; a wave
+   touching link state forces fresh probes again. *)
 let test_observer_cache () =
   let topo = random_brite ~seed:5 ~n:10 ~m:2 in
   let runner = centaur ~trace:Obs.Trace.none topo in
   ignore (runner.Sim.Runner.cold_start ());
   let pairs = [ (0, 7); (2, 9); (4, 1) ] in
-  let obs = Faults.Observer.create topo ~pairs ~sample_every:5.0 in
+  let metrics = Obs.Metrics.create () in
+  let obs = Faults.Observer.create ~metrics topo ~pairs ~sample_every:5.0 in
+  let fresh () =
+    Obs.Metrics.value (Obs.Metrics.counter metrics "observer.fresh_probes")
+  and cached () =
+    Obs.Metrics.value (Obs.Metrics.counter metrics "observer.cached_probes")
+  in
   Faults.Observer.refresh_truth obs;
   Faults.Observer.sample obs runner ~now:0.0;
-  let fresh0, cached0 = Faults.Observer.cache_stats obs in
+  let fresh0 = fresh () and cached0 = cached () in
   Alcotest.(check int) "first sample probes fresh" 3 fresh0;
   Alcotest.(check int) "first sample caches nothing" 0 cached0;
   Faults.Observer.sample obs runner ~now:5.0;
-  let fresh1, cached1 = Faults.Observer.cache_stats obs in
+  let fresh1 = fresh () and cached1 = cached () in
   Alcotest.(check int) "quiet sample all cached" 3 (cached1 - cached0);
   Alcotest.(check int) "quiet sample no fresh walks" fresh0 fresh1;
-  ignore (runner.Sim.Runner.flip ~link_id:0 ~up:false);
+  (* The next fault wave invalidates the verdict cache wholesale. *)
+  let wave = Sim.Delta_wave.create () in
+  Sim.Delta_wave.add wave (Sim.Delta_wave.Set_link { link_id = 0; up = false });
+  ignore (Sim.Delta_wave.apply wave topo runner);
   Faults.Observer.refresh_truth obs;
   Faults.Observer.sample obs runner ~now:10.0;
-  let fresh2, _ = Faults.Observer.cache_stats obs in
+  let fresh2 = fresh () in
   Alcotest.(check int) "stale view re-probes everything" (fresh1 + 3) fresh2
 
 let suite =

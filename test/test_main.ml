@@ -26,5 +26,6 @@ let () =
       ("faults", Test_faults.suite);
       ("containment", Test_containment.suite);
       ("incremental", Test_incremental.suite);
+      ("stream", Test_stream.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite) ]

@@ -1,0 +1,348 @@
+(* Wave-batched streaming obligations. The core pin: replaying any
+   seeded update stream in batched delta waves leaves every protocol in
+   exactly the state event-at-a-time replay of the same stream reaches —
+   coalescing flaps, deduplicating dirty work and grouping MRAI
+   evaluations must never change where packets go, only what the
+   convergence costs. Plus the coalescing edge cases (same-timestamp
+   up/down, SRLG cuts across a window boundary, a policy flip sharing a
+   wave with a link flip on the affected neighbor) and the composition
+   guarantee that splitting the inter-wave stepping into finer
+   [run_until] calls changes nothing. *)
+
+open Helpers
+
+let nodes = 12
+
+let window = 8.0
+
+let same_forwarding n (a : Sim.Runner.t) (b : Sim.Runner.t) =
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    for dest = 0 to n - 1 do
+      if src <> dest then begin
+        if a.Sim.Runner.next_hop ~src ~dest <> b.Sim.Runner.next_hop ~src ~dest
+        then ok := false;
+        if
+          not
+            (Option.equal Path.equal
+               (a.Sim.Runner.path ~src ~dest)
+               (b.Sim.Runner.path ~src ~dest))
+        then ok := false
+      end
+    done
+  done;
+  !ok
+
+let forwarding_snapshot n (r : Sim.Runner.t) =
+  Array.init n (fun src ->
+      Array.init n (fun dest ->
+          if src = dest then None else r.Sim.Runner.next_hop ~src ~dest))
+
+(* --- the QCheck pin: waves == event-at-a-time, all three protocols --- *)
+
+let equivalence ~name ~policy_share make_runner =
+  QCheck.Test.make
+    ~name:(name ^ ": wave-batched == event-at-a-time")
+    ~count:(qcheck_count 10)
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let run mode =
+        let topo = random_brite ~seed ~n:nodes ~m:2 in
+        let pol = Policy.default () in
+        let runner = make_runner ~policy:pol topo in
+        let stream =
+          (* Loss-free: the loss draw order differs between modes, so
+             probabilistic loss would (correctly) break state identity. *)
+          Stream.Update_stream.generate ~seed:(seed + 3) ~rate:0.3
+            ~duration:50.0 ~flap_hold:10.0 ~policy_share topo
+        in
+        ignore (Stream.Replay.replay ~policy:pol ~topo ~stream ~mode runner);
+        runner
+      in
+      let a = run Stream.Replay.Event_at_a_time in
+      let b = run (Stream.Replay.Waves window) in
+      same_forwarding nodes a b)
+
+let centaur ~policy topo = Protocols.Centaur_net.network ~policy topo
+
+let bgp ~policy topo = Protocols.Bgp_net.network ~policy topo
+
+let ospf ~policy topo = Protocols.Ospf_net.network ~policy topo
+
+(* --- flap-coalescing edge cases --- *)
+
+(* Same-timestamp down and up on one link inside one wave: the net
+   effect is nothing — no injection, no traffic, forwarding untouched. *)
+let test_flap_cancels () =
+  let topo = random_brite ~seed:3 ~n:10 ~m:2 in
+  let runner = Protocols.Centaur_net.network topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  let before = forwarding_snapshot 10 runner in
+  let acc = Sim.Delta_wave.create () in
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 0; up = false });
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 0; up = true });
+  let w = Sim.Delta_wave.apply acc topo runner in
+  Alcotest.(check int) "both events seen" 2 w.Sim.Delta_wave.events_seen;
+  Alcotest.(check int) "flap cancelled" 2 w.Sim.Delta_wave.cancelled;
+  Alcotest.(check int) "no surviving flips" 0 w.Sim.Delta_wave.link_sets;
+  Alcotest.(check int) "nothing queued" 0 (runner.Sim.Runner.pending_events ());
+  let stats = runner.Sim.Runner.run_to_quiescence () in
+  Alcotest.(check int) "no traffic" 0 stats.Sim.Engine.messages;
+  Alcotest.(check bool) "forwarding untouched" true
+    (before = forwarding_snapshot 10 runner)
+
+(* Re-asserting the current state is dropped too, and last-target-wins
+   keeps a real transition. *)
+let test_redundant_and_last_wins () =
+  let topo = random_brite ~seed:4 ~n:10 ~m:2 in
+  let runner = Protocols.Centaur_net.network topo in
+  ignore (runner.Sim.Runner.cold_start ());
+  let acc = Sim.Delta_wave.create () in
+  (* up -> up: redundant; down, up, down: net transition down. *)
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 1; up = true });
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 2; up = false });
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 2; up = true });
+  Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id = 2; up = false });
+  let w = Sim.Delta_wave.apply acc topo runner in
+  Alcotest.(check int) "one surviving flip" 1 w.Sim.Delta_wave.link_sets;
+  Alcotest.(check int) "three cancelled" 3 w.Sim.Delta_wave.cancelled;
+  ignore (runner.Sim.Runner.run_to_quiescence ());
+  Alcotest.(check bool) "link 2 is down" false (Topology.is_up topo 2);
+  Alcotest.(check bool) "link 1 stayed up" true (Topology.is_up topo 1)
+
+(* Hand-built stream: an SRLG-style correlated cut whose members land on
+   both sides of a window boundary (two links just before t=8, one just
+   after, restores later). Wave replay must reach the event-at-a-time
+   state, draining exactly three waves. *)
+let test_srlg_across_boundary () =
+  let mk_stream () =
+    let ev at update = { Stream.Update_stream.at; update } in
+    { Stream.Update_stream.seed = 0;
+      rate = 1.0;
+      duration = 40.0;
+      events =
+        [| ev 7.8 (Stream.Update_stream.Link { link_id = 4; up = false });
+           ev 7.9 (Stream.Update_stream.Link { link_id = 5; up = false });
+           ev 8.1 (Stream.Update_stream.Link { link_id = 6; up = false });
+           ev 30.0 (Stream.Update_stream.Link { link_id = 4; up = true });
+           ev 30.5 (Stream.Update_stream.Link { link_id = 5; up = true });
+           ev 31.0 (Stream.Update_stream.Link { link_id = 6; up = true })
+        |] }
+  in
+  let run mode =
+    let topo = random_brite ~seed:7 ~n:nodes ~m:2 in
+    let runner = Protocols.Bgp_net.network topo in
+    let outcome =
+      Stream.Replay.replay ~topo ~stream:(mk_stream ()) ~mode runner
+    in
+    (runner, outcome)
+  in
+  let a, _ = run Stream.Replay.Event_at_a_time in
+  let b, outcome = run (Stream.Replay.Waves window) in
+  Alcotest.(check int) "three waves drained" 3 outcome.Stream.Replay.waves;
+  Alcotest.(check bool) "same forwarding" true (same_forwarding nodes a b)
+
+(* A policy override and a link flip on the affected neighbor sharing
+   one wave: the leak flips on in the same window the leaking node's
+   link dies. *)
+let test_policy_with_adjacent_flip () =
+  let run mode =
+    let topo = random_brite ~seed:11 ~n:nodes ~m:2 in
+    let pol = Policy.default () in
+    let runner = Protocols.Bgp_net.network ~policy:pol topo in
+    let leaker = 1 in
+    let link_id =
+      match Topology.neighbors topo leaker with
+      | (_, _, link_id) :: _ -> link_id
+      | [] -> Alcotest.fail "node 1 has no neighbors"
+    in
+    let ev at update = { Stream.Update_stream.at; update } in
+    let stream =
+      { Stream.Update_stream.seed = 0;
+        rate = 1.0;
+        duration = 40.0;
+        events =
+          [| ev 5.0
+               (Stream.Update_stream.Policy
+                  (Faults.Scenario.Leak { node = leaker; on = true }));
+             ev 5.5 (Stream.Update_stream.Link { link_id; up = false });
+             ev 25.0 (Stream.Update_stream.Link { link_id; up = true });
+             ev 26.0
+               (Stream.Update_stream.Policy
+                  (Faults.Scenario.Leak { node = leaker; on = false }))
+          |] }
+    in
+    ignore (Stream.Replay.replay ~policy:pol ~topo ~stream ~mode runner);
+    runner
+  in
+  let a = run Stream.Replay.Event_at_a_time in
+  let b = run (Stream.Replay.Waves window) in
+  Alcotest.(check bool) "same forwarding" true (same_forwarding nodes a b)
+
+(* --- generator and replay determinism --- *)
+
+let test_generator_deterministic () =
+  let topo = random_brite ~seed:9 ~n:nodes ~m:2 in
+  let gen () =
+    Stream.Update_stream.generate ~seed:42 ~rate:0.5 ~duration:60.0
+      ~policy_share:0.2 ~loss_share:0.1 topo
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "same events" true
+    (Stream.Update_stream.events a = Stream.Update_stream.events b);
+  Alcotest.(check bool) "non-empty" true (Stream.Update_stream.num_events a > 0);
+  let sorted = ref true in
+  let prev = ref neg_infinity in
+  Array.iter
+    (fun (e : Stream.Update_stream.event) ->
+      if e.Stream.Update_stream.at < !prev then sorted := false;
+      prev := e.Stream.Update_stream.at)
+    (Stream.Update_stream.events a);
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  (* Per-link transitions strictly alternate: generation only flaps free
+     links, so event-at-a-time replay never injects a redundant change. *)
+  let last : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let alternates = ref true in
+  Array.iter
+    (fun (e : Stream.Update_stream.event) ->
+      match e.Stream.Update_stream.update with
+      | Stream.Update_stream.Link { link_id; up } ->
+        (match Hashtbl.find_opt last link_id with
+        | Some prev when prev = up -> alternates := false
+        | _ -> ());
+        Hashtbl.replace last link_id up
+      | _ -> ())
+    (Stream.Update_stream.events a);
+  Alcotest.(check bool) "per-link alternation" true !alternates
+
+let test_replay_deterministic () =
+  let run () =
+    let topo = random_brite ~seed:21 ~n:nodes ~m:2 in
+    let runner = Protocols.Centaur_net.network topo in
+    let stream =
+      Stream.Update_stream.generate ~seed:5 ~rate:0.4 ~duration:40.0
+        ~loss_share:0.2 topo
+    in
+    Stream.Replay.replay ~topo ~stream ~mode:(Stream.Replay.Waves window)
+      runner
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical outcomes" true (a = b)
+
+let test_latency_stamps () =
+  let topo = random_brite ~seed:13 ~n:nodes ~m:2 in
+  let runner = Protocols.Centaur_net.network topo in
+  let stream =
+    Stream.Update_stream.generate ~seed:2 ~rate:0.4 ~duration:40.0 topo
+  in
+  let metrics = Obs.Metrics.create () in
+  let outcome =
+    Stream.Replay.replay ~metrics ~topo ~stream
+      ~mode:(Stream.Replay.Waves window) runner
+  in
+  Alcotest.(check int) "one latency per update"
+    (Stream.Update_stream.num_events stream)
+    (Array.length outcome.Stream.Replay.latencies);
+  Array.iter
+    (fun l ->
+      if not (Float.is_finite l) || l < 0.0 then
+        Alcotest.failf "bad latency %g" l)
+    outcome.Stream.Replay.latencies;
+  Alcotest.(check bool) "makespan covers latencies" true
+    (outcome.Stream.Replay.makespan >= 0.0);
+  Alcotest.(check bool) "waves <= events" true
+    (outcome.Stream.Replay.waves <= outcome.Stream.Replay.events);
+  (* The enqueue->stable histogram saw every update too. *)
+  let h =
+    Obs.Metrics.histogram metrics
+      ~buckets:[| 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0;
+                  500.0; 1000.0; 2000.0; 5000.0 |]
+      "stream.latency_ms"
+  in
+  Alcotest.(check int) "histogram count"
+    (Stream.Update_stream.num_events stream)
+    (Obs.Metrics.histogram_count h);
+  (* Engine wave accounting reached the registry. *)
+  Alcotest.(check bool) "engine.waves counted" true
+    (Obs.Metrics.value (Obs.Metrics.counter metrics "engine.waves") > 0)
+
+(* --- run_until split composition: finer stepping between waves must
+   change nothing (a drain interrupted mid-wave resumes losslessly) --- *)
+
+let test_split_stepping_composition () =
+  let stream_of topo =
+    Stream.Update_stream.generate ~seed:6 ~rate:0.5 ~duration:40.0
+      ~flap_hold:10.0 topo
+  in
+  (* Reference: the driver's own wave replay. *)
+  let topo_a = random_brite ~seed:17 ~n:nodes ~m:2 in
+  let runner_a = Protocols.Bgp_net.network topo_a in
+  ignore
+    (Stream.Replay.replay ~topo:topo_a ~stream:(stream_of topo_a)
+       ~mode:(Stream.Replay.Waves window) runner_a);
+  (* Same schedule, but each inter-wave step is split into four
+     run_until calls (quarter-window strides). *)
+  let topo_b = random_brite ~seed:17 ~n:nodes ~m:2 in
+  let runner_b = Protocols.Bgp_net.network topo_b in
+  let stream = stream_of topo_b in
+  ignore (runner_b.Sim.Runner.cold_start ());
+  let base = runner_b.Sim.Runner.now () in
+  let events = Stream.Update_stream.events stream in
+  let horizon =
+    Array.fold_left
+      (fun acc (e : Stream.Update_stream.event) ->
+        Float.max acc e.Stream.Update_stream.at)
+      0.0 events
+  in
+  let acc = Sim.Delta_wave.create () in
+  let i = ref 0 in
+  let nwin = int_of_float (ceil (horizon /. window)) in
+  for k = 1 to nwin do
+    let t = window *. float_of_int k in
+    for s = 1 to 4 do
+      ignore
+        (runner_b.Sim.Runner.run_until
+           (base +. t -. window +. (window *. float_of_int s /. 4.0)))
+    done;
+    while
+      !i < Array.length events
+      && events.(!i).Stream.Update_stream.at <= t
+    do
+      (match events.(!i).Stream.Update_stream.update with
+      | Stream.Update_stream.Link { link_id; up } ->
+        Sim.Delta_wave.add acc (Sim.Delta_wave.Set_link { link_id; up })
+      | Stream.Update_stream.Loss { link_id; rate } ->
+        Sim.Delta_wave.add acc (Sim.Delta_wave.Set_loss { link_id; rate })
+      | Stream.Update_stream.Policy _ ->
+        Alcotest.fail "link-only stream expected");
+      incr i
+    done;
+    if not (Sim.Delta_wave.is_empty acc) then
+      ignore (Sim.Delta_wave.apply acc topo_b runner_b)
+  done;
+  ignore (runner_b.Sim.Runner.run_to_quiescence ());
+  Alcotest.(check bool) "split stepping == driver replay" true
+    (same_forwarding nodes runner_a runner_b)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest
+      (equivalence ~name:"centaur" ~policy_share:0.3 centaur);
+    QCheck_alcotest.to_alcotest
+      (equivalence ~name:"bgp" ~policy_share:0.3 bgp);
+    QCheck_alcotest.to_alcotest
+      (equivalence ~name:"ospf" ~policy_share:0.0 ospf);
+    Alcotest.test_case "flap cancels inside a wave" `Quick test_flap_cancels;
+    Alcotest.test_case "redundant dropped, last target wins" `Quick
+      test_redundant_and_last_wins;
+    Alcotest.test_case "SRLG cut across a window boundary" `Quick
+      test_srlg_across_boundary;
+    Alcotest.test_case "policy flip + adjacent link flip share a wave"
+      `Quick test_policy_with_adjacent_flip;
+    Alcotest.test_case "generator deterministic and well-formed" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "replay deterministic" `Quick
+      test_replay_deterministic;
+    Alcotest.test_case "latency stamps cover every update" `Quick
+      test_latency_stamps;
+    Alcotest.test_case "split run_until stepping composes" `Quick
+      test_split_stepping_composition ]
