@@ -106,10 +106,10 @@ let aggregate ?(plist_fp_rate = default_plist_fp_rate) ~sources pgraph_of =
 let pack_link ~parent ~child = (parent lsl 31) lor child
 let link_child key = key land ((1 lsl 31) - 1)
 
-(* A traversal is (dest, next-hop option) packed into one immediate int:
-   dest in the high bits, next + 1 in the low 32 (0 = None). *)
-let pack_trav ~dest ~next =
-  (dest lsl 32) lor (match next with None -> 0 | Some x -> x + 1)
+(* A traversal is (dest, next-hop id) packed into one immediate int:
+   dest in the high bits, next + 1 in the low 32 ([nexti = -1] = none,
+   matching the solvers' allocation-free next-hop accessors). *)
+let pack_trav ~dest ~nexti = (dest lsl 32) lor (nexti + 1)
 
 let trav_dest v = v lsr 32
 
@@ -124,10 +124,14 @@ type src_stream = {
   mutable tlen : int;
 }
 
-let stream_create () =
-  { heads = Flat_tbl.create ();
-    tv = Array.make 64 0;
-    tn = Array.make 64 0;
+(* [hint] sizes the link table and the traversal arena for an expected
+   number of distinct links, so streaming at scale ramps up in one or
+   two doublings instead of rehash-growing from 16 slots per source. *)
+let stream_create ?(hint = 16) () =
+  let hint = max 16 hint in
+  { heads = Flat_tbl.create ~initial:(2 * hint) ();
+    tv = Array.make hint 0;
+    tn = Array.make hint 0;
     tlen = 0 }
 
 let stream_push st key v =
@@ -144,8 +148,8 @@ let stream_push st key v =
   Flat_tbl.set st.heads key st.tlen;
   st.tlen <- st.tlen + 1
 
-let stream_add st ~parent ~child ~dest ~next =
-  stream_push st (pack_link ~parent ~child) (pack_trav ~dest ~next)
+let stream_add st ~parent ~child ~dest ~nexti =
+  stream_push st (pack_link ~parent ~child) (pack_trav ~dest ~nexti)
 
 (* Chains are re-threaded into [into]'s arena; traversal order within a
    link is scheduling-dependent, which is fine — a Permission List is a
@@ -181,37 +185,43 @@ let stream_stats ~fp_rate acc st =
         stats_add_plist ~fp_rate acc !pl
       end)
 
-(* Per-domain scratch for the per-destination sweep: a reusable solver
-   workspace plus one stream per requested source, and (when metrics are
-   requested) a domain-private registry merged after the sweep. *)
+(* Per-domain scratch for the per-destination sweep: reusable solver
+   workspaces (three-phase and fixpoint) plus one stream per requested
+   source, and (when metrics are requested) a domain-private registry
+   merged after the sweep — with its instrument handles resolved once
+   at workspace creation, not looked up by name per destination. *)
 type analyze_ws = {
   sws : Solver.workspace;
+  stws : Stable.workspace;
   accs : src_stream array;
   ams : Obs.Metrics.t option;
+  am_dests : Obs.Metrics.counter option;
+  am_paths : Obs.Metrics.counter option;
+  am_plen : Obs.Metrics.histogram option;
 }
 
 let path_len_buckets = [| 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 |]
 
 let ws_record_path ws hops =
-  match ws.ams with
+  match ws.am_paths with
   | None -> ()
-  | Some m ->
-    Obs.Metrics.incr (Obs.Metrics.counter m "static.paths");
-    Obs.Metrics.observe
-      (Obs.Metrics.histogram m ~buckets:path_len_buckets "static.path_len")
-      (float_of_int hops)
+  | Some c ->
+    Obs.Metrics.incr c;
+    (match ws.am_plen with
+    | Some h -> Obs.Metrics.observe h (float_of_int hops)
+    | None -> ())
 
-(* Stream a materialized path (the non-Standard disciplines): links in
-   order, each with the downstream next hop. *)
-let stream_path acc ~dest p =
-  let rec go = function
-    | a :: (b :: rest as tl) ->
-      let next = match rest with [] -> None | c :: _ -> Some c in
-      stream_add acc ~parent:a ~child:b ~dest ~next;
-      go tl
-    | [ _ ] | [] -> ()
-  in
-  go p
+(* Walks the selected Standard route from [x] toward [r]'s destination,
+   streaming every link into [acc]; returns the hop count. Top-level —
+   a closure here would be re-allocated for every (destination, source)
+   pair of the sweep. *)
+let rec stream_route r acc d x hops =
+  let y = Solver.next_hop_id r x in
+  if y < 0 then hops
+  else begin
+    stream_add acc ~parent:x ~child:y ~dest:d ~nexti:(Solver.next_hop_id r y);
+    stream_route r acc d y (hops + 1)
+  end
 
 let analyze ?(discipline = Gao_rexford.Standard) ?policy
     ?(plist_fp_rate = default_plist_fp_rate) ?metrics topo ~sources =
@@ -228,71 +238,85 @@ let analyze ?(discipline = Gao_rexford.Standard) ?policy
   let n = Topology.num_nodes topo in
   let src_arr = Array.of_list sources in
   let k = Array.length src_arr in
-  (* One solver run per destination, fanned out across the pool; each
-     domain streams the routes straight into its own per-source
-     accumulators instead of materializing paths. The dedicated
-     three-phase solver implements the Standard discipline against the
-     domain's reusable workspace — and since every selected route
-     extends its next hop's route, the path can be walked hop by hop off
-     the routes structure with no allocation at all. Other disciplines
-     go through the generic fixpoint solver and stream its (transient)
-     extracted paths. *)
-  let body ws d =
-    (match ws.ams with
-    | Some m -> Obs.Metrics.incr (Obs.Metrics.counter m "static.dests")
+  (* One solver run per destination, fanned out across the pool in
+     destination batches: each domain claims a whole tile of
+     destinations, amortizing workspace dispatch and metrics accounting
+     across the tile, and streams the routes straight into its own
+     per-source accumulators instead of materializing paths. The
+     dedicated three-phase solver implements the Standard discipline
+     against the domain's reusable workspace — and since every selected
+     route extends its next hop's route, the path is walked hop by hop
+     off the routes structure through the int-returning accessors, so a
+     warm Standard tile allocates nothing. Other disciplines go through
+     the generic fixpoint solver (also against a reusable workspace)
+     and stream its interned path chains. *)
+  let body ws ~lo ~hi =
+    (match ws.am_dests with
+    | Some c -> Obs.Metrics.add c (hi - lo)
     | None -> ());
     match (discipline, policy) with
     | Gao_rexford.Standard, None ->
-      let r = Solver.to_dest_with ws.sws topo d in
-      for i = 0 to k - 1 do
-        let s = Array.unsafe_get src_arr i in
-        if s <> d && Solver.reachable r s then begin
-          let acc = ws.accs.(i) in
-          let hops = ref 0 in
-          let x = ref s in
-          let continue = ref true in
-          while !continue do
-            match Solver.next_hop r !x with
-            | None -> continue := false
-            | Some y ->
-              incr hops;
-              stream_add acc ~parent:!x ~child:y ~dest:d
-                ~next:(Solver.next_hop r y);
-              x := y
-          done;
-          ws_record_path ws !hops
-        end
+      for d = lo to hi - 1 do
+        let r = Solver.to_dest_with ws.sws topo d in
+        for i = 0 to k - 1 do
+          let s = Array.unsafe_get src_arr i in
+          if s <> d && Solver.reachable r s then begin
+            let acc = Array.unsafe_get ws.accs i in
+            ws_record_path ws (stream_route r acc d s 0)
+          end
+        done
       done
     | ( ( Gao_rexford.Standard | Gao_rexford.Class_only | Gao_rexford.Diverse
         | Gao_rexford.Arbitrary ),
-        _ )
-      -> (
-      (* Sibling structures can sit outside the Gao-Rexford safety
-         theorem; a destination with no stable solution is skipped (its
-         routes are simply absent from every sampled P-graph) rather
-         than aborting the whole sweep. *)
-      match Stable.to_dest ~discipline ?policy ~max_rounds:512 topo d with
-      | r ->
-        for i = 0 to k - 1 do
-          let s = Array.unsafe_get src_arr i in
-          if s <> d then
-            match Stable.path r s with
-            | None -> ()
-            | Some p ->
-              ws_record_path ws (Path.length p);
-              stream_path ws.accs.(i) ~dest:d p
-        done
-      | exception Failure _ -> ())
+        _ ) ->
+      for d = lo to hi - 1 do
+        (* Sibling structures can sit outside the Gao-Rexford safety
+           theorem; a destination with no stable solution is skipped
+           (its routes are simply absent from every sampled P-graph)
+           rather than aborting the whole sweep. *)
+        match
+          Stable.to_dest_with ws.stws ~discipline ?policy ~max_rounds:512
+            topo d
+        with
+        | r ->
+          for i = 0 to k - 1 do
+            let s = Array.unsafe_get src_arr i in
+            if s <> d then begin
+              let hops = Stable.path_len r s in
+              if hops >= 0 then begin
+                ws_record_path ws hops;
+                let acc = Array.unsafe_get ws.accs i in
+                Stable.iter_links r s (fun ~parent ~child ~next ->
+                    stream_add acc ~parent ~child ~dest:d ~nexti:next)
+              end
+            end
+          done
+        | exception Stable.Diverged -> ()
+      done
   in
-  let merged = Array.init k (fun _ -> stream_create ()) in
-  Pool.parallel_fold
+  let stream_hint = Topology.num_links topo / 2 in
+  let merged = Array.init k (fun _ -> stream_create ~hint:stream_hint ()) in
+  Pool.parallel_fold_ranges
     ~create:(fun () ->
+      let ams =
+        match metrics with
+        | Some _ -> Some (Obs.Metrics.create ())
+        | None -> None
+      in
       { sws = Solver.create_workspace ();
-        accs = Array.init k (fun _ -> stream_create ());
-        ams =
-          (match metrics with
-          | Some _ -> Some (Obs.Metrics.create ())
-          | None -> None) })
+        stws = Stable.create_workspace ();
+        accs = Array.init k (fun _ -> stream_create ~hint:stream_hint ());
+        ams;
+        am_dests =
+          Option.map (fun m -> Obs.Metrics.counter m "static.dests") ams;
+        am_paths =
+          Option.map (fun m -> Obs.Metrics.counter m "static.paths") ams;
+        am_plen =
+          Option.map
+            (fun m ->
+              Obs.Metrics.histogram m ~buckets:path_len_buckets
+                "static.path_len")
+            ams })
     ~merge:(fun () ws ->
       (* Counter and histogram merges commute, so the merged registry is
          independent of how the pool partitioned the destinations. *)
@@ -340,7 +364,7 @@ let analyze_materialized ?(discipline = Gao_rexford.Standard) ?policy
         | _ -> (
           match Stable.to_dest ~discipline ?policy ~max_rounds:512 topo d with
           | r -> fun s -> Stable.path r s
-          | exception Failure _ -> fun _ -> None)
+          | exception Stable.Diverged -> fun _ -> None)
       in
       for i = 0 to k - 1 do
         let s = Array.unsafe_get src_arr i in
@@ -385,6 +409,28 @@ type overhead_ws = {
   o_masks : int array;
 }
 
+(* One CSR pass per routed node [x]: locates x's selected link (the slot
+   whose neighbor is the next hop [y]) and counts the other up sessions
+   the route was exportable on. Result packed as
+   [((link_id + 1) << 32) | sessions] — one immediate int, not a tuple —
+   and the function is top-level so no closure is allocated per node
+   (this scan runs n times per destination). *)
+let rec overhead_scan nbr rel lnk up y cls k hi_k link_id cnt =
+  if k > hi_k then (((link_id + 1) lsl 32) lor cnt)
+  else if not (Array.unsafe_get up (Array.unsafe_get lnk k)) then
+    overhead_scan nbr rel lnk up y cls (k + 1) hi_k link_id cnt
+  else begin
+    let nb = Array.unsafe_get nbr k in
+    if nb = y then
+      overhead_scan nbr rel lnk up y cls (k + 1) hi_k
+        (Array.unsafe_get lnk k) cnt
+    else if
+      Gao_rexford.exportable ~cls
+        ~to_role:(Topology.rel_of_code (Array.unsafe_get rel k))
+    then overhead_scan nbr rel lnk up y cls (k + 1) hi_k link_id (cnt + 1)
+    else overhead_scan nbr rel lnk up y cls (k + 1) hi_k link_id cnt
+  end
+
 let immediate_overhead ?dests ?prefixes topo =
   let n = Topology.num_nodes topo in
   let dests =
@@ -395,41 +441,45 @@ let immediate_overhead ?dests ?prefixes topo =
   in
   let num_links = Topology.num_links topo in
   let dest_arr = Array.of_list dests in
-  (* One solver run per destination, fanned out across the pool; each
-     domain accumulates into its own flat per-link BGP unit counts and
-     (link, endpoint) class masks. Merging is addition and bitwise-or —
-     commutative — so the merged totals equal the sequential single-
-     table accumulation. *)
-  let body ws di =
-    let d = dest_arr.(di) in
-    let r = Solver.to_dest_with ws.o_sws topo d in
-    Solver.iter_reachable r (fun x ->
-        match Solver.next_hop r x with
-        | None -> ()
-        | Some y ->
-          let link_id =
-            match Topology.link_between topo x y with
-            | Some id -> id
-            | None -> invalid_arg "Static.immediate_overhead: broken route"
-          in
-          let cls =
-            match Solver.class_of r x with
-            | Some c -> c
-            | None -> assert false
-          in
+  (* One solver run per destination, fanned out across the pool in
+     destination batches; each domain accumulates into its own flat
+     per-link BGP unit counts and (link, endpoint) class masks. Merging
+     is addition and bitwise-or — commutative — so the merged totals
+     equal the sequential single-table accumulation. The inner loop
+     runs directly on the CSR adjacency: one pass per routed node both
+     locates its selected link (no tuple-keyed hash lookup) and counts
+     the sessions the route was exportable on. *)
+  let adj = Topology.adj topo in
+  let off = adj.Topology.adj_off and nbr = adj.Topology.adj_nbr
+  and rel = adj.Topology.adj_rel and lnk = adj.Topology.adj_link
+  and up = adj.Topology.adj_up in
+  let body ws ~lo ~hi =
+    for di = lo to hi - 1 do
+      let d = dest_arr.(di) in
+      let r = Solver.to_dest_with ws.o_sws topo d in
+      for x = 0 to n - 1 do
+        let y = Solver.next_hop_id r x in
+        if y >= 0 then begin
+          let cls = Solver.class_raw r x in
           (* BGP: x withdraws its route to d — one update per prefix d
              announces — on every session it had exported the route
              on. *)
-          Topology.iter_neighbors topo x (fun nb role _ ->
-              if nb <> y && Gao_rexford.exportable ~cls ~to_role:role then
-                ws.o_bgp.(link_id) <- ws.o_bgp.(link_id) + weight d);
+          let res = overhead_scan nbr rel lnk up y cls off.(x)
+              (off.(x + 1) - 1) (-1) 0 in
+          let link_id = (res lsr 32) - 1 and cnt = res land 0xFFFFFFFF in
+          if link_id < 0 then
+            invalid_arg "Static.immediate_overhead: broken route";
+          ws.o_bgp.(link_id) <- ws.o_bgp.(link_id) + (cnt * weight d);
           let link = Topology.link topo link_id in
           let mi = (2 * link_id) + if link.Topology.a = x then 0 else 1 in
-          ws.o_masks.(mi) <- ws.o_masks.(mi) lor class_bit cls)
+          ws.o_masks.(mi) <- ws.o_masks.(mi) lor class_bit cls
+        end
+      done
+    done
   in
   let bgp = Array.make num_links 0 in
   let class_masks = Array.make (2 * num_links) 0 in
-  Pool.parallel_fold
+  Pool.parallel_fold_ranges
     ~create:(fun () ->
       { o_sws = Solver.create_workspace ();
         o_bgp = Array.make num_links 0;

@@ -10,12 +10,25 @@ type point = {
   analyze_ns : int;
   sweep_ns : int;
   minor_words : float;
+  major_words : float;
   peak_rss_kb : int;
 }
 
 type result = point list
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* The 100k-node point takes minutes and ~GBs even on a fast machine, so
+   it never runs implicitly: CENTAUR_SCALE_XL=1 appends it to whatever
+   size list the configuration carries. *)
+let xl_size = 100_000
+
+let effective_scale_sizes cfg =
+  let sizes = cfg.Config.scale_sizes in
+  if Sys.getenv_opt "CENTAUR_SCALE_XL" = Some "1"
+     && not (List.mem xl_size sizes)
+  then sizes @ [ xl_size ]
+  else sizes
 
 let run_point cfg ~n =
   let cfg_n =
@@ -26,10 +39,13 @@ let run_point cfg ~n =
   let gen_ns = now_ns () - t0 in
   let sources = Inputs.sample_sources cfg_n topo in
   let mw0 = Gc.minor_words () in
+  let st0 = Gc.quick_stat () in
   let t1 = now_ns () in
   let stats = Centaur.Static.analyze topo ~sources in
   let analyze_ns = now_ns () - t1 in
+  let st1 = Gc.quick_stat () in
   let minor_words = Gc.minor_words () -. mw0 in
+  let major_words = st1.Gc.major_words -. st0.Gc.major_words in
   let dests = Inputs.sample_dests cfg_n topo ~count:cfg.Config.scale_dests in
   let t2 = now_ns () in
   let overhead = Centaur.Static.immediate_overhead ~dests topo in
@@ -53,9 +69,10 @@ let run_point cfg ~n =
     analyze_ns;
     sweep_ns;
     minor_words;
+    major_words;
     peak_rss_kb = Option.value (Sys_stats.peak_rss_kb ()) ~default:0 }
 
-let run cfg = List.map (fun n -> run_point cfg ~n) cfg.Config.scale_sizes
+let run cfg = List.map (fun n -> run_point cfg ~n) (effective_scale_sizes cfg)
 
 (* Deterministic rendering only — identical for any CENTAUR_DOMAINS and
    across runs with the same seed, so CI can diff it. Timings and memory
@@ -90,15 +107,18 @@ let render points =
 let render_timing points =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "   nodes    gen-ms  analyze-ms   sweep-ms  minor-Mwords  peak-rss-MB\n";
+    "   nodes    gen-ms  analyze-ms   sweep-ms  minor-Mwords  \
+     major-Mwords  peak-rss-MB\n";
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "%8d  %8.1f  %10.1f  %9.1f  %12.1f  %11.1f\n" p.nodes
+        (Printf.sprintf "%8d  %8.1f  %10.1f  %9.1f  %12.1f  %12.1f  %11.1f\n"
+           p.nodes
            (float_of_int p.gen_ns /. 1e6)
            (float_of_int p.analyze_ns /. 1e6)
            (float_of_int p.sweep_ns /. 1e6)
            (p.minor_words /. 1e6)
+           (p.major_words /. 1e6)
            (float_of_int p.peak_rss_kb /. 1024.)))
     points;
   Buffer.contents buf

@@ -21,13 +21,22 @@ type point = {
   analyze_ns : int;       (** streamed analyze wall time *)
   sweep_ns : int;         (** failure-sweep wall time *)
   minor_words : float;    (** minor-heap words allocated by analyze *)
+  major_words : float;    (** major-heap words allocated by analyze *)
   peak_rss_kb : int;      (** process VmHWM after this point (monotone) *)
 }
 
 type result = point list
 
+val xl_size : int
+(** The opt-in extra-large point: 100_000 nodes. *)
+
+val effective_scale_sizes : Config.t -> int list
+(** [Config.scale_sizes], with {!xl_size} appended when the
+    [CENTAUR_SCALE_XL=1] environment variable opts into the 100k-node
+    point (minutes of wall time and gigabytes of RSS — never implicit). *)
+
 val run : Config.t -> result
-(** One point per [Config.scale_sizes] entry, in order. *)
+(** One point per {!effective_scale_sizes} entry, in order. *)
 
 val run_point : Config.t -> n:int -> point
 (** A single size point (the CI gate runs these one size at a time). *)

@@ -91,6 +91,25 @@ let create ~n edges =
   { n; link_arr; csr_off; csr_nbr; csr_rel; csr_link;
     up = Array.make (Array.length link_arr) true; version = 0; pair }
 
+type adj = {
+  adj_off : int array;
+  adj_nbr : int array;
+  adj_rel : int array;
+  adj_link : int array;
+  adj_up : bool array;
+}
+
+let adj t =
+  { adj_off = t.csr_off; adj_nbr = t.csr_nbr; adj_rel = t.csr_rel;
+    adj_link = t.csr_link; adj_up = t.up }
+
+let rel_of_code c = code_rel.(c)
+
+let code_customer = 0
+let code_provider = 1
+let code_peer = 2
+let code_sibling = 3
+
 let num_nodes t = t.n
 
 let num_links t = Array.length t.link_arr

@@ -41,6 +41,37 @@ val neighbors : t -> int -> (int * Relationship.t * int) list
     Allocates a fresh list per call; hot loops should use
     {!iter_neighbors} or {!fold_neighbors} instead. *)
 
+type adj = {
+  adj_off : int array;   (** [num_nodes + 1] offsets into the half-edge arrays *)
+  adj_nbr : int array;   (** neighbor id per half-edge *)
+  adj_rel : int array;   (** role-of-neighbor code per half-edge, see {!rel_code} *)
+  adj_link : int array;  (** link id per half-edge *)
+  adj_up : bool array;   (** live link state, indexed by link id *)
+}
+(** Read-only view of the CSR adjacency. Half-edge [k] of node [v]
+    occupies slots [adj_off.(v) + k .. adj_off.(v + 1) - 1], sorted by
+    ascending neighbor id — the exact order {!iter_neighbors} visits.
+    The arrays are the topology's own storage: never write to them.
+    [adj_up] aliases the live link state, so a view taken once stays
+    current across {!set_up} flips. *)
+
+val adj : t -> adj
+(** Zero-copy CSR view for allocation-free solver loops that cannot
+    afford a closure per {!iter_neighbors} call. *)
+
+val rel_code : Relationship.t -> int
+(** Stable small-int encoding used by {!adj}: [Customer = 0],
+    [Provider = 1], [Peer = 2], [Sibling = 3] (see the [code_*]
+    constants). *)
+
+val rel_of_code : int -> Relationship.t
+(** Inverse of {!rel_code}. Raises on out-of-range codes. *)
+
+val code_customer : int
+val code_provider : int
+val code_peer : int
+val code_sibling : int
+
 val iter_neighbors : t -> int -> (int -> Relationship.t -> int -> unit) -> unit
 (** [iter_neighbors t v f] calls [f neighbor role_of_neighbor link_id]
     for every up link of [v], in ascending neighbor id order (the same

@@ -276,3 +276,38 @@ let parallel_fold ?chunk ~create ~merge ~init total body =
       (fun acc ws -> match ws with None -> acc | Some ws -> merge acc ws)
       init !slots_ref
   end
+
+let parallel_fold_ranges ?chunk ~create ~merge ~init total body =
+  if total <= 0 then init
+  else if use_sequential total then begin
+    let ws = create () in
+    body ws ~lo:0 ~hi:total;
+    merge init ws
+  end
+  else begin
+    let failures = Array.make total None in
+    let slots_ref = ref [||] in
+    run_job ?chunk ~total (fun ~slots ->
+        let wss = Array.make slots None in
+        slots_ref := wss;
+        fun ~slot ~lo ~hi ->
+          (* Each slot id is owned by exactly one domain, so the lazy
+             per-slot workspace write below is unshared. *)
+          match
+            match wss.(slot) with
+            | Some ws -> ws
+            | None ->
+              let ws = create () in
+              wss.(slot) <- Some ws;
+              ws
+          with
+          | exception e ->
+            failures.(lo) <- Some (e, Printexc.get_raw_backtrace ())
+          | ws -> (
+            try body ws ~lo ~hi
+            with e -> failures.(lo) <- Some (e, Printexc.get_raw_backtrace ())));
+    reraise_first failures;
+    Array.fold_left
+      (fun acc ws -> match ws with None -> acc | Some ws -> merge acc ws)
+      init !slots_ref
+  end

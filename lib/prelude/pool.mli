@@ -82,3 +82,30 @@ val parallel_fold :
     index's exception is re-raised after all items finish. On the
     sequential path exactly one workspace is created and every index
     runs in order. *)
+
+val parallel_fold_ranges :
+  ?chunk:int ->
+  create:(unit -> 'ws) ->
+  merge:('acc -> 'ws -> 'acc) ->
+  init:'acc ->
+  int ->
+  ('ws -> lo:int -> hi:int -> unit) ->
+  'acc
+(** Like {!parallel_fold}, but the body receives whole claimed ranges
+    ([body ws ~lo ~hi] covers indices [lo, hi)) instead of one index at
+    a time. This lets the hot path hoist per-batch work — workspace
+    dispatch, metrics handles, accumulator lookups — out of the
+    per-index loop: each domain amortizes that setup over a chunk-sized
+    tile of indices rather than paying it per index.
+
+    Range boundaries depend on scheduling (chunking and claim order),
+    so correctness requires what {!parallel_fold} already demands: the
+    merged result must be insensitive to how the index set was
+    partitioned. On the sequential path the body is called exactly once
+    with the full range [0, total).
+
+    Exception granularity is the range, not the index: if [body] raises
+    midway through a range, the remainder of that range is abandoned
+    and the exception is recorded at the range's first index (the
+    lowest-index rule of {!parallel_map_array} then picks the first
+    failing range). *)

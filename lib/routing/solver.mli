@@ -44,9 +44,13 @@ val create_workspace : unit -> workspace
 
 val to_dest_with : workspace -> Topology.t -> int -> routes
 (** Like {!to_dest} but solving inside [ws]: the returned [routes]
-    {e aliases the workspace arrays} and is only valid until the next
-    [to_dest_with] call on the same workspace. Callers must extract
-    whatever they need (paths, next hops) before reusing [ws].
+    {e aliases the workspace arrays} (it is the same record on every
+    call) and is only valid until the next [to_dest_with] call on the
+    same workspace. Callers must extract whatever they need (paths,
+    next hops) before reusing [ws]. A warm workspace makes this call
+    allocation-free: reachability is epoch-stamped rather than
+    [Array.fill]-reset, the phase heap is an inline int array, and the
+    phases run directly over the CSR adjacency with no closures.
     [to_dest] is [to_dest_with] on a fresh private workspace. *)
 
 val iter_path : routes -> int -> (int -> unit) -> unit
@@ -60,10 +64,24 @@ val next_hop : routes -> int -> int option
 (** Selected next hop of a node; [None] if unreachable or the destination
     itself. *)
 
+val next_hop_id : routes -> int -> int
+(** Allocation-free variant of {!next_hop}: the selected next hop of a
+    node, or [-1] if the node is unreachable or is the destination
+    itself. *)
+
 val class_of : routes -> int -> Gao_rexford.route_class option
+
+val class_raw : routes -> int -> Gao_rexford.route_class
+(** Allocation-free variant of {!class_of}. Only meaningful when
+    {!reachable} holds for the node; otherwise the value is stale
+    scratch. *)
 
 val length : routes -> int -> int option
 (** Hop count of the selected route. *)
+
+val length_raw : routes -> int -> int
+(** Allocation-free variant of {!length}: hop count, or [-1] when the
+    node is unreachable. *)
 
 val path : routes -> int -> Path.t option
 (** Full selected path from the given source to the destination, [None]

@@ -1,16 +1,93 @@
 open Gao_rexford
 
-type routes = {
-  dest : int;
-  n : int;
-  paths : Path.t option array;  (* selected path per node *)
-  classes : route_class array;  (* valid where paths is Some *)
+exception Diverged
+
+(* Selected paths live in an arena of immutable parent-pointer cells
+   instead of consed [Path.t] lists: cell [c] is one path whose head is
+   [c_node.(c)] and whose rest is the cell [c_tail.(c)] ([-1] ends at
+   the destination). [c_len] caches the hop count ([Path.length]) and
+   [c_cls] the route class of the whole path — computed once at intern
+   time from the adopted candidate, which equals [Path_class.class_of]
+   of the materialized path by induction (business relationships are
+   static contracts, so the class of [y :: p] is [class_of_learned] of
+   the tail's class, and the tail cell's class is correct by the same
+   argument). Cells are never mutated, so a node's stored selection is
+   a snapshot of its neighbor's path at adoption time — exactly the
+   Gauss–Seidel semantics of the old list representation.
+
+   The arena and the [sel] array are workspace state reused across
+   destinations: one [Array.fill] of [sel] plus an arena rewind replaces
+   the old per-destination [Array.make n None] / per-candidate list
+   consing. *)
+type workspace = {
+  mutable cap : int;
+  mutable sel : int array;    (* node -> selected cell index, -1 = none *)
+  mutable c_node : int array;
+  mutable c_tail : int array;
+  mutable c_len : int array;
+  mutable c_cls : route_class array;
+  mutable c_used : int;
 }
 
-let dest t = t.dest
+let create_workspace () =
+  { cap = 0;
+    sel = [||];
+    c_node = [||];
+    c_tail = [||];
+    c_len = [||];
+    c_cls = [||];
+    c_used = 0 }
+
+type routes = {
+  r_dest : int;
+  r_n : int;
+  r_ws : workspace;
+}
+
+let dest t = t.r_dest
+
+let intern ws ~node ~tail ~len ~cls =
+  let i = ws.c_used in
+  if i = Array.length ws.c_node then begin
+    let cap = max 64 (2 * i) in
+    let grow a = let b = Array.make cap 0 in Array.blit a 0 b 0 i; b in
+    ws.c_node <- grow ws.c_node;
+    ws.c_tail <- grow ws.c_tail;
+    ws.c_len <- grow ws.c_len;
+    let b = Array.make cap Origin in
+    Array.blit ws.c_cls 0 b 0 i;
+    ws.c_cls <- b
+  end;
+  ws.c_node.(i) <- node;
+  ws.c_tail.(i) <- tail;
+  ws.c_len.(i) <- len;
+  ws.c_cls.(i) <- cls;
+  ws.c_used <- i + 1;
+  i
+
+let chain_contains ws c v =
+  let rec go c = c >= 0 && (ws.c_node.(c) = v || go ws.c_tail.(c)) in
+  go c
+
+(* Structural equality of two chains (same node sequence). Cells are not
+   hash-consed, so index inequality does not imply path inequality. *)
+let chain_equal ws c1 c2 =
+  let rec go c1 c2 =
+    c1 = c2
+    || (c1 >= 0 && c2 >= 0
+        && ws.c_node.(c1) = ws.c_node.(c2)
+        && go ws.c_tail.(c1) ws.c_tail.(c2))
+  in
+  go c1 c2
+
+let path_of_cell ws c =
+  let rec go c = if c < 0 then [] else ws.c_node.(c) :: go ws.c_tail.(c) in
+  go c
 
 (* One best-response step for node [y]: choose the most preferred
-   candidate given the neighbors' current selections.
+   candidate given the neighbors' current selections, returned as
+   [Some (cx, cls)] — the winning neighbor's cell plus the class the
+   route takes on at [y].
 
    Under the non-Standard disciplines, sibling-learned routes rank
    strictly below directly-learned routes of the same class. Siblings
@@ -21,70 +98,67 @@ let dest t = t.dest
    sibling transparency (the class still propagates). The Standard
    discipline is left untouched: its length tie-break already matches
    the three-phase solver and cannot sustain the gadget. *)
-let best_response ~discipline ~policy topo state classes y d =
-  if y = d then state.(y)
-  else begin
-    let best = ref None in
-    (* Import preference (compiled policy) ranks above everything; with
-       no policy every preference is 0 and the comparison vanishes. *)
-    let prefer (pr1, c1, s1) (pr2, c2, s2) =
-      if pr1 <> pr2 then pr1 > pr2
-      else
-        match discipline with
-        | Standard -> Gao_rexford.compare_candidates c1 c2 < 0
-        | Class_only | Diverse | Arbitrary ->
-          let k = compare (class_rank c1.cls) (class_rank c2.cls) in
-          if k <> 0 then k < 0
-          else if s1 <> s2 then not s1
-          else
-            Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1
-              c2
-            < 0
-    in
-    Topology.iter_neighbors topo y (fun x role_of_x _ ->
-        match state.(x) with
-        | None -> ()
-        | Some p ->
-          if not (Path.contains p y) then begin
-            let x_class = classes.(x) in
-            (* x only offers the route if its export policy allows. *)
-            let offered =
-              match policy with
-              | None ->
-                Gao_rexford.exportable ~cls:x_class
-                  ~to_role:(Relationship.invert role_of_x)
-              | Some pol ->
-                Policy.export_ok pol ~node:x ~peer:y
-                  ~role:(Relationship.invert role_of_x) ~dest:d ~cls:x_class
-                  ~len:(Path.length p) ~path:p
-            in
-            if offered then begin
-              let cls =
-                Gao_rexford.class_of_learned ~neighbor_role:role_of_x
-                  ~neighbor_class:x_class
-              in
-              let cand = { cls; len = Path.length p + 1; next_hop = x } in
-              let pref =
-                match policy with
-                | None -> 0
-                | Some pol ->
-                  Policy.import_eval pol ~node:y ~peer:x ~role:role_of_x
-                    ~dest:d ~cls ~len:cand.len ~path:(y :: p)
-              in
-              if pref >= 0 then begin
-                let via_sibling = role_of_x = Relationship.Sibling in
-                match !best with
-                | None -> best := Some (pref, cand, via_sibling, y :: p)
-                | Some (bpr, bc, bs, _) ->
-                  if prefer (pref, cand, via_sibling) (bpr, bc, bs) then
-                    best := Some (pref, cand, via_sibling, y :: p)
-              end
-            end
-          end);
-    Option.map (fun (_, _, _, p) -> p) !best
-  end
+let best_response ~discipline ~policy ws topo y d =
+  let best = ref None in
+  (* Import preference (compiled policy) ranks above everything; with
+     no policy every preference is 0 and the comparison vanishes. *)
+  let prefer (pr1, c1, s1) (pr2, c2, s2) =
+    if pr1 <> pr2 then pr1 > pr2
+    else
+      match discipline with
+      | Standard -> Gao_rexford.compare_candidates c1 c2 < 0
+      | Class_only | Diverse | Arbitrary ->
+        let k = compare (class_rank c1.cls) (class_rank c2.cls) in
+        if k <> 0 then k < 0
+        else if s1 <> s2 then not s1
+        else
+          Gao_rexford.compare_candidates_d ~chooser:y ~dest:d discipline c1 c2
+          < 0
+  in
+  Topology.iter_neighbors topo y (fun x role_of_x _ ->
+      let cx = ws.sel.(x) in
+      if cx >= 0 && not (chain_contains ws cx y) then begin
+        let x_class = ws.c_cls.(cx) in
+        let x_len = ws.c_len.(cx) in
+        (* x only offers the route if its export policy allows. *)
+        let offered =
+          match policy with
+          | None ->
+            Gao_rexford.exportable ~cls:x_class
+              ~to_role:(Relationship.invert role_of_x)
+          | Some pol ->
+            Policy.export_ok pol ~node:x ~peer:y
+              ~role:(Relationship.invert role_of_x) ~dest:d ~cls:x_class
+              ~len:x_len ~path:(path_of_cell ws cx)
+        in
+        if offered then begin
+          let cls =
+            Gao_rexford.class_of_learned ~neighbor_role:role_of_x
+              ~neighbor_class:x_class
+          in
+          let cand = { cls; len = x_len + 1; next_hop = x } in
+          let pref =
+            match policy with
+            | None -> 0
+            | Some pol ->
+              Policy.import_eval pol ~node:y ~peer:x ~role:role_of_x ~dest:d
+                ~cls ~len:cand.len ~path:(y :: path_of_cell ws cx)
+          in
+          if pref >= 0 then begin
+            let via_sibling = role_of_x = Relationship.Sibling in
+            match !best with
+            | None -> best := Some (pref, cand, via_sibling, cx)
+            | Some (bpr, bc, bs, _) ->
+              if prefer (pref, cand, via_sibling) (bpr, bc, bs) then
+                best := Some (pref, cand, via_sibling, cx)
+          end
+        end
+      end);
+  match !best with
+  | None -> None
+  | Some (_, cand, _, cx) -> Some (cx, cand.cls)
 
-let to_dest ?(discipline = Standard) ?policy ?max_rounds topo d =
+let to_dest_with ws ?(discipline = Standard) ?policy ?max_rounds topo d =
   (* A compiled policy with nothing configured is exactly Gao–Rexford:
      drop down to the policy-free fast path. *)
   let policy =
@@ -94,19 +168,13 @@ let to_dest ?(discipline = Standard) ?policy ?max_rounds topo d =
   in
   let n = Topology.num_nodes topo in
   if d < 0 || d >= n then invalid_arg "Stable.to_dest: destination out of range";
-  let state = Array.make n None in
-  let classes = Array.make n Origin in
-  state.(d) <- Some [ d ];
-  classes.(d) <- Origin;
-  (* Class is a pure function of the stored path (walked hop by hop).
-     Deriving it from the next hop's *current* class instead would mix a
-     stale path with fresh neighbor state and can oscillate forever even
-     when the paths themselves have settled. *)
-  let class_of_path p =
-    match Path_class.class_of topo p with
-    | Some cls -> cls
-    | None -> Origin (* a hop vanished mid-run; unused under static topologies *)
-  in
+  if ws.cap < n then begin
+    ws.sel <- Array.make n (-1);
+    ws.cap <- n
+  end
+  else Array.fill ws.sel 0 n (-1);
+  ws.c_used <- 0;
+  ws.sel.(d) <- intern ws ~node:d ~tail:(-1) ~len:0 ~cls:Origin;
   let max_rounds =
     match max_rounds with Some r -> r | None -> (8 * n) + 16
   in
@@ -114,45 +182,75 @@ let to_dest ?(discipline = Standard) ?policy ?max_rounds topo d =
      nothing. (A FIFO worklist was measured slower here: the sweep's
      in-order propagation settles most nodes in one or two visits.) *)
   let rec iterate round =
-    if round > max_rounds then
-      failwith "Stable.to_dest: no fixpoint (outside Gao-Rexford conditions?)";
+    if round > max_rounds then raise Diverged;
     let changed = ref false in
     for y = 0 to n - 1 do
-      let next = best_response ~discipline ~policy topo state classes y d in
-      let same =
-        match (state.(y), next) with
-        | None, None -> true
-        | Some a, Some b -> Path.equal a b
-        | None, Some _ | Some _, None -> false
-      in
-      if not same then begin
-        state.(y) <- next;
-        (match next with
-        | Some p -> classes.(y) <- class_of_path p
-        | None -> ());
-        changed := true
+      if y <> d then begin
+        let next = best_response ~discipline ~policy ws topo y d in
+        let cur = ws.sel.(y) in
+        let same =
+          match next with
+          | None -> cur < 0
+          | Some (cx, _) -> cur >= 0 && chain_equal ws ws.c_tail.(cur) cx
+        in
+        if not same then begin
+          (match next with
+          | None -> ws.sel.(y) <- -1
+          | Some (cx, cls) ->
+            ws.sel.(y) <-
+              intern ws ~node:y ~tail:cx ~len:(ws.c_len.(cx) + 1) ~cls);
+          changed := true
+        end
       end
     done;
     if !changed then iterate (round + 1)
   in
   iterate 0;
-  { dest = d; n; paths = state; classes }
+  { r_dest = d; r_n = n; r_ws = ws }
 
-let reachable t v = t.paths.(v) <> None
+let to_dest ?discipline ?policy ?max_rounds topo d =
+  to_dest_with (create_workspace ()) ?discipline ?policy ?max_rounds topo d
+
+let reachable t v = t.r_ws.sel.(v) >= 0
 
 let next_hop t v =
-  if v = t.dest then None
+  if v = t.r_dest then None
   else
-    match t.paths.(v) with
-    | Some (_ :: hop :: _) -> Some hop
-    | Some _ | None -> None
+    let c = t.r_ws.sel.(v) in
+    if c < 0 then None
+    else
+      let tl = t.r_ws.c_tail.(c) in
+      if tl < 0 then None else Some t.r_ws.c_node.(tl)
 
 let class_of t v =
-  match t.paths.(v) with Some _ -> Some t.classes.(v) | None -> None
+  let c = t.r_ws.sel.(v) in
+  if c < 0 then None else Some t.r_ws.c_cls.(c)
 
-let path t v = t.paths.(v)
+let path t v =
+  let c = t.r_ws.sel.(v) in
+  if c < 0 then None else Some (path_of_cell t.r_ws c)
+
+let path_len t v =
+  let c = t.r_ws.sel.(v) in
+  if c < 0 then -1 else t.r_ws.c_len.(c)
+
+let iter_links t v f =
+  let ws = t.r_ws in
+  let c = ws.sel.(v) in
+  if c >= 0 then begin
+    let rec go c =
+      let tl = ws.c_tail.(c) in
+      if tl >= 0 then begin
+        let nx = ws.c_tail.(tl) in
+        f ~parent:ws.c_node.(c) ~child:ws.c_node.(tl)
+          ~next:(if nx < 0 then -1 else ws.c_node.(nx));
+        go tl
+      end
+    in
+    go c
+  end
 
 let iter_reachable t f =
-  for v = 0 to t.n - 1 do
+  for v = 0 to t.r_n - 1 do
     if reachable t v then f v
   done

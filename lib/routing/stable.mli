@@ -9,9 +9,31 @@
     iteration reaches it. Used by the ranking-discipline ablation of
     Tables 4/5 and as a differential-testing oracle for {!Solver}.
 
+    Selected paths are interned as parent-pointer chains in a reusable
+    arena rather than consed [Path.t] lists, so the fixpoint loop does
+    not allocate a list per candidate; {!path} materializes a list on
+    demand.
+
     Cost per destination is O(rounds · E); rounds ≈ network diameter. *)
 
 type routes
+
+exception Diverged
+(** The iteration failed to stabilize within [max_rounds] — only
+    possible outside the Gao–Rexford conditions, e.g. adversarial
+    sibling structures or policy configurations with no fixpoint.
+    A dedicated exception (not [Failure]) so bulk sweeps can skip the
+    offending destination without swallowing genuine bugs. *)
+
+type workspace
+(** Reusable solver scratch: the per-node selection array and the path
+    cell arena. One domain solving many destinations against a single
+    workspace pays the array allocations once. Not thread-safe — one
+    workspace per domain. *)
+
+val create_workspace : unit -> workspace
+(** An empty workspace; arrays are sized on first use and grown on
+    demand, so one workspace serves topologies of any size. *)
 
 val to_dest :
   ?discipline:Gao_rexford.discipline ->
@@ -30,12 +52,24 @@ val to_dest :
     answers "who reaches whom under the configured filters", the
     dynamic containment scenarios cover origination attacks.
 
-    Raises
-    [Invalid_argument] on an out-of-range destination or [Failure] if
-    the iteration has not stabilized after [max_rounds] (default
-    [8 · n + 16]) rounds — only possible outside the Gao–Rexford
-    conditions, e.g. adversarial sibling structures; callers doing bulk
-    statistics pass a small [max_rounds] and skip the offender. *)
+    Raises [Invalid_argument] on an out-of-range destination or
+    {!Diverged} if the iteration has not stabilized after [max_rounds]
+    (default [8 · n + 16]) rounds; callers doing bulk statistics pass a
+    small [max_rounds] and skip the offender. *)
+
+val to_dest_with :
+  workspace ->
+  ?discipline:Gao_rexford.discipline ->
+  ?policy:Policy.compiled ->
+  ?max_rounds:int ->
+  Topology.t ->
+  int ->
+  routes
+(** Like {!to_dest} but solving inside the given workspace: the
+    returned [routes] {e aliases the workspace arrays} and is only
+    valid until the next [to_dest_with] call on the same workspace.
+    [to_dest] is [to_dest_with] on a fresh private workspace (whose
+    results therefore stay valid). *)
 
 val dest : routes -> int
 
@@ -46,5 +80,19 @@ val next_hop : routes -> int -> int option
 val class_of : routes -> int -> Gao_rexford.route_class option
 
 val path : routes -> int -> Path.t option
+(** Materializes the selected path as a list; prefer {!iter_links} /
+    {!path_len} on hot paths. *)
+
+val path_len : routes -> int -> int
+(** Hop count ([Path.length]) of the selected path, [-1] when
+    unreachable. Allocation-free. *)
+
+val iter_links :
+  routes -> int -> (parent:int -> child:int -> next:int -> unit) -> unit
+(** [iter_links r src f] calls [f ~parent ~child ~next] for every link
+    of the selected path from [src], in path order — [next] is the node
+    after [child] ([-1] when [child] is the destination). Equivalent to
+    walking {!path} with a three-node window, without materializing the
+    list. Does nothing when [src] has no route. *)
 
 val iter_reachable : routes -> (int -> unit) -> unit

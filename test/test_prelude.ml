@@ -344,6 +344,82 @@ let test_pool_parallel_fold_exceptions () =
       in
       Alcotest.(check int) "sum after failure" 4950 total)
 
+let test_pool_parallel_fold_ranges () =
+  (* The claimed ranges tile [0, total) exactly: the merged bag holds
+     each index once, whatever the pool size or chunking. *)
+  let run ~size ~chunk ~total =
+    Pool.with_size size (fun () ->
+        Pool.parallel_fold_ranges ?chunk
+          ~create:(fun () -> ref [])
+          ~merge:(fun acc ws -> List.rev_append !ws acc)
+          ~init:[] total
+          (fun ws ~lo ~hi ->
+            for i = lo to hi - 1 do
+              ws := (i, i * i) :: !ws
+            done))
+    |> List.sort compare
+  in
+  let expected = List.init 300 (fun i -> (i, i * i)) in
+  List.iter
+    (fun (size, chunk) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ranges size=%d" size)
+        true
+        (run ~size ~chunk ~total:300 = expected))
+    [ (1, None); (4, None); (4, Some 1); (4, Some 7); (3, Some 1000) ];
+  (* Sequential path: exactly one body call covering the full range, so
+     per-batch setup hoisted by callers runs once. *)
+  Pool.with_size 1 (fun () ->
+      let calls = ref [] in
+      ignore
+        (Pool.parallel_fold_ranges
+           ~create:(fun () -> ())
+           ~merge:(fun acc () -> acc)
+           ~init:() 57
+           (fun () ~lo ~hi -> calls := (lo, hi) :: !calls));
+      Alcotest.(check (list (pair int int)))
+        "one full range" [ (0, 57) ] !calls);
+  (* Empty range: no workspace, init returned. *)
+  Pool.with_size 4 (fun () ->
+      let r =
+        Pool.parallel_fold_ranges
+          ~create:(fun () -> Alcotest.fail "workspace for empty ranges fold")
+          ~merge:(fun acc () -> acc)
+          ~init:"init" 0
+          (fun () ~lo:_ ~hi:_ -> ())
+      in
+      Alcotest.(check string) "empty ranges fold" "init" r)
+
+let test_pool_parallel_fold_ranges_exceptions () =
+  Pool.with_size 4 (fun () ->
+      (* A body raising mid-range is recorded at the range's first
+         index, and the lowest failing range wins: with chunk=10 the
+         failures at 25 and 45 land in ranges starting at 20 and 40. *)
+      Alcotest.check_raises "lowest failing range wins" (Failure "range-20")
+        (fun () ->
+          ignore
+            (Pool.parallel_fold_ranges ~chunk:10
+               ~create:(fun () -> ())
+               ~merge:(fun acc () -> acc)
+               ~init:() 100
+               (fun () ~lo ~hi ->
+                 for i = lo to hi - 1 do
+                   if i = 25 || i = 45 then
+                     failwith (Printf.sprintf "range-%d" lo)
+                 done)));
+      (* Still usable afterwards. *)
+      let total =
+        Pool.parallel_fold_ranges
+          ~create:(fun () -> ref 0)
+          ~merge:(fun acc ws -> acc + !ws)
+          ~init:0 100
+          (fun ws ~lo ~hi ->
+            for i = lo to hi - 1 do
+              ws := !ws + i
+            done)
+      in
+      Alcotest.(check int) "sum after failure" 4950 total)
+
 let test_union_find () =
   let uf = Union_find.create 5 in
   Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
@@ -435,6 +511,10 @@ let suite =
     Alcotest.test_case "pool parallel fold" `Quick test_pool_parallel_fold;
     Alcotest.test_case "pool parallel fold exceptions" `Quick
       test_pool_parallel_fold_exceptions;
+    Alcotest.test_case "pool parallel fold ranges" `Quick
+      test_pool_parallel_fold_ranges;
+    Alcotest.test_case "pool parallel fold ranges exceptions" `Quick
+      test_pool_parallel_fold_ranges_exceptions;
     Alcotest.test_case "union find" `Quick test_union_find;
     Alcotest.test_case "dirty mark and take" `Quick test_dirty_mark_take;
     Alcotest.test_case "dirty drain cascades" `Quick

@@ -251,6 +251,30 @@ let test_customer_preferred_over_shorter_peer () =
     "class" (Some "customer-route")
     (Option.map Gao_rexford.class_to_string (Solver.class_of r 0))
 
+(* The evaluation pipeline's hot path promises a warm workspace makes
+   [to_dest_with] allocation-free: all three phases run over flat int
+   arrays with epoch-stamped reset and no closures. Pin that with a
+   [Gc.minor_words] delta — a reintroduced per-edge or per-hop
+   allocation shows up as thousands of words per destination, so the
+   < 1.0 budget has orders-of-magnitude slack in both directions. *)
+let test_warm_workspace_allocation_free () =
+  let n = 400 in
+  let topo = random_as_topology ~seed:77 ~n in
+  let ws = Solver.create_workspace () in
+  (* Warm pass: sizes the arrays and faults in every code path. *)
+  for d = 0 to n - 1 do
+    ignore (Solver.to_dest_with ws topo d)
+  done;
+  let m0 = Gc.minor_words () in
+  for d = 0 to n - 1 do
+    ignore (Solver.to_dest_with ws topo d)
+  done;
+  let per_dest = (Gc.minor_words () -. m0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.4f minor words per destination (budget 1.0)" per_dest)
+    true
+    (per_dest < 1.0)
+
 let suite =
   [ Alcotest.test_case "figure2a routes to D" `Quick test_fig2_routes_to_d;
     Alcotest.test_case "figure2a route classes" `Quick test_fig2_route_classes;
@@ -285,4 +309,6 @@ let suite =
     Alcotest.test_case "shortest within class" `Quick
       test_shortest_within_class;
     Alcotest.test_case "customer preferred over shorter peer" `Quick
-      test_customer_preferred_over_shorter_peer ]
+      test_customer_preferred_over_shorter_peer;
+    Alcotest.test_case "warm workspace is allocation-free" `Quick
+      test_warm_workspace_allocation_free ]

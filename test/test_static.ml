@@ -187,6 +187,36 @@ let streamed_matches_materialized_qcheck =
           = Centaur.Static.analyze_materialized ~discipline:d topo ~sources)
         Gao_rexford.[ Standard; Class_only; Diverse; Arbitrary ])
 
+(* Same law under random compiled policies (the slow [Stable.to_dest]
+   selection path): the destination-batched streamed analyze, the
+   materialized reference, and a 3-domain run must all agree byte for
+   byte. Reuses the policy-DSL generator; configs the validator rejects
+   are vacuously fine. *)
+let streamed_matches_materialized_policy_qcheck =
+  QCheck.Test.make
+    ~name:"static analysis: streamed = materialized under random policy"
+    ~count:6
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 1000) Test_policy_dsl.gen_config))
+    (fun (seed, config) ->
+      match Policy.compile ~num_nodes:16 config with
+      | Error _ -> true
+      | Ok policy ->
+        let topo = random_as_topology ~seed ~n:16 in
+        let sources = [ 0; 5; 11; 15 ] in
+        List.for_all
+          (fun d ->
+            let streamed =
+              Centaur.Static.analyze ~discipline:d ~policy topo ~sources
+            in
+            streamed
+            = Centaur.Static.analyze_materialized ~discipline:d ~policy topo
+                ~sources
+            && Pool.with_size 3 (fun () ->
+                   Centaur.Static.analyze ~discipline:d ~policy topo ~sources)
+               = streamed)
+          Gao_rexford.[ Standard; Class_only; Diverse; Arbitrary ])
+
 let suite =
   [ Alcotest.test_case "pgraph of source" `Quick test_pgraph_of_source;
     Alcotest.test_case "analyze counts" `Quick test_analyze_counts;
@@ -205,4 +235,5 @@ let suite =
     Alcotest.test_case "fig5 ratio grows with size" `Quick
       test_fig5_ratio_grows_with_size;
     QCheck_alcotest.to_alcotest parallel_matches_sequential_qcheck;
-    QCheck_alcotest.to_alcotest streamed_matches_materialized_qcheck ]
+    QCheck_alcotest.to_alcotest streamed_matches_materialized_qcheck;
+    QCheck_alcotest.to_alcotest streamed_matches_materialized_policy_qcheck ]
