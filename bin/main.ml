@@ -8,6 +8,7 @@
      pgraph          print a node's local P-graph
      simulate        flip a link and report convergence for one protocol
      policy          parse / validate / compile a policy configuration
+     verify          certify convergence or extract a dispute wheel
      trace           pretty-print / check / digest a JSONL trace file *)
 
 open Cmdliner
@@ -39,18 +40,28 @@ let config_of ~seed ~quick =
    processed-event total, the number of delta waves those events were
    coalesced into, and how much work was still queued when the budget
    ran out — under batching the event and wave counts diverge, and both
-   matter for diagnosis. *)
-let or_diverged f =
+   matter for diagnosis. When the caller can name the topology/policy
+   pair that diverged it passes [verdict], and the error additionally
+   carries the convergence analyzer's diagnosis (a concrete dispute
+   wheel, when one is found). *)
+let or_diverged ?verdict f =
   match f () with
   | ok -> ok
   | exception Sim.Engine.Diverged { processed; pending; waves } ->
+    let analysis =
+      match verdict with
+      | None -> ""
+      | Some v ->
+        let lines = String.split_on_char '\n' (String.trim (Lazy.force v)) in
+        "\nanalyzer: " ^ String.concat "\nanalyzer: " lines
+    in
     `Error
       ( false,
         Printf.sprintf
           "simulation diverged: event budget exhausted after %d events \
            seen (%d waves drained) with %d still pending — the protocol \
-           is not converging"
-          processed waves pending )
+           is not converging%s"
+          processed waves pending analysis )
 
 (* --- exp --- *)
 
@@ -79,12 +90,35 @@ let exp_cmd =
       & opt (some string) None
       & info [ "trace-digest" ] ~docv:"FILE" ~doc)
   in
-  let run id seed quick metrics trace_digest =
+  let verify_t =
+    let doc =
+      "Pre-pass: run the convergence analyzer over the experiment input \
+       topologies (under the default Gao-Rexford policy) and print one \
+       verdict line per topology before the experiments."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run id seed quick metrics trace_digest verify =
     let cfg =
       { (config_of ~seed ~quick) with
         Experiments.Config.emit_metrics = metrics;
         trace_digest }
     in
+    if verify then
+      List.iter
+        (fun (name, topo) ->
+          let verdict = Verify.Dispute.analyze topo in
+          let first =
+            match
+              String.split_on_char '\n' (Verify.Dispute.render verdict)
+            with
+            | l :: _ -> l
+            | [] -> ""
+          in
+          Printf.printf "verify %-6s %s\n%!" name first)
+        [ ("caida", Experiments.Inputs.caida cfg);
+          ("hetop", Experiments.Inputs.hetop cfg);
+          ("brite", Experiments.Inputs.brite cfg) ];
     let run_one (e : Experiments.Registry.entry) =
       Printf.printf "== %s: %s ==\n%!" e.Experiments.Registry.id
         e.Experiments.Registry.title;
@@ -118,7 +152,10 @@ let exp_cmd =
   let doc = "Regenerate a table or figure from the paper's evaluation." in
   Cmd.v
     (Cmd.info "exp" ~doc)
-    Term.(ret (const run $ id_t $ seed_t $ quick_t $ metrics_t $ trace_digest_t))
+    Term.(
+      ret
+        (const run $ id_t $ seed_t $ quick_t $ metrics_t $ trace_digest_t
+        $ verify_t))
 
 (* --- gen --- *)
 
@@ -310,8 +347,16 @@ let simulate_cmd =
     in
     Arg.(value & opt float 8.0 & info [ "window" ] ~docv:"MS" ~doc)
   in
+  let verify_t =
+    let doc =
+      "Pre-pass: print the convergence analyzer's verdict on the \
+       topology + policy before running (certificate, dispute wheel, \
+       or inconclusive). Advisory — the run proceeds either way."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
   let run path proto link trace_out check metrics plist_fp_rate policy_file
-      stream_rate stream_duration window seed =
+      stream_rate stream_duration window verify seed =
     let topo = read_topology path in
     match Protocols.Proto_table.find proto with
     | None ->
@@ -323,6 +368,12 @@ let simulate_cmd =
       match load_policy ~num_nodes:(Topology.num_nodes topo) policy_file with
       | Error msg -> `Error (false, msg)
       | Ok policy ->
+      (* Lazy: the analyzer only runs when the pre-pass asks for it or a
+         diverging run needs the diagnosis. *)
+      let verdict =
+        lazy (Verify.Dispute.render (Verify.Dispute.analyze ~policy topo))
+      in
+      if verify then print_string (Lazy.force verdict);
       let trace =
         if trace_out <> None || check then
           Obs.Trace.create ~capacity:1_000_000 ()
@@ -361,7 +412,7 @@ let simulate_cmd =
         if rate <= 0.0 || stream_duration <= 0.0 then
           `Error (false, "stream rate and duration must be > 0")
         else
-          or_diverged (fun () ->
+          or_diverged ~verdict (fun () ->
               let stream =
                 Stream.Update_stream.generate ~seed ~rate
                   ~duration:stream_duration ~policy_share:0.15
@@ -400,7 +451,7 @@ let simulate_cmd =
         if link >= Topology.num_links topo then
           `Error (false, Printf.sprintf "link %d out of range" link)
         else
-          or_diverged (fun () ->
+          or_diverged ~verdict (fun () ->
               report "cold" (runner.Sim.Runner.cold_start ());
               report "link down"
                 (runner.Sim.Runner.flip ~link_id:link ~up:false);
@@ -419,7 +470,7 @@ let simulate_cmd =
       ret
         (const run $ topo_pos_t $ proto_t $ link_t $ trace_out_t $ check_t
         $ metrics_t $ plist_fp_rate_t $ policy_file_t $ stream_t
-        $ stream_duration_t $ window_t $ seed_t))
+        $ stream_duration_t $ window_t $ verify_t $ seed_t))
 
 (* --- policy --- *)
 
@@ -464,6 +515,57 @@ let policy_cmd =
   Cmd.v
     (Cmd.info "policy" ~doc)
     Term.(ret (const run $ action_t $ file_t $ nodes_t))
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let discipline_t =
+    let doc =
+      "Path-selection discipline: standard, class-only, diverse, or \
+       arbitrary."
+    in
+    Arg.(
+      value & opt string "standard" & info [ "discipline" ] ~docv:"D" ~doc)
+  in
+  let run path policy_file discipline =
+    let discipline =
+      match discipline with
+      | "standard" -> Some Gao_rexford.Standard
+      | "class-only" -> Some Gao_rexford.Class_only
+      | "diverse" -> Some Gao_rexford.Diverse
+      | "arbitrary" -> Some Gao_rexford.Arbitrary
+      | _ -> None
+    in
+    match discipline with
+    | None ->
+      `Error
+        ( false,
+          "unknown discipline (standard|class-only|diverse|arbitrary)" )
+    | Some discipline -> (
+      let topo = read_topology path in
+      match load_policy ~num_nodes:(Topology.num_nodes topo) policy_file with
+      | Error msg ->
+        (* Stdout + exit 1, like `policy check`: the corpus gate diffs
+           this output against committed .expect files. *)
+        print_endline msg;
+        exit 1
+      | Ok policy ->
+        let verdict = Verify.Dispute.analyze ~discipline ~policy topo in
+        print_string (Verify.Dispute.render verdict);
+        (match verdict with
+        | Verify.Dispute.Certified _ -> ()
+        | Verify.Dispute.Wheel _ -> exit 1
+        | Verify.Dispute.Inconclusive _ -> exit 2);
+        `Ok ())
+  in
+  let doc =
+    "Certify that a topology + policy converges under every schedule, \
+     or extract a concrete dispute wheel (exit 0 certified, 1 wheel \
+     or bad policy file, 2 inconclusive)."
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(ret (const run $ topo_pos_t $ policy_file_t $ discipline_t))
 
 (* --- trace --- *)
 
@@ -528,7 +630,7 @@ let main_cmd =
   let info = Cmd.info "centaur" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ exp_cmd; gen_cmd; import_cmd; routes_cmd; pgraph_cmd; simulate_cmd;
-      policy_cmd; trace_cmd ]
+      policy_cmd; verify_cmd; trace_cmd ]
 
 let () =
   (* $(b,CENTAUR_LOG=debug) enables engine tracing. *)

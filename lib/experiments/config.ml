@@ -23,6 +23,8 @@ type t = {
   churn_rates : float list;
   churn_duration : float;
   churn_window : float;
+  convergence_samples : int;
+  convergence_nodes : int;
   emit_metrics : bool;
   trace_digest : string option;
 }
@@ -52,6 +54,8 @@ let default =
     churn_rates = [ 0.2; 0.5; 1.0 ];
     churn_duration = 300.0;
     churn_window = 8.0;
+    convergence_samples = 30;
+    convergence_nodes = 24;
     emit_metrics = false;
     trace_digest = None }
 
@@ -80,6 +84,8 @@ let quick =
     churn_rates = [ 1.0; 4.0 ];
     churn_duration = 150.0;
     churn_window = 20.0;
+    convergence_samples = 12;
+    convergence_nodes = 16;
     emit_metrics = false;
     trace_digest = None }
 

@@ -39,6 +39,11 @@ type t = {
       (** offered loads swept by [exp churnrate], stream arrivals/ms *)
   churn_duration : float;  (** stream arrival window per replay, ms *)
   churn_window : float;    (** delta-wave batching window, ms *)
+  convergence_samples : int;
+      (** random policy configurations per corpus (safe / unsafe) in
+          [exp convergence] *)
+  convergence_nodes : int;
+      (** caida-like topology size for the [exp convergence] corpora *)
   emit_metrics : bool;
       (** append the merged metrics registry to experiment output
           (default false — keeps default output byte-stable) *)

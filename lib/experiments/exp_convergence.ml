@@ -1,0 +1,216 @@
+(* Convergence-safety corpus: run the lib/verify analyzer over random
+   policy corpora and the classic oscillation gadgets, then cross-check
+   every verdict against bounded engine runs of the three policy-aware
+   protocols and the sequential stable solver. The table this renders is
+   the empirical face of the harness's two soundness properties: no
+   certified configuration may ever land in a `diverged` cell, and every
+   classic gadget must be flagged with a concrete dispute wheel. *)
+
+let protocols = [ "centaur"; "bgp"; "bgp-rcn" ]
+
+(* Event budget for the bounded cold starts. The corpus topologies
+   quiesce within a few hundred events when they quiesce at all, so the
+   budget only has to be comfortably above that — it is the divergence
+   detector, not a tuning knob. *)
+let event_budget = 20_000
+
+type outcome = Quiesced of int (* events *) | Diverged
+
+type verdict_class = Certified | Flagged | Inconclusive
+
+let verdict_class_of = function
+  | Verify.Dispute.Certified _ -> Certified
+  | Verify.Dispute.Wheel _ -> Flagged
+  | Verify.Dispute.Inconclusive _ -> Inconclusive
+
+let class_name = function
+  | Certified -> "certified"
+  | Flagged -> "flagged"
+  | Inconclusive -> "inconclusive"
+
+let verdict_summary = function
+  | Verify.Dispute.Certified Verify.Dispute.Gao_rexford_structure ->
+    "certified (structure)"
+  | Verify.Dispute.Certified (Verify.Dispute.Strict_monotonicity _) ->
+    "certified (monotone)"
+  | Verify.Dispute.Wheel w ->
+    Printf.sprintf "wheel (%d hubs, dest %d)"
+      (List.length w.Verify.Dispute.hubs)
+      w.Verify.Dispute.dest
+  | Verify.Dispute.Inconclusive _ -> "inconclusive"
+
+type sample = {
+  verdict : verdict_class;
+  outcomes : (string * outcome) list;  (* per protocol, in order *)
+  stable_diverged : bool;  (* any dest where Stable raises Diverged *)
+}
+
+type corpus = {
+  label : string;
+  samples : sample list;
+}
+
+type gadget_row = {
+  g_name : string;
+  g_summary : string;
+  g_outcomes : (string * outcome) list;
+  g_stable_diverged : bool;
+}
+
+type result = {
+  nodes : int;
+  per_corpus : int;
+  corpora : corpus list;
+  gadgets : gadget_row list;
+}
+
+let run_engine topo policy name =
+  match Protocols.Proto_table.find name with
+  | None -> invalid_arg ("exp_convergence: unknown protocol " ^ name)
+  | Some network -> (
+    let runner = network ~policy topo in
+    match runner.Sim.Runner.cold_start ~max_events:event_budget () with
+    | stats -> Quiesced stats.Sim.Engine.events
+    | exception Sim.Engine.Diverged _ -> Diverged)
+
+let run_stable topo policy =
+  let ws = Stable.create_workspace () in
+  let n = Topology.num_nodes topo in
+  let diverged = ref false in
+  for dest = 0 to n - 1 do
+    if not !diverged then
+      match Stable.to_dest_with ws topo dest ~policy with
+      | (_ : Stable.routes) -> ()
+      | exception Stable.Diverged -> diverged := true
+  done;
+  !diverged
+
+let run_sample topo policy verdict =
+  { verdict = verdict_class_of verdict;
+    outcomes = List.map (fun p -> (p, run_engine topo policy p)) protocols;
+    stable_diverged = run_stable topo policy }
+
+let run_corpus cfg ~label ~safe ~nodes ~count =
+  let samples =
+    List.init count (fun i ->
+        (* One private stream per sample: corpus membership of sample i
+           never depends on how many samples precede it. *)
+        let rng =
+          Rng.create
+            (cfg.Config.seed + (7919 * i) + if safe then 0 else 104729)
+        in
+        let topo = As_gen.generate rng (As_gen.caida_like ~n:nodes) in
+        let config = Verify.Gadgets.random_config rng topo ~safe in
+        match Policy.compile ~num_nodes:nodes config with
+        | Error msg -> invalid_arg ("exp_convergence: " ^ msg)
+        | Ok policy ->
+          let verdict = Verify.Dispute.analyze ~policy topo in
+          run_sample topo policy verdict)
+  in
+  { label; samples }
+
+let run_gadget (g : Verify.Gadgets.gadget) =
+  let n = Topology.num_nodes g.Verify.Gadgets.topo in
+  match Policy.compile ~num_nodes:n g.Verify.Gadgets.config with
+  | Error msg -> invalid_arg ("exp_convergence: " ^ msg)
+  | Ok policy ->
+    let verdict = Verify.Dispute.analyze ~policy g.Verify.Gadgets.topo in
+    { g_name = g.Verify.Gadgets.name;
+      g_summary = verdict_summary verdict;
+      g_outcomes =
+        List.map
+          (fun p -> (p, run_engine g.Verify.Gadgets.topo policy p))
+          protocols;
+      g_stable_diverged = run_stable g.Verify.Gadgets.topo policy }
+
+let run (cfg : Config.t) =
+  let nodes = cfg.Config.convergence_nodes in
+  let per_corpus = cfg.Config.convergence_samples in
+  { nodes;
+    per_corpus;
+    corpora =
+      [ run_corpus cfg ~label:"safe" ~safe:true ~nodes ~count:per_corpus;
+        run_corpus cfg ~label:"unsafe" ~safe:false ~nodes ~count:per_corpus ];
+    gadgets = List.map run_gadget (Verify.Gadgets.all ()) }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let count_class c samples =
+  List.length (List.filter (fun s -> s.verdict = c) samples)
+
+let render r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "analyzer verdicts on random policy corpora (%d samples each, \
+        %d-node caida-like topologies):\n"
+       r.per_corpus r.nodes);
+  Buffer.add_string b
+    (Printf.sprintf "%-8s %9s %9s %12s\n" "corpus" "certified" "flagged"
+       "inconclusive");
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%-8s %9d %9d %12d\n" c.label
+           (count_class Certified c.samples)
+           (count_class Flagged c.samples)
+           (count_class Inconclusive c.samples)))
+    r.corpora;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\nbounded engine outcomes by verdict (event budget %d):\n"
+       event_budget);
+  Buffer.add_string b
+    (Printf.sprintf "%-8s %-10s %-12s %5s %9s %9s %15s\n" "corpus"
+       "protocol" "verdict" "runs" "quiesced" "diverged" "stable-diverged");
+  List.iter
+    (fun c ->
+      List.iter
+        (fun proto ->
+          List.iter
+            (fun cls ->
+              let picked =
+                List.filter (fun s -> s.verdict = cls) c.samples
+              in
+              if picked <> [] then begin
+                let outcome s = List.assoc proto s.outcomes in
+                let quiesced =
+                  List.length
+                    (List.filter
+                       (fun s ->
+                         match outcome s with
+                         | Quiesced _ -> true
+                         | Diverged -> false)
+                       picked)
+                in
+                let stable_div =
+                  List.length
+                    (List.filter (fun s -> s.stable_diverged) picked)
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%-8s %-10s %-12s %5d %9d %9d %15d\n"
+                     c.label proto (class_name cls) (List.length picked)
+                     quiesced
+                     (List.length picked - quiesced)
+                     stable_div)
+              end)
+            [ Certified; Flagged; Inconclusive ])
+        protocols)
+    r.corpora;
+  Buffer.add_string b "\nclassic gadgets:\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %-24s %-10s %-10s %-10s %s\n" "gadget" "verdict"
+       "centaur" "bgp" "bgp-rcn" "stable");
+  List.iter
+    (fun g ->
+      let cell p =
+        match List.assoc p g.g_outcomes with
+        | Quiesced ev -> Printf.sprintf "ok/%d" ev
+        | Diverged -> "diverged"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-12s %-24s %-10s %-10s %-10s %s\n" g.g_name
+           g.g_summary (cell "centaur") (cell "bgp") (cell "bgp-rcn")
+           (if g.g_stable_diverged then "diverged" else "ok")))
+    r.gadgets;
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** [exp convergence]: the lib/verify analyzer's verdicts on random
+    policy corpora (safe and unsafe generator modes) and the classic
+    oscillation gadgets, cross-checked against bounded cold starts of
+    the three policy-aware protocols and the sequential stable solver.
+
+    The rendered table is deterministic for a given configuration seed
+    (CI reruns it and diffs). Its contract mirrors the QCheck harness:
+    certified rows never show a diverged run; every classic gadget is
+    flagged with a concrete dispute wheel. *)
+
+type result
+
+val run : Config.t -> result
+
+val render : result -> string

@@ -52,6 +52,11 @@ let all =
     { id = "containment";
       title = "Containment of route leaks and prefix hijacks (Centaur vs BGP)";
       run = (fun cfg -> Exp_containment.render (Exp_containment.run cfg)) };
+    { id = "convergence";
+      title =
+        "Convergence safety: analyzer verdicts vs bounded engine runs \
+         (certified / flagged / inconclusive)";
+      run = (fun cfg -> Exp_convergence.render (Exp_convergence.run cfg)) };
     { id = "ablation-mrai";
       title = "MRAI sweep (what drives the Figure 6 gap)";
       run = (fun cfg -> Exp_ablations.render_mrai (Exp_ablations.run_mrai cfg)) };

@@ -19,7 +19,13 @@ type state = {
   mutable n_viols : int;
   mutable last_time : float;
   link_up : (int, bool) Hashtbl.t;          (* absent = up *)
-  in_flight : (int * int, int) Hashtbl.t;   (* (src, dst) -> outstanding *)
+  deaths : (int, int) Hashtbl.t;
+      (* link -> up->down transitions seen; the session incarnation
+         counter the engine stamps in-flight messages with *)
+  in_flight : (int * int, int Queue.t) Hashtbl.t;
+      (* (src, dst) -> send-time incarnations of the outstanding
+         messages, FIFO — per-link delays are constant, so deliveries
+         and losses consume sends in order *)
   mutable batch : (float * int) option;
   marked : (int, unit) Hashtbl.t;           (* nodes with pending marks *)
   timers : (int * int, float list) Hashtbl.t;
@@ -35,6 +41,24 @@ let flag st ~index ~at ~invariant detail =
 
 let is_up st link_id =
   Option.value (Hashtbl.find_opt st.link_up link_id) ~default:true
+
+let deaths st link_id =
+  Option.value (Hashtbl.find_opt st.deaths link_id) ~default:0
+
+let channel st key =
+  match Hashtbl.find_opt st.in_flight key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add st.in_flight key q;
+    q
+
+(* The send-time incarnation of the oldest outstanding message on the
+   channel, or [None] when nothing is outstanding (a conservation
+   violation the caller flags). *)
+let consume_send st ~src ~dst =
+  let q = channel st (src, dst) in
+  if Queue.is_empty q then None else Some (Queue.pop q)
 
 (* A link flip tears the session between its endpoints down (or brings a
    fresh one up): either way the export-diff history of both directions
@@ -120,9 +144,7 @@ let step st index (at, ev) =
         flag st ~index ~at ~invariant:"link-state"
           (Printf.sprintf "send %d->%d scheduled on down link %d" src dst
              link_id);
-      let k = (src, dst) in
-      Hashtbl.replace st.in_flight k
-        (1 + Option.value (Hashtbl.find_opt st.in_flight k) ~default:0)
+      Queue.push (deaths st link_id) (channel st (src, dst))
     end
   | Trace.Msg_deliver { src; dst; link_id } ->
     in_batch_check st ~index ~at ~what:"delivery" dst;
@@ -130,32 +152,45 @@ let step st index (at, ev) =
       if not (is_up st link_id) then
         flag st ~index ~at ~invariant:"link-state"
           (Printf.sprintf "delivery %d->%d on down link %d" src dst link_id);
-      let k = (src, dst) in
-      let n = Option.value (Hashtbl.find_opt st.in_flight k) ~default:0 in
-      if n <= 0 then
+      match consume_send st ~src ~dst with
+      | None ->
         flag st ~index ~at ~invariant:"conservation"
           (Printf.sprintf "delivery %d->%d without an outstanding send" src
              dst)
-      else Hashtbl.replace st.in_flight k (n - 1)
+      | Some sent ->
+        if sent <> deaths st link_id then
+          flag st ~index ~at ~invariant:"link-state"
+            (Printf.sprintf
+               "delivery %d->%d survived a bounce of link %d" src dst
+               link_id)
     end
   | Trace.Msg_loss { src; dst; link_id; dead_link } ->
     in_batch_check st ~index ~at ~what:"loss" dst;
     if not st.truncated then begin
-      if dead_link && is_up st link_id then
+      let sent = consume_send st ~src ~dst in
+      let fresh =
+        match sent with Some e -> e = deaths st link_id | None -> true
+      in
+      if dead_link && is_up st link_id && fresh then
         flag st ~index ~at ~invariant:"link-state"
-          (Printf.sprintf "loss %d->%d blamed on dead link %d, which is up"
+          (Printf.sprintf
+             "loss %d->%d blamed on dead link %d, which is up and did not \
+              bounce"
              src dst link_id);
       if (not dead_link) && not (is_up st link_id) then
         flag st ~index ~at ~invariant:"link-state"
           (Printf.sprintf
              "loss %d->%d drawn from the loss model on down link %d" src dst
              link_id);
-      let k = (src, dst) in
-      let n = Option.value (Hashtbl.find_opt st.in_flight k) ~default:0 in
-      if n <= 0 then
+      if (not dead_link) && not fresh then
+        flag st ~index ~at ~invariant:"link-state"
+          (Printf.sprintf
+             "loss %d->%d drawn from the loss model on a message that \
+              crossed a bounce of link %d"
+             src dst link_id);
+      if sent = None then
         flag st ~index ~at ~invariant:"conservation"
           (Printf.sprintf "loss %d->%d without an outstanding send" src dst)
-      else Hashtbl.replace st.in_flight k (n - 1)
     end
   | Trace.Link_state { link_id; up; _ } ->
     if not st.truncated then Hashtbl.replace st.link_up link_id up
@@ -167,6 +202,8 @@ let step st index (at, ev) =
            link_id bn)
     | None -> ());
     if not st.truncated then begin
+      if (not up) && is_up st link_id then
+        Hashtbl.replace st.deaths link_id (deaths st link_id + 1);
       Hashtbl.replace st.link_up link_id up;
       reset_session_exports st a b
     end
@@ -207,6 +244,7 @@ let run_events ?(dropped = 0) evs =
       n_viols = 0;
       last_time = neg_infinity;
       link_up = Hashtbl.create 64;
+      deaths = Hashtbl.create 64;
       in_flight = Hashtbl.create 256;
       batch = None;
       marked = Hashtbl.create 64;

@@ -26,7 +26,9 @@ type event =
   | Msg_deliver of { src : int; dst : int; link_id : int }
   | Msg_loss of { src : int; dst : int; link_id : int; dead_link : bool }
       (** [dead_link]: lost because the link was down at delivery time
-          (vs the probabilistic loss model). *)
+          or bounced (down then up) while the message was in flight —
+          the session incarnation died — vs the probabilistic loss
+          model. *)
   | Timer_set of { node : int; key : int; fire_at : float }
   | Timer_fire of { node : int; key : int }
   | Batch_begin of { node : int }

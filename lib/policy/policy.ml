@@ -20,7 +20,7 @@ type action =
   | Set_tag of int
   | Clear_tag of int
 
-type rule = { guard : pred; actions : action list }
+type rule = { guard : pred; actions : action list; line : int }
 
 type peer_sel = Any_peer | With_role of Relationship.t | Peer of int
 
@@ -38,7 +38,7 @@ type config = node_policy list
 (* Builder                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let rule guard actions = { guard; actions }
+let rule guard actions = { guard; actions; line = 0 }
 let import_from sel rules = Filter { dir = Import; sel; rules }
 let export_to sel rules = Filter { dir = Export; sel; rules }
 let originate dests = Originate dests
@@ -254,16 +254,17 @@ let parse_actions ps =
   List.rev !acts
 
 let parse_rule ps =
+  let line = cur_line ps in
   match peek ps with
   | ID "match" ->
       advance ps;
       let guard = parse_pred ps in
       expect ps ARROW "'->'";
-      { guard; actions = parse_actions ps }
+      { guard; actions = parse_actions ps; line }
   | ID "default" ->
       advance ps;
       expect ps ARROW "'->'";
-      { guard = Any; actions = parse_actions ps }
+      { guard = Any; actions = parse_actions ps; line }
   | t -> err (cur_line ps) "expected 'match', 'default' or '}', found %s"
            (tok_to_string t)
 
@@ -570,6 +571,7 @@ let role_code = function
 let pack_node_dest node dest = (node lsl 31) lor dest
 
 type compiled = {
+  source : config;        (* the AST this was lowered from; [] for default *)
   code : int array;
   dest_sets : Bytes.t array;
   by_role : Flat_tbl.t;   (* (node lsl 3) | (dir lsl 2) | role -> entry *)
@@ -665,7 +667,8 @@ let lower config =
           end)
         [ Import; Export ])
     config;
-  { code = resolve a;
+  { source = config;
+    code = resolve a;
     dest_sets = Array.of_list (List.rev a.sets);
     by_role; by_peer; origins_tbl; origins_by_node;
     custom = config <> [];
@@ -691,6 +694,10 @@ let compile_exn ?num_nodes config =
 let default () = lower []
 
 let is_default t = (not t.custom) && t.overrides = 0
+
+let source t = t.source
+
+let overrides_active t = t.overrides > 0
 
 let summary t =
   Printf.sprintf
@@ -917,3 +924,44 @@ let export_ok_naive config ~node ~peer ~role ~dest ~cls ~len ~path =
       let r = eval_chain_naive rules ~export:true ~dest ~cls ~len ~path in
       if r = res_default then Gao_rexford.exportable ~cls ~to_role:role
       else r >= 0
+
+(* Like [eval_chain_naive] but also reports the 1-based source line of
+   the deciding rule: for a terminating Deny, the denying rule; for a
+   Permit or an import fall-through, the rule that last set the
+   preference (falling back to the permitting rule itself). Builder-made
+   rules carry line 0 and report [None]. *)
+let eval_chain_explain rules ~export ~dest ~cls ~len ~path =
+  let opt_line l fallback = if l > 0 then Some l else fallback in
+  let rec rules_loop pref pline tags = function
+    | [] -> ((if export then res_default else pref), pline)
+    | r :: rest ->
+        if eval_pred ~tags ~dest ~cls ~len ~path r.guard then
+          let rec acts pref pline tags = function
+            | [] -> rules_loop pref pline tags rest
+            | Permit :: _ ->
+                (pref, (match pline with Some _ -> pline | None -> opt_line r.line None))
+            | Deny :: _ -> (-1, opt_line r.line None)
+            | Pref v :: tl -> acts v (opt_line r.line pline) tags tl
+            | Set_tag b :: tl -> acts pref pline (tags lor (1 lsl b)) tl
+            | Clear_tag b :: tl ->
+                acts pref pline (tags land lnot (1 lsl b)) tl
+          in
+          acts pref pline tags r.actions
+        else rules_loop pref pline tags rest
+  in
+  rules_loop 0 None 0 rules
+
+let explain_import config ~node ~peer ~role ~dest ~cls ~len ~path =
+  match chain_rules config ~node ~dir:Import ~peer ~role with
+  | [] -> (0, None)
+  | rules ->
+      let r, ln = eval_chain_explain rules ~export:false ~dest ~cls ~len ~path in
+      if r = res_default then (0, None) else (r, ln)
+
+let explain_export config ~node ~peer ~role ~dest ~cls ~len ~path =
+  match chain_rules config ~node ~dir:Export ~peer ~role with
+  | [] -> (Gao_rexford.exportable ~cls ~to_role:role, None)
+  | rules ->
+      let r, ln = eval_chain_explain rules ~export:true ~dest ~cls ~len ~path in
+      if r = res_default then (Gao_rexford.exportable ~cls ~to_role:role, None)
+      else (r >= 0, ln)

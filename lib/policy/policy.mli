@@ -92,7 +92,10 @@ type action =
   | Set_tag of int
   | Clear_tag of int
 
-type rule = { guard : pred; actions : action list }
+type rule = { guard : pred; actions : action list; line : int }
+(** [line] is the 1-based source line of the rule when it came from the
+    parser, 0 when built programmatically — diagnostics (the convergence
+    analyzer's dispute-wheel reports) cite it; evaluation ignores it. *)
 
 type peer_sel =
   | Any_peer
@@ -114,6 +117,7 @@ type config = node_policy list
 (** {1 Programmatic builder} *)
 
 val rule : pred -> action list -> rule
+(* Builder rules carry [line = 0] (no source position). *)
 val import_from : peer_sel -> rule list -> clause
 val export_to : peer_sel -> rule list -> clause
 val originate : int list -> clause
@@ -158,6 +162,17 @@ val is_default : compiled -> bool
 (** No configuration and no active overrides: evaluation is guaranteed
     to coincide with hard-coded Gao–Rexford, so callers may keep their
     original fast paths. *)
+
+val source : compiled -> config
+(** The configuration AST this value was compiled from ([[]] for
+    {!default}) — static analyses (the convergence analyzer) walk it
+    for rule provenance instead of decompiling bytecode. *)
+
+val overrides_active : compiled -> bool
+(** Whether any scenario override (leak, corruption, claimed origin) is
+    currently active. Overrides mutate evaluation behind the compiled
+    configuration's back, so static certifications over {!source} do
+    not cover them. *)
 
 val summary : compiled -> string
 (** One line: stanza/chain/code-word/set counts, for [policy check]. *)
@@ -250,3 +265,22 @@ val export_ok_naive :
   node:int -> peer:int -> role:Relationship.t ->
   dest:int -> cls:Gao_rexford.route_class -> len:int -> path:Path.t ->
   bool
+
+val explain_import :
+  config ->
+  node:int -> peer:int -> role:Relationship.t ->
+  dest:int -> cls:Gao_rexford.route_class -> len:int -> path:Path.t ->
+  int * int option
+(** {!import_eval_naive} plus the source line of the deciding rule: the
+    rule that last set the returned preference, or the terminating rule.
+    [None] when the built-in default decided or the rule has no source
+    position. *)
+
+val explain_export :
+  config ->
+  node:int -> peer:int -> role:Relationship.t ->
+  dest:int -> cls:Gao_rexford.route_class -> len:int -> path:Path.t ->
+  bool * int option
+(** {!export_ok_naive} plus the source line of the deciding rule (the
+    permitting or denying rule; [None] when the Gao–Rexford default
+    export rule decided). *)

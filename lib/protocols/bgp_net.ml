@@ -481,8 +481,8 @@ let network ?(mrai = 30.0) ?(rcn = false) ?(incremental = true)
         + (match m.cause with None -> 0 | Some _ -> 8))
       ~handlers
   in
-  let cold_start () =
-    Sim.Runner.cold_start_states engine states (fun i st ->
+  let cold_start ?max_events () =
+    Sim.Runner.cold_start_states ?max_events engine states (fun i st ->
         (* Originating the own prefix is just the first decision: mark it
            dirty and run the same pipeline as any other recompute.
            Claimed originations announce the same way. *)

@@ -128,8 +128,8 @@ let network ?(trace = Trace.none) ?policy ?(plist_fp_rate = 0.01) topo =
       ~bytes:(Centaur.Announce.wire_bytes ~plist_fp_rate)
       ~handlers
   in
-  let cold_start () =
-    Sim.Runner.cold_start_states engine states (fun i _ ->
+  let cold_start ?max_events () =
+    Sim.Runner.cold_start_states ?max_events engine states (fun i _ ->
         let st, sends = Centaur.Node.start states.(i) in
         states.(i) <- st;
         Sim.Runner.sends_to_actions (post_sends i sends))

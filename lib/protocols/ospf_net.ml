@@ -240,8 +240,8 @@ let network ?(incremental = true) ?(trace = Obs.Trace.none)
       ~bytes:(fun _ -> 33)
       ~handlers
   in
-  let cold_start () =
-    Sim.Runner.cold_start_states engine states (fun _ st ->
+  let cold_start ?max_events () =
+    Sim.Runner.cold_start_states ?max_events engine states (fun _ st ->
         (* Init runs outside any delivery batch, so the cold-start
            originations flood immediately rather than through the
            outbox. *)

@@ -23,7 +23,7 @@ let no_timers ~now:_ ~node ~key =
 let no_batching ~now:_ ~node:_ = []
 
 type 'msg event =
-  | Deliver of { src : int; dst : int; link_id : int; msg : 'msg }
+  | Deliver of { src : int; dst : int; link_id : int; epoch : int; msg : 'msg }
   | Link_notify of { node : int; link_id : int }
   | Timer_fire of { node : int; key : int }
 
@@ -34,6 +34,15 @@ type 'msg t = {
   handlers : 'msg handlers;
   queue : (float * 'msg event) Heap.t;
   loss : float array;  (* per-link delivery loss probability *)
+  epochs : int array;
+  (* Per-link session incarnation, bumped on every up->down transition.
+     Deliveries carry their send-time incarnation and are lost on a
+     mismatch: a message in flight when its link bounces must not be
+     delivered into the fresh session — the protocols reset their
+     per-session state (Adj-RIBs, MRAI pending) on the flip, so a
+     delivery from the previous incarnation would be absorbed as if the
+     new session had advertised it, leaving stale state nobody ever
+     withdraws. *)
   mutable loss_rng : Rng.t;
   mutable clock : float;
   mutable last_event : float;
@@ -72,6 +81,7 @@ let create ?(trace = Trace.none) ?metrics ?(bytes = fun _ -> 0) topo ~units
       handlers;
       queue = Heap.create ~cmp;
       loss = Array.make (Topology.num_links topo) 0.0;
+      epochs = Array.make (Topology.num_links topo) 0;
       loss_rng = Rng.create 0;
       clock = 0.0;
       last_event = 0.0;
@@ -139,7 +149,13 @@ let perform t ~node actions =
               Trace.emit t.trace
                 (Trace.Msg_send { src = node; dst; link_id; units });
             Heap.push t.queue
-              (t.clock +. delay, Deliver { src = node; dst; link_id; msg })
+              ( t.clock +. delay,
+                Deliver
+                  { src = node;
+                    dst;
+                    link_id;
+                    epoch = t.epochs.(link_id);
+                    msg } )
           end)
       | Timer (delay, key) ->
         if delay < 0.0 then invalid_arg "Engine.perform: negative timer";
@@ -152,6 +168,8 @@ let perform t ~node actions =
 let flip_link t ~link_id ~up =
   Log.debug (fun m ->
       m "t=%.3f link %d -> %s" t.clock link_id (if up then "up" else "down"));
+  if (not up) && Topology.is_up t.topo link_id then
+    t.epochs.(link_id) <- t.epochs.(link_id) + 1;
   Topology.set_up t.topo link_id up;
   let link = Topology.link t.topo link_id in
   if Trace.enabled t.trace then begin
@@ -261,12 +279,17 @@ let run_core ~max_events ~since ~until t =
       if traced then Trace.set_now t.trace time;
       Metrics.incr t.c_events;
       (match event with
-      | Deliver { src; dst; link_id; msg } ->
-        (* Lost if the link died while the message was in flight, or to
+      | Deliver { src; dst; link_id; epoch; msg } ->
+        (* Lost if the link died while the message was in flight — even
+           if it has since come back up: a bounce tears the session down
+           and messages do not survive into the next incarnation — or to
            the link's probabilistic loss process. The loss draw happens
            only on links with a configured rate, so runs without a loss
            model never touch the RNG. *)
-        if not (Topology.is_up t.topo link_id) then begin
+        if
+          (not (Topology.is_up t.topo link_id))
+          || epoch <> t.epochs.(link_id)
+        then begin
           Metrics.incr t.c_losses;
           if traced then
             Trace.emit t.trace

@@ -15,10 +15,15 @@
 
     Protocols plug in as callbacks returning {!action}s — messages to
     emit and timers to arm (BGP's MRAI batching needs timers); all
-    protocol state lives on the protocol side. Messages sent over a link
-    that is down at delivery time are lost, as on a real failed link;
-    links may additionally be given a delivery loss probability
-    ({!set_loss}) to model lossy sessions. *)
+    protocol state lives on the protocol side. Messages do not survive
+    the death of the link they are crossing: a message is lost if its
+    link is down at delivery time, and also if the link {e bounced}
+    (went down and came back up) while the message was in flight — each
+    down transition starts a fresh session incarnation, and in-flight
+    messages from the previous incarnation are discarded, matching the
+    protocols' practice of resetting per-session state on a flip. Links
+    may additionally be given a delivery loss probability ({!set_loss})
+    to model lossy sessions. *)
 
 type 'msg action =
   | Send of int * 'msg       (** deliver to a neighbor over the link *)
@@ -58,8 +63,9 @@ type run_stats = {
   bytes : int;        (** wire bytes sent (0 unless the engine was given
                           a [bytes] pricer) *)
   deliveries : int;   (** messages delivered *)
-  losses : int;       (** messages lost — dead link at delivery time, or
-                          the probabilistic loss model *)
+  losses : int;       (** messages lost — dead or bounced link at
+                          delivery time, or the probabilistic loss
+                          model *)
   events : int;       (** total events processed *)
   waves : int;        (** delivery batches drained — one per
                           [on_batch_end] recompute, i.e. the number of
@@ -133,7 +139,10 @@ val perform : 'msg t -> node:int -> 'msg action list -> unit
 
 val flip_link : 'msg t -> link_id:int -> up:bool -> unit
 (** Change a link's state now and schedule the two endpoints'
-    [on_link_change] notifications. *)
+    [on_link_change] notifications. A transition to down starts a new
+    session incarnation: messages already in flight on the link are
+    lost even if the link is flipped back up before they would have
+    arrived. *)
 
 exception Diverged of { processed : int; pending : int; waves : int }
 (** Raised by the run functions when the event budget is exhausted — the

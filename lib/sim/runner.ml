@@ -1,11 +1,11 @@
 type t = {
   name : string;
-  cold_start : unit -> Engine.run_stats;
+  cold_start : ?max_events:int -> unit -> Engine.run_stats;
   flip : link_id:int -> up:bool -> Engine.run_stats;
   flip_many : (int * bool) list -> Engine.run_stats;
   inject : (int * bool) list -> unit;
   run_until : float -> Engine.run_stats;
-  run_to_quiescence : unit -> Engine.run_stats;
+  run_to_quiescence : ?max_events:int -> unit -> Engine.run_stats;
   set_loss : link_id:int -> rate:float -> unit;
   seed_loss : int -> unit;
   pending_events : unit -> int;
@@ -22,12 +22,12 @@ type t = {
 let sends_to_actions sends =
   List.map (fun (dst, m) -> Engine.Send (dst, m)) sends
 
-let cold_start_states engine states init =
+let cold_start_states ?max_events engine states init =
   let since = Engine.mark engine in
   Array.iteri
     (fun i st -> Engine.perform engine ~node:i (init i st))
     states;
-  Engine.run_to_quiescence ~since engine
+  Engine.run_to_quiescence ?max_events ~since engine
 
 let make ~name ~engine ~cold_start ~changed
     ?(on_policy_change = fun _ -> ()) ~next_hop ~path () =
@@ -44,8 +44,8 @@ let make ~name ~engine ~cold_start ~changed
     inject changes;
     Engine.run_to_quiescence engine
   in
-  let cold_start () =
-    let stats = cold_start () in
+  let cold_start ?max_events () =
+    let stats = cold_start ?max_events () in
     (* Cold start changes everything; consumers of the change feed care
        about what moves after the initial convergence. *)
     Dirty.clear changed;
@@ -57,7 +57,8 @@ let make ~name ~engine ~cold_start ~changed
     flip_many;
     inject;
     run_until = (fun horizon -> Engine.run_until engine horizon);
-    run_to_quiescence = (fun () -> Engine.run_to_quiescence engine);
+    run_to_quiescence =
+      (fun ?max_events () -> Engine.run_to_quiescence ?max_events engine);
     set_loss =
       (fun ~link_id ~rate -> Engine.set_loss engine ~link_id ~rate);
     seed_loss = (fun seed -> Engine.seed_loss engine seed);

@@ -10,10 +10,16 @@
 
 type t = {
   name : string;
-  cold_start : unit -> Engine.run_stats;
-      (** Initialize every node and run to quiescence. *)
+  cold_start : ?max_events:int -> unit -> Engine.run_stats;
+      (** Initialize every node and run to quiescence. [max_events]
+          overrides the engine's default event budget — oscillation
+          probes pass a small bound so a diverging run raises
+          {!Engine.Diverged} quickly instead of burning the default
+          20M-event budget. *)
   flip : link_id:int -> up:bool -> Engine.run_stats;
-      (** Change one link's state and run to quiescence. *)
+      (** Change one link's state and run to quiescence. For a bounded
+          flip, use {!t.inject} followed by
+          [run_to_quiescence ~max_events]. *)
   flip_many : (int * bool) list -> Engine.run_stats;
       (** Change several links simultaneously — correlated failures, a
           shared-risk link group, a node-adjacent cut — then run to
@@ -24,8 +30,9 @@ type t = {
           run call. The fault injector's primitive. *)
   run_until : float -> Engine.run_stats;
       (** Partial run to a time horizon (see {!Engine.run_until}). *)
-  run_to_quiescence : unit -> Engine.run_stats;
-      (** Drain all pending events. *)
+  run_to_quiescence : ?max_events:int -> unit -> Engine.run_stats;
+      (** Drain all pending events, optionally under a tighter event
+          budget than the engine default. *)
   set_loss : link_id:int -> rate:float -> unit;
       (** Set a link's delivery loss probability. *)
   seed_loss : int -> unit;
@@ -73,16 +80,18 @@ val sends_to_actions : (int * 'msg) list -> 'msg Engine.action list
     actions — shared by every protocol net. *)
 
 val cold_start_states :
+  ?max_events:int ->
   'msg Engine.t -> 'st array -> (int -> 'st -> 'msg Engine.action list) ->
   Engine.run_stats
 (** Shared cold-start plumbing: mark the engine, let every node emit its
     initial actions ([init node state]), and run to quiescence with the
-    initial sends counted in the returned stats. *)
+    initial sends counted in the returned stats. [max_events] bounds the
+    run (see {!Engine.run_to_quiescence}). *)
 
 val make :
   name:string ->
   engine:'msg Engine.t ->
-  cold_start:(unit -> Engine.run_stats) ->
+  cold_start:(?max_events:int -> unit -> Engine.run_stats) ->
   changed:Dirty.t ->
   ?on_policy_change:(int list -> unit) ->
   next_hop:(src:int -> dest:int -> int option) ->

@@ -1,0 +1,256 @@
+(* Routing-algebra view of policy-guided path selection. See algebra.mli
+   for the convergence argument the orders are chosen to support. *)
+
+type route = {
+  node : int;
+  path : Path.t;
+  pref : int;
+  cls : Gao_rexford.route_class;
+  len : int;
+  next_hop : int;
+  via_sibling : bool;
+}
+
+type t = {
+  topo : Topology.t;
+  discipline : Gao_rexford.discipline;
+  policy : Policy.compiled option;  (* None = pure Gao–Rexford *)
+}
+
+let create ?(discipline = Gao_rexford.Standard) ?policy topo =
+  (* Normalize exactly as Stable.to_dest_with does, so the algebra and
+     the solver see the same policy. *)
+  let policy =
+    match policy with
+    | Some p when not (Policy.is_default p) -> Some p
+    | Some _ | None -> None
+  in
+  { topo; discipline; policy }
+
+let topology t = t.topo
+let discipline t = t.discipline
+
+let origin_route ~node =
+  { node;
+    path = [ node ];
+    pref = 0;
+    cls = Gao_rexford.Origin;
+    len = 0;
+    next_hop = node;
+    via_sibling = false }
+
+let extend t ~dest r ~via =
+  let v = r.node in
+  match Topology.rel t.topo v via with
+  | None -> None
+  | Some role_of_via ->
+    if Path.contains r.path via then None
+    else begin
+      (* Export check at the holder [v], keyed by the receiver's role
+         relative to the exporter — [via]'s role as seen from [v],
+         which is exactly what [Topology.rel topo v via] returns. *)
+      let exported =
+        match t.policy with
+        | None -> Gao_rexford.exportable ~cls:r.cls ~to_role:role_of_via
+        | Some pol ->
+          Policy.export_ok pol ~node:v ~peer:via ~role:role_of_via ~dest
+            ~cls:r.cls ~len:r.len ~path:r.path
+      in
+      if not exported then None
+      else begin
+        (* Import at [via]: the sender [v]'s role relative to the
+           importer. *)
+        let role_of_v = Relationship.invert role_of_via in
+        let cls =
+          Gao_rexford.class_of_learned ~neighbor_role:role_of_v
+            ~neighbor_class:r.cls
+        in
+        let len = r.len + 1 in
+        let path = via :: r.path in
+        let pref =
+          match t.policy with
+          | None -> 0
+          | Some pol ->
+            Policy.import_eval pol ~node:via ~peer:v ~role:role_of_v ~dest
+              ~cls ~len ~path
+        in
+        if pref < 0 then None
+        else
+          Some
+            { node = via;
+              path;
+              pref;
+              cls;
+              len;
+              next_hop = v;
+              via_sibling = role_of_v = Relationship.Sibling }
+      end
+    end
+
+let candidate r =
+  { Gao_rexford.cls = r.cls; len = r.len; next_hop = r.next_hop }
+
+(* Mirror of the [prefer] relation inside Stable.best_response: import
+   preference above everything; Standard uses the plain candidate
+   order; the other disciplines rank class first, then demote
+   sibling-learned routes within the class, then apply the discipline
+   tie-break. *)
+let prefer t ~dest r1 r2 =
+  if r1.pref <> r2.pref then r1.pref > r2.pref
+  else
+    match t.discipline with
+    | Gao_rexford.Standard ->
+      Gao_rexford.compare_candidates (candidate r1) (candidate r2) < 0
+    | Gao_rexford.Class_only | Gao_rexford.Diverse | Gao_rexford.Arbitrary
+      ->
+      let k =
+        compare
+          (Gao_rexford.class_rank r1.cls)
+          (Gao_rexford.class_rank r2.cls)
+      in
+      if k <> 0 then k < 0
+      else if r1.via_sibling <> r2.via_sibling then not r1.via_sibling
+      else
+        Gao_rexford.compare_candidates_d ~chooser:r1.node ~dest
+          t.discipline (candidate r1) (candidate r2)
+        < 0
+
+(* Global severity order λ. Every strict per-node preference is
+   compatible with it: [prefer] decides by preference first (λ's first
+   key), then class rank (λ's second); what remains — length/next-hop
+   under Standard, sibling demotion and discipline tie-breaks otherwise
+   — either respects λ's length key (Standard) or falls in a λ-tie
+   (the other disciplines, whose λ ignores length). *)
+let compare_rank t r1 r2 =
+  if r1.pref <> r2.pref then compare r2.pref r1.pref
+  else
+    let k =
+      compare (Gao_rexford.class_rank r1.cls) (Gao_rexford.class_rank r2.cls)
+    in
+    if k <> 0 then k
+    else
+      match t.discipline with
+      | Gao_rexford.Standard -> compare r1.len r2.len
+      | Gao_rexford.Class_only | Gao_rexford.Diverse
+      | Gao_rexford.Arbitrary ->
+        0
+
+type enumeration = {
+  dest : int;
+  routes : route list array;
+  complete : bool;
+  total : int;
+}
+
+let enumerate ?(max_routes = 20_000) t ~dest =
+  let n = Topology.num_nodes t.topo in
+  if dest < 0 || dest >= n then
+    invalid_arg "Algebra.enumerate: destination out of range";
+  let routes = Array.make n [] in
+  let q = Queue.create () in
+  let total = ref 0 in
+  let complete = ref true in
+  let push r =
+    if !total >= max_routes then complete := false
+    else begin
+      incr total;
+      routes.(r.node) <- r :: routes.(r.node);
+      Queue.push r q
+    end
+  in
+  push (origin_route ~node:dest);
+  (match t.policy with
+  | None -> ()
+  | Some pol ->
+    for node = 0 to n - 1 do
+      if node <> dest && Policy.claims_origin pol ~node ~dest then
+        push (origin_route ~node)
+    done);
+  while not (Queue.is_empty q) do
+    let r = Queue.pop q in
+    Topology.iter_neighbors t.topo r.node (fun u _ _ ->
+        match extend t ~dest r ~via:u with
+        | Some ext -> push ext
+        | None -> ())
+  done;
+  Array.iteri (fun i l -> routes.(i) <- List.rev l) routes;
+  { dest; routes; complete = !complete; total = !total }
+
+type counterexample = {
+  base : route;
+  ext : route;
+  other : route option;
+}
+
+type check = Holds | Fails of counterexample | Unknown of string
+
+let truncated enum =
+  Printf.sprintf
+    "enumeration for destination %d truncated at %d routes" enum.dest
+    enum.total
+
+let strict_monotonicity t enum =
+  let failure = ref None in
+  Array.iter
+    (fun rs ->
+      List.iter
+        (fun r ->
+          if !failure = None then
+            Topology.iter_neighbors t.topo r.node (fun u _ _ ->
+                if !failure = None then
+                  match extend t ~dest:enum.dest r ~via:u with
+                  | Some ext when compare_rank t ext r <= 0 ->
+                    failure := Some { base = r; ext; other = None }
+                  | Some _ | None -> ()))
+        rs)
+    enum.routes;
+  match !failure with
+  | Some cex -> Fails cex
+  | None -> if enum.complete then Holds else Unknown (truncated enum)
+
+let isotonicity ?(max_pairs = 200_000) t enum =
+  let failure = ref None in
+  let pairs = ref 0 in
+  let capped = ref false in
+  Array.iter
+    (fun rs ->
+      List.iter
+        (fun r1 ->
+          List.iter
+            (fun r2 ->
+              if !failure = None && r1 != r2 && compare_rank t r1 r2 <= 0
+              then begin
+                if !pairs >= max_pairs then capped := true
+                else begin
+                  incr pairs;
+                  Topology.iter_neighbors t.topo r1.node (fun u _ _ ->
+                      if !failure = None then
+                        match
+                          ( extend t ~dest:enum.dest r1 ~via:u,
+                            extend t ~dest:enum.dest r2 ~via:u )
+                        with
+                        | Some e1, Some e2 when compare_rank t e1 e2 > 0 ->
+                          failure :=
+                            Some { base = r1; ext = e1; other = Some r2 }
+                        | _ -> ())
+                end
+              end)
+            rs)
+        rs)
+    enum.routes;
+  match !failure with
+  | Some cex -> Fails cex
+  | None ->
+    if not enum.complete then Unknown (truncated enum)
+    else if !capped then
+      Unknown
+        (Printf.sprintf
+           "isotonicity sweep for destination %d capped at %d pairs"
+           enum.dest max_pairs)
+    else Holds
+
+let pp_route ppf r =
+  Format.fprintf ppf "%s (pref %d, %s)"
+    (String.concat ">" (List.map string_of_int r.path))
+    r.pref
+    (Gao_rexford.class_to_string r.cls)

@@ -1,0 +1,114 @@
+(** Path selection as an explicit routing algebra.
+
+    The protocols and the stable-state solver all choose routes by the
+    same rule: extend a neighbor's route across a link (export filter at
+    the neighbor, class relabeling, import evaluation at the receiver)
+    and keep the most preferred result. This module reifies that rule as
+    an algebra over concrete routes — a carrier of [(path, preference,
+    class, length)] signatures, an {!extend} operation per link, and two
+    order relations — so convergence arguments can be checked against
+    the {e configuration} instead of observed on runs:
+
+    - {!prefer} is the per-node selection order, mirroring
+      [Stable.best_response] exactly (import preference above the
+      discipline order, sibling demotion under the non-Standard
+      disciplines).
+    - {!compare_rank} is a {e global} severity order λ shared by every
+      node, chosen so that no node ever strictly prefers a strictly
+      λ-worse route (preference first, then class rank, then — under
+      the Standard discipline, whose tie-breaks respect it — length).
+
+    If every permitted extension is strictly λ-worse than the route it
+    extends ({!strict_monotonicity}), no dispute wheel can exist: around
+    any would-be wheel each hub weakly improves λ from rim to spoke
+    while each rim hop strictly degrades it, a contradiction — and by
+    Griffin–Shepherd–Wilfong, no wheel means the protocol converges
+    under every activation schedule. {!Dispute} combines this check
+    with a structural Gao–Rexford certificate and a wheel search. *)
+
+type route = {
+  node : int;           (** resident node (head of [path]) *)
+  path : Path.t;        (** [node :: ... :: origin] *)
+  pref : int;           (** import preference granted at [node] *)
+  cls : Gao_rexford.route_class;
+  len : int;            (** hops *)
+  next_hop : int;       (** neighbor the route extends ([node] itself
+                            for an origin route) *)
+  via_sibling : bool;   (** learned across a sibling link *)
+}
+
+type t
+(** Analysis context: topology + discipline + compiled policy. *)
+
+val create :
+  ?discipline:Gao_rexford.discipline ->
+  ?policy:Policy.compiled ->
+  Topology.t ->
+  t
+(** Defaults: [Standard] discipline, the default (pure Gao–Rexford)
+    policy. A default compiled policy is normalized away, exactly as
+    the stable solver does, so the two never disagree. *)
+
+val topology : t -> Topology.t
+val discipline : t -> Gao_rexford.discipline
+
+val extend : t -> dest:int -> route -> via:int -> route option
+(** Extend a route resident at [route.node] across the (up) link to
+    neighbor [via]: [None] if the link is absent/down, the extension
+    loops, the exporter's policy withholds the route, or the importer's
+    policy denies it; otherwise the imported route at [via]. *)
+
+val prefer : t -> dest:int -> route -> route -> bool
+(** [prefer t ~dest r1 r2]: does the resident node strictly prefer [r1]
+    over [r2]? Both routes must live at the same node. Mirrors the
+    stable solver's candidate order. *)
+
+val compare_rank : t -> route -> route -> int
+(** The global order λ: negative when the first route is strictly more
+    preferred. Compares descending preference, then class rank, then
+    (Standard discipline only) length. Per-node {!prefer} refines λ:
+    a strict {!prefer} never contradicts a strict λ ordering. *)
+
+type enumeration = {
+  dest : int;
+  routes : route list array;  (** permitted routes resident per node *)
+  complete : bool;  (** false when [max_routes] truncated the walk *)
+  total : int;
+}
+
+val enumerate : ?max_routes:int -> t -> dest:int -> enumeration
+(** All permitted routes toward [dest]: the origin route (plus claimed
+    originations, when the policy has any), closed under {!extend}.
+    Paths are simple, so the walk terminates; [max_routes] (default
+    [20_000]) caps the carrier on pathological configurations, clearing
+    [complete]. Deterministic: routes appear in breadth-first discovery
+    order. *)
+
+type counterexample = {
+  base : route;
+  ext : route;           (** the offending extension of [base] *)
+  other : route option;  (** isotonicity only: the second base route *)
+}
+
+type check =
+  | Holds
+  | Fails of counterexample
+  | Unknown of string  (** the enumeration was truncated before the
+                           property could be decided *)
+
+val strict_monotonicity : t -> enumeration -> check
+(** Every permitted one-hop extension of every enumerated route is
+    strictly λ-worse than the route it extends. [Holds] on a complete
+    enumeration is a convergence certificate (see the module header);
+    a [Fails] counterexample is a lead for the wheel search, not yet a
+    divergence proof. *)
+
+val isotonicity : ?max_pairs:int -> t -> enumeration -> check
+(** Extension preserves the λ-order: for routes [r1 ⪯ r2] at one node
+    whose extensions across the same link are both permitted, the
+    extensions satisfy [ext(r1) ⪯ ext(r2)]. Informational — reported by
+    the analyzer but not required for either certificate. [max_pairs]
+    (default [200_000]) bounds the quadratic sweep. *)
+
+val pp_route : Format.formatter -> route -> unit
+(** [3>1>0 (pref 100, provider-route)] — hops most-recent first. *)

@@ -27,6 +27,8 @@ let tiny =
     churn_rates = [ 0.4 ];
     churn_duration = 60.0;
     churn_window = 8.0;
+    convergence_samples = 4;
+    convergence_nodes = 12;
     emit_metrics = false;
     trace_digest = None }
 
@@ -39,8 +41,8 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "all artifacts present"
     [ "table3"; "table4"; "table5"; "fig5"; "fig6"; "fig7"; "fig8"; "scale";
-      "churnrate"; "resilience"; "containment"; "ablation-mrai";
-      "ablation-multipath" ]
+      "churnrate"; "resilience"; "containment"; "convergence";
+      "ablation-mrai"; "ablation-multipath" ]
     Experiments.Registry.ids;
   Alcotest.(check bool) "find hit" true
     (Experiments.Registry.find "fig6" <> None);

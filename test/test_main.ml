@@ -28,4 +28,5 @@ let () =
       ("incremental", Test_incremental.suite);
       ("stream", Test_stream.suite);
       ("obs", Test_obs.suite);
+      ("verify", Test_verify.suite);
       ("experiments", Test_experiments.suite) ]

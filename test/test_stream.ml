@@ -40,34 +40,50 @@ let forwarding_snapshot n (r : Sim.Runner.t) =
 
 (* --- the QCheck pin: waves == event-at-a-time, all three protocols --- *)
 
+let equivalent_at ~policy_share make_runner seed =
+  let run mode =
+    let topo = random_brite ~seed ~n:nodes ~m:2 in
+    let pol = Policy.default () in
+    let runner = make_runner ~policy:pol topo in
+    let stream =
+      (* Loss-free: the loss draw order differs between modes, so
+         probabilistic loss would (correctly) break state identity. *)
+      Stream.Update_stream.generate ~seed:(seed + 3) ~rate:0.3
+        ~duration:50.0 ~flap_hold:10.0 ~policy_share topo
+    in
+    ignore (Stream.Replay.replay ~policy:pol ~topo ~stream ~mode runner);
+    runner
+  in
+  let a = run Stream.Replay.Event_at_a_time in
+  let b = run (Stream.Replay.Waves window) in
+  same_forwarding nodes a b
+
 let equivalence ~name ~policy_share make_runner =
   QCheck.Test.make
     ~name:(name ^ ": wave-batched == event-at-a-time")
     ~count:(qcheck_count 10)
     QCheck.(int_bound 10_000)
-    (fun seed ->
-      let run mode =
-        let topo = random_brite ~seed ~n:nodes ~m:2 in
-        let pol = Policy.default () in
-        let runner = make_runner ~policy:pol topo in
-        let stream =
-          (* Loss-free: the loss draw order differs between modes, so
-             probabilistic loss would (correctly) break state identity. *)
-          Stream.Update_stream.generate ~seed:(seed + 3) ~rate:0.3
-            ~duration:50.0 ~flap_hold:10.0 ~policy_share topo
-        in
-        ignore (Stream.Replay.replay ~policy:pol ~topo ~stream ~mode runner);
-        runner
-      in
-      let a = run Stream.Replay.Event_at_a_time in
-      let b = run (Stream.Replay.Waves window) in
-      same_forwarding nodes a b)
+    (equivalent_at ~policy_share make_runner)
 
 let centaur ~policy topo = Protocols.Centaur_net.network ~policy topo
 
 let bgp ~policy topo = Protocols.Bgp_net.network ~policy topo
 
 let ospf ~policy topo = Protocols.Ospf_net.network ~policy topo
+
+(* Pinned regressions for the one-time wave/event divergence: these two
+   seeds schedule a policy override whose announce is still in flight
+   when its link bounces (down and back up within one propagation
+   delay). Event-at-a-time replay hits the bounce mid-flight; before the
+   engine's per-link incarnation epochs, the stale message was delivered
+   into the fresh session — the receiver absorbed a route its neighbor's
+   reset Adj-RIB-Out never recorded, so no withdrawal could ever follow
+   and the two modes disagreed forever. *)
+let test_pinned_bounce_seed name make_runner seed () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s seed %d: wave == event" name seed)
+    true
+    (equivalent_at ~policy_share:0.3 make_runner seed)
 
 (* --- flap-coalescing edge cases --- *)
 
@@ -331,6 +347,12 @@ let suite =
       (equivalence ~name:"bgp" ~policy_share:0.3 bgp);
     QCheck_alcotest.to_alcotest
       (equivalence ~name:"ospf" ~policy_share:0.0 ospf);
+    Alcotest.test_case "pinned: bgp seed 6527 (in-flight msg vs bounce)"
+      `Quick
+      (test_pinned_bounce_seed "bgp" bgp 6527);
+    Alcotest.test_case "pinned: centaur seed 116 (in-flight msg vs bounce)"
+      `Quick
+      (test_pinned_bounce_seed "centaur" centaur 116);
     Alcotest.test_case "flap cancels inside a wave" `Quick test_flap_cancels;
     Alcotest.test_case "redundant dropped, last target wins" `Quick
       test_redundant_and_last_wins;

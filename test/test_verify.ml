@@ -1,0 +1,279 @@
+(* Convergence safety analyzer: golden verdicts for the classic
+   gadgets, the certify-vs-oscillate QCheck harness, the committed
+   verify-corpus, and the Stable.Diverged escape paths the analyzer's
+   verdicts are cross-checked against. *)
+
+open Helpers
+
+let compile_gadget (g : Verify.Gadgets.gadget) =
+  match
+    Policy.compile ~num_nodes:(Topology.num_nodes g.topo) g.config
+  with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "%s: bad gadget config: %s" g.name msg
+
+let analyze_gadget g =
+  Verify.Dispute.analyze ~policy:(compile_gadget g) g.Verify.Gadgets.topo
+
+(* Engine protocols the harness cross-checks verdicts against; ospf is
+   policy-free so there is nothing to verify there. *)
+let protocols = [ "centaur"; "bgp"; "bgp-rcn" ]
+
+let run_protocol ~max_events name topo policy =
+  match Protocols.Proto_table.find name with
+  | None -> Alcotest.failf "unknown protocol %s" name
+  | Some network ->
+    let runner = network ~policy topo in
+    runner.Sim.Runner.cold_start ~max_events ()
+
+(* --- golden analyzer output for the classic gadgets ------------------- *)
+
+(* Builder-made configs carry no source lines, so no [line N] markers
+   here; the verify-corpus .expect files pin the annotated form. *)
+let golden =
+  [ ( "disagree",
+      "dispute wheel on destination 0 (2 hubs):\n\
+      \  node 1: rim 1>2>0 (pref 100, peer-route) over spoke 1>0 (pref 0, \
+       customer-route)\n\
+      \  node 2: rim 2>1>0 (pref 100, peer-route) over spoke 2>0 (pref 0, \
+       customer-route)\n" );
+    ( "bad-gadget",
+      "dispute wheel on destination 0 (3 hubs):\n\
+      \  node 1: rim 1>2>0 (pref 100, peer-route) over spoke 1>0 (pref 0, \
+       customer-route)\n\
+      \  node 2: rim 2>3>0 (pref 100, peer-route) over spoke 2>0 (pref 0, \
+       customer-route)\n\
+      \  node 3: rim 3>1>0 (pref 100, peer-route) over spoke 3>0 (pref 0, \
+       customer-route)\n" );
+    ( "wedgie",
+      "dispute wheel on destination 0 (2 hubs):\n\
+      \  node 1: rim 1>2>3>0 (pref 100, provider-route) over spoke 1>0 \
+       (pref 0, customer-route)\n\
+      \  node 2: rim 2>1>0 (pref 0, customer-route) over spoke 2>3>0 \
+       (pref 0, peer-route)\n" ) ]
+
+let test_gadget_golden () =
+  List.iter
+    (fun (g : Verify.Gadgets.gadget) ->
+      let expected = List.assoc g.name golden in
+      Alcotest.(check string)
+        g.name expected
+        (Verify.Dispute.render (analyze_gadget g)))
+    (Verify.Gadgets.all ())
+
+let test_gadget_monotonicity_fails () =
+  (* Every gadget's algebra must flunk strict monotonicity on the
+     disputed destination — that is what sends the analyzer into the
+     wheel search in the first place. *)
+  List.iter
+    (fun (g : Verify.Gadgets.gadget) ->
+      let alg = Verify.Algebra.create ~policy:(compile_gadget g) g.topo in
+      let enum = Verify.Algebra.enumerate alg ~dest:g.dest in
+      match Verify.Algebra.strict_monotonicity alg enum with
+      | Verify.Algebra.Fails _ -> ()
+      | Verify.Algebra.Holds | Verify.Algebra.Unknown _ ->
+        Alcotest.failf "%s: strict monotonicity did not fail" g.name)
+    (Verify.Gadgets.all ())
+
+let test_default_policy_certificates () =
+  (* A clean hierarchy earns the structural certificate... *)
+  let hierarchy =
+    Topology.create ~n:4
+      [ (0, 1, Relationship.Provider, 1.0);
+        (1, 2, Relationship.Provider, 1.0);
+        (2, 3, Relationship.Peer, 1.0) ]
+  in
+  (match Verify.Dispute.analyze hierarchy with
+  | Verify.Dispute.Certified Verify.Dispute.Gao_rexford_structure -> ()
+  | v ->
+    Alcotest.failf "hierarchy: expected structural certificate, got %s"
+      (Verify.Dispute.render v));
+  (* ...a customer cycle cannot (cyclic hierarchy), but default
+     preferences are still strictly monotone. *)
+  let cycle =
+    Topology.create ~n:3
+      [ (0, 1, Relationship.Customer, 1.0);
+        (1, 2, Relationship.Customer, 1.0);
+        (2, 0, Relationship.Customer, 1.0) ]
+  in
+  match Verify.Dispute.analyze cycle with
+  | Verify.Dispute.Certified (Verify.Dispute.Strict_monotonicity _) -> ()
+  | v ->
+    Alcotest.failf "cycle: expected monotonicity certificate, got %s"
+      (Verify.Dispute.render v)
+
+(* --- committed corpus: .topo + .conf must keep rendering .expect ------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_corpus () =
+  let dir = "verify-corpus" in
+  let cases =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".conf")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (List.length cases >= 6);
+  List.iter
+    (fun f ->
+      let base = Filename.chop_suffix f ".conf" in
+      let topo =
+        match Topo_io.load (Filename.concat dir (base ^ ".topo")) with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "%s.topo: %s" base msg
+      in
+      let policy =
+        match
+          Result.bind
+            (Policy.parse_file (Filename.concat dir f))
+            (Policy.compile ~num_nodes:(Topology.num_nodes topo))
+        with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "%s.conf: %s" base msg
+      in
+      let rendered =
+        Verify.Dispute.render (Verify.Dispute.analyze ~policy topo)
+      in
+      Alcotest.(check string)
+        base
+        (read_file (Filename.concat dir (base ^ ".expect")))
+        rendered)
+    cases
+
+(* --- certified => quiesces -------------------------------------------- *)
+
+(* The analyzer's core soundness promise: a certified configuration
+   never diverges — not in any of the three policy-aware protocol
+   engines, and not in the sequential stable solver. Random topologies,
+   random configurations from both generator modes (the unsafe mode
+   also yields certified samples; they must honor the promise too). *)
+let certified_implies_quiescent =
+  QCheck.Test.make ~name:"analyzer-certified => engine quiesces"
+    ~count:(qcheck_count 15)
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let topo = random_as_topology ~seed ~n:16 in
+      let rng = Rng.create (seed + 31) in
+      let config =
+        Verify.Gadgets.random_config rng topo ~safe:(seed mod 2 = 0)
+      in
+      let policy =
+        match Policy.compile ~num_nodes:16 config with
+        | Ok p -> p
+        | Error msg -> QCheck.Test.fail_reportf "bad config: %s" msg
+      in
+      if not (Verify.Dispute.is_certified (Verify.Dispute.analyze ~policy topo))
+      then true (* vacuous: nothing is promised for uncertified configs *)
+      else begin
+        List.iter
+          (fun proto ->
+            match run_protocol ~max_events:20_000 proto topo policy with
+            | (_ : Sim.Engine.run_stats) -> ()
+            | exception Sim.Engine.Diverged _ ->
+              QCheck.Test.fail_reportf
+                "certified config diverged under %s (seed %d)" proto seed)
+          protocols;
+        let ws = Stable.create_workspace () in
+        for dest = 0 to 15 do
+          match Stable.to_dest_with ws topo dest ~policy with
+          | (_ : Stable.routes) -> ()
+          | exception Stable.Diverged ->
+            QCheck.Test.fail_reportf
+              "certified config diverged in Stable (seed %d, dest %d)" seed
+              dest
+        done;
+        true
+      end)
+
+(* --- flagged wheel => reproducible oscillation ------------------------ *)
+
+(* The odd-ring BAD GADGET family has no stable state at all, so the
+   converse direction is schedule-independent: the analyzer must flag
+   a wheel, every bounded engine run must blow its event budget, and
+   the stable solver must raise. (DISAGREE and the wedgie also carry
+   wheels but have stable states some schedules reach — those live in
+   the golden tests above, not here.) *)
+let flagged_family_oscillates =
+  QCheck.Test.make ~name:"analyzer-flagged bad-gadget family oscillates"
+    ~count:(qcheck_count 8)
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = Verify.Gadgets.bad_gadget_family ~seed in
+      let policy = compile_gadget g in
+      (match Verify.Dispute.analyze ~policy g.topo with
+      | Verify.Dispute.Wheel w ->
+        if w.Verify.Dispute.dest <> g.dest then
+          QCheck.Test.fail_reportf "%s: wheel on wrong destination" g.name
+      | v ->
+        QCheck.Test.fail_reportf "%s: expected a wheel, got %s" g.name
+          (Verify.Dispute.render v));
+      List.iter
+        (fun proto ->
+          match run_protocol ~max_events:30_000 proto g.topo policy with
+          | (_ : Sim.Engine.run_stats) ->
+            QCheck.Test.fail_reportf "%s: quiesced under %s" g.name proto
+          | exception Sim.Engine.Diverged _ -> ())
+        [ "centaur"; "bgp" ];
+      (match Stable.to_dest g.topo g.dest ~policy with
+      | (_ : Stable.routes) ->
+        QCheck.Test.fail_reportf "%s: stable solver converged" g.name
+      | exception Stable.Diverged -> ());
+      true)
+
+(* --- Stable.Diverged escape paths ------------------------------------- *)
+
+let test_stable_diverged_raises () =
+  let g = Verify.Gadgets.bad_gadget () in
+  let policy = compile_gadget g in
+  Alcotest.check_raises "to_dest raises" Stable.Diverged (fun () ->
+      ignore (Stable.to_dest g.topo g.dest ~policy))
+
+let test_workspace_reusable_after_diverged () =
+  let g = Verify.Gadgets.bad_gadget () in
+  let policy = compile_gadget g in
+  let ws = Stable.create_workspace () in
+  Alcotest.check_raises "to_dest_with raises" Stable.Diverged (fun () ->
+      ignore (Stable.to_dest_with ws g.topo g.dest ~policy));
+  (* The workspace must stay serviceable: solving a different topology
+     in it afterwards matches a fresh solve. *)
+  let topo = random_as_topology ~seed:5 ~n:20 in
+  for dest = 0 to 19 do
+    let a = Stable.to_dest_with ws topo dest in
+    let b = Stable.to_dest topo dest in
+    for src = 0 to 19 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "next hop %d->%d" src dest)
+        (Stable.next_hop b src) (Stable.next_hop a src)
+    done
+  done
+
+let test_static_analyze_skips_diverging_dests () =
+  (* Static.analyze catches Stable.Diverged internally and skips the
+     offending destinations instead of blowing up the sweep. *)
+  let g = Verify.Gadgets.bad_gadget () in
+  let policy = compile_gadget g in
+  let stats =
+    Centaur.Static.analyze g.topo ~policy ~sources:[ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "sources analyzed" 4 stats.Centaur.Static.num_sources
+
+let suite =
+  [ Alcotest.test_case "gadget golden renders" `Quick test_gadget_golden;
+    Alcotest.test_case "gadget monotonicity fails" `Quick
+      test_gadget_monotonicity_fails;
+    Alcotest.test_case "default-policy certificates" `Quick
+      test_default_policy_certificates;
+    Alcotest.test_case "verify corpus" `Quick test_corpus;
+    QCheck_alcotest.to_alcotest certified_implies_quiescent;
+    QCheck_alcotest.to_alcotest flagged_family_oscillates;
+    Alcotest.test_case "Stable.Diverged raises" `Quick
+      test_stable_diverged_raises;
+    Alcotest.test_case "workspace reusable after Diverged" `Quick
+      test_workspace_reusable_after_diverged;
+    Alcotest.test_case "Static.analyze skips diverging dests" `Quick
+      test_static_analyze_skips_diverging_dests ]
